@@ -1,0 +1,191 @@
+//! Criterion microbenchmarks of the simulator's hot components, plus a
+//! small end-to-end cluster run. These measure the *implementation*
+//! (wall time), unlike the `expt` binary which measures the *simulated
+//! system* (virtual time).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ibridge_core::{CircularLog, DiskTimeModel, EntryType, MappingTable};
+use ibridge_des::{SimDuration, SimTime, Simulation};
+use ibridge_device::{DevOp, DiskModel, DiskProfile};
+use ibridge_iosched::{BlockRequest, Cfq, CfqConfig, Decision, Scheduler};
+use ibridge_localfs::{Extent, FileHandle};
+use ibridge_pvfs::Layout;
+use ibridge_workloads::{AppProfile, Trace};
+use std::hint::black_box;
+
+fn des_kernel(c: &mut Criterion) {
+    c.bench_function("des/schedule+pop 10k events", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<u64> = Simulation::new();
+            for i in 0..10_000u64 {
+                sim.schedule_at(SimTime::from_nanos((i * 7919) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = sim.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn disk_model(c: &mut Criterion) {
+    c.bench_function("device/disk service 1k scattered ops", |b| {
+        b.iter_batched(
+            || DiskModel::new(DiskProfile::hp_mm0500()),
+            |mut disk| {
+                let mut t = SimTime::ZERO;
+                let mut lbn = 1u64;
+                for i in 0..1_000u64 {
+                    lbn = (lbn * 48_271 + i) % 1_900_000_000;
+                    let d = disk.service(t, &DevOp::read(lbn, 128));
+                    t += d;
+                }
+                black_box(t)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn cfq_sched(c: &mut Criterion) {
+    c.bench_function("iosched/cfq add+dispatch 1k requests, 16 streams", |b| {
+        b.iter(|| {
+            let mut s = Cfq::new(CfqConfig::default());
+            let t = SimTime::ZERO;
+            for i in 0..1_000u64 {
+                s.add(
+                    t,
+                    BlockRequest::new(
+                        ibridge_device::IoDir::Read,
+                        (i * 977) % 1_000_000,
+                        8,
+                        i % 16,
+                        t,
+                        i,
+                    ),
+                );
+            }
+            let mut head = 0;
+            let mut n = 0;
+            loop {
+                match s.dispatch(t + SimDuration::from_secs(1), head) {
+                    Decision::Request(r) => {
+                        head = r.end();
+                        n += 1;
+                    }
+                    Decision::WaitUntil(_) => break,
+                    Decision::Empty => break,
+                }
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn layout_decompose(c: &mut Criterion) {
+    let layout = Layout::default_with_servers(8);
+    c.bench_function("pvfs/decompose 10k unaligned requests", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for i in 0..10_000u64 {
+                let d = layout.decompose(i * 66_560, 65 * 1024);
+                total += d.len() as u64;
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn cache_structures(c: &mut Criterion) {
+    c.bench_function("core/mapping-table insert+lookup+evict 1k", |b| {
+        b.iter(|| {
+            let mut t = MappingTable::new();
+            for i in 0..1_000u64 {
+                let id = t.next_id();
+                t.insert(
+                    id,
+                    FileHandle(1),
+                    i * 8192,
+                    4096,
+                    vec![Extent { lbn: i * 8, sectors: 8 }],
+                    EntryType::Fragment,
+                    0.001,
+                    false,
+                    false,
+                );
+            }
+            let mut hits = 0;
+            for i in 0..1_000u64 {
+                if t.lookup_covering(FileHandle(1), i * 8192, 4096).is_some() {
+                    hits += 1;
+                }
+            }
+            while let Some(v) = t.lru_victim(EntryType::Fragment) {
+                t.remove(v);
+            }
+            black_box(hits)
+        })
+    });
+    c.bench_function("core/circular-log append 1k", |b| {
+        b.iter(|| {
+            let mut log = CircularLog::new(1 << 20);
+            for i in 0..1_000u64 {
+                let _ = log.append(64, i);
+            }
+            black_box(log.resident_sectors())
+        })
+    });
+    c.bench_function("core/eq1 model update 10k", |b| {
+        b.iter_batched(
+            || DiskTimeModel::new(DiskProfile::hp_mm0500()),
+            |mut m| {
+                for i in 0..10_000u64 {
+                    m.serve_disk((i * 31_337) % 1_000_000_000, 4096);
+                }
+                black_box(m.value())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn trace_synthesis(c: &mut Criterion) {
+    c.bench_function("workloads/synthesize 10k-request S3D trace", |b| {
+        b.iter(|| {
+            let t = Trace::synthesize(&AppProfile::s3d(), 10_000, 1 << 30, 7);
+            black_box(t.records.len())
+        })
+    });
+}
+
+fn end_to_end(c: &mut Criterion) {
+    use ibridge_bench::{run_once, Scale, System, FILE_A};
+    use ibridge_workloads::MpiIoTest;
+    let scale = Scale {
+        stream_bytes: 8 << 20,
+        ..Scale::quick()
+    };
+    c.bench_function("cluster/e2e 8MB unaligned write, 8 servers", |b| {
+        b.iter(|| {
+            let mut w = MpiIoTest::sized(
+                ibridge_device::IoDir::Write,
+                FILE_A,
+                16,
+                65 * 1024,
+                scale.stream_bytes,
+            );
+            let span = w.span_bytes();
+            let stats = run_once(System::IBridge, 8, &scale, span, &mut w);
+            black_box(stats.bytes)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = des_kernel, disk_model, cfq_sched, layout_decompose,
+              cache_structures, trace_synthesis, end_to_end
+);
+criterion_main!(benches);

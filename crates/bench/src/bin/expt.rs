@@ -1,0 +1,80 @@
+//! Experiment runner.
+//!
+//! ```text
+//! expt all                 # every table and figure, paper order
+//! expt fig4 fig5           # specific experiments
+//! expt --full all          # paper-scale data sizes (slow)
+//! expt --seed 7 table3     # different seed
+//! expt --list              # what exists
+//! ```
+
+use ibridge_bench::experiments;
+use ibridge_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::quick();
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => {
+                scale = Scale {
+                    seed: scale.seed,
+                    ..Scale::full()
+                };
+            }
+            "--seed" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--seed needs a value"));
+                scale.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs an integer"));
+            }
+            "--list" => {
+                for e in experiments::all() {
+                    println!("{:8} {}", e.name, e.what);
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: expt [--full] [--seed N] [--list] <experiment|all>..."
+                );
+                return;
+            }
+            other if other.starts_with('-') => {
+                die(&format!("unknown flag {other}"));
+            }
+            name => selected.push(name.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        die("no experiment named; try `expt --list` or `expt all`");
+    }
+    let catalogue = experiments::all();
+    let run_all = selected.iter().any(|s| s == "all");
+    let start = std::time::Instant::now();
+    let mut ran = 0;
+    for e in &catalogue {
+        if run_all || selected.iter().any(|s| s == e.name) {
+            println!("### {} — {}\n", e.name, e.what);
+            (e.run)(&scale);
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        die("no experiment matched; try `expt --list`");
+    }
+    eprintln!(
+        "[{} experiment(s) in {:.1}s wall]",
+        ran,
+        start.elapsed().as_secs_f64()
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("expt: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,152 @@
+//! Figs. 9–11: the BTIO macro-benchmark.
+
+use crate::{build, build_ibridge_with, Scale, System, Table, FILE_A};
+use ibridge_core::IBridgeConfig;
+use ibridge_pvfs::RunStats;
+use ibridge_workloads::Btio;
+
+fn btio(scale: &Scale, procs: usize) -> Btio {
+    // Compute time calibrated so the stock system spends ~58% of its
+    // execution in I/O, as the paper reports; it scales with the data
+    // set so `--full` keeps the same balance.
+    let compute_secs = 10.0 * scale.btio_bytes as f64 / (96u64 << 20) as f64;
+    Btio::new(
+        FILE_A,
+        procs,
+        scale.btio_bytes,
+        16,
+        ibridge_des::SimDuration::from_secs_f64(compute_secs),
+    )
+}
+
+fn run_system(scale: &Scale, procs: usize, system: System) -> RunStats {
+    let mut cluster = build(system, 8, scale);
+    let mut w = btio(scale, procs);
+    cluster.preallocate(FILE_A, w.span_bytes() + (1 << 20));
+    cluster.run(&mut w)
+}
+
+fn secs(stats: &RunStats) -> f64 {
+    stats.elapsed.as_secs_f64()
+}
+
+/// Fig. 9: execution time vs process count, stock vs iBridge.
+pub fn fig9(scale: &Scale) {
+    let mut t = Table::new(
+        "Fig 9 — BTIO execution time (s) vs process count",
+        &[
+            "procs",
+            "req-size",
+            "stock",
+            "iBridge",
+            "reduction",
+            "stock-io%",
+            "iBridge-io%",
+        ],
+    );
+    for procs in [9usize, 16, 64, 100] {
+        let stock = run_system(scale, procs, System::Stock);
+        let ib = run_system(scale, procs, System::IBridge);
+        let io_frac = |s: &RunStats| {
+            let total = s.io_time + s.think_time;
+            if total == ibridge_des::SimDuration::ZERO {
+                0.0
+            } else {
+                s.io_time.as_secs_f64() / total.as_secs_f64() * 100.0
+            }
+        };
+        t.row(&[
+            procs.to_string(),
+            format!("{}B", Btio::request_size_for(procs)),
+            format!("{:.1}", secs(&stock)),
+            format!("{:.1}", secs(&ib)),
+            format!("{:.0}%", (secs(&stock) - secs(&ib)) / secs(&stock) * 100.0),
+            format!("{:.0}%", io_frac(&stock)),
+            format!("{:.0}%", io_frac(&ib)),
+        ]);
+    }
+    t.print();
+    println!(
+        "paper: execution times drop 45/55/61/59% at 9/16/64/100 procs; \
+         the I/O share of execution falls from 58% to 4% on average.\n"
+    );
+}
+
+/// Fig. 10: disk-only vs SSD-only vs iBridge.
+pub fn fig10(scale: &Scale) {
+    let mut t = Table::new(
+        "Fig 10 — BTIO execution time and I/O time (s): storage variants",
+        &[
+            "procs",
+            "disk-only",
+            "SSD-only",
+            "iBridge",
+            "io:disk",
+            "io:SSD-only",
+            "io:iBridge",
+        ],
+    );
+    for procs in [9usize, 16, 64, 100] {
+        let disk = run_system(scale, procs, System::Stock);
+        let ssd = run_system(scale, procs, System::SsdOnly);
+        let ib = run_system(scale, procs, System::IBridge);
+        let io = |s: &RunStats| s.io_time.as_secs_f64() / procs as f64;
+        t.row(&[
+            procs.to_string(),
+            format!("{:.1}", secs(&disk)),
+            format!("{:.1}", secs(&ssd)),
+            format!("{:.1}", secs(&ib)),
+            format!("{:.1}", io(&disk)),
+            format!("{:.2}", io(&ssd)),
+            format!("{:.2}", io(&ib)),
+        ]);
+    }
+    t.print();
+    println!(
+        "paper: iBridge beats even SSD-only storage — its log-structured \
+         writes run at the SSD's sequential bandwidth (140 MB/s) while \
+         SSD-only placement writes randomly (30 MB/s).\n"
+    );
+}
+
+/// Fig. 11: I/O time as the per-server SSD cache shrinks (paper sweeps
+/// 8 GB → 0 GB against a 6.8 GB data set; the scaled sweep keeps the
+/// same capacity/data ratios).
+pub fn fig11(scale: &Scale) {
+    let ratios: [(f64, &str); 5] = [
+        (1.18, "8GB-equiv"),
+        (0.59, "4GB-equiv"),
+        (0.29, "2GB-equiv"),
+        (0.15, "1GB-equiv"),
+        (0.0, "0GB"),
+    ];
+    let procs = 64;
+    let mut t = Table::new(
+        "Fig 11 — BTIO I/O time (s) vs per-server SSD capacity",
+        &["capacity", "io-time", "exec-time", "vs-full"],
+    );
+    let mut first_io = None;
+    for (ratio, label) in ratios {
+        let capacity = ((scale.btio_bytes as f64 * ratio) as u64 / 8).max(1);
+        let mut cluster = build_ibridge_with(8, scale, 20 << 10, move |id| {
+            IBridgeConfig::with_capacity(id, capacity)
+        });
+        let mut w = btio(scale, procs);
+        cluster.preallocate(FILE_A, w.span_bytes() + (1 << 20));
+        let stats = cluster.run(&mut w);
+        let io = stats.io_time.as_secs_f64() / procs as f64;
+        let first = *first_io.get_or_insert(io);
+        t.row(&[
+            label.to_string(),
+            format!("{io:.2}"),
+            format!("{:.1}", secs(&stats)),
+            format!("{:.1}x", io / first),
+        ]);
+    }
+    t.print();
+    println!(
+        "paper: I/O time grows almost linearly as the cache shrinks and is \
+         12x longer at 0 GB, while total execution time grows only 2.2x \
+         (computation is significant).\n"
+    );
+}

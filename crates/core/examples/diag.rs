@@ -1,0 +1,83 @@
+//! Diagnostic: stock vs iBridge for unaligned 65 KB writes/reads.
+
+use ibridge_core::{ibridge_cluster, stock_cluster};
+use ibridge_device::IoDir;
+use ibridge_localfs::FileHandle;
+use ibridge_pvfs::workload::SequentialWorkload;
+use ibridge_pvfs::{ClusterConfig, RunStats};
+
+const F: FileHandle = FileHandle(1);
+
+fn report(name: &str, s: &RunStats) {
+    let rh = s.combined_read_hist();
+    let wh = s.combined_write_hist();
+    let ssd_frac = s.ssd_served_fraction();
+    let redirected: u64 = s.servers.iter().map(|x| x.policy.redirected_writes).sum();
+    let fails: u64 = s.servers.iter().map(|x| x.policy.admission_failures).sum();
+    let hits: u64 = s.servers.iter().map(|x| x.policy.read_hits).sum();
+    println!(
+        "{name:18} {:7.1} MB/s  lat {:6.2} ms  disp_mean r={:6.1} w={:6.1} sect  ssd={:4.1}% redir={redirected} fail={fails} hits={hits}",
+        s.throughput_mbps(),
+        s.latency_ms.mean().unwrap_or(0.0),
+        rh.mean(),
+        wh.mean(),
+        ssd_frac * 100.0,
+    );
+    for (label, h) in [("r", &rh), ("w", &wh)] {
+        if h.total() > 0 {
+            let top = h.top_k(5);
+            print!("   top-{label}: ");
+            for (k, c) in top {
+                print!("{}x{:.0}%  ", k, 100.0 * c as f64 / h.total() as f64);
+            }
+            println!();
+        }
+    }
+}
+
+fn main() {
+    let size = 65 * 1024u64;
+    let procs = 64;
+    let iters = 256;
+    let total = size * procs as u64 * iters + (1 << 20);
+
+    for dir in [IoDir::Write, IoDir::Read] {
+        let mut w = SequentialWorkload {
+            dir,
+            file: F,
+            procs,
+            size,
+            iters,
+            shift: 0,
+            use_barrier: false,
+        };
+        let mut stock = stock_cluster(ClusterConfig::default());
+        stock.preallocate(F, total);
+        let s = stock.run(&mut w.clone());
+        report(&format!("stock-{dir:?}"), &s);
+
+        let mut ib = ibridge_cluster(ClusterConfig::default(), 10 << 30);
+        ib.preallocate(F, total);
+        let i1 = ib.run(&mut w.clone());
+        report(&format!("ibridge-{dir:?}"), &i1);
+        if dir == IoDir::Read {
+            let i2 = ib.run(&mut w);
+            report("ibridge-warm", &i2);
+        }
+    }
+
+    // Aligned reference.
+    let mut w = SequentialWorkload {
+        dir: IoDir::Write,
+        file: F,
+        procs,
+        size: 64 * 1024,
+        iters,
+        shift: 0,
+        use_barrier: false,
+    };
+    let mut stock = stock_cluster(ClusterConfig::default());
+    stock.preallocate(F, total);
+    let s = stock.run(&mut w);
+    report("stock-aligned-w", &s);
+}

@@ -1,0 +1,301 @@
+//! Circular SSD log.
+//!
+//! iBridge writes all cached data "sequentially into a pre-created large
+//! file that is maintained much like a log-based file system" — that is
+//! what makes its SSD writes run at the device's *sequential* write
+//! bandwidth (140 MB/s) instead of the random one (30 MB/s). This module
+//! manages that file's space: an append head that advances through a
+//! fixed region and wraps, overwriting the *stale or clean* data it runs
+//! over. An append that would run over **dirty** (not yet written back)
+//! or in-flight data fails, and the caller serves the request at the
+//! disk instead; the idle-time writeback daemon keeps the log clean
+//! enough that this is rare.
+
+use ibridge_device::Lbn;
+use ibridge_localfs::Extent;
+use std::collections::BTreeMap;
+
+/// Identifier of a cache entry, matching `ibridge_pvfs::EntryId`.
+pub type EntryId = u64;
+
+/// A resident region of the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Resident {
+    sectors: u64,
+    entry: EntryId,
+}
+
+/// Why an append failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendError {
+    /// The request is larger than the whole log.
+    TooLarge,
+    /// The append head would run over dirty or pinned data.
+    BlockedByDirty,
+}
+
+/// The circular log allocator.
+///
+/// ```
+/// use ibridge_core::CircularLog;
+///
+/// let mut log = CircularLog::new(1000);
+/// let (extents, evicted) = log.append(128, 0).unwrap();
+/// assert_eq!(extents[0].lbn, 0);
+/// assert!(evicted.is_empty());
+/// // Appends are strictly sequential — the SSD sees them at its
+/// // sequential-write bandwidth.
+/// let (next, _) = log.append(128, 1).unwrap();
+/// assert_eq!(next[0].lbn, 128);
+/// ```
+#[derive(Debug)]
+pub struct CircularLog {
+    capacity: u64,
+    head: Lbn,
+    /// Live regions, keyed by start sector. Non-overlapping.
+    residents: BTreeMap<Lbn, Resident>,
+    /// Entries whose regions must not be overwritten (dirty/in-flight).
+    protected: std::collections::HashSet<EntryId>,
+}
+
+impl CircularLog {
+    /// Creates a log over `[0, capacity_sectors)`.
+    pub fn new(capacity_sectors: u64) -> Self {
+        assert!(capacity_sectors > 0, "empty log");
+        CircularLog {
+            capacity: capacity_sectors,
+            head: 0,
+            residents: BTreeMap::new(),
+            protected: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Log capacity in sectors.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Current append position (for tests/inspection).
+    pub fn head(&self) -> Lbn {
+        self.head
+    }
+
+    /// Marks an entry's region as must-not-overwrite (dirty data, or an
+    /// in-flight flush/read).
+    pub fn protect(&mut self, entry: EntryId) {
+        self.protected.insert(entry);
+    }
+
+    /// Clears the protection.
+    pub fn unprotect(&mut self, entry: EntryId) {
+        self.protected.remove(&entry);
+    }
+
+    /// Removes an entry's residency (logical eviction). The space
+    /// becomes stale and is reclaimed when the head next passes it.
+    pub fn evict(&mut self, entry: EntryId) {
+        self.residents.retain(|_, r| r.entry != entry);
+        self.protected.remove(&entry);
+    }
+
+    /// Residents whose region intersects `[start, start+len)` (no wrap).
+    fn overlapping(&self, start: Lbn, len: u64) -> Vec<(Lbn, Resident)> {
+        let end = start + len;
+        let mut out = Vec::new();
+        // A resident starting before `start` may still reach into it.
+        if let Some((&s, &r)) = self.residents.range(..start).next_back() {
+            if s + r.sectors > start {
+                out.push((s, r));
+            }
+        }
+        for (&s, &r) in self.residents.range(start..end) {
+            out.push((s, r));
+        }
+        out
+    }
+
+    /// Appends `sectors` at the head, wrapping if needed. On success,
+    /// returns the allocated extents (1, or 2 when wrapping) plus the
+    /// ids of clean entries that were overwritten (the caller must drop
+    /// them from its mapping table).
+    pub fn append(
+        &mut self,
+        sectors: u64,
+        entry: EntryId,
+    ) -> Result<(Vec<Extent>, Vec<EntryId>), AppendError> {
+        assert!(sectors > 0, "zero-length append");
+        if sectors > self.capacity {
+            return Err(AppendError::TooLarge);
+        }
+        // Determine the (up to two) pieces the allocation covers.
+        let first_len = sectors.min(self.capacity - self.head);
+        let mut pieces = vec![(self.head, first_len)];
+        if first_len < sectors {
+            pieces.push((0, sectors - first_len));
+        }
+        // Check every piece for protected residents before mutating.
+        let mut casualties = Vec::new();
+        for &(start, len) in &pieces {
+            for (_, r) in self.overlapping(start, len) {
+                if self.protected.contains(&r.entry) {
+                    return Err(AppendError::BlockedByDirty);
+                }
+                casualties.push(r.entry);
+            }
+        }
+        casualties.sort_unstable();
+        casualties.dedup();
+        // Evict the casualties entirely (their whole region goes stale —
+        // a partially overwritten entry is useless).
+        for id in &casualties {
+            self.residents.retain(|_, r| r.entry != *id);
+        }
+        // Claim the space.
+        let mut extents = Vec::with_capacity(pieces.len());
+        for &(start, len) in &pieces {
+            self.residents.insert(
+                start,
+                Resident {
+                    sectors: len,
+                    entry,
+                },
+            );
+            extents.push(Extent {
+                lbn: start,
+                sectors: len,
+            });
+        }
+        self.head = (self.head + sectors) % self.capacity;
+        Ok((extents, casualties))
+    }
+
+    /// Number of live resident sectors (diagnostics).
+    pub fn resident_sectors(&self) -> u64 {
+        self.residents.values().map(|r| r.sectors).sum()
+    }
+
+    /// Re-registers an entry at explicit extents (crash recovery from
+    /// the on-SSD mapping-table backup). Fails if any extent overlaps an
+    /// existing resident.
+    pub fn reserve_at(
+        &mut self,
+        extents: &[Extent],
+        entry: EntryId,
+    ) -> Result<(Vec<Extent>, Vec<EntryId>), AppendError> {
+        for e in extents {
+            assert!(e.end() <= self.capacity, "extent beyond the log");
+            if !self.overlapping(e.lbn, e.sectors).is_empty() {
+                return Err(AppendError::BlockedByDirty);
+            }
+        }
+        for e in extents {
+            self.residents.insert(
+                e.lbn,
+                Resident {
+                    sectors: e.sectors,
+                    entry,
+                },
+            );
+        }
+        Ok((extents.to_vec(), Vec::new()))
+    }
+
+    /// Restores the append head (crash recovery).
+    pub fn set_head(&mut self, head: Lbn) {
+        assert!(head < self.capacity.max(1) + 1, "head beyond the log");
+        self.head = head % self.capacity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appends_are_sequential() {
+        let mut log = CircularLog::new(1000);
+        let (a, _) = log.append(100, 1).unwrap();
+        let (b, _) = log.append(100, 2).unwrap();
+        assert_eq!(a, vec![Extent { lbn: 0, sectors: 100 }]);
+        assert_eq!(b, vec![Extent { lbn: 100, sectors: 100 }]);
+        assert_eq!(log.head(), 200);
+    }
+
+    #[test]
+    fn wrap_splits_into_two_extents() {
+        let mut log = CircularLog::new(100);
+        log.append(80, 1).unwrap();
+        log.evict(1);
+        let (ext, _) = log.append(40, 2).unwrap();
+        assert_eq!(
+            ext,
+            vec![
+                Extent { lbn: 80, sectors: 20 },
+                Extent { lbn: 0, sectors: 20 }
+            ]
+        );
+        assert_eq!(log.head(), 20);
+    }
+
+    #[test]
+    fn wrap_overwrites_clean_entries_and_reports_them() {
+        let mut log = CircularLog::new(100);
+        log.append(50, 1).unwrap(); // [0,50)
+        log.append(50, 2).unwrap(); // [50,100), head wraps to 0
+        let (ext, evicted) = log.append(30, 3).unwrap(); // overwrites part of 1
+        assert_eq!(ext, vec![Extent { lbn: 0, sectors: 30 }]);
+        assert_eq!(evicted, vec![1]);
+        // Entry 1's remaining region is gone too.
+        assert_eq!(log.resident_sectors(), 50 + 30);
+    }
+
+    #[test]
+    fn dirty_data_blocks_the_append() {
+        let mut log = CircularLog::new(100);
+        log.append(50, 1).unwrap();
+        log.append(50, 2).unwrap();
+        log.protect(1);
+        assert_eq!(log.append(30, 3), Err(AppendError::BlockedByDirty));
+        // Cleaning unblocks it.
+        log.unprotect(1);
+        assert!(log.append(30, 3).is_ok());
+    }
+
+    #[test]
+    fn eviction_frees_space_logically() {
+        let mut log = CircularLog::new(100);
+        log.append(60, 1).unwrap();
+        assert_eq!(log.resident_sectors(), 60);
+        log.evict(1);
+        assert_eq!(log.resident_sectors(), 0);
+    }
+
+    #[test]
+    fn oversized_append_rejected() {
+        let mut log = CircularLog::new(100);
+        assert_eq!(log.append(101, 1), Err(AppendError::TooLarge));
+    }
+
+    #[test]
+    fn protected_inflight_entry_survives_until_unprotect() {
+        let mut log = CircularLog::new(64);
+        log.append(32, 1).unwrap();
+        log.protect(1);
+        log.append(32, 2).unwrap(); // fills the rest; head wraps
+        // Next append would overwrite entry 1: blocked.
+        assert_eq!(log.append(8, 3), Err(AppendError::BlockedByDirty));
+        log.unprotect(1);
+        let (_, evicted) = log.append(8, 3).unwrap();
+        assert_eq!(evicted, vec![1]);
+    }
+
+    #[test]
+    fn exact_fit_wraps_head_to_zero() {
+        let mut log = CircularLog::new(100);
+        log.append(100, 1).unwrap();
+        assert_eq!(log.head(), 0);
+        // Appending again overwrites entry 1 (clean).
+        let (_, evicted) = log.append(10, 2).unwrap();
+        assert_eq!(evicted, vec![1]);
+    }
+}

@@ -1,0 +1,125 @@
+//! SSD space partitioning between fragments and regular random requests.
+//!
+//! "To enforce the caching priority we partition the SSD space between
+//! the two types of requests… For all of the data of the same type
+//! cached in the SSD we calculate the average return values and the SSD
+//! space is partitioned proportionally to the types' respective
+//! averages." Static 1:1 / 1:2 splits are also supported — they are the
+//! baselines of Fig. 12.
+
+use crate::table::{ClassUsage, EntryType};
+
+/// How the SSD cache capacity is split between the two classes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PartitionMode {
+    /// iBridge's adaptive split: quotas proportional to each class's
+    /// average return value.
+    Dynamic,
+    /// Fixed split: this fraction of the capacity goes to fragments,
+    /// the rest to regular random requests.
+    Static {
+        /// Fraction of capacity reserved for fragments (0..=1).
+        fragment_fraction: f64,
+    },
+}
+
+impl PartitionMode {
+    /// Byte quota of `typ` given total `capacity` and current usage of
+    /// both classes.
+    ///
+    /// Dynamic mode falls back to an even split while either class has
+    /// no history (average return of 0).
+    pub fn quota(
+        &self,
+        typ: EntryType,
+        capacity: u64,
+        fragment: ClassUsage,
+        random: ClassUsage,
+    ) -> u64 {
+        let frag_fraction = match *self {
+            PartitionMode::Static { fragment_fraction } => {
+                assert!(
+                    (0.0..=1.0).contains(&fragment_fraction),
+                    "fragment fraction out of range"
+                );
+                fragment_fraction
+            }
+            PartitionMode::Dynamic => {
+                // Proportional to the classes' average returns, with a
+                // small floor per class so neither is starved before it
+                // has cached anything (cold-start bootstrap).
+                const FLOOR: f64 = 1.0 / 16.0;
+                let f = fragment.avg_ret().max(0.0);
+                let r = random.avg_ret().max(0.0);
+                let share = if f + r <= 0.0 { 0.5 } else { f / (f + r) };
+                share.clamp(FLOOR, 1.0 - FLOOR)
+            }
+        };
+        let share = match typ {
+            EntryType::Fragment => frag_fraction,
+            EntryType::Random => 1.0 - frag_fraction,
+        };
+        (capacity as f64 * share) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usage(entries: u64, ret_sum: f64) -> ClassUsage {
+        ClassUsage {
+            bytes: 0,
+            entries,
+            ret_sum,
+        }
+    }
+
+    #[test]
+    fn static_split_ignores_returns() {
+        let m = PartitionMode::Static {
+            fragment_fraction: 2.0 / 3.0,
+        };
+        let f = m.quota(EntryType::Fragment, 900, usage(10, 99.0), usage(10, 1.0));
+        let r = m.quota(EntryType::Random, 900, usage(10, 99.0), usage(10, 1.0));
+        assert_eq!(f, 600);
+        assert_eq!(r, 300);
+    }
+
+    #[test]
+    fn dynamic_split_follows_average_returns() {
+        let m = PartitionMode::Dynamic;
+        // Fragments average 3 ms, randoms 1 ms → 3:1 split.
+        let frag = usage(2, 0.006);
+        let rand = usage(2, 0.002);
+        assert_eq!(m.quota(EntryType::Fragment, 1000, frag, rand), 750);
+        assert_eq!(m.quota(EntryType::Random, 1000, frag, rand), 250);
+    }
+
+    #[test]
+    fn dynamic_split_defaults_to_even_without_history() {
+        let m = PartitionMode::Dynamic;
+        let empty = usage(0, 0.0);
+        assert_eq!(m.quota(EntryType::Fragment, 1000, empty, empty), 500);
+        assert_eq!(m.quota(EntryType::Random, 1000, empty, empty), 500);
+    }
+
+    #[test]
+    fn negative_average_clamped_to_the_floor() {
+        let m = PartitionMode::Dynamic;
+        let frag = usage(1, -0.5);
+        let rand = usage(1, 0.001);
+        // Fragment average clamps to 0 → floor share only.
+        assert_eq!(m.quota(EntryType::Fragment, 1600, frag, rand), 100);
+        assert_eq!(m.quota(EntryType::Random, 1600, frag, rand), 1500);
+    }
+
+    #[test]
+    fn single_class_workload_gets_nearly_everything() {
+        let m = PartitionMode::Dynamic;
+        let empty = usage(0, 0.0);
+        let rand = usage(10, 0.01);
+        let q = m.quota(EntryType::Random, 1600, empty, rand);
+        assert_eq!(q, 1500, "random class gets all but the floor");
+    }
+}

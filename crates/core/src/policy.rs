@@ -1,0 +1,753 @@
+//! The iBridge server-side policy.
+//!
+//! This is the paper's §II.B logic, end to end:
+//!
+//! 1. **Classification** — the client flags fragments and regular random
+//!    requests (`ibridge_pvfs::layout`); everything else is bulk and
+//!    always goes to the disk.
+//! 2. **Return evaluation** — for each candidate, Eq. (1)/(2) give the
+//!    return `T_ret` of serving it at the SSD; fragments on the
+//!    currently-slowest sibling server get the Eq. (3) boost using the
+//!    T values broadcast by the metadata server.
+//! 3. **Admission** — positive-return writes are redirected into the
+//!    circular SSD log (dirty); positive-return read misses are copied
+//!    into the log after the disk read completes (pre-loading); read
+//!    hits are served from the log.
+//! 4. **Space management** — per-class byte quotas (dynamic, proportional
+//!    to average returns, or static for the Fig. 12 baselines) with LRU
+//!    eviction inside each class; the circular log keeps SSD writes
+//!    sequential.
+//! 5. **Writeback** — dirty entries are flushed to their home disk
+//!    locations during quiet periods, sorted by home location to form
+//!    long sequential disk writes.
+
+use crate::log::{AppendError, CircularLog};
+use crate::model::{fragment_return, DiskTimeModel};
+use crate::partition::PartitionMode;
+use crate::table::{EntryType, MappingTable};
+use ibridge_des::SimTime;
+use ibridge_device::{bytes_to_sectors, DiskProfile, Lbn};
+use ibridge_localfs::Extent;
+use ibridge_pvfs::{CachePolicy, CacheStats, EntryId, FlushId, FlushOp, Placement, ReqClass, SubRequest};
+use std::collections::HashMap;
+
+/// Configuration of one server's iBridge instance.
+#[derive(Debug, Clone)]
+pub struct IBridgeConfig {
+    /// This server's id (for Eq. 3 comparisons against siblings).
+    pub server_id: usize,
+    /// SSD partition used for caching, in bytes (paper default: 10 GB).
+    pub ssd_capacity: u64,
+    /// Partitioning between fragments and regular random requests.
+    pub partition: PartitionMode,
+    /// Apply the Eq. (3) striping-magnification boost (ablation knob).
+    pub eq3: bool,
+    /// Redirect positive-return writes into the SSD log (the full
+    /// scheme). When false the cache is read-only: only post-read
+    /// admissions populate it (ablation knob).
+    pub redirect_writes: bool,
+    /// Sectors appended per entry for the on-SSD mapping-table backup.
+    pub meta_sectors: u64,
+    /// Disk parameters for the Eq. (1) model.
+    pub disk: DiskProfile,
+}
+
+impl IBridgeConfig {
+    /// Paper defaults for a given server id: 10 GB SSD partition,
+    /// dynamic partitioning, Eq. (3) enabled.
+    pub fn paper_defaults(server_id: usize) -> Self {
+        IBridgeConfig {
+            server_id,
+            ssd_capacity: 10 << 30,
+            partition: PartitionMode::Dynamic,
+            eq3: true,
+            redirect_writes: true,
+            meta_sectors: 1,
+            disk: DiskProfile::hp_mm0500(),
+        }
+    }
+
+    /// Same, with a custom cache size (Fig. 11 sweeps it).
+    pub fn with_capacity(server_id: usize, ssd_capacity: u64) -> Self {
+        IBridgeConfig {
+            ssd_capacity,
+            ..Self::paper_defaults(server_id)
+        }
+    }
+}
+
+/// The policy object owned by one data server.
+#[derive(Debug)]
+pub struct IBridgePolicy {
+    cfg: IBridgeConfig,
+    model: DiskTimeModel,
+    log: CircularLog,
+    table: MappingTable,
+    t_table: Vec<f64>,
+    stats: CacheStats,
+    /// Return values remembered between `place` (decision) and
+    /// `read_admission` (post-read insertion).
+    pending_admissions: HashMap<(u64, u64), f64>,
+    flush_to_entry: HashMap<FlushId, EntryId>,
+    next_flush: FlushId,
+}
+
+impl IBridgePolicy {
+    /// Creates a policy. Capacities below one sector disable caching
+    /// entirely (the Fig. 11 "0 GB" point).
+    pub fn new(cfg: IBridgeConfig) -> Self {
+        let sectors = (cfg.ssd_capacity / ibridge_localfs::SECTOR_SIZE).max(1);
+        IBridgePolicy {
+            model: DiskTimeModel::new(cfg.disk.clone()),
+            log: CircularLog::new(sectors),
+            table: MappingTable::new(),
+            t_table: Vec::new(),
+            stats: CacheStats::default(),
+            pending_admissions: HashMap::new(),
+            flush_to_entry: HashMap::new(),
+            next_flush: 0,
+            cfg,
+        }
+    }
+
+    /// Cache enabled at all? (Fig. 11 sweeps capacity down to zero.)
+    fn enabled(&self) -> bool {
+        self.cfg.ssd_capacity >= 4096
+    }
+
+    fn class_of(sub: &SubRequest) -> Option<EntryType> {
+        match &sub.class {
+            ReqClass::Fragment { .. } => Some(EntryType::Fragment),
+            ReqClass::Random => Some(EntryType::Random),
+            ReqClass::Bulk => None,
+        }
+    }
+
+    /// The return value of serving `sub` at the SSD, with the Eq. (3)
+    /// boost for bottleneck fragments.
+    fn return_of(&self, sub: &SubRequest, disk_lbn: Lbn) -> f64 {
+        let base = self.model.ret(disk_lbn, sub.len);
+        match (&sub.class, self.cfg.eq3) {
+            (ReqClass::Fragment { siblings }, true) => fragment_return(
+                base,
+                self.model.value(),
+                sub.len,
+                siblings,
+                &self.t_table,
+            ),
+            _ => base,
+        }
+    }
+
+    /// Enforces the class quota, evicting clean LRU entries of `typ`.
+    /// Returns false if the request can never fit.
+    fn make_room(&mut self, typ: EntryType, need_bytes: u64) -> bool {
+        let quota = self.cfg.partition.quota(
+            typ,
+            self.cfg.ssd_capacity,
+            self.table.usage(EntryType::Fragment),
+            self.table.usage(EntryType::Random),
+        );
+        if need_bytes > quota {
+            return false;
+        }
+        while self.table.usage(typ).bytes + need_bytes > quota {
+            let Some(victim) = self.table.lru_victim(typ) else {
+                return false; // remainder is dirty/pinned
+            };
+            self.drop_entry(victim);
+            self.stats.evictions += 1;
+        }
+        true
+    }
+
+    fn drop_entry(&mut self, id: EntryId) {
+        if self.table.remove(id).is_some() {
+            self.log.evict(id);
+        }
+    }
+
+    /// Reserves log space for `len` bytes (+ mapping-table backup) under
+    /// a fresh entry id. Returns the id and the data extents.
+    fn reserve(&mut self, typ: EntryType, len: u64) -> Option<(EntryId, Vec<Extent>)> {
+        if !self.make_room(typ, len) {
+            return None;
+        }
+        let id = self.table.next_id();
+        let data_sectors = bytes_to_sectors(len);
+        match self.log.append(data_sectors + self.cfg.meta_sectors, id) {
+            Ok((mut extents, casualties)) => {
+                for c in casualties {
+                    if self.table.remove(c).is_some() {
+                        self.stats.evictions += 1;
+                    }
+                }
+                // Trim the trailing mapping-table-backup sectors off the
+                // last extent for addressing purposes (they are written
+                // as part of the same sequential append, so their cost
+                // is already included in the extents handed to the SSD).
+                let mut meta_left = self.cfg.meta_sectors;
+                while meta_left > 0 {
+                    let last = extents.last_mut().expect("append returned extents");
+                    if last.sectors > meta_left {
+                        last.sectors -= meta_left;
+                        meta_left = 0;
+                    } else {
+                        meta_left -= last.sectors;
+                        extents.pop();
+                    }
+                }
+                Some((id, extents))
+            }
+            Err(AppendError::TooLarge | AppendError::BlockedByDirty) => None,
+        }
+    }
+
+    /// Resolves overlaps between an incoming write and existing entries:
+    /// fully-covered entries are superseded and dropped; partially
+    /// overlapped ones are dropped as well, with dirty ones counted (the
+    /// workloads in the paper do not overlap in-flight ranges; this path
+    /// preserves table consistency for those that do).
+    fn invalidate_overlaps(&mut self, sub: &SubRequest) {
+        for id in self.table.find_overlaps(sub.file, sub.offset, sub.len) {
+            self.drop_entry(id);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+/// Durable cache state, as reconstructed from the on-SSD mapping-table
+/// backup after a server restart.
+///
+/// The paper: "To ensure reliability, the dirty entries of the mapping
+/// table are immediately updated on the SSD with the write requests to
+/// the SSD" — so after a crash, every entry whose SSD write completed
+/// (including dirty ones: their data and table records are on flash) is
+/// recoverable; entries whose admission write was still in flight are
+/// not.
+#[derive(Debug, Clone)]
+pub struct PersistentState {
+    entries: Vec<crate::table::Entry>,
+    log_head: Lbn,
+    log_capacity_sectors: u64,
+}
+
+impl IBridgePolicy {
+    /// Snapshots the durable cache state (what the on-SSD backup holds).
+    pub fn snapshot(&self) -> PersistentState {
+        PersistentState {
+            entries: self
+                .table
+                .entries()
+                .filter(|e| !e.pending) // in-flight admissions are not durable
+                .cloned()
+                .collect(),
+            log_head: self.log.head(),
+            log_capacity_sectors: self.log.capacity(),
+        }
+    }
+
+    /// Rebuilds a policy from a durable snapshot (server restart with a
+    /// warm SSD). Flush state is conservatively reset: dirty entries are
+    /// re-queued for writeback.
+    pub fn recover(cfg: IBridgeConfig, state: &PersistentState) -> Self {
+        let mut p = IBridgePolicy::new(cfg);
+        assert_eq!(
+            p.log.capacity(),
+            state.log_capacity_sectors,
+            "recovering onto a different SSD partition size"
+        );
+        for e in &state.entries {
+            let id = p.table.next_id();
+            let (_, casualties) = p
+                .log
+                .reserve_at(&e.extents, id)
+                .expect("snapshot extents must be disjoint");
+            debug_assert!(casualties.is_empty());
+            p.table.insert(
+                id, e.file, e.offset, e.len,
+                e.extents.clone(), e.typ, e.ret,
+                e.dirty, false,
+            );
+            if e.dirty {
+                p.log.protect(id);
+            }
+        }
+        p.log.set_head(state.log_head);
+        p
+    }
+}
+
+impl CachePolicy for IBridgePolicy {
+    fn place(&mut self, _now: SimTime, sub: &SubRequest, disk_lbn: Lbn) -> Placement {
+        let candidate_class = Self::class_of(sub);
+        if !self.enabled() {
+            self.model.serve_disk(disk_lbn, sub.len);
+            self.stats.bytes_disk += sub.len;
+            return Placement::Disk {
+                admit_after_read: false,
+            };
+        }
+        if sub.dir.is_read() {
+            if let Some(entry) = self.table.lookup_covering(sub.file, sub.offset, sub.len) {
+                let extents = entry.slice(sub.offset - entry.offset, sub.len);
+                let id = entry.id;
+                self.table.touch(id);
+                self.model.serve_ssd();
+                self.stats.read_hits += 1;
+                self.stats.bytes_ssd += sub.len;
+                return Placement::Ssd { extents };
+            }
+            self.stats.read_misses += 1;
+            let admit = candidate_class.is_some() && {
+                let ret = self.return_of(sub, disk_lbn);
+                if ret > 0.0 {
+                    self.pending_admissions.insert((sub.offset, sub.len), ret);
+                    true
+                } else {
+                    false
+                }
+            };
+            self.model.serve_disk(disk_lbn, sub.len);
+            self.stats.bytes_disk += sub.len;
+            Placement::Disk {
+                admit_after_read: admit,
+            }
+        } else {
+            // Write path: resolve overlaps first for table consistency.
+            self.invalidate_overlaps(sub);
+            if let (Some(typ), true) = (candidate_class, self.cfg.redirect_writes) {
+                let ret = self.return_of(sub, disk_lbn);
+                if ret > 0.0 {
+                    if let Some((id, extents)) = self.reserve(typ, sub.len) {
+                        self.table.insert(
+                            id, sub.file, sub.offset, sub.len,
+                            extents.clone(), typ, ret,
+                            true,  // dirty
+                            false, // servable immediately
+                        );
+                        self.log.protect(id); // dirty data must survive
+                        self.model.serve_ssd();
+                        self.stats.redirected_writes += 1;
+                        self.stats.bytes_ssd += sub.len;
+                        self.stats.appended_bytes +=
+                            (bytes_to_sectors(sub.len) + self.cfg.meta_sectors)
+                                * ibridge_localfs::SECTOR_SIZE;
+                        return Placement::Ssd { extents };
+                    }
+                    self.stats.admission_failures += 1;
+                }
+            }
+            self.model.serve_disk(disk_lbn, sub.len);
+            self.stats.bytes_disk += sub.len;
+            Placement::Disk {
+                admit_after_read: false,
+            }
+        }
+    }
+
+    fn read_admission(
+        &mut self,
+        _now: SimTime,
+        sub: &SubRequest,
+    ) -> Option<(EntryId, Vec<Extent>)> {
+        let typ = Self::class_of(sub)?;
+        let ret = self
+            .pending_admissions
+            .remove(&(sub.offset, sub.len))
+            .unwrap_or(0.0);
+        // The range may have been cached meanwhile (e.g. by a sibling
+        // admission); never double-cache.
+        if !self.table.find_overlaps(sub.file, sub.offset, sub.len).is_empty() {
+            return None;
+        }
+        match self.reserve(typ, sub.len) {
+            Some((id, extents)) => {
+                self.table.insert(
+                    id, sub.file, sub.offset, sub.len,
+                    extents.clone(), typ, ret,
+                    false, // clean: disk already has the data
+                    true,  // pending until the SSD write completes
+                );
+                self.stats.admissions += 1;
+                self.stats.appended_bytes += (bytes_to_sectors(sub.len)
+                    + self.cfg.meta_sectors)
+                    * ibridge_localfs::SECTOR_SIZE;
+                Some((id, extents))
+            }
+            None => {
+                self.stats.admission_failures += 1;
+                None
+            }
+        }
+    }
+
+    fn admission_complete(&mut self, _now: SimTime, entry: EntryId) {
+        self.table.activate(entry);
+    }
+
+    fn flush_batch(&mut self, _now: SimTime, max_bytes: u64) -> Vec<FlushOp> {
+        let batch = self.table.dirty_batch(max_bytes);
+        batch
+            .into_iter()
+            .map(|id| {
+                self.table.set_flushing(id, true);
+                let e = self.table.get(id).expect("picked entry exists");
+                let flush = self.next_flush;
+                self.next_flush += 1;
+                self.flush_to_entry.insert(flush, id);
+                FlushOp {
+                    id: flush,
+                    file: e.file,
+                    offset: e.offset,
+                    len: e.len,
+                    ssd_extents: e.extents.clone(),
+                }
+            })
+            .collect()
+    }
+
+    fn flush_complete(&mut self, _now: SimTime, id: FlushId) {
+        let entry = self
+            .flush_to_entry
+            .remove(&id)
+            .expect("completion for unknown flush");
+        self.table.mark_clean(entry);
+        self.log.unprotect(entry);
+    }
+
+    fn report_t(&self) -> f64 {
+        self.model.value()
+    }
+
+    fn receive_broadcast(&mut self, t_values: &[f64]) {
+        self.t_table = t_values.to_vec();
+    }
+
+    fn dirty_bytes(&self) -> u64 {
+        self.table.dirty_bytes()
+    }
+
+    fn stats(&self) -> CacheStats {
+        let mut s = self.stats;
+        s.dirty_bytes = self.table.dirty_bytes();
+        s.cached_fragment_bytes = self.table.usage(EntryType::Fragment).bytes;
+        s.cached_random_bytes = self.table.usage(EntryType::Random).bytes;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibridge_device::IoDir;
+    use ibridge_localfs::FileHandle;
+
+    const KB: u64 = 1024;
+
+    fn policy() -> IBridgePolicy {
+        IBridgePolicy::new(IBridgeConfig::with_capacity(0, 64 << 20))
+    }
+
+    fn frag(dir: IoDir, offset: u64, len: u64) -> SubRequest {
+        SubRequest {
+            dir,
+            file: FileHandle(1),
+            server: 0,
+            offset,
+            len,
+            class: ReqClass::Fragment { siblings: vec![1] },
+        }
+    }
+
+    fn bulk(dir: IoDir, offset: u64, len: u64) -> SubRequest {
+        SubRequest {
+            dir,
+            file: FileHandle(1),
+            server: 0,
+            offset,
+            len,
+            class: ReqClass::Bulk,
+        }
+    }
+
+    #[test]
+    fn bulk_requests_always_go_to_disk() {
+        let mut p = policy();
+        let placement = p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 1000);
+        assert_eq!(placement, Placement::Disk { admit_after_read: false });
+        assert!(p.stats().redirected_writes == 0);
+    }
+
+    #[test]
+    fn fragment_write_is_redirected_to_the_log() {
+        let mut p = policy();
+        // Establish a nonzero average so returns are positive for far
+        // requests — the very first request initialises T with its own
+        // cost and has ret = 0... warm with one disk op.
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        let placement = p.place(SimTime::ZERO, &frag(IoDir::Write, 1 << 20, KB), 900_000_000);
+        let Placement::Ssd { extents } = placement else {
+            panic!("fragment with positive return must go to the SSD");
+        };
+        assert_eq!(extents.iter().map(|e| e.sectors).sum::<u64>(), 2);
+        assert_eq!(p.dirty_bytes(), KB);
+        assert_eq!(p.stats().redirected_writes, 1);
+        assert_eq!(p.stats().bytes_ssd, KB);
+    }
+
+    #[test]
+    fn read_after_redirected_write_hits_the_cache() {
+        let mut p = policy();
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        p.place(SimTime::ZERO, &frag(IoDir::Write, 1 << 20, KB), 900_000_000);
+        let placement = p.place(SimTime::ZERO, &frag(IoDir::Read, 1 << 20, KB), 900_000_000);
+        assert!(matches!(placement, Placement::Ssd { .. }));
+        assert_eq!(p.stats().read_hits, 1);
+    }
+
+    #[test]
+    fn partial_inner_read_hits_with_sliced_extents() {
+        let mut p = policy();
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        p.place(SimTime::ZERO, &frag(IoDir::Write, 1 << 20, 8 * KB), 900_000_000);
+        let placement = p.place(
+            SimTime::ZERO,
+            &frag(IoDir::Read, (1 << 20) + 4 * KB, 2 * KB),
+            900_000_000,
+        );
+        let Placement::Ssd { extents } = placement else { panic!() };
+        assert_eq!(extents.iter().map(|e| e.sectors).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn read_miss_with_positive_return_requests_admission() {
+        let mut p = policy();
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        let sub = frag(IoDir::Read, 2 << 20, KB);
+        let placement = p.place(SimTime::ZERO, &sub, 900_000_000);
+        assert_eq!(placement, Placement::Disk { admit_after_read: true });
+        let (entry, extents) = p.read_admission(SimTime::ZERO, &sub).expect("admits");
+        assert!(!extents.is_empty());
+        // Pending until the SSD write completes: a read now still misses.
+        let placement = p.place(SimTime::ZERO, &sub, 900_000_000);
+        assert_eq!(p.stats().read_misses, 2);
+        assert!(matches!(placement, Placement::Disk { .. }));
+        p.admission_complete(SimTime::ZERO, entry);
+        let placement = p.place(SimTime::ZERO, &sub, 900_000_000);
+        assert!(matches!(placement, Placement::Ssd { .. }));
+    }
+
+    #[test]
+    fn flush_cycle_cleans_dirty_entries() {
+        let mut p = policy();
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        p.place(SimTime::ZERO, &frag(IoDir::Write, 1 << 20, KB), 900_000_000);
+        assert_eq!(p.dirty_bytes(), KB);
+        let ops = p.flush_batch(SimTime::ZERO, u64::MAX);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].len, KB);
+        // While flushing, the same entry is not re-picked.
+        assert!(p.flush_batch(SimTime::ZERO, u64::MAX).is_empty());
+        p.flush_complete(SimTime::ZERO, ops[0].id);
+        assert_eq!(p.dirty_bytes(), 0);
+    }
+
+    #[test]
+    fn read_only_cache_never_redirects_writes() {
+        let mut cfg = IBridgeConfig::with_capacity(0, 64 << 20);
+        cfg.redirect_writes = false;
+        let mut p = IBridgePolicy::new(cfg);
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        let placement = p.place(SimTime::ZERO, &frag(IoDir::Write, 1 << 20, KB), 900_000_000);
+        assert_eq!(placement, Placement::Disk { admit_after_read: false });
+        assert_eq!(p.stats().redirected_writes, 0);
+        // Reads still admit.
+        let sub = frag(IoDir::Read, 2 << 20, KB);
+        let placement = p.place(SimTime::ZERO, &sub, 900_000_000);
+        assert_eq!(placement, Placement::Disk { admit_after_read: true });
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut p = IBridgePolicy::new(IBridgeConfig::with_capacity(0, 0));
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        let placement = p.place(SimTime::ZERO, &frag(IoDir::Write, 1 << 20, KB), 900_000_000);
+        assert_eq!(placement, Placement::Disk { admit_after_read: false });
+    }
+
+    #[test]
+    fn overlapping_write_invalidates_cached_entry() {
+        let mut p = policy();
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        p.place(SimTime::ZERO, &frag(IoDir::Write, 1 << 20, 4 * KB), 900_000_000);
+        // A bulk write over the same range must kill the entry.
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 1 << 20, 64 * KB), 900_000_000);
+        let placement = p.place(SimTime::ZERO, &frag(IoDir::Read, 1 << 20, 4 * KB), 900_000_000);
+        assert!(matches!(placement, Placement::Disk { .. }));
+    }
+
+    #[test]
+    fn eq3_boost_requires_being_the_slowest() {
+        let mut base = IBridgeConfig::with_capacity(0, 64 << 20);
+        base.eq3 = true;
+        let mut p = IBridgePolicy::new(base);
+        // Make this server's T large and siblings' small.
+        p.receive_broadcast(&[0.0, 0.0001]);
+        for i in 0..5 {
+            p.place(SimTime::ZERO, &bulk(IoDir::Write, i * 64 * KB, 64 * KB), i * 1_000_000_000 % 1_500_000_000);
+        }
+        let sub = frag(IoDir::Write, 10 << 20, KB);
+        let boosted = p.return_of(&sub, 900_000_000);
+        let base_ret = p.model.ret(900_000_000, KB);
+        assert!(boosted > base_ret, "boost must apply when we are slowest");
+    }
+
+    #[test]
+    fn dirty_log_pressure_fails_admissions_until_flushed() {
+        // Log fits ~8 one-KB entries (with meta); no flushing → dirty
+        // data blocks the wrap and admissions start failing.
+        let mut p = IBridgePolicy::new(IBridgeConfig::with_capacity(0, 8 * 1536));
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        let mut failures = 0;
+        for i in 0..32u64 {
+            let placement =
+                p.place(SimTime::ZERO, &frag(IoDir::Write, (i + 1) << 20, KB), 900_000_000);
+            if matches!(placement, Placement::Disk { .. }) {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0, "a full dirty log must push writes to disk");
+        assert_eq!(p.stats().admission_failures, failures);
+        // Flush everything; admissions work again.
+        let ops = p.flush_batch(SimTime::ZERO, u64::MAX);
+        assert!(!ops.is_empty());
+        for op in ops {
+            p.flush_complete(SimTime::ZERO, op.id);
+        }
+        let placement =
+            p.place(SimTime::ZERO, &frag(IoDir::Write, 99 << 20, KB), 900_000_000);
+        assert!(matches!(placement, Placement::Ssd { .. }));
+    }
+
+    #[test]
+    fn clean_entries_are_evicted_under_quota_pressure() {
+        // Small cache; stream of read admissions (clean entries).
+        let mut p = IBridgePolicy::new(IBridgeConfig::with_capacity(0, 16 * 1536));
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        for i in 0..64u64 {
+            let sub = frag(IoDir::Read, (i + 1) << 20, KB);
+            let placement = p.place(SimTime::ZERO, &sub, 900_000_000);
+            assert!(matches!(placement, Placement::Disk { admit_after_read: true }));
+            if let Some((entry, _)) = p.read_admission(SimTime::ZERO, &sub) {
+                p.admission_complete(SimTime::ZERO, entry);
+            }
+        }
+        let s = p.stats();
+        assert!(s.admissions > 16, "most admissions succeed: {}", s.admissions);
+        assert!(s.evictions > 0, "old clean entries must be evicted");
+        assert!(s.cached_fragment_bytes <= 16 * 1536);
+    }
+
+    #[test]
+    fn flush_batch_respects_byte_budget() {
+        let mut p = policy();
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        for i in 0..8u64 {
+            p.place(SimTime::ZERO, &frag(IoDir::Write, (i + 1) << 20, 4 * KB), 900_000_000);
+        }
+        assert_eq!(p.dirty_bytes(), 32 * KB);
+        let ops = p.flush_batch(SimTime::ZERO, 10 * KB);
+        let total: u64 = ops.iter().map(|o| o.len).sum();
+        assert!(total <= 10 * KB, "batch exceeded budget: {total}");
+        assert!(!ops.is_empty());
+    }
+
+    #[test]
+    fn flush_ops_are_sorted_by_home_offset() {
+        let mut p = policy();
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        for off in [9u64 << 20, 2 << 20, 5 << 20] {
+            p.place(SimTime::ZERO, &frag(IoDir::Write, off, KB), 900_000_000);
+        }
+        let ops = p.flush_batch(SimTime::ZERO, u64::MAX);
+        let offsets: Vec<u64> = ops.iter().map(|o| o.offset).collect();
+        let mut sorted = offsets.clone();
+        sorted.sort_unstable();
+        assert_eq!(offsets, sorted, "writeback must form sequential sweeps");
+    }
+
+    #[test]
+    fn crash_recovery_preserves_durable_entries() {
+        let mut p = policy();
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        // A dirty redirected write: durable (data + table record on SSD).
+        p.place(SimTime::ZERO, &frag(IoDir::Write, 1 << 20, KB), 900_000_000);
+        // A completed read admission: durable and clean.
+        let sub_done = frag(IoDir::Read, 2 << 20, KB);
+        p.place(SimTime::ZERO, &sub_done, 900_000_000);
+        let (entry, _) = p.read_admission(SimTime::ZERO, &sub_done).unwrap();
+        p.admission_complete(SimTime::ZERO, entry);
+        // An in-flight admission: NOT durable.
+        let sub_pending = frag(IoDir::Read, 3 << 20, KB);
+        p.place(SimTime::ZERO, &sub_pending, 900_000_000);
+        let _ = p.read_admission(SimTime::ZERO, &sub_pending).unwrap();
+
+        let snap = p.snapshot();
+        let mut r = IBridgePolicy::recover(IBridgeConfig::with_capacity(0, 64 << 20), &snap);
+
+        // Durable entries hit after recovery.
+        assert!(matches!(
+            r.place(SimTime::ZERO, &frag(IoDir::Read, 1 << 20, KB), 900_000_000),
+            Placement::Ssd { .. }
+        ));
+        assert!(matches!(
+            r.place(SimTime::ZERO, &frag(IoDir::Read, 2 << 20, KB), 900_000_000),
+            Placement::Ssd { .. }
+        ));
+        // The in-flight admission is gone.
+        assert!(matches!(
+            r.place(SimTime::ZERO, &frag(IoDir::Read, 3 << 20, KB), 900_000_000),
+            Placement::Disk { .. }
+        ));
+        // Dirty data survived and is queued for writeback again.
+        assert_eq!(r.dirty_bytes(), KB);
+        assert_eq!(r.flush_batch(SimTime::ZERO, u64::MAX).len(), 1);
+    }
+
+    #[test]
+    fn recovered_log_continues_appending_where_it_left_off() {
+        let mut p = policy();
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        p.place(SimTime::ZERO, &frag(IoDir::Write, 1 << 20, KB), 900_000_000);
+        let snap = p.snapshot();
+        let mut r = IBridgePolicy::recover(IBridgeConfig::with_capacity(0, 64 << 20), &snap);
+        // A new redirected write lands after the recovered head, not over
+        // the surviving entry.
+        let Placement::Ssd { extents } =
+            r.place(SimTime::ZERO, &frag(IoDir::Write, 5 << 20, KB), 900_000_000)
+        else {
+            panic!("redirect expected")
+        };
+        assert!(extents[0].lbn >= 3, "must not overwrite the recovered entry");
+        // Both ranges servable.
+        assert!(matches!(
+            r.place(SimTime::ZERO, &frag(IoDir::Read, 1 << 20, KB), 900_000_000),
+            Placement::Ssd { .. }
+        ));
+    }
+
+    #[test]
+    fn stats_expose_partition_occupancy() {
+        let mut p = policy();
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        p.place(SimTime::ZERO, &frag(IoDir::Write, 1 << 20, KB), 900_000_000);
+        let mut rand_sub = frag(IoDir::Write, 2 << 20, 2 * KB);
+        rand_sub.class = ReqClass::Random;
+        p.place(SimTime::ZERO, &rand_sub, 900_000_000);
+        let s = p.stats();
+        assert_eq!(s.cached_fragment_bytes, KB);
+        assert_eq!(s.cached_random_bytes, 2 * KB);
+        assert!(s.appended_bytes > 0);
+    }
+}

@@ -1,0 +1,505 @@
+//! The iBridge mapping table.
+//!
+//! "iBridge maintains a mapping table to record data and their statuses
+//! (dirty or clean)." Each entry describes one cached range of a local
+//! datafile: where it lives in the SSD log, which request class put it
+//! there (fragment vs regular random — the two partitions of the SSD),
+//! the return value recorded at admission (used for the dynamic
+//! partitioning), dirtiness, and LRU position within its class.
+
+use crate::log::EntryId;
+use ibridge_localfs::{Extent, FileHandle};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Which SSD partition an entry belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryType {
+    /// A fragment of a larger striped request.
+    Fragment,
+    /// A regular random request.
+    Random,
+}
+
+impl EntryType {
+    fn idx(self) -> usize {
+        match self {
+            EntryType::Fragment => 0,
+            EntryType::Random => 1,
+        }
+    }
+}
+
+/// One cached range.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Table-assigned id.
+    pub id: EntryId,
+    /// Home datafile.
+    pub file: FileHandle,
+    /// Home offset in bytes.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Data sectors in the SSD log (1 or 2 extents).
+    pub extents: Vec<Extent>,
+    /// Partition.
+    pub typ: EntryType,
+    /// Return value recorded at admission.
+    pub ret: f64,
+    /// Holds data newer than the disk.
+    pub dirty: bool,
+    /// A writeback is in flight.
+    pub flushing: bool,
+    /// The admission write has not completed yet (not servable).
+    pub pending: bool,
+    lru_seq: u64,
+}
+
+impl Entry {
+    /// Slices this entry's log extents to the byte sub-range
+    /// `[from, from + len)` relative to the entry's own range.
+    pub fn slice(&self, from: u64, len: u64) -> Vec<Extent> {
+        assert!(from + len <= self.len, "slice outside entry");
+        let first_sector = from / ibridge_localfs::SECTOR_SIZE;
+        let last_sector = (from + len).div_ceil(ibridge_localfs::SECTOR_SIZE);
+        let mut want = last_sector - first_sector;
+        let mut skip = first_sector;
+        let mut out = Vec::new();
+        for e in &self.extents {
+            if skip >= e.sectors {
+                skip -= e.sectors;
+                continue;
+            }
+            let take = (e.sectors - skip).min(want);
+            out.push(Extent {
+                lbn: e.lbn + skip,
+                sectors: take,
+            });
+            want -= take;
+            skip = 0;
+            if want == 0 {
+                break;
+            }
+        }
+        assert_eq!(want, 0, "entry extents shorter than its length");
+        out
+    }
+}
+
+/// Per-class aggregate view used by the partition controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClassUsage {
+    /// Cached bytes of this class.
+    pub bytes: u64,
+    /// Number of entries.
+    pub entries: u64,
+    /// Sum of admission-time return values.
+    pub ret_sum: f64,
+}
+
+impl ClassUsage {
+    /// Mean return value (0 when empty).
+    pub fn avg_ret(&self) -> f64 {
+        if self.entries == 0 {
+            0.0
+        } else {
+            self.ret_sum / self.entries as f64
+        }
+    }
+}
+
+/// The mapping table.
+#[derive(Debug, Default)]
+pub struct MappingTable {
+    entries: HashMap<EntryId, Entry>,
+    by_range: HashMap<FileHandle, BTreeMap<u64, EntryId>>,
+    lru: [BTreeSet<(u64, EntryId)>; 2],
+    usage: [ClassUsage; 2],
+    dirty_bytes: u64,
+    next_id: EntryId,
+    next_seq: u64,
+}
+
+impl MappingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        MappingTable::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Dirty bytes across all entries.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty_bytes
+    }
+
+    /// Usage snapshot of one class.
+    pub fn usage(&self, typ: EntryType) -> ClassUsage {
+        self.usage[typ.idx()]
+    }
+
+    /// Allocates a fresh entry id (the caller reserves log space under
+    /// this id before inserting).
+    pub fn next_id(&mut self) -> EntryId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Inserts a new entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already present or the range overlaps an
+    /// existing entry of the same file (overlaps must be resolved by the
+    /// caller first).
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert(
+        &mut self,
+        id: EntryId,
+        file: FileHandle,
+        offset: u64,
+        len: u64,
+        extents: Vec<Extent>,
+        typ: EntryType,
+        ret: f64,
+        dirty: bool,
+        pending: bool,
+    ) {
+        assert!(len > 0, "empty entry");
+        assert!(
+            self.find_overlaps(file, offset, len).is_empty(),
+            "inserting over an existing entry"
+        );
+        self.next_seq += 1;
+        let entry = Entry {
+            id,
+            file,
+            offset,
+            len,
+            extents,
+            typ,
+            ret,
+            dirty,
+            flushing: false,
+            pending,
+            lru_seq: self.next_seq,
+        };
+        self.lru[typ.idx()].insert((self.next_seq, id));
+        let u = &mut self.usage[typ.idx()];
+        u.bytes += len;
+        u.entries += 1;
+        u.ret_sum += ret;
+        if dirty {
+            self.dirty_bytes += len;
+        }
+        let prev = self.entries.insert(id, entry);
+        assert!(prev.is_none(), "duplicate entry id");
+        self.by_range.entry(file).or_default().insert(offset, id);
+    }
+
+    /// Removes an entry, returning it.
+    pub fn remove(&mut self, id: EntryId) -> Option<Entry> {
+        let entry = self.entries.remove(&id)?;
+        self.lru[entry.typ.idx()].remove(&(entry.lru_seq, id));
+        let u = &mut self.usage[entry.typ.idx()];
+        u.bytes -= entry.len;
+        u.entries -= 1;
+        u.ret_sum -= entry.ret;
+        if entry.dirty {
+            self.dirty_bytes -= entry.len;
+        }
+        if let Some(m) = self.by_range.get_mut(&entry.file) {
+            m.remove(&entry.offset);
+        }
+        Some(entry)
+    }
+
+    /// Looks up an entry by id.
+    pub fn get(&self, id: EntryId) -> Option<&Entry> {
+        self.entries.get(&id)
+    }
+
+    /// Marks use for LRU.
+    pub fn touch(&mut self, id: EntryId) {
+        let Some(entry) = self.entries.get_mut(&id) else {
+            return;
+        };
+        self.next_seq += 1;
+        self.lru[entry.typ.idx()].remove(&(entry.lru_seq, id));
+        entry.lru_seq = self.next_seq;
+        self.lru[entry.typ.idx()].insert((self.next_seq, id));
+    }
+
+    /// Finds the single *servable* (non-pending) entry fully covering
+    /// `[offset, offset + len)` of `file`, if any.
+    pub fn lookup_covering(&self, file: FileHandle, offset: u64, len: u64) -> Option<&Entry> {
+        let m = self.by_range.get(&file)?;
+        let (_, &id) = m.range(..=offset).next_back()?;
+        let e = self.entries.get(&id).expect("index points at live entry");
+        (!e.pending && e.offset <= offset && offset + len <= e.offset + e.len).then_some(e)
+    }
+
+    /// Ids of all entries overlapping `[offset, offset + len)` of `file`.
+    pub fn find_overlaps(&self, file: FileHandle, offset: u64, len: u64) -> Vec<EntryId> {
+        let Some(m) = self.by_range.get(&file) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        if let Some((_, &id)) = m.range(..offset).next_back() {
+            let e = &self.entries[&id];
+            if e.offset + e.len > offset {
+                out.push(id);
+            }
+        }
+        for (_, &id) in m.range(offset..offset + len) {
+            out.push(id);
+        }
+        out
+    }
+
+    /// The least-recently-used *evictable* entry of a class: not dirty,
+    /// not flushing, not pending.
+    pub fn lru_victim(&self, typ: EntryType) -> Option<EntryId> {
+        self.lru[typ.idx()]
+            .iter()
+            .map(|&(_, id)| id)
+            .find(|id| {
+                let e = &self.entries[id];
+                !e.dirty && !e.flushing && !e.pending
+            })
+    }
+
+    /// The oldest dirty entries, grouped for writeback. Returns up to
+    /// `max_bytes` worth of entry ids **sorted by home location** so the
+    /// resulting disk writes are as sequential as possible (the paper's
+    /// writeback scheduling).
+    pub fn dirty_batch(&self, max_bytes: u64) -> Vec<EntryId> {
+        let mut picked = Vec::new();
+        let mut budget = max_bytes;
+        for lru in &self.lru {
+            for &(_, id) in lru.iter() {
+                let e = &self.entries[&id];
+                if !e.dirty || e.flushing || e.pending {
+                    continue;
+                }
+                if e.len > budget {
+                    continue;
+                }
+                budget -= e.len;
+                picked.push(id);
+            }
+        }
+        picked.sort_by_key(|id| {
+            let e = &self.entries[id];
+            (e.file, e.offset)
+        });
+        picked
+    }
+
+    /// Sets the flushing flag.
+    pub fn set_flushing(&mut self, id: EntryId, flushing: bool) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.flushing = flushing;
+        }
+    }
+
+    /// Marks an entry clean (writeback finished).
+    pub fn mark_clean(&mut self, id: EntryId) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            if e.dirty {
+                e.dirty = false;
+                self.dirty_bytes -= e.len;
+            }
+            e.flushing = false;
+        }
+    }
+
+    /// Clears the pending flag (admission write finished).
+    pub fn activate(&mut self, id: EntryId) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.pending = false;
+        }
+    }
+
+    /// Iterates all entries (persistence snapshots).
+    pub fn entries(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: FileHandle = FileHandle(1);
+
+    fn ext(lbn: u64, sectors: u64) -> Vec<Extent> {
+        vec![Extent { lbn, sectors }]
+    }
+
+    fn table_with(entries: &[(u64, u64, EntryType, bool)]) -> MappingTable {
+        // (offset, len, type, dirty)
+        let mut t = MappingTable::new();
+        for &(offset, len, typ, dirty) in entries {
+            let id = t.next_id();
+            t.insert(id, F, offset, len, ext(offset / 512, len.div_ceil(512)), typ, 0.001, dirty, false);
+        }
+        t
+    }
+
+    #[test]
+    fn covering_lookup_finds_exact_and_inner_ranges() {
+        let t = table_with(&[(1000, 4096, EntryType::Fragment, false)]);
+        assert!(t.lookup_covering(F, 1000, 4096).is_some());
+        assert!(t.lookup_covering(F, 2000, 1000).is_some());
+        assert!(t.lookup_covering(F, 1000, 4097).is_none());
+        assert!(t.lookup_covering(F, 999, 10).is_none());
+        assert!(t.lookup_covering(FileHandle(2), 1000, 10).is_none());
+    }
+
+    #[test]
+    fn pending_entries_are_not_servable() {
+        let mut t = MappingTable::new();
+        let id = t.next_id();
+        t.insert(id, F, 0, 4096, ext(0, 8), EntryType::Random, 0.0, false, true);
+        assert!(t.lookup_covering(F, 0, 4096).is_none());
+        t.activate(id);
+        assert!(t.lookup_covering(F, 0, 4096).is_some());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let t = table_with(&[(1000, 1000, EntryType::Random, false), (5000, 1000, EntryType::Random, false)]);
+        assert_eq!(t.find_overlaps(F, 0, 500).len(), 0);
+        assert_eq!(t.find_overlaps(F, 1500, 100).len(), 1);
+        assert_eq!(t.find_overlaps(F, 900, 5000).len(), 2);
+        assert_eq!(t.find_overlaps(F, 1999, 2).len(), 1);
+        assert_eq!(t.find_overlaps(F, 2000, 10).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "over an existing entry")]
+    fn overlapping_insert_panics() {
+        let mut t = table_with(&[(0, 4096, EntryType::Random, false)]);
+        let id = t.next_id();
+        t.insert(id, F, 4000, 100, ext(100, 1), EntryType::Random, 0.0, false, false);
+    }
+
+    #[test]
+    fn lru_victim_is_oldest_clean() {
+        let mut t = table_with(&[
+            (0, 1000, EntryType::Fragment, false),
+            (2000, 1000, EntryType::Fragment, false),
+        ]);
+        assert_eq!(t.lru_victim(EntryType::Fragment), Some(0));
+        t.touch(0); // entry 0 becomes most recent
+        assert_eq!(t.lru_victim(EntryType::Fragment), Some(1));
+        // Random class has no entries.
+        assert_eq!(t.lru_victim(EntryType::Random), None);
+    }
+
+    #[test]
+    fn dirty_entries_are_not_victims() {
+        let t = table_with(&[
+            (0, 1000, EntryType::Random, true),
+            (2000, 1000, EntryType::Random, false),
+        ]);
+        assert_eq!(t.lru_victim(EntryType::Random), Some(1));
+    }
+
+    #[test]
+    fn usage_accounting_tracks_inserts_and_removes() {
+        let mut t = table_with(&[
+            (0, 1000, EntryType::Fragment, true),
+            (2000, 3000, EntryType::Random, false),
+        ]);
+        assert_eq!(t.usage(EntryType::Fragment).bytes, 1000);
+        assert_eq!(t.usage(EntryType::Random).bytes, 3000);
+        assert_eq!(t.dirty_bytes(), 1000);
+        let e = t.remove(0).unwrap();
+        assert_eq!(e.len, 1000);
+        assert_eq!(t.usage(EntryType::Fragment).bytes, 0);
+        assert_eq!(t.dirty_bytes(), 0);
+    }
+
+    #[test]
+    fn mark_clean_updates_dirty_bytes() {
+        let mut t = table_with(&[(0, 1000, EntryType::Random, true)]);
+        t.set_flushing(0, true);
+        t.mark_clean(0);
+        assert_eq!(t.dirty_bytes(), 0);
+        assert!(!t.get(0).unwrap().flushing);
+        // Now evictable.
+        assert_eq!(t.lru_victim(EntryType::Random), Some(0));
+    }
+
+    #[test]
+    fn dirty_batch_sorted_by_home_location_and_bounded() {
+        let mut t = table_with(&[
+            (9000, 1000, EntryType::Random, true),
+            (0, 1000, EntryType::Fragment, true),
+            (5000, 1000, EntryType::Random, true),
+        ]);
+        let batch = t.dirty_batch(u64::MAX);
+        let offsets: Vec<u64> = batch.iter().map(|id| t.get(*id).unwrap().offset).collect();
+        assert_eq!(offsets, vec![0, 5000, 9000]);
+        // Bounded by bytes.
+        let batch = t.dirty_batch(2000);
+        assert_eq!(batch.len(), 2);
+        // Flushing entries are excluded.
+        t.set_flushing(batch[0], true);
+        let again = t.dirty_batch(u64::MAX);
+        assert_eq!(again.len(), 2);
+    }
+
+    #[test]
+    fn entry_slicing_spans_wrapped_extents() {
+        let e = Entry {
+            id: 0,
+            file: F,
+            offset: 0,
+            len: 20 * 512,
+            extents: vec![
+                Extent { lbn: 90, sectors: 10 },
+                Extent { lbn: 0, sectors: 10 },
+            ],
+            typ: EntryType::Fragment,
+            ret: 0.0,
+            dirty: false,
+            flushing: false,
+            pending: false,
+            lru_seq: 0,
+        };
+        // Full range.
+        assert_eq!(e.slice(0, 20 * 512), e.extents);
+        // Inside the first extent.
+        assert_eq!(e.slice(512, 512), vec![Extent { lbn: 91, sectors: 1 }]);
+        // Straddling the wrap.
+        assert_eq!(
+            e.slice(9 * 512, 2 * 512),
+            vec![Extent { lbn: 99, sectors: 1 }, Extent { lbn: 0, sectors: 1 }]
+        );
+        // Byte-unaligned range rounds out to sectors.
+        assert_eq!(e.slice(100, 100), vec![Extent { lbn: 90, sectors: 1 }]);
+    }
+
+    #[test]
+    fn avg_ret_per_class() {
+        let mut t = MappingTable::new();
+        let a = t.next_id();
+        t.insert(a, F, 0, 100, ext(0, 1), EntryType::Fragment, 0.002, false, false);
+        let b = t.next_id();
+        t.insert(b, F, 1000, 100, ext(2, 1), EntryType::Fragment, 0.004, false, false);
+        assert!((t.usage(EntryType::Fragment).avg_ret() - 0.003).abs() < 1e-12);
+        assert_eq!(t.usage(EntryType::Random).avg_ret(), 0.0);
+    }
+}

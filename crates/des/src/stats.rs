@@ -1,0 +1,338 @@
+//! Measurement utilities shared by the simulator and the experiment
+//! harness: running means, the paper's exponentially-decayed average, and
+//! exact histograms (the blktrace-style request-size distributions of
+//! Figs. 2 and 5 are built on [`Histogram`]).
+
+use std::collections::BTreeMap;
+
+/// Running arithmetic mean with count, min and max.
+#[derive(Debug, Clone, Default)]
+pub struct MeanTracker {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl MeanTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        MeanTracker {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or `None` before the first sample.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest sample, or `None` before the first sample.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` before the first sample.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// Exponentially-weighted moving average with a configurable retention
+/// weight, as used by Eq. (1) of the paper.
+///
+/// The paper follows Linux anticipatory-scheduling bookkeeping: the new
+/// average is `old * keep + sample * (1 - keep)`. The paper's Eq. (1) uses
+/// `keep = 1/8` (heavily favouring recent samples); Linux itself uses
+/// `keep = 7/8`. Both are expressible here.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    keep: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA that retains `keep` of the old value per update.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= keep < 1`.
+    pub fn new(keep: f64) -> Self {
+        assert!((0.0..1.0).contains(&keep), "keep must be in [0,1): {keep}");
+        Ewma { keep, value: None }
+    }
+
+    /// The paper's Eq. (1) weighting: `T_i = T_{i-1}/8 + new*7/8`.
+    pub fn paper_eq1() -> Self {
+        Ewma::new(1.0 / 8.0)
+    }
+
+    /// Records a sample; the first sample initialises the average.
+    pub fn record(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => v * self.keep + x * (1.0 - self.keep),
+        });
+    }
+
+    /// Current average, or `None` before the first sample.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Current average, or `default` before the first sample.
+    pub fn value_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// Forces the average to a specific value (used when a request is
+    /// served elsewhere and the disk average must stay unchanged, Eq. (2)).
+    pub fn set(&mut self, x: f64) {
+        self.value = Some(x);
+    }
+}
+
+/// Exact integer-keyed histogram.
+///
+/// Keys are arbitrary `u64` values (e.g. request sizes in sectors);
+/// each distinct key gets its own bin, exactly like the paper's
+/// blktrace-derived distributions.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    bins: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation of `key`.
+    pub fn record(&mut self, key: u64) {
+        *self.bins.entry(key).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Records `n` observations of `key`.
+    pub fn record_n(&mut self, key: u64, n: u64) {
+        if n > 0 {
+            *self.bins.entry(key).or_insert(0) += n;
+            self.total += n;
+        }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations of exactly `key`.
+    pub fn count(&self, key: u64) -> u64 {
+        self.bins.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Fraction of observations equal to `key` (0 if empty).
+    pub fn fraction(&self, key: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(key) as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of observations with `key < bound`.
+    pub fn fraction_below(&self, bound: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let below: u64 = self.bins.range(..bound).map(|(_, c)| c).sum();
+        below as f64 / self.total as f64
+    }
+
+    /// Iterates `(key, count)` in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bins.iter().map(|(&k, &c)| (k, c))
+    }
+
+    /// The `k` most frequent bins, descending by count (ties by key).
+    pub fn top_k(&self, k: usize) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Mean of the observed keys (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u128 = self.bins.iter().map(|(&k, &c)| k as u128 * c as u128).sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Smallest key `p` such that at least `q` (0..=1) of the mass is
+    /// `<= p`. Returns `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (&k, &c) in &self.bins {
+            acc += c;
+            if acc >= target {
+                return Some(k);
+            }
+        }
+        self.bins.keys().next_back().copied()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (k, c) in other.iter() {
+            self.record_n(k, c);
+        }
+    }
+
+    /// Rebins observations into fixed-width buckets (key → bucket floor).
+    /// Useful for compact printing of wide distributions.
+    pub fn rebinned(&self, width: u64) -> Histogram {
+        assert!(width > 0, "bucket width must be positive");
+        let mut out = Histogram::new();
+        for (k, c) in self.iter() {
+            out.record_n(k / width * width, c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_tracker_basics() {
+        let mut m = MeanTracker::new();
+        assert_eq!(m.mean(), None);
+        for x in [1.0, 2.0, 3.0] {
+            m.record(x);
+        }
+        assert_eq!(m.mean(), Some(2.0));
+        assert_eq!(m.min(), Some(1.0));
+        assert_eq!(m.max(), Some(3.0));
+        assert_eq!(m.count(), 3);
+    }
+
+    #[test]
+    fn ewma_first_sample_initialises() {
+        let mut e = Ewma::paper_eq1();
+        assert_eq!(e.value(), None);
+        e.record(8.0);
+        assert_eq!(e.value(), Some(8.0));
+    }
+
+    #[test]
+    fn ewma_eq1_weighting() {
+        // T_i = T_{i-1}/8 + new*7/8
+        let mut e = Ewma::paper_eq1();
+        e.record(8.0);
+        e.record(16.0);
+        assert!((e.value().unwrap() - (8.0 / 8.0 + 16.0 * 7.0 / 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_linux_weighting_converges_slowly() {
+        let mut e = Ewma::new(7.0 / 8.0);
+        e.record(0.0);
+        for _ in 0..8 {
+            e.record(8.0);
+        }
+        let v = e.value().unwrap();
+        assert!(v > 4.0 && v < 8.0, "v={v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "keep must be in")]
+    fn ewma_rejects_bad_keep() {
+        Ewma::new(1.0);
+    }
+
+    #[test]
+    fn histogram_fractions() {
+        let mut h = Histogram::new();
+        h.record_n(128, 72);
+        h.record_n(256, 18);
+        h.record_n(8, 10);
+        assert_eq!(h.total(), 100);
+        assert!((h.fraction(128) - 0.72).abs() < 1e-12);
+        assert!((h.fraction_below(128) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_top_k_orders_by_count() {
+        let mut h = Histogram::new();
+        h.record_n(1, 5);
+        h.record_n(2, 50);
+        h.record_n(3, 20);
+        assert_eq!(h.top_k(2), vec![(2, 50), (3, 20)]);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for k in 1..=100 {
+            h.record(k);
+        }
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_mean_and_merge() {
+        let mut a = Histogram::new();
+        a.record_n(10, 2);
+        let mut b = Histogram::new();
+        b.record_n(20, 2);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert!((a.mean() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_rebin() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(9);
+        h.record(10);
+        let r = h.rebinned(10);
+        assert_eq!(r.count(0), 2);
+        assert_eq!(r.count(10), 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! Virtual time: nanosecond-resolution instants and durations.
+//!
+//! Two newtypes keep instants and durations from being mixed up by the
+//! type system: `SimTime + SimDuration = SimTime`, and
+//! `SimTime - SimTime = SimDuration`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in virtual time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+macro_rules! time_ctors {
+    ($ty:ident) => {
+        impl $ty {
+            /// Zero value.
+            pub const ZERO: $ty = $ty(0);
+
+            /// Constructs from whole nanoseconds.
+            pub const fn from_nanos(ns: u64) -> Self {
+                $ty(ns)
+            }
+            /// Constructs from whole microseconds.
+            pub const fn from_micros(us: u64) -> Self {
+                $ty(us * 1_000)
+            }
+            /// Constructs from whole milliseconds.
+            pub const fn from_millis(ms: u64) -> Self {
+                $ty(ms * 1_000_000)
+            }
+            /// Constructs from whole seconds.
+            pub const fn from_secs(s: u64) -> Self {
+                $ty(s * 1_000_000_000)
+            }
+            /// Constructs from fractional seconds, rounding to nanoseconds.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `s` is negative, NaN, or too large for `u64` ns.
+            pub fn from_secs_f64(s: f64) -> Self {
+                assert!(
+                    s >= 0.0 && s.is_finite() && s <= (u64::MAX as f64) / 1e9,
+                    "invalid seconds value: {s}"
+                );
+                $ty((s * 1e9).round() as u64)
+            }
+
+            /// Value in whole nanoseconds.
+            pub const fn as_nanos(self) -> u64 {
+                self.0
+            }
+            /// Value in fractional microseconds.
+            pub fn as_micros_f64(self) -> f64 {
+                self.0 as f64 / 1e3
+            }
+            /// Value in fractional milliseconds.
+            pub fn as_millis_f64(self) -> f64 {
+                self.0 as f64 / 1e6
+            }
+            /// Value in fractional seconds.
+            pub fn as_secs_f64(self) -> f64 {
+                self.0 as f64 / 1e9
+            }
+        }
+    };
+}
+
+time_ctors!(SimTime);
+time_ctors!(SimDuration);
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow: rhs is later than lhs"),
+        )
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl SimDuration {
+    /// Saturating subtraction (zero instead of panicking on underflow).
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies by a non-negative float, rounding to nanoseconds.
+    pub fn mul_f64(self, f: f64) -> SimDuration {
+        assert!(f >= 0.0 && f.is_finite(), "invalid factor: {f}");
+        SimDuration((self.0 as f64 * f).round() as u64)
+    }
+}
+
+impl SimTime {
+    /// Saturating subtraction of a duration.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1000));
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1000));
+        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_secs(10);
+        let d = SimDuration::from_millis(250);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_micros(100);
+        assert_eq!(d * 3, SimDuration::from_micros(300));
+        assert_eq!(d / 4, SimDuration::from_micros(25));
+        assert_eq!(d.mul_f64(2.5), SimDuration::from_micros(250));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let small = SimDuration::from_nanos(5);
+        let big = SimDuration::from_nanos(10);
+        assert_eq!(small.saturating_sub(big), SimDuration::ZERO);
+        assert_eq!(SimTime::from_nanos(3).saturating_sub(big), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn instant_underflow_panics() {
+        let _ = SimTime::from_secs(1) - SimTime::from_secs(2);
+    }
+
+    #[test]
+    fn display_picks_sane_units() {
+        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimDuration::from_micros(12).to_string(), "12.000us");
+        assert_eq!(SimDuration::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(SimDuration::from_secs(12).to_string(), "12.000s");
+    }
+
+    #[test]
+    fn float_conversions() {
+        let d = SimDuration::from_millis(1500);
+        assert!((d.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((d.as_millis_f64() - 1500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,167 @@
+//! Storage device service-time models.
+//!
+//! The iBridge experiments hinge on one physical fact: a hard disk serves
+//! small, non-contiguous block requests an order of magnitude less
+//! efficiently than large sequential ones, while an SSD is nearly
+//! insensitive to spatial locality (but does care about sequential vs
+//! random *writes*). This crate models both devices at the level the paper
+//! measures them (Table II):
+//!
+//! * [`DiskModel`] — positional model of a 7200-RPM drive: head position,
+//!   a concave seek-distance→seek-time curve (the `D_to_T` function of
+//!   Eq. (1), obtained in the paper by offline profiling per Huang et al.),
+//!   deterministic rotational latency derived from angular position, and
+//!   transfer at platter speed.
+//! * [`SsdModel`] — a flash device with a fixed command latency and four
+//!   effective bandwidths (sequential/random × read/write) selected by an
+//!   LBN-contiguity detector; the sequential-vs-random *write* gap
+//!   (140 vs 30 MB/s in Table II) is what makes iBridge's log-structured
+//!   SSD writes matter (Fig. 10).
+//! * [`microbench`] — regenerates Table II against these models.
+//!
+//! Both models are *pure service-time calculators*: the block layer
+//! (`ibridge-iosched`) owns queueing and dispatch and asks a model how
+//! long one operation takes given when it starts.
+
+pub mod disk;
+pub mod microbench;
+pub mod ssd;
+
+pub use disk::{DiskModel, DiskProfile};
+pub use ssd::{SsdModel, SsdProfile};
+
+/// Logical block (sector) number.
+pub type Lbn = u64;
+
+/// Size of one sector in bytes. The paper's histograms (Figs. 2 and 5) are
+/// in "disk sector size unit of 0.5KB".
+pub const SECTOR_SIZE: u64 = 512;
+
+/// Converts a byte count to sectors, rounding up.
+pub const fn bytes_to_sectors(bytes: u64) -> u64 {
+    bytes.div_ceil(SECTOR_SIZE)
+}
+
+/// Converts sectors to bytes.
+pub const fn sectors_to_bytes(sectors: u64) -> u64 {
+    sectors * SECTOR_SIZE
+}
+
+/// Direction of an I/O operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoDir {
+    /// Data flows device → host.
+    Read,
+    /// Data flows host → device.
+    Write,
+}
+
+impl IoDir {
+    /// True for [`IoDir::Read`].
+    pub fn is_read(self) -> bool {
+        matches!(self, IoDir::Read)
+    }
+    /// True for [`IoDir::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, IoDir::Write)
+    }
+}
+
+/// One block-level operation presented to a device model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DevOp {
+    /// Read or write.
+    pub dir: IoDir,
+    /// Starting sector.
+    pub lbn: Lbn,
+    /// Length in sectors; must be non-zero.
+    pub sectors: u64,
+    /// Forced-unit-access / flush-barrier semantics: the data must be on
+    /// media before completion (an `fdatasync`'d write). On a disk this
+    /// defeats the write cache: the op pays full positional cost and the
+    /// drive loses rotational continuity afterwards. PVFS2's
+    /// `TroveSyncData` path gives every client write sub-request these
+    /// semantics — a key reason the paper's stock write throughput is so
+    /// sensitive to fragmentation.
+    pub fua: bool,
+    /// Number of *cold partial-block edges* of a write: each forces a
+    /// read-modify-write (read the block, wait a full revolution, write
+    /// it back). Unaligned writes typically carry 1–2; block-aligned
+    /// writes none. Ignored for reads and by SSDs.
+    pub rmw_edges: u8,
+}
+
+impl DevOp {
+    /// Convenience constructor (non-FUA).
+    pub fn new(dir: IoDir, lbn: Lbn, sectors: u64) -> Self {
+        assert!(sectors > 0, "zero-length device op");
+        DevOp {
+            dir,
+            lbn,
+            sectors,
+            fua: false,
+            rmw_edges: 0,
+        }
+    }
+
+    /// Marks the op as a flush-barrier write.
+    pub fn with_fua(mut self) -> Self {
+        self.fua = true;
+        self
+    }
+
+    /// Sets the cold partial-edge count (writes only).
+    pub fn with_rmw_edges(mut self, edges: u8) -> Self {
+        self.rmw_edges = edges;
+        self
+    }
+
+    /// Read at `lbn` for `sectors`.
+    pub fn read(lbn: Lbn, sectors: u64) -> Self {
+        Self::new(IoDir::Read, lbn, sectors)
+    }
+
+    /// Write at `lbn` for `sectors`.
+    pub fn write(lbn: Lbn, sectors: u64) -> Self {
+        Self::new(IoDir::Write, lbn, sectors)
+    }
+
+    /// First sector past the end of this op.
+    pub fn end(&self) -> Lbn {
+        self.lbn + self.sectors
+    }
+
+    /// Length in bytes.
+    pub fn bytes(&self) -> u64 {
+        sectors_to_bytes(self.sectors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sector_conversions_round_up() {
+        assert_eq!(bytes_to_sectors(0), 0);
+        assert_eq!(bytes_to_sectors(1), 1);
+        assert_eq!(bytes_to_sectors(512), 1);
+        assert_eq!(bytes_to_sectors(513), 2);
+        assert_eq!(sectors_to_bytes(128), 65536);
+    }
+
+    #[test]
+    fn dev_op_accessors() {
+        let op = DevOp::read(100, 8);
+        assert_eq!(op.end(), 108);
+        assert_eq!(op.bytes(), 4096);
+        assert!(op.dir.is_read());
+        assert!(DevOp::write(0, 1).dir.is_write());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_length_op_rejected() {
+        DevOp::read(0, 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Device microbenchmark — regenerates **Table II** of the paper.
+//!
+//! The paper benchmarks both devices with 4 KB requests in four modes
+//! (sequential/random × read/write). This module runs the same experiment
+//! against the simulated devices, using NCQ-style nearest-positional-cost
+//! dispatch with a configurable queue depth for the disk's random modes
+//! (NCQ is enabled on all disks in the paper's testbed).
+
+use crate::{DevOp, DiskModel, DiskProfile, IoDir, SsdModel, SsdProfile};
+use ibridge_des::rng::{streams, stream_rng};
+use ibridge_des::{SimDuration, SimTime};
+use rand::Rng;
+
+/// One device's row of Table II, in MB/s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceBench {
+    /// Sequential read bandwidth, MB/s.
+    pub seq_read: f64,
+    /// Random read bandwidth, MB/s.
+    pub rand_read: f64,
+    /// Sequential write bandwidth, MB/s.
+    pub seq_write: f64,
+    /// Random write bandwidth, MB/s.
+    pub rand_write: f64,
+}
+
+/// Parameters of the microbenchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Request size in sectors (paper: 8 sectors = 4 KB).
+    pub sectors: u64,
+    /// Number of requests per mode.
+    pub ops: usize,
+    /// LBN span the random modes draw from, in sectors.
+    pub span: u64,
+    /// NCQ queue depth used for the disk's random modes.
+    pub queue_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            sectors: 8,
+            ops: 2000,
+            span: 20_000_000, // ~10 GB region
+            queue_depth: 32,
+            seed: 1,
+        }
+    }
+}
+
+fn mbps(bytes: u64, elapsed: SimDuration) -> f64 {
+    bytes as f64 / elapsed.as_secs_f64() / 1e6
+}
+
+fn disk_sequential(profile: &DiskProfile, cfg: &BenchConfig, dir: IoDir) -> f64 {
+    let mut disk = DiskModel::new(profile.clone());
+    let mut t = SimTime::ZERO;
+    let mut lbn = 0;
+    for _ in 0..cfg.ops {
+        let dur = disk.service(t, &DevOp::new(dir, lbn, cfg.sectors));
+        t += dur;
+        lbn += cfg.sectors;
+    }
+    mbps(cfg.ops as u64 * cfg.sectors * crate::SECTOR_SIZE, t - SimTime::ZERO)
+}
+
+fn disk_random(profile: &DiskProfile, cfg: &BenchConfig, dir: IoDir) -> f64 {
+    let mut disk = DiskModel::new(profile.clone());
+    let mut rng = stream_rng(cfg.seed, streams::DISK);
+    let mut t = SimTime::ZERO;
+    let span = cfg.span.min(profile.capacity_sectors - cfg.sectors);
+    let draw = |rng: &mut rand::rngs::StdRng| -> DevOp {
+        DevOp::new(dir, rng.gen_range(0..span), cfg.sectors)
+    };
+    // Keep `queue_depth` requests outstanding; dispatch the one with the
+    // lowest positional cost, as NCQ does.
+    let mut queue: Vec<DevOp> = (0..cfg.queue_depth).map(|_| draw(&mut rng)).collect();
+    for done in 0..cfg.ops {
+        let pick = queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, op)| disk.positional_cost(t, op).as_nanos())
+            .map(|(i, _)| i)
+            .expect("queue is never empty");
+        let op = queue.swap_remove(pick);
+        let dur = disk.service(t, &op);
+        t += dur;
+        if done + cfg.queue_depth < cfg.ops {
+            queue.push(draw(&mut rng));
+        }
+        if queue.is_empty() {
+            break;
+        }
+    }
+    mbps(cfg.ops as u64 * cfg.sectors * crate::SECTOR_SIZE, t - SimTime::ZERO)
+}
+
+fn ssd_mode(profile: &SsdProfile, cfg: &BenchConfig, dir: IoDir, sequential: bool) -> f64 {
+    let mut ssd = SsdModel::new(profile.clone());
+    let mut rng = stream_rng(cfg.seed, streams::SSD);
+    let span = cfg.span.min(profile.capacity_sectors - cfg.sectors);
+    let mut total = SimDuration::ZERO;
+    let mut lbn = 0;
+    for _ in 0..cfg.ops {
+        let op = if sequential {
+            let op = DevOp::new(dir, lbn, cfg.sectors);
+            lbn += cfg.sectors;
+            op
+        } else {
+            DevOp::new(dir, rng.gen_range(0..span), cfg.sectors)
+        };
+        total += ssd.service(&op);
+    }
+    mbps(cfg.ops as u64 * cfg.sectors * crate::SECTOR_SIZE, total)
+}
+
+/// Benchmarks a disk profile in the four Table II modes.
+pub fn bench_disk(profile: &DiskProfile, cfg: &BenchConfig) -> DeviceBench {
+    DeviceBench {
+        seq_read: disk_sequential(profile, cfg, IoDir::Read),
+        rand_read: disk_random(profile, cfg, IoDir::Read),
+        seq_write: disk_sequential(profile, cfg, IoDir::Write),
+        rand_write: disk_random(profile, cfg, IoDir::Write),
+    }
+}
+
+/// Benchmarks an SSD profile in the four Table II modes.
+pub fn bench_ssd(profile: &SsdProfile, cfg: &BenchConfig) -> DeviceBench {
+    DeviceBench {
+        seq_read: ssd_mode(profile, cfg, IoDir::Read, true),
+        rand_read: ssd_mode(profile, cfg, IoDir::Read, false),
+        seq_write: ssd_mode(profile, cfg, IoDir::Write, true),
+        rand_write: ssd_mode(profile, cfg, IoDir::Write, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_bench_shape_matches_table_ii() {
+        let b = bench_disk(&DiskProfile::hp_mm0500(), &BenchConfig::default());
+        // Sequential read ≈ 85 MB/s (media rate).
+        assert!(b.seq_read > 75.0 && b.seq_read < 95.0, "{b:?}");
+        // Sequential write close behind.
+        assert!(b.seq_write > 70.0 && b.seq_write <= b.seq_read + 1.0, "{b:?}");
+        // Random access at least an order of magnitude slower.
+        assert!(b.rand_read < b.seq_read / 10.0, "{b:?}");
+        // Random writes slower than random reads (settle penalty).
+        assert!(b.rand_write < b.rand_read, "{b:?}");
+    }
+
+    #[test]
+    fn ssd_bench_matches_table_ii_within_latency_overhead() {
+        let b = bench_ssd(&SsdProfile::hp_mk0120(), &BenchConfig::default());
+        // 4 KB ops pay the 5 us command latency, so effective numbers sit
+        // a bit under the bandwidth-matrix values.
+        assert!(b.seq_read > 120.0 && b.seq_read <= 160.0, "{b:?}");
+        assert!(b.rand_read > 45.0 && b.rand_read <= 60.0, "{b:?}");
+        assert!(b.seq_write > 105.0 && b.seq_write <= 140.0, "{b:?}");
+        assert!(b.rand_write > 25.0 && b.rand_write <= 30.0, "{b:?}");
+    }
+
+    #[test]
+    fn ssd_random_beats_disk_random_by_an_order_of_magnitude() {
+        let cfg = BenchConfig::default();
+        let d = bench_disk(&DiskProfile::hp_mm0500(), &cfg);
+        let s = bench_ssd(&SsdProfile::hp_mk0120(), &cfg);
+        assert!(s.rand_read > 10.0 * d.rand_read, "ssd={s:?} disk={d:?}");
+        assert!(s.rand_write > 10.0 * d.rand_write, "ssd={s:?} disk={d:?}");
+    }
+
+    #[test]
+    fn deeper_ncq_improves_disk_random_throughput() {
+        let profile = DiskProfile::hp_mm0500();
+        let shallow = BenchConfig { queue_depth: 1, ops: 500, ..Default::default() };
+        let deep = BenchConfig { queue_depth: 32, ops: 500, ..Default::default() };
+        let s = bench_disk(&profile, &shallow);
+        let d = bench_disk(&profile, &deep);
+        assert!(d.rand_read > s.rand_read * 1.5, "depth1={s:?} depth32={d:?}");
+    }
+
+    #[test]
+    fn bench_is_deterministic() {
+        let cfg = BenchConfig::default();
+        let a = bench_disk(&DiskProfile::hp_mm0500(), &cfg);
+        let b = bench_disk(&DiskProfile::hp_mm0500(), &cfg);
+        assert_eq!(a, b);
+    }
+}

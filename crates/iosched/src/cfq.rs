@@ -1,0 +1,537 @@
+//! CFQ-style I/O scheduler.
+//!
+//! The paper's data-server disks run Linux CFQ. The behaviours that shape
+//! its experiments, all modelled here:
+//!
+//! * **Per-stream queues** — each client process's sub-requests form one
+//!   stream; the scheduler serves one stream at a time in round-robin
+//!   time slices.
+//! * **In-slice elevator** — within the active stream, requests dispatch
+//!   in ascending-LBN order starting from the disk head, so a
+//!   well-aligned stream turns into near-sequential disk access.
+//! * **Anticipation (slice idling)** — when the active stream's queue
+//!   runs dry, the scheduler idles briefly (`slice_idle`, 8 ms in Linux)
+//!   instead of seeking away, betting that the synchronous process will
+//!   immediately issue its next, nearby request. This is what preserves
+//!   spatial locality under high process counts — and what unaligned
+//!   fragments defeat.
+//! * **Merging** — front/back merging against *any* queued request
+//!   (capped at `max_merge_sectors`), producing the 128 KB dispatches of
+//!   Fig. 2(c) when two processes' stripes interleave.
+
+use crate::{BlockRequest, Decision, Scheduler, StreamId};
+use ibridge_des::{SimDuration, SimTime};
+use ibridge_device::Lbn;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Tuning knobs of [`Cfq`], defaults matching Linux CFQ's.
+#[derive(Debug, Clone)]
+pub struct CfqConfig {
+    /// Time slice given to each stream before rotating to the next.
+    pub slice: SimDuration,
+    /// Anticipation window: how long to idle on an empty active stream.
+    pub slice_idle: SimDuration,
+    /// Maximum size of a merged request, in sectors.
+    pub max_merge_sectors: u64,
+    /// Mean inter-request seek distance (sectors) beyond which a stream
+    /// is considered *seeky* and gets no anticipation idling — Linux's
+    /// `CFQQ_SEEK_THR` behaviour (8192 sectors = 4 MB).
+    pub seeky_threshold: u64,
+    /// Treat writes as CFQ's *async class*: all writes share one queue
+    /// regardless of issuing stream, with no anticipation idling —
+    /// Linux's buffered-writeback behaviour. Reads stay per-stream sync
+    /// queues.
+    pub async_writes: bool,
+}
+
+impl Default for CfqConfig {
+    fn default() -> Self {
+        CfqConfig {
+            slice: SimDuration::from_millis(100),
+            slice_idle: SimDuration::from_millis(8),
+            max_merge_sectors: 256,
+            seeky_threshold: 8192,
+            async_writes: true,
+        }
+    }
+}
+
+type QKey = (Lbn, u64);
+
+#[derive(Debug, Default)]
+struct StreamQ {
+    queue: BTreeMap<QKey, BlockRequest>,
+    /// End LBN of the last request added to this stream.
+    last_end: Option<Lbn>,
+    /// Decayed mean of inter-request seek distance, in sectors.
+    seek_mean: f64,
+}
+
+impl StreamQ {
+    /// Next request at/after `head`, else the lowest-LBN request
+    /// (one-way elevator with wrap).
+    fn pop_elevator(&mut self, head: Lbn) -> Option<BlockRequest> {
+        let key = self
+            .queue
+            .range((head, 0)..)
+            .map(|(&k, _)| k)
+            .next()
+            .or_else(|| self.queue.keys().next().copied())?;
+        self.queue.remove(&key)
+    }
+}
+
+/// CFQ scheduler state.
+///
+/// ```
+/// use ibridge_iosched::{BlockRequest, Cfq, CfqConfig, Decision, Scheduler};
+/// use ibridge_des::SimTime;
+/// use ibridge_device::IoDir;
+///
+/// let mut cfq = Cfq::new(CfqConfig::default());
+/// let t = SimTime::ZERO;
+/// cfq.add(t, BlockRequest::new(IoDir::Read, 128, 8, /*stream*/ 1, t, 0));
+/// cfq.add(t, BlockRequest::new(IoDir::Read, 136, 8, /*stream*/ 1, t, 1));
+/// // Adjacent same-direction requests merged into one dispatch:
+/// let Decision::Request(r) = cfq.dispatch(t, 0) else { panic!() };
+/// assert_eq!((r.lbn, r.sectors), (128, 16));
+/// ```
+#[derive(Debug)]
+pub struct Cfq {
+    cfg: CfqConfig,
+    streams: HashMap<StreamId, StreamQ>,
+    /// Streams with queued requests, awaiting a slice (excludes `active`).
+    rr: VecDeque<StreamId>,
+    active: Option<StreamId>,
+    slice_end: SimTime,
+    /// Anticipation deadline; `Some` while idling on an empty active queue.
+    idle_until: Option<SimTime>,
+    seq: u64,
+    total: usize,
+}
+
+impl Cfq {
+    /// Creates a CFQ scheduler.
+    pub fn new(cfg: CfqConfig) -> Self {
+        Cfq {
+            cfg,
+            streams: HashMap::new(),
+            rr: VecDeque::new(),
+            active: None,
+            slice_end: SimTime::ZERO,
+            idle_until: None,
+            seq: 0,
+            total: 0,
+        }
+    }
+
+    /// Disables anticipation (used by the `ablate-anticipation` bench).
+    pub fn without_anticipation(mut self) -> Self {
+        self.cfg.slice_idle = SimDuration::ZERO;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CfqConfig {
+        &self.cfg
+    }
+
+    /// Attempts to merge `req` into any queued request; returns it back
+    /// if no merge is possible.
+    fn try_merge(&mut self, req: BlockRequest) -> Option<BlockRequest> {
+        let max = self.cfg.max_merge_sectors;
+        for q in self.streams.values_mut() {
+            // Back merge: a queued request ending exactly at req.lbn.
+            // Candidates must start at req.lbn - queued.sectors; scan the
+            // range below req.lbn and check the nearest.
+            if let Some((&key, _)) = q.queue.range(..(req.lbn, 0)).next_back() {
+                let queued = q.queue.get_mut(&key).expect("key just seen");
+                if queued.can_back_merge(&req, max) {
+                    queued.back_merge(req);
+                    return None;
+                }
+            }
+            // Front merge: a queued request starting exactly at req.end().
+            if let Some((&key, _)) = q.queue.range((req.end(), 0)..).next() {
+                if key.0 == req.end() {
+                    let queued = q.queue.get_mut(&key).expect("key just seen");
+                    if queued.can_front_merge(&req, max) {
+                        queued.front_merge(req);
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(req)
+    }
+
+    fn activate_next(&mut self, now: SimTime) -> bool {
+        while let Some(s) = self.rr.pop_front() {
+            let non_empty = self
+                .streams
+                .get(&s)
+                .is_some_and(|q| !q.queue.is_empty());
+            if non_empty {
+                self.active = Some(s);
+                self.slice_end = now + self.cfg.slice;
+                self.idle_until = None;
+                return true;
+            }
+            // Stale entry for a stream that no longer has requests.
+            self.streams.remove(&s);
+        }
+        false
+    }
+}
+
+/// The shared stream id of the async (write) class.
+pub const ASYNC_STREAM: StreamId = u64::MAX - 7;
+
+impl Scheduler for Cfq {
+    fn add(&mut self, _now: SimTime, mut req: BlockRequest) {
+        if self.cfg.async_writes && req.dir.is_write() {
+            req.stream = ASYNC_STREAM;
+        }
+        let stream = req.stream;
+        let Some(req) = self.try_merge(req) else {
+            return; // merged into an existing queued request
+        };
+        self.total += 1;
+        self.seq += 1;
+        let key = (req.lbn, self.seq);
+        let is_new = !self.streams.contains_key(&stream);
+        let end = req.end();
+        let lbn = req.lbn;
+        let q = self.streams.entry(stream).or_default();
+        if let Some(last) = q.last_end {
+            let dist = last.abs_diff(lbn) as f64;
+            q.seek_mean = q.seek_mean * 0.875 + dist * 0.125;
+        }
+        q.last_end = Some(end);
+        q.queue.insert(key, req);
+        if self.active == Some(stream) {
+            // The anticipated arrival came: stop idling.
+            self.idle_until = None;
+        } else if is_new || !self.rr.contains(&stream) {
+            self.rr.push_back(stream);
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, head: Lbn) -> Decision {
+        loop {
+            let Some(a) = self.active else {
+                if !self.activate_next(now) {
+                    return Decision::Empty;
+                }
+                continue;
+            };
+            let queue_empty = self
+                .streams
+                .get(&a)
+                .is_none_or(|q| q.queue.is_empty());
+            if !queue_empty {
+                if now >= self.slice_end && !self.rr.is_empty() {
+                    // Slice expired with other streams waiting: rotate.
+                    self.rr.push_back(a);
+                    self.active = None;
+                    self.idle_until = None;
+                    continue;
+                }
+                let q = self.streams.get_mut(&a).expect("active stream exists");
+                let req = q.pop_elevator(head).expect("queue checked non-empty");
+                self.total -= 1;
+                self.idle_until = None;
+                return Decision::Request(Box::new(req));
+            }
+            // Active queue is empty: anticipate, then deactivate.
+            // Seeky streams get no idling (Linux disables anticipation
+            // when a queue's mean seek distance is large — idling on a
+            // random-access stream wastes the disk for nothing).
+            let seeky = a == ASYNC_STREAM
+                || self
+                    .streams
+                    .get(&a)
+                    .is_some_and(|q| q.seek_mean > self.cfg.seeky_threshold as f64);
+            match self.idle_until {
+                _ if seeky => {
+                    self.streams.remove(&a);
+                    self.active = None;
+                    self.idle_until = None;
+                }
+                None if self.cfg.slice_idle > SimDuration::ZERO => {
+                    let deadline = now + self.cfg.slice_idle;
+                    self.idle_until = Some(deadline);
+                    return Decision::WaitUntil(deadline);
+                }
+                Some(d) if now < d => return Decision::WaitUntil(d),
+                _ => {
+                    // Anticipation over (or disabled): the stream departs.
+                    self.streams.remove(&a);
+                    self.active = None;
+                    self.idle_until = None;
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibridge_device::IoDir;
+
+    fn req(stream: StreamId, lbn: Lbn, sectors: u64) -> BlockRequest {
+        BlockRequest::new(IoDir::Read, lbn, sectors, stream, SimTime::ZERO, lbn)
+    }
+
+    fn cfq() -> Cfq {
+        Cfq::new(CfqConfig::default())
+    }
+
+    #[test]
+    fn single_stream_dispatches_in_elevator_order() {
+        let mut s = cfq();
+        let t = SimTime::ZERO;
+        s.add(t, req(1, 300, 8));
+        s.add(t, req(1, 100, 8));
+        s.add(t, req(1, 200, 8));
+        let mut order = Vec::new();
+        let mut head = 0;
+        while let Decision::Request(r) = s.dispatch(t, head) {
+            head = r.end();
+            order.push(r.lbn);
+        }
+        assert_eq!(order, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn elevator_wraps_to_lowest() {
+        let mut s = cfq();
+        let t = SimTime::ZERO;
+        s.add(t, req(1, 100, 8));
+        s.add(t, req(1, 200, 8));
+        // Head is past both: wraps to 100.
+        let Decision::Request(r) = s.dispatch(t, 500) else {
+            panic!("expected a request")
+        };
+        assert_eq!(r.lbn, 100);
+    }
+
+    #[test]
+    fn active_stream_served_exclusively_until_empty() {
+        let mut s = cfq();
+        let t = SimTime::ZERO;
+        s.add(t, req(1, 100, 8));
+        s.add(t, req(2, 900, 8));
+        s.add(t, req(1, 108, 8)); // merges with 100 actually — use a gap
+        s.add(t, req(1, 400, 8));
+        let Decision::Request(first) = s.dispatch(t, 0) else {
+            panic!()
+        };
+        assert_eq!(first.stream, 1);
+        let Decision::Request(second) = s.dispatch(t, first.end()) else {
+            panic!()
+        };
+        assert_eq!(second.stream, 1, "stream 1 still has requests queued");
+    }
+
+    #[test]
+    fn empty_active_stream_triggers_anticipation() {
+        let mut s = cfq();
+        let t = SimTime::ZERO;
+        s.add(t, req(1, 100, 8));
+        s.add(t, req(2, 900, 8));
+        let Decision::Request(r) = s.dispatch(t, 0) else { panic!() };
+        assert_eq!(r.stream, 1);
+        // Stream 1 is empty but stream 2 waits: CFQ idles anyway.
+        let d = s.dispatch(t, r.end());
+        assert_eq!(
+            d,
+            Decision::WaitUntil(t + SimDuration::from_millis(8)),
+            "must anticipate stream 1's next request"
+        );
+    }
+
+    #[test]
+    fn anticipated_arrival_is_served_before_other_streams() {
+        let mut s = cfq();
+        let t0 = SimTime::ZERO;
+        s.add(t0, req(1, 100, 8));
+        s.add(t0, req(2, 900, 8));
+        let Decision::Request(r) = s.dispatch(t0, 0) else { panic!() };
+        let t1 = t0 + SimDuration::from_millis(1);
+        let Decision::WaitUntil(_) = s.dispatch(t1, r.end()) else {
+            panic!()
+        };
+        // The anticipated request arrives within the idle window.
+        let t2 = t0 + SimDuration::from_millis(3);
+        s.add(t2, req(1, 200, 8));
+        let Decision::Request(r2) = s.dispatch(t2, r.end()) else {
+            panic!()
+        };
+        assert_eq!(r2.stream, 1);
+        assert_eq!(r2.lbn, 200);
+    }
+
+    #[test]
+    fn expired_anticipation_rotates_to_next_stream() {
+        let mut s = cfq();
+        let t0 = SimTime::ZERO;
+        s.add(t0, req(1, 100, 8));
+        s.add(t0, req(2, 900, 8));
+        let Decision::Request(_) = s.dispatch(t0, 0) else { panic!() };
+        let Decision::WaitUntil(d) = s.dispatch(t0, 108) else {
+            panic!()
+        };
+        // Idle window passes with no arrival.
+        let Decision::Request(r) = s.dispatch(d, 108) else { panic!() };
+        assert_eq!(r.stream, 2);
+    }
+
+    #[test]
+    fn slice_expiry_rotates_between_busy_streams() {
+        let mut s = cfq();
+        let t0 = SimTime::ZERO;
+        for i in 0..10 {
+            // Strided so nothing merges.
+            s.add(t0, req(1, 1_000 + i * 100, 8));
+            s.add(t0, req(2, 900_000 + i * 100, 8));
+        }
+        let Decision::Request(r) = s.dispatch(t0, 0) else { panic!() };
+        assert_eq!(r.stream, 1);
+        // Past the slice, stream 2 must get its turn.
+        let late = t0 + SimDuration::from_millis(150);
+        let Decision::Request(r) = s.dispatch(late, r.end()) else {
+            panic!()
+        };
+        assert_eq!(r.stream, 2);
+    }
+
+    #[test]
+    fn cross_stream_merging_happens() {
+        let mut s = cfq();
+        let t = SimTime::ZERO;
+        s.add(t, req(1, 128, 128));
+        s.add(t, req(2, 256, 128)); // adjacent, different stream
+        assert_eq!(s.len(), 1, "adjacent cross-stream requests should merge");
+        let Decision::Request(r) = s.dispatch(t, 0) else { panic!() };
+        assert_eq!(r.sectors, 256);
+        assert_eq!(r.tags.len(), 2);
+    }
+
+    #[test]
+    fn merge_cap_prevents_oversize_requests() {
+        let mut s = Cfq::new(CfqConfig {
+            max_merge_sectors: 128,
+            ..Default::default()
+        });
+        let t = SimTime::ZERO;
+        s.add(t, req(1, 0, 128));
+        s.add(t, req(1, 128, 8));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn without_anticipation_switches_immediately() {
+        let mut s = cfq().without_anticipation();
+        let t = SimTime::ZERO;
+        s.add(t, req(1, 100, 8));
+        s.add(t, req(2, 900, 8));
+        let Decision::Request(_) = s.dispatch(t, 0) else { panic!() };
+        let Decision::Request(r) = s.dispatch(t, 108) else { panic!() };
+        assert_eq!(r.stream, 2, "no idling when anticipation disabled");
+    }
+
+    #[test]
+    fn len_tracks_queue_and_merges() {
+        let mut s = cfq();
+        let t = SimTime::ZERO;
+        assert!(s.is_empty());
+        s.add(t, req(1, 0, 8));
+        s.add(t, req(1, 8, 8)); // merges
+        s.add(t, req(1, 100, 8));
+        assert_eq!(s.len(), 2);
+        let _ = s.dispatch(t, 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn front_merge_via_scheduler() {
+        let mut s = cfq();
+        let t = SimTime::ZERO;
+        s.add(t, req(1, 108, 8));
+        s.add(t, req(1, 100, 8)); // front-merges onto 108
+        assert_eq!(s.len(), 1);
+        let Decision::Request(r) = s.dispatch(t, 0) else { panic!() };
+        assert_eq!(r.lbn, 100);
+        assert_eq!(r.sectors, 16);
+    }
+
+    #[test]
+    fn seeky_stream_gets_no_idling() {
+        let mut s = cfq();
+        let t = SimTime::ZERO;
+        // Stream 1 issues widely scattered requests: becomes seeky.
+        let mut lbn = 0;
+        for i in 0..10u64 {
+            lbn += 5_000_000 + i;
+            s.add(t, req(1, lbn, 8));
+        }
+        s.add(t, req(2, 42, 8));
+        // Drain stream 1 entirely.
+        let mut head = 0;
+        for _ in 0..10 {
+            let Decision::Request(r) = s.dispatch(t, head) else {
+                panic!()
+            };
+            assert_eq!(r.stream, 1);
+            head = r.end();
+        }
+        // Stream 1's queue is empty; a sequential stream would idle, but
+        // a seeky one must rotate straight to stream 2.
+        let Decision::Request(r) = s.dispatch(t, head) else { panic!() };
+        assert_eq!(r.stream, 2, "seeky stream must not be anticipated");
+    }
+
+    #[test]
+    fn sequential_stream_is_not_marked_seeky() {
+        let mut s = cfq();
+        let t = SimTime::ZERO;
+        // Tight forward strides: stays sequential-ish.
+        for i in 0..10u64 {
+            s.add(t, req(1, i * 1000, 8));
+        }
+        s.add(t, req(2, 900_000_000, 8));
+        let mut head = 0;
+        for _ in 0..10 {
+            let Decision::Request(r) = s.dispatch(t, head) else {
+                panic!()
+            };
+            head = r.end();
+        }
+        assert!(
+            matches!(s.dispatch(t, head), Decision::WaitUntil(_)),
+            "non-seeky stream should be anticipated"
+        );
+    }
+
+    #[test]
+    fn anticipation_deadline_is_stable_across_queries() {
+        let mut s = cfq();
+        let t0 = SimTime::ZERO;
+        s.add(t0, req(1, 100, 8));
+        let Decision::Request(_) = s.dispatch(t0, 0) else { panic!() };
+        let Decision::WaitUntil(d1) = s.dispatch(t0, 108) else {
+            panic!()
+        };
+        let t1 = t0 + SimDuration::from_millis(2);
+        let Decision::WaitUntil(d2) = s.dispatch(t1, 108) else {
+            panic!()
+        };
+        assert_eq!(d1, d2, "re-querying must not extend the idle window");
+    }
+}

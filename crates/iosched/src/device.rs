@@ -1,0 +1,453 @@
+//! Block device glue: a scheduler in front of a device model, driven by
+//! the cluster's event loop.
+//!
+//! [`BlockDevice`] owns the queue discipline and the device; the caller
+//! owns the event calendar. Every mutating call returns [`Action`]s that
+//! the caller must turn into scheduled events:
+//!
+//! * [`Action::CompleteAt`] — a request started service; call
+//!   [`BlockDevice::on_complete`] at that time.
+//! * [`Action::RecheckAt`] — the scheduler is anticipating; call
+//!   [`BlockDevice::on_recheck`] at that time with the given generation
+//!   (stale generations are ignored, which is how superseded idle timers
+//!   are cancelled without touching the calendar).
+
+use crate::{AnySched, BlockRequest, Decision, DispatchTracer, Scheduler};
+use ibridge_des::{SimDuration, SimTime};
+use ibridge_device::{DiskModel, Lbn, SsdModel};
+
+/// A disk or an SSD behind the block layer.
+#[derive(Debug)]
+pub enum StorageDev {
+    /// Positional hard disk.
+    Disk(DiskModel),
+    /// Flash device.
+    Ssd(SsdModel),
+}
+
+impl StorageDev {
+    fn head(&self) -> Lbn {
+        match self {
+            StorageDev::Disk(d) => d.head(),
+            StorageDev::Ssd(_) => 0,
+        }
+    }
+
+    fn service(&mut self, now: SimTime, req: &BlockRequest) -> SimDuration {
+        match self {
+            StorageDev::Disk(d) => d.service(now, &req.op()),
+            StorageDev::Ssd(s) => s.service(&req.op()),
+        }
+    }
+}
+
+/// Event the caller must schedule on behalf of the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// The in-flight request finishes at this time; call `on_complete`.
+    CompleteAt(SimTime),
+    /// Re-poll the scheduler at this time with this generation; call
+    /// `on_recheck`.
+    RecheckAt(SimTime, u64),
+}
+
+/// Aggregate device utilisation counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DevStats {
+    /// Time the device spent servicing requests.
+    pub busy: SimDuration,
+    /// Bytes read from the device.
+    pub bytes_read: u64,
+    /// Bytes written to the device.
+    pub bytes_written: u64,
+    /// Requests serviced.
+    pub requests: u64,
+}
+
+/// A queue discipline bound to a device model.
+#[derive(Debug)]
+pub struct BlockDevice {
+    storage: StorageDev,
+    sched: AnySched,
+    /// Requests accepted by the device (NCQ) but not yet being serviced.
+    ncq: Vec<BlockRequest>,
+    ncq_depth: usize,
+    inflight: Option<(BlockRequest, SimTime)>,
+    tracer: DispatchTracer,
+    recheck_gen: u64,
+    scheduled_recheck: Option<(SimTime, u64)>,
+    stats: DevStats,
+}
+
+impl BlockDevice {
+    /// Binds `sched` to `storage` with a device queue depth of 1
+    /// (no NCQ reordering).
+    pub fn new(storage: StorageDev, sched: AnySched) -> Self {
+        Self::with_ncq(storage, sched, 1)
+    }
+
+    /// Binds `sched` to `storage` with native command queueing: up to
+    /// `depth` requests are pulled from the scheduler and the device
+    /// services the one with the lowest positional cost first.
+    pub fn with_ncq(storage: StorageDev, sched: AnySched, depth: usize) -> Self {
+        assert!(depth >= 1, "queue depth must be at least 1");
+        BlockDevice {
+            storage,
+            sched,
+            ncq: Vec::new(),
+            ncq_depth: depth,
+            inflight: None,
+            tracer: DispatchTracer::new(),
+            recheck_gen: 0,
+            scheduled_recheck: None,
+            stats: DevStats::default(),
+        }
+    }
+
+    /// The dispatch tracer (blktrace equivalent).
+    pub fn tracer(&self) -> &DispatchTracer {
+        &self.tracer
+    }
+
+    /// Clears the dispatch trace (e.g. after warm-up).
+    pub fn reset_tracer(&mut self) {
+        self.tracer.reset();
+    }
+
+    /// Utilisation counters.
+    pub fn stats(&self) -> DevStats {
+        self.stats
+    }
+
+    /// The underlying device model (immutable).
+    pub fn storage(&self) -> &StorageDev {
+        &self.storage
+    }
+
+    /// True when nothing is in flight and nothing is queued.
+    pub fn is_idle(&self) -> bool {
+        self.inflight.is_none() && self.ncq.is_empty() && self.sched.is_empty()
+    }
+
+    /// Number of queued requests (scheduler + NCQ, excluding in-flight).
+    pub fn queued(&self) -> usize {
+        self.sched.len() + self.ncq.len()
+    }
+
+    /// Submits a request; returns actions to schedule.
+    pub fn submit(&mut self, now: SimTime, req: BlockRequest) -> Vec<Action> {
+        self.sched.add(now, req);
+        self.kick(now)
+    }
+
+    /// Completes the in-flight request. Must be called exactly at the
+    /// time given by the corresponding [`Action::CompleteAt`].
+    ///
+    /// Returns the finished request and follow-up actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is in flight or the time does not match.
+    pub fn on_complete(&mut self, now: SimTime) -> (BlockRequest, Vec<Action>) {
+        let (req, finish) = self
+            .inflight
+            .take()
+            .expect("on_complete with no in-flight request");
+        assert_eq!(finish, now, "completion fired at the wrong time");
+        let actions = self.kick(now);
+        (req, actions)
+    }
+
+    /// Handles an anticipation recheck. Stale generations are ignored.
+    pub fn on_recheck(&mut self, now: SimTime, gen: u64) -> Vec<Action> {
+        match self.scheduled_recheck {
+            Some((_, g)) if g == gen => {
+                self.scheduled_recheck = None;
+                self.kick(now)
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Starts servicing the cheapest NCQ entry, if the head is free.
+    fn start_service(&mut self, now: SimTime) -> Option<Action> {
+        if self.inflight.is_some() || self.ncq.is_empty() {
+            return None;
+        }
+        // NCQ: the drive picks the queued command with the lowest
+        // positional cost (rotational-position-aware, like SAS TCQ).
+        let pick = match &self.storage {
+            StorageDev::Disk(d) => self
+                .ncq
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| d.positional_cost(now, &r.op()).as_nanos())
+                .map(|(i, _)| i)
+                .expect("ncq non-empty"),
+            StorageDev::Ssd(_) => 0,
+        };
+        let req = self.ncq.swap_remove(pick);
+        self.tracer.record(now, &req);
+        let dur = self.storage.service(now, &req);
+        let finish = now + dur;
+        self.stats.busy += dur;
+        self.stats.requests += 1;
+        if req.dir.is_read() {
+            self.stats.bytes_read += req.sectors * ibridge_device::SECTOR_SIZE;
+        } else {
+            self.stats.bytes_written += req.sectors * ibridge_device::SECTOR_SIZE;
+        }
+        self.inflight = Some((req, finish));
+        Some(Action::CompleteAt(finish))
+    }
+
+    fn kick(&mut self, now: SimTime) -> Vec<Action> {
+        // Fill the device queue from the scheduler.
+        let mut wait: Option<SimTime> = None;
+        while self.ncq.len() + usize::from(self.inflight.is_some()) < self.ncq_depth
+            || (self.inflight.is_none() && self.ncq.is_empty())
+        {
+            match self.sched.dispatch(now, self.storage.head()) {
+                Decision::Request(req) => {
+                    self.ncq.push(*req);
+                    self.scheduled_recheck = None;
+                }
+                Decision::WaitUntil(t) => {
+                    wait = Some(t);
+                    break;
+                }
+                Decision::Empty => break,
+            }
+        }
+        let mut actions = Vec::new();
+        if let Some(a) = self.start_service(now) {
+            actions.push(a);
+        }
+        if let Some(t) = wait {
+            match self.scheduled_recheck {
+                // An equivalent recheck is already pending; don't duplicate.
+                Some((st, _)) if st == t => {}
+                _ => {
+                    self.recheck_gen += 1;
+                    self.scheduled_recheck = Some((t, self.recheck_gen));
+                    actions.push(Action::RecheckAt(t, self.recheck_gen));
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cfq, CfqConfig, Noop};
+    use ibridge_des::Simulation;
+    use ibridge_device::{DiskProfile, IoDir, SsdProfile};
+
+    fn ssd_dev() -> BlockDevice {
+        BlockDevice::new(
+            StorageDev::Ssd(SsdModel::new(SsdProfile::hp_mk0120())),
+            AnySched::Noop(Noop::default()),
+        )
+    }
+
+    fn disk_dev() -> BlockDevice {
+        BlockDevice::new(
+            StorageDev::Disk(DiskModel::new(DiskProfile::hp_mm0500())),
+            AnySched::Cfq(Cfq::new(CfqConfig::default())),
+        )
+    }
+
+    fn req(stream: u64, lbn: Lbn, sectors: u64, now: SimTime, tag: u64) -> BlockRequest {
+        BlockRequest::new(IoDir::Read, lbn, sectors, stream, now, tag)
+    }
+
+    /// Drives a block device to completion through a Simulation,
+    /// returning finished requests with their completion times.
+    fn run(dev: &mut BlockDevice, initial: Vec<Action>) -> Vec<(SimTime, BlockRequest)> {
+        #[derive(Debug)]
+        enum Ev {
+            Done,
+            Recheck(u64),
+        }
+        let mut sim: Simulation<Ev> = Simulation::new();
+        let push = |sim: &mut Simulation<Ev>, actions: Vec<Action>| {
+            for a in actions {
+                match a {
+                    Action::CompleteAt(t) => {
+                        sim.schedule_at(t, Ev::Done);
+                    }
+                    Action::RecheckAt(t, g) => {
+                        sim.schedule_at(t, Ev::Recheck(g));
+                    }
+                }
+            }
+        };
+        push(&mut sim, initial);
+        let mut out = Vec::new();
+        while let Some((t, ev)) = sim.pop() {
+            let actions = match ev {
+                Ev::Done => {
+                    let (req, a) = dev.on_complete(t);
+                    out.push((t, req));
+                    a
+                }
+                Ev::Recheck(g) => dev.on_recheck(t, g),
+            };
+            push(&mut sim, actions);
+        }
+        out
+    }
+
+    #[test]
+    fn single_request_completes() {
+        let mut dev = ssd_dev();
+        let a = dev.submit(SimTime::ZERO, req(1, 0, 8, SimTime::ZERO, 42));
+        assert_eq!(a.len(), 1);
+        let done = run(&mut dev, a);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1.tags, vec![42]);
+        assert!(dev.is_idle());
+        assert_eq!(dev.stats().requests, 1);
+        assert_eq!(dev.stats().bytes_read, 4096);
+    }
+
+    #[test]
+    fn queued_requests_all_complete_in_order_for_noop() {
+        let mut dev = ssd_dev();
+        let mut actions = Vec::new();
+        for i in 0..5u64 {
+            actions.extend(dev.submit(SimTime::ZERO, req(1, i * 1000, 8, SimTime::ZERO, i)));
+        }
+        let done = run(&mut dev, actions);
+        assert_eq!(done.len(), 5);
+        let tags: Vec<u64> = done.iter().map(|(_, r)| r.tags[0]).collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4]);
+        // Completion times strictly increase.
+        assert!(done.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn cfq_anticipation_resolves_via_recheck() {
+        let mut dev = disk_dev();
+        let t0 = SimTime::ZERO;
+        let mut actions = dev.submit(t0, req(1, 1000, 8, t0, 0));
+        actions.extend(dev.submit(t0, req(2, 900_000, 8, t0, 1)));
+        let done = run(&mut dev, actions);
+        // Both must finish even though CFQ idles between streams.
+        assert_eq!(done.len(), 2);
+        assert!(dev.is_idle());
+    }
+
+    #[test]
+    fn tracer_sees_merged_dispatch_sizes() {
+        let mut dev = ssd_dev();
+        let t0 = SimTime::ZERO;
+        let mut actions = dev.submit(t0, req(1, 0, 128, t0, 0));
+        // Adjacent while the first is still queued? The first dispatches
+        // immediately, so submit two more adjacent ones that will merge
+        // with each other while the device is busy.
+        actions.extend(dev.submit(t0, req(1, 1000, 64, t0, 1)));
+        actions.extend(dev.submit(t0, req(1, 1064, 64, t0, 2)));
+        let done = run(&mut dev, actions);
+        assert_eq!(done.len(), 2, "second and third must merge");
+        assert_eq!(dev.tracer().reads().count(128), 2);
+        let merged = done.iter().find(|(_, r)| r.tags.len() == 2).unwrap();
+        assert_eq!(merged.1.sectors, 128);
+    }
+
+    #[test]
+    fn stale_recheck_is_ignored() {
+        let mut dev = disk_dev();
+        let t0 = SimTime::ZERO;
+        let _ = dev.submit(t0, req(1, 1000, 8, t0, 0));
+        // Invent a stale generation.
+        let actions = dev.on_recheck(t0, 999);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no in-flight")]
+    fn on_complete_without_inflight_panics() {
+        let mut dev = ssd_dev();
+        dev.on_complete(SimTime::ZERO);
+    }
+
+    #[test]
+    fn ncq_reorders_by_positional_cost() {
+        // Depth-4 NCQ on a disk: scattered requests accepted together
+        // are serviced nearest-first, not FIFO.
+        let mut dev = BlockDevice::with_ncq(
+            StorageDev::Disk(DiskModel::new(DiskProfile::hp_mm0500())),
+            AnySched::Noop(Noop::default()),
+            4,
+        );
+        let t0 = SimTime::ZERO;
+        let mut actions = Vec::new();
+        // Park the head near LBN 0 first.
+        actions.extend(dev.submit(t0, req(1, 0, 8, t0, 0)));
+        // Far, then near: with NCQ the near one should finish first.
+        actions.extend(dev.submit(t0, req(1, 900_000_000, 8, t0, 1)));
+        actions.extend(dev.submit(t0, req(1, 5_000, 8, t0, 2)));
+        let done = run(&mut dev, actions);
+        assert_eq!(done.len(), 3);
+        let order: Vec<u64> = done.iter().map(|(_, r)| r.tags[0]).collect();
+        assert_eq!(order[0], 0);
+        assert_eq!(order[1], 2, "near request must jump the far one");
+        assert_eq!(order[2], 1);
+        assert!(dev.is_idle());
+    }
+
+    #[test]
+    fn ncq_depth_one_is_fifo() {
+        let mut dev = BlockDevice::with_ncq(
+            StorageDev::Disk(DiskModel::new(DiskProfile::hp_mm0500())),
+            AnySched::Noop(Noop::default()),
+            1,
+        );
+        let t0 = SimTime::ZERO;
+        let mut actions = Vec::new();
+        actions.extend(dev.submit(t0, req(1, 0, 8, t0, 0)));
+        actions.extend(dev.submit(t0, req(1, 900_000_000, 8, t0, 1)));
+        actions.extend(dev.submit(t0, req(1, 5_000, 8, t0, 2)));
+        let done = run(&mut dev, actions);
+        let order: Vec<u64> = done.iter().map(|(_, r)| r.tags[0]).collect();
+        assert_eq!(order, vec![0, 1, 2], "depth 1 must preserve FIFO");
+    }
+
+    #[test]
+    fn ncq_improves_scattered_throughput() {
+        let run_depth = |depth: usize| {
+            let mut dev = BlockDevice::with_ncq(
+                StorageDev::Disk(DiskModel::new(DiskProfile::hp_mm0500())),
+                AnySched::Noop(Noop::default()),
+                depth,
+            );
+            let t0 = SimTime::ZERO;
+            let mut actions = Vec::new();
+            let mut lbn = 1u64;
+            for i in 0..32u64 {
+                lbn = (lbn * 48_271 + i) % 1_000_000_000;
+                actions.extend(dev.submit(t0, req(1, lbn, 8, t0, i)));
+            }
+            let done = run(&mut dev, actions);
+            done.last().unwrap().0
+        };
+        let d1 = run_depth(1);
+        let d8 = run_depth(8);
+        assert!(d8 < d1, "NCQ-8 ({d8}) must finish before depth-1 ({d1})");
+    }
+
+    #[test]
+    fn write_stats_accumulate() {
+        let mut dev = ssd_dev();
+        let t0 = SimTime::ZERO;
+        let w = BlockRequest::new(IoDir::Write, 0, 16, 1, t0, 0);
+        let actions = dev.submit(t0, w);
+        run(&mut dev, actions);
+        assert_eq!(dev.stats().bytes_written, 8192);
+        assert_eq!(dev.stats().bytes_read, 0);
+        assert!(dev.stats().busy > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,109 @@
+//! `blktrace`-equivalent dispatch tracing.
+//!
+//! The paper uses `blktrace` to record the sizes of requests dispatched
+//! to the device and plots their distribution in sector units (Figs.
+//! 2(c–e) and 5). [`DispatchTracer`] records the same signal from the
+//! simulated block layer, plus queueing-latency statistics.
+
+use crate::BlockRequest;
+use ibridge_des::stats::{Histogram, MeanTracker};
+use ibridge_des::SimTime;
+use ibridge_device::IoDir;
+
+/// Records the size distribution (in sectors) of dispatched requests.
+#[derive(Debug, Clone, Default)]
+pub struct DispatchTracer {
+    reads: Histogram,
+    writes: Histogram,
+    queue_latency_ms: MeanTracker,
+}
+
+impl DispatchTracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Self {
+        DispatchTracer::default()
+    }
+
+    /// Records the dispatch of `req` at time `now`.
+    pub fn record(&mut self, now: SimTime, req: &BlockRequest) {
+        match req.dir {
+            IoDir::Read => self.reads.record(req.sectors),
+            IoDir::Write => self.writes.record(req.sectors),
+        }
+        self.queue_latency_ms
+            .record((now - req.submitted).as_millis_f64());
+    }
+
+    /// Size histogram of dispatched reads, keyed by sectors.
+    pub fn reads(&self) -> &Histogram {
+        &self.reads
+    }
+
+    /// Size histogram of dispatched writes, keyed by sectors.
+    pub fn writes(&self) -> &Histogram {
+        &self.writes
+    }
+
+    /// Combined read+write size histogram.
+    pub fn combined(&self) -> Histogram {
+        let mut h = self.reads.clone();
+        h.merge(&self.writes);
+        h
+    }
+
+    /// Mean time requests spent queued before dispatch, in ms.
+    pub fn mean_queue_latency_ms(&self) -> Option<f64> {
+        self.queue_latency_ms.mean()
+    }
+
+    /// Total dispatched request count.
+    pub fn total(&self) -> u64 {
+        self.reads.total() + self.writes.total()
+    }
+
+    /// Clears all recorded data (e.g. to skip a warm-up phase).
+    pub fn reset(&mut self) {
+        *self = DispatchTracer::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibridge_des::SimDuration;
+
+    fn req(dir: IoDir, sectors: u64, submitted: SimTime) -> BlockRequest {
+        BlockRequest::new(dir, 0, sectors, 1, submitted, 0)
+    }
+
+    #[test]
+    fn records_by_direction() {
+        let mut t = DispatchTracer::new();
+        let now = SimTime::from_millis(1);
+        t.record(now, &req(IoDir::Read, 128, SimTime::ZERO));
+        t.record(now, &req(IoDir::Read, 128, SimTime::ZERO));
+        t.record(now, &req(IoDir::Write, 256, SimTime::ZERO));
+        assert_eq!(t.reads().count(128), 2);
+        assert_eq!(t.writes().count(256), 1);
+        assert_eq!(t.combined().total(), 3);
+        assert_eq!(t.total(), 3);
+    }
+
+    #[test]
+    fn queue_latency_tracked() {
+        let mut t = DispatchTracer::new();
+        let submitted = SimTime::from_millis(10);
+        let dispatched = submitted + SimDuration::from_millis(4);
+        t.record(dispatched, &req(IoDir::Read, 8, submitted));
+        assert!((t.mean_queue_latency_ms().unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = DispatchTracer::new();
+        t.record(SimTime::from_millis(1), &req(IoDir::Read, 8, SimTime::ZERO));
+        t.reset();
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.mean_queue_latency_ms(), None);
+    }
+}

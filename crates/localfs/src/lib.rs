@@ -1,0 +1,563 @@
+//! Ext2-style local file system allocator.
+//!
+//! Each PVFS2 data server stores one local "datafile" per striped file,
+//! managed in the paper's testbed by Linux Ext2. The only property of
+//! Ext2 the experiments depend on is the *offset → LBN mapping*: block
+//! groups keep a file's blocks mostly contiguous, so a datafile's
+//! logical offsets map near-linearly onto disk sectors, with gaps at
+//! group boundaries and between files. This crate implements exactly
+//! that: block-group allocation with per-file preferred groups,
+//! extent-based bookkeeping, and sector-accurate range mapping.
+//!
+//! # Example
+//!
+//! ```
+//! use ibridge_localfs::{FileHandle, FsConfig, LocalFs};
+//!
+//! let mut fs = LocalFs::new(1 << 24, FsConfig::default()); // 8 GiB
+//! let f = FileHandle(1);
+//! fs.preallocate(f, 1 << 20).unwrap(); // 1 MiB datafile
+//! let extents = fs.map_range(f, 0, 65536).unwrap();
+//! let total: u64 = extents.iter().map(|e| e.sectors).sum();
+//! assert_eq!(total, 128); // 64 KiB = 128 sectors
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Logical block (sector) number, duplicated from `ibridge-device` to
+/// keep this crate dependency-free.
+pub type Lbn = u64;
+
+/// Bytes per sector.
+pub const SECTOR_SIZE: u64 = 512;
+
+/// Identifies a local file (a PVFS datafile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileHandle(pub u64);
+
+/// A contiguous run of sectors on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// First sector.
+    pub lbn: Lbn,
+    /// Run length in sectors (> 0).
+    pub sectors: u64,
+}
+
+impl Extent {
+    /// First sector past the end.
+    pub fn end(&self) -> Lbn {
+        self.lbn + self.sectors
+    }
+}
+
+/// Allocation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The device has no free blocks left.
+    NoSpace,
+    /// A range was mapped without being allocated first.
+    Unallocated {
+        /// File whose range was requested.
+        file: FileHandle,
+        /// First unallocated block index.
+        block: u64,
+    },
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NoSpace => write!(f, "file system is full"),
+            FsError::Unallocated { file, block } => {
+                write!(f, "file {file:?} block {block} is not allocated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Geometry and policy knobs.
+#[derive(Debug, Clone)]
+pub struct FsConfig {
+    /// Sectors per file system block (8 = 4 KiB blocks, the Ext2 default
+    /// on the paper's testbed).
+    pub block_sectors: u64,
+    /// Sectors per block group (Ext2: 32 K blocks → 128 MiB per group).
+    pub group_sectors: u64,
+    /// Sectors reserved at the start of each group for metadata (block
+    /// bitmap, inode bitmap, inode table); creates the physical gap
+    /// between groups that breaks file extents at group boundaries.
+    pub group_meta_sectors: u64,
+    /// If set, artificially break extents every N blocks and skip one
+    /// block, to inject fragmentation for ablation experiments.
+    pub fragment_every_blocks: Option<u64>,
+}
+
+impl Default for FsConfig {
+    fn default() -> Self {
+        FsConfig {
+            block_sectors: 8,
+            group_sectors: 262_144, // 128 MiB
+            group_meta_sectors: 512,
+            fragment_every_blocks: None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct FileMeta {
+    /// block index → (start LBN, blocks) runs, coalesced when adjacent.
+    runs: BTreeMap<u64, (Lbn, u64)>,
+    blocks: u64,
+    pref_group: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Group {
+    next_free: Lbn,
+    end: Lbn,
+}
+
+impl Group {
+    fn free_blocks(&self, block_sectors: u64) -> u64 {
+        (self.end - self.next_free) / block_sectors
+    }
+}
+
+/// The allocator.
+#[derive(Debug)]
+pub struct LocalFs {
+    cfg: FsConfig,
+    groups: Vec<Group>,
+    /// Freed extents per group `(start LBN, blocks)`, reused before the
+    /// group's bump pointer advances.
+    free_lists: Vec<Vec<(Lbn, u64)>>,
+    files: HashMap<FileHandle, FileMeta>,
+    next_pref: usize,
+    used_blocks: u64,
+}
+
+impl LocalFs {
+    /// Creates a file system over `capacity_sectors` sectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity does not hold at least one group.
+    pub fn new(capacity_sectors: u64, cfg: FsConfig) -> Self {
+        assert!(cfg.block_sectors > 0 && cfg.group_sectors >= cfg.block_sectors);
+        assert!(
+            cfg.group_meta_sectors < cfg.group_sectors,
+            "metadata cannot fill a whole group"
+        );
+        let n_groups = (capacity_sectors / cfg.group_sectors) as usize;
+        assert!(n_groups > 0, "capacity smaller than one block group");
+        let groups = (0..n_groups as u64)
+            .map(|g| Group {
+                next_free: g * cfg.group_sectors + cfg.group_meta_sectors,
+                end: (g + 1) * cfg.group_sectors,
+            })
+            .collect();
+        let free_lists = vec![Vec::new(); n_groups];
+        LocalFs {
+            cfg,
+            groups,
+            free_lists,
+            files: HashMap::new(),
+            next_pref: 0,
+            used_blocks: 0,
+        }
+    }
+
+    /// Number of allocated blocks across all files.
+    pub fn used_blocks(&self) -> u64 {
+        self.used_blocks
+    }
+
+    /// Total capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.groups.len() as u64 * (self.cfg.group_sectors / self.cfg.block_sectors)
+    }
+
+    /// Allocated size of `file` in blocks (0 if unknown).
+    pub fn file_blocks(&self, file: FileHandle) -> u64 {
+        self.files.get(&file).map_or(0, |m| m.blocks)
+    }
+
+    fn meta_mut(&mut self, file: FileHandle) -> &mut FileMeta {
+        if !self.files.contains_key(&file) {
+            // Spread files across groups like Ext2's inode allocator.
+            let pref = self.next_pref % self.groups.len();
+            self.next_pref += 1;
+            self.files.insert(
+                file,
+                FileMeta {
+                    pref_group: pref,
+                    ..Default::default()
+                },
+            );
+        }
+        self.files.get_mut(&file).expect("just inserted")
+    }
+
+    /// Allocates one contiguous run of up to `want` blocks, preferring
+    /// `pref` group. Returns (start LBN, blocks). Freed extents are
+    /// reused before each group's bump pointer advances.
+    fn alloc_run(&mut self, pref: usize, want: u64) -> Result<(Lbn, u64), FsError> {
+        let bs = self.cfg.block_sectors;
+        let n = self.groups.len();
+        for i in 0..n {
+            let gi = (pref + i) % n;
+            // Recycled extent first.
+            if let Some(slot) = self.free_lists[gi].iter().position(|&(_, b)| b > 0) {
+                let (lbn, blocks) = self.free_lists[gi][slot];
+                let take = want.min(blocks);
+                if take == blocks {
+                    self.free_lists[gi].swap_remove(slot);
+                } else {
+                    self.free_lists[gi][slot] = (lbn + take * bs, blocks - take);
+                }
+                self.used_blocks += take;
+                return Ok((lbn, take));
+            }
+            let g = &mut self.groups[gi];
+            let free = g.free_blocks(bs);
+            if free == 0 {
+                continue;
+            }
+            let take = want.min(free);
+            let lbn = g.next_free;
+            g.next_free += take * bs;
+            self.used_blocks += take;
+            return Ok((lbn, take));
+        }
+        Err(FsError::NoSpace)
+    }
+
+    /// Ensures blocks `[start_block, start_block + nblocks)` of `file`
+    /// are allocated, extending with new extents as needed.
+    pub fn ensure_allocated(
+        &mut self,
+        file: FileHandle,
+        start_block: u64,
+        nblocks: u64,
+    ) -> Result<(), FsError> {
+        if nblocks == 0 {
+            return Ok(());
+        }
+        // Collect the missing block runs first (immutable pass).
+        let missing = {
+            let meta = self.meta_mut(file);
+            let mut missing: Vec<(u64, u64)> = Vec::new();
+            let mut b = start_block;
+            let end = start_block + nblocks;
+            while b < end {
+                match meta.runs.range(..=b).next_back() {
+                    Some((&rb, &(_, rl))) if b < rb + rl => {
+                        b = rb + rl; // covered; skip to the run's end
+                    }
+                    _ => {
+                        // Find where coverage resumes.
+                        let next_run = meta
+                            .runs
+                            .range(b + 1..)
+                            .map(|(&rb, _)| rb)
+                            .next()
+                            .unwrap_or(end)
+                            .min(end);
+                        missing.push((b, next_run - b));
+                        b = next_run;
+                    }
+                }
+            }
+            missing
+        };
+        let pref = self.files[&file].pref_group;
+        for (mut b, mut remaining) in missing {
+            while remaining > 0 {
+                let cap = match self.cfg.fragment_every_blocks {
+                    Some(every) => remaining.min(every.max(1)),
+                    None => remaining,
+                };
+                let (lbn, got) = self.alloc_run(pref, cap)?;
+                if self.cfg.fragment_every_blocks.is_some() {
+                    // Burn one block to force a gap after this run.
+                    let _ = self.alloc_run(pref, 1);
+                }
+                let meta = self.files.get_mut(&file).expect("exists");
+                // Coalesce with the previous run when physically adjacent.
+                let merged = match meta.runs.range_mut(..b).next_back() {
+                    Some((&rb, run)) if rb + run.1 == b && run.0 + run.1 * self.cfg.block_sectors == lbn => {
+                        run.1 += got;
+                        true
+                    }
+                    _ => false,
+                };
+                if !merged {
+                    meta.runs.insert(b, (lbn, got));
+                }
+                meta.blocks = meta.blocks.max(b + got);
+                b += got;
+                remaining -= got;
+            }
+        }
+        Ok(())
+    }
+
+    /// Preallocates the first `bytes` of `file` (used to lay out the
+    /// experiment data sets before a run, as the paper's setup does by
+    /// writing the file once).
+    pub fn preallocate(&mut self, file: FileHandle, bytes: u64) -> Result<(), FsError> {
+        let bs_bytes = self.cfg.block_sectors * SECTOR_SIZE;
+        self.ensure_allocated(file, 0, bytes.div_ceil(bs_bytes))
+    }
+
+    /// Removes `file`, returning its blocks to per-group free lists so
+    /// later allocations can reuse the space (files deleted and
+    /// re-created between experiment runs).
+    pub fn truncate(&mut self, file: FileHandle) {
+        let Some(meta) = self.files.remove(&file) else {
+            return;
+        };
+        for (_, (lbn, blocks)) in meta.runs {
+            self.used_blocks -= blocks;
+            let group = (lbn / self.cfg.group_sectors) as usize;
+            if let Some(g) = self.free_lists.get_mut(group) {
+                g.push((lbn, blocks));
+            }
+        }
+    }
+
+    /// Maps the byte range `[offset, offset + len)` of `file` to device
+    /// extents, sector-accurate, in file order. Adjacent extents are
+    /// coalesced.
+    ///
+    /// Returns [`FsError::Unallocated`] if any touched block is missing.
+    pub fn map_range(
+        &self,
+        file: FileHandle,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<Extent>, FsError> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let meta = self
+            .files
+            .get(&file)
+            .ok_or(FsError::Unallocated { file, block: 0 })?;
+        let bs = self.cfg.block_sectors;
+        // Sector-align the byte range.
+        let first_sector = offset / SECTOR_SIZE;
+        let last_sector = (offset + len).div_ceil(SECTOR_SIZE);
+        let mut out: Vec<Extent> = Vec::new();
+        let mut s = first_sector;
+        while s < last_sector {
+            let block = s / bs;
+            let (run_block, (run_lbn, run_len)) = meta
+                .runs
+                .range(..=block)
+                .next_back()
+                .map(|(&b, &r)| (b, r))
+                .filter(|&(b, (_, l))| block < b + l)
+                .ok_or(FsError::Unallocated { file, block })?;
+            // Sector within the run.
+            let run_start_sector = run_block * bs;
+            let run_end_sector = (run_block + run_len) * bs;
+            let take_end = last_sector.min(run_end_sector);
+            let lbn = run_lbn + (s - run_start_sector);
+            let sectors = take_end - s;
+            match out.last_mut() {
+                Some(prev) if prev.end() == lbn => prev.sectors += sectors,
+                _ => out.push(Extent { lbn, sectors }),
+            }
+            s = take_end;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> LocalFs {
+        LocalFs::new(1 << 22, FsConfig::default()) // 2 GiB
+    }
+
+    #[test]
+    fn preallocate_then_map_is_contiguous() {
+        let mut f = fs();
+        let h = FileHandle(1);
+        f.preallocate(h, 1 << 20).unwrap();
+        let ext = f.map_range(h, 0, 1 << 20).unwrap();
+        assert_eq!(ext.len(), 1, "single-group file should be one extent");
+        assert_eq!(ext[0].sectors, 2048);
+    }
+
+    #[test]
+    fn map_is_linear_within_extent() {
+        let mut f = fs();
+        let h = FileHandle(1);
+        f.preallocate(h, 1 << 20).unwrap();
+        let a = f.map_range(h, 0, 4096).unwrap();
+        let b = f.map_range(h, 65536, 4096).unwrap();
+        assert_eq!(b[0].lbn - a[0].lbn, 128);
+    }
+
+    #[test]
+    fn sub_sector_ranges_round_to_sectors() {
+        let mut f = fs();
+        let h = FileHandle(1);
+        f.preallocate(h, 8192).unwrap();
+        let ext = f.map_range(h, 100, 200).unwrap();
+        // Bytes 100..300 live in sector 0 (0..512).
+        assert_eq!(ext.len(), 1);
+        assert_eq!(ext[0].sectors, 1);
+        let ext = f.map_range(h, 500, 50).unwrap();
+        // Bytes 500..550 straddle sectors 0 and 1.
+        assert_eq!(ext[0].sectors, 2);
+    }
+
+    #[test]
+    fn different_files_get_different_groups() {
+        let mut f = fs();
+        let a = FileHandle(1);
+        let b = FileHandle(2);
+        f.preallocate(a, 4096).unwrap();
+        f.preallocate(b, 4096).unwrap();
+        let ea = f.map_range(a, 0, 4096).unwrap();
+        let eb = f.map_range(b, 0, 4096).unwrap();
+        let gap = ea[0].lbn.abs_diff(eb[0].lbn);
+        assert!(gap >= FsConfig::default().group_sectors, "gap={gap}");
+    }
+
+    #[test]
+    fn unallocated_read_errors() {
+        let mut f = fs();
+        let h = FileHandle(1);
+        f.preallocate(h, 4096).unwrap();
+        let err = f.map_range(h, 8192, 4096).unwrap_err();
+        assert!(matches!(err, FsError::Unallocated { .. }));
+        let err = f.map_range(FileHandle(9), 0, 1).unwrap_err();
+        assert!(matches!(err, FsError::Unallocated { .. }));
+    }
+
+    #[test]
+    fn extending_allocation_coalesces() {
+        let mut f = fs();
+        let h = FileHandle(1);
+        f.ensure_allocated(h, 0, 4).unwrap();
+        f.ensure_allocated(h, 4, 4).unwrap();
+        let ext = f.map_range(h, 0, 8 * 4096).unwrap();
+        assert_eq!(ext.len(), 1, "sequential growth should stay one extent");
+    }
+
+    #[test]
+    fn hole_then_fill() {
+        let mut f = fs();
+        let h = FileHandle(1);
+        f.ensure_allocated(h, 0, 2).unwrap();
+        f.ensure_allocated(h, 10, 2).unwrap();
+        assert!(f.map_range(h, 2 * 4096, 4096).is_err(), "hole unmapped");
+        f.ensure_allocated(h, 0, 12).unwrap(); // fills the hole
+        let ext = f.map_range(h, 0, 12 * 4096).unwrap();
+        let total: u64 = ext.iter().map(|e| e.sectors).sum();
+        assert_eq!(total, 12 * 8);
+    }
+
+    #[test]
+    fn file_spanning_groups_breaks_extent() {
+        let cfg = FsConfig {
+            group_sectors: 1024, // tiny groups: 64 blocks
+            ..Default::default()
+        };
+        let mut f = LocalFs::new(1 << 20, cfg);
+        let h = FileHandle(1);
+        f.preallocate(h, 200 * 4096).unwrap(); // 200 blocks > 3 groups
+        let ext = f.map_range(h, 0, 200 * 4096).unwrap();
+        assert!(ext.len() >= 3, "must span several groups: {}", ext.len());
+        let total: u64 = ext.iter().map(|e| e.sectors).sum();
+        assert_eq!(total, 1600);
+    }
+
+    #[test]
+    fn no_space_error() {
+        let cfg = FsConfig {
+            group_sectors: 1024,
+            ..Default::default()
+        };
+        let mut f = LocalFs::new(2048, cfg); // 2 tiny groups
+        let h = FileHandle(1);
+        let err = f.preallocate(h, 10 << 20).unwrap_err();
+        assert_eq!(err, FsError::NoSpace);
+    }
+
+    #[test]
+    fn fragmentation_injection_breaks_extents() {
+        let cfg = FsConfig {
+            fragment_every_blocks: Some(4),
+            ..Default::default()
+        };
+        let mut f = LocalFs::new(1 << 22, cfg);
+        let h = FileHandle(1);
+        f.preallocate(h, 64 * 4096).unwrap();
+        let ext = f.map_range(h, 0, 64 * 4096).unwrap();
+        assert!(ext.len() >= 16, "expected fragmented layout: {}", ext.len());
+    }
+
+    #[test]
+    fn usage_accounting() {
+        let mut f = fs();
+        assert_eq!(f.used_blocks(), 0);
+        f.preallocate(FileHandle(1), 10 * 4096).unwrap();
+        assert_eq!(f.used_blocks(), 10);
+        assert_eq!(f.file_blocks(FileHandle(1)), 10);
+        assert!(f.capacity_blocks() > 0);
+    }
+
+    #[test]
+    fn truncate_frees_and_space_is_reused() {
+        let cfg = FsConfig {
+            group_sectors: 2048,
+            group_meta_sectors: 64,
+            ..Default::default()
+        };
+        let mut f = LocalFs::new(8192, cfg); // 4 tiny groups, 992 blocks
+        let a = FileHandle(1);
+        // Nearly fill the device.
+        f.preallocate(a, 900 * 4096).unwrap();
+        assert_eq!(f.used_blocks(), 900);
+        f.truncate(a);
+        assert_eq!(f.used_blocks(), 0);
+        assert!(f.map_range(a, 0, 4096).is_err(), "file is gone");
+        // A new file of the same size only fits if the freed space is
+        // recycled.
+        let b = FileHandle(2);
+        f.preallocate(b, 900 * 4096).expect("freed extents must be recycled");
+        let total: u64 = f
+            .map_range(b, 0, 900 * 4096)
+            .unwrap()
+            .iter()
+            .map(|e| e.sectors)
+            .sum();
+        assert_eq!(total, 900 * 8);
+    }
+
+    #[test]
+    fn truncate_unknown_file_is_noop() {
+        let mut f = fs();
+        f.truncate(FileHandle(99));
+        assert_eq!(f.used_blocks(), 0);
+    }
+
+    #[test]
+    fn zero_length_map_is_empty() {
+        let mut f = fs();
+        let h = FileHandle(1);
+        f.preallocate(h, 4096).unwrap();
+        assert!(f.map_range(h, 0, 0).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Calibration probe: aligned vs unaligned stock throughput
+//! (cf. paper Fig. 2(a)). Run with `cargo run --release -p ibridge-pvfs
+//! --example calib`.
+
+use ibridge_device::IoDir;
+use ibridge_localfs::FileHandle;
+use ibridge_pvfs::workload::SequentialWorkload;
+use ibridge_pvfs::{Cluster, ClusterConfig, StockPolicy};
+
+fn run(procs: usize, size: u64, total_bytes: u64, dir: IoDir) -> f64 {
+    let mut c = Cluster::new(ClusterConfig::default(), |_| Box::new(StockPolicy::new()));
+    let iters = total_bytes / (size * procs as u64);
+    c.preallocate(FileHandle(1), size * procs as u64 * iters + (1 << 20));
+    let mut w = SequentialWorkload {
+        dir,
+        file: FileHandle(1),
+        procs,
+        size,
+        iters,
+        shift: 0,
+        use_barrier: false,
+    };
+    let stats = c.run(&mut w);
+    stats.throughput_mbps()
+}
+
+fn main() {
+    let total: u64 = 1 << 30; // 1 GB
+    for procs in [16usize, 64, 512] {
+        for size in [64u64 * 1024, 65 * 1024, 74 * 1024, 94 * 1024] {
+            let t = run(procs, size, total, IoDir::Read);
+            println!("read  procs={procs:3} size={:3}KB -> {t:7.1} MB/s", size / 1024);
+        }
+    }
+    for size in [64u64 * 1024, 65 * 1024] {
+        let t = run(64, size, total, IoDir::Write);
+        println!("write procs= 64 size={:3}KB -> {t:7.1} MB/s", size / 1024);
+    }
+}

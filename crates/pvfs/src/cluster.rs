@@ -1,0 +1,904 @@
+//! The cluster: clients, network, metadata server and data servers wired
+//! onto one discrete-event calendar.
+//!
+//! [`Cluster::run`] executes a [`Workload`] to completion — including the
+//! end-of-run writeback drain, which the paper deliberately counts in
+//! program execution time — and returns a [`RunStats`] with everything
+//! the experiment harness needs (throughput, request latencies, per-
+//! server device statistics and blktrace-style dispatch histograms).
+//!
+//! A cluster can be run multiple times without rebuilding: file-system
+//! allocations and cache contents persist, which is how the harness
+//! warms the iBridge cache before read experiments (the paper relies on
+//! the same effect across repeated production runs).
+
+use crate::layout::Layout;
+use crate::policy::{CachePolicy, CacheStats};
+use crate::proto::{FileRequest, SubRequest};
+use crate::server::{DataServer, DevKind, JobId, ServerConfig, ServerOut};
+use crate::workload::Workload;
+use ibridge_des::stats::{Histogram, MeanTracker};
+use ibridge_des::{SimDuration, SimTime, Simulation};
+use ibridge_iosched::{Action, DevStats};
+use ibridge_localfs::FileHandle;
+use ibridge_net::{Link, LinkConfig};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of data servers (the paper's testbed: 8).
+    pub n_servers: usize,
+    /// Stripe unit in bytes (PVFS2 default: 64 KB).
+    pub stripe_unit: u64,
+    /// Interconnect parameters.
+    pub link: LinkConfig,
+    /// Per-server configuration.
+    pub server: ServerConfig,
+    /// Client-side fragment/random threshold in bytes (paper: 20 KB).
+    pub threshold: u64,
+    /// Enable iBridge's client-side fragment flagging.
+    pub flag_fragments: bool,
+    /// Interval of the per-server T-value report to the MDS (paper: 1 s).
+    pub report_interval: SimDuration,
+    /// Interval of the writeback daemon's idle check.
+    pub writeback_interval: SimDuration,
+    /// Maximum per-request client-side jitter (OS scheduling noise,
+    /// network variance), drawn uniformly. This is what desynchronises
+    /// the processes — the paper's "nondeterminism of parallel
+    /// execution" that defeats in-kernel prefetching and merging.
+    pub client_jitter: SimDuration,
+    /// Experiment seed (jitter and any stochastic workload draws).
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n_servers: 8,
+            stripe_unit: 64 * 1024,
+            link: LinkConfig::qdr_infiniband(),
+            server: ServerConfig::default(),
+            threshold: 20 * 1024,
+            flag_fragments: false,
+            report_interval: SimDuration::from_secs(1),
+            writeback_interval: SimDuration::from_millis(100),
+            client_jitter: SimDuration::from_millis(10),
+            seed: 42,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Process is ready to fetch its next work item.
+    Wake { proc: usize },
+    /// Think time elapsed; issue the request.
+    Issue { proc: usize, req: FileRequest },
+    /// Sub-request message reached its server.
+    SubArrive { server: usize, job: JobId },
+    /// Server CPU admitted the sub-request.
+    SubExec { server: usize, job: JobId },
+    /// A device finished its in-flight request.
+    DevComplete { server: usize, kind: DevKind },
+    /// A device anticipation timer fired.
+    DevRecheck { server: usize, kind: DevKind, gen: u64 },
+    /// A sub-reply reached the client.
+    Reply { proc: usize, parent: u64 },
+    /// Periodic T-value report from a server.
+    Report { server: usize },
+    /// The report reached the MDS.
+    ReportArrive { server: usize, t: f64 },
+    /// The MDS broadcast reached a server.
+    Broadcast { server: usize, table: Vec<f64> },
+    /// Periodic writeback-daemon check.
+    WritebackTick { server: usize },
+    /// End-of-run drain kick.
+    DrainTick { server: usize },
+}
+
+#[derive(Debug)]
+struct PendingJob {
+    sub: SubRequest,
+    proc: usize,
+    parent: u64,
+}
+
+#[derive(Debug)]
+struct ParentState {
+    proc: usize,
+    pending: usize,
+    issued_at: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ProcState {
+    Running,
+    AtBarrier,
+    Done,
+}
+
+/// Per-server statistics captured at the end of a run.
+#[derive(Debug, Clone)]
+pub struct ServerRunStats {
+    /// Primary device counters.
+    pub primary: DevStats,
+    /// Cache device counters (if configured).
+    pub cache: Option<DevStats>,
+    /// Policy counters.
+    pub policy: CacheStats,
+    /// Dispatch-size histogram of primary-device reads (sectors).
+    pub primary_reads: Histogram,
+    /// Dispatch-size histogram of primary-device writes (sectors).
+    pub primary_writes: Histogram,
+    /// Readahead page-cache hits served without device I/O.
+    pub ra_hits: u64,
+    /// Bytes of those hits.
+    pub ra_bytes: u64,
+}
+
+/// Results of one workload run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Wall time to full quiescence (includes the writeback drain, as
+    /// the paper's methodology requires).
+    pub elapsed: SimDuration,
+    /// Wall time until the last process finished its last request.
+    pub client_elapsed: SimDuration,
+    /// Client-level bytes moved.
+    pub bytes: u64,
+    /// Client-level requests issued.
+    pub requests: u64,
+    /// Per-request completion latency, milliseconds.
+    pub latency_ms: MeanTracker,
+    /// Latency distribution, bucketed in whole milliseconds
+    /// (percentiles via [`Histogram::quantile`]).
+    pub latency_hist_ms: Histogram,
+    /// Total time processes spent waiting on I/O (summed across procs).
+    pub io_time: SimDuration,
+    /// Total compute (think) time (summed across procs).
+    pub think_time: SimDuration,
+    /// Bytes moved by each process (heterogeneous-workload accounting).
+    pub proc_bytes: Vec<u64>,
+    /// When each process finished, relative to run start.
+    pub proc_done: Vec<SimDuration>,
+    /// Per-server breakdown.
+    pub servers: Vec<ServerRunStats>,
+}
+
+impl RunStats {
+    /// Aggregate throughput over the full run (drain included), MB/s.
+    pub fn throughput_mbps(&self) -> f64 {
+        if self.elapsed == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.bytes as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+
+    /// Throughput over the client phase only, MB/s.
+    pub fn client_throughput_mbps(&self) -> f64 {
+        if self.client_elapsed == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.bytes as f64 / self.client_elapsed.as_secs_f64() / 1e6
+    }
+
+    /// Fraction of client bytes served by the SSD caches.
+    pub fn ssd_served_fraction(&self) -> f64 {
+        let ssd: u64 = self.servers.iter().map(|s| s.policy.bytes_ssd).sum();
+        let disk: u64 = self.servers.iter().map(|s| s.policy.bytes_disk).sum();
+        if ssd + disk == 0 {
+            0.0
+        } else {
+            ssd as f64 / (ssd + disk) as f64
+        }
+    }
+
+    /// Combined dispatch histogram of all primary devices (reads).
+    pub fn combined_read_hist(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for s in &self.servers {
+            h.merge(&s.primary_reads);
+        }
+        h
+    }
+
+    /// Combined dispatch histogram of all primary devices (writes).
+    pub fn combined_write_hist(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for s in &self.servers {
+            h.merge(&s.primary_writes);
+        }
+        h
+    }
+
+    /// Throughput of a subset of processes, MB/s: their bytes over the
+    /// time the slowest of them took (per-benchmark numbers in
+    /// heterogeneous runs, cf. Fig. 12).
+    pub fn group_throughput_mbps(&self, procs: std::ops::Range<usize>) -> f64 {
+        let bytes: u64 = self.proc_bytes[procs.clone()].iter().sum();
+        let slowest = self.proc_done[procs]
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(SimDuration::ZERO);
+        if slowest == SimDuration::ZERO {
+            return 0.0;
+        }
+        bytes as f64 / slowest.as_secs_f64() / 1e6
+    }
+}
+
+/// The simulated cluster.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    sim: Simulation<Ev>,
+    servers: Vec<DataServer>,
+    server_links: Vec<Link>,
+    mds_link: Link,
+    mds_table: Vec<f64>,
+    jitter_rng: StdRng,
+    next_job: u64,
+    next_parent: u64,
+}
+
+impl Cluster {
+    /// Builds a cluster; `make_policy` constructs each server's cache
+    /// policy (e.g. `|_| Box::new(StockPolicy::new())`).
+    pub fn new(
+        cfg: ClusterConfig,
+        make_policy: impl Fn(usize) -> Box<dyn CachePolicy>,
+    ) -> Self {
+        let shared = cfg.server.clone();
+        Self::heterogeneous(cfg, move |_| shared.clone(), make_policy)
+    }
+
+    /// Builds a cluster with per-server configurations — e.g. one
+    /// degraded disk among healthy ones, the scenario where Eq. (3)'s
+    /// bottleneck detection matters.
+    pub fn heterogeneous(
+        cfg: ClusterConfig,
+        make_server: impl Fn(usize) -> ServerConfig,
+        make_policy: impl Fn(usize) -> Box<dyn CachePolicy>,
+    ) -> Self {
+        assert!(cfg.n_servers > 0, "cluster needs at least one server");
+        let servers = (0..cfg.n_servers)
+            .map(|i| DataServer::new(i, make_server(i), make_policy(i)))
+            .collect();
+        let server_links = (0..cfg.n_servers)
+            .map(|_| Link::new(cfg.link.clone()))
+            .collect();
+        Cluster {
+            mds_link: Link::new(cfg.link.clone()),
+            mds_table: vec![0.0; cfg.n_servers],
+            jitter_rng: ibridge_des::rng::stream_rng(cfg.seed, ibridge_des::rng::streams::CLIENT),
+            sim: Simulation::new(),
+            servers,
+            server_links,
+            next_job: 0,
+            next_parent: 0,
+            cfg,
+        }
+    }
+
+    /// The striping layout used for all files.
+    pub fn layout(&self) -> Layout {
+        Layout::new(self.cfg.stripe_unit, self.cfg.n_servers)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Direct server access (inspection in tests/harness).
+    pub fn server(&self, i: usize) -> &DataServer {
+        &self.servers[i]
+    }
+
+    /// Preallocates a striped file of `logical_bytes` across the servers
+    /// (the experiment data sets exist before measurement, as in the
+    /// paper's setup).
+    pub fn preallocate(&mut self, file: FileHandle, logical_bytes: u64) {
+        let layout = self.layout();
+        let su = layout.stripe_unit;
+        let units = logical_bytes.div_ceil(su);
+        for (s, server) in self.servers.iter_mut().enumerate() {
+            // Units owned by server s among 0..units.
+            let owned = units / layout.n_servers as u64
+                + u64::from(units % layout.n_servers as u64 > s as u64);
+            if owned > 0 {
+                server.preallocate(file, owned * su);
+            }
+        }
+    }
+
+    fn handle_server_out(
+        &mut self,
+        now: SimTime,
+        server: usize,
+        out: ServerOut,
+        jobs: &mut HashMap<JobId, PendingJob>,
+        replies: &mut Vec<(SimTime, usize, u64)>,
+    ) {
+        for (kind, action) in out.dev_actions {
+            match action {
+                Action::CompleteAt(t) => {
+                    self.sim.schedule_at(t, Ev::DevComplete { server, kind });
+                }
+                Action::RecheckAt(t, gen) => {
+                    self.sim
+                        .schedule_at(t, Ev::DevRecheck { server, kind, gen });
+                }
+            }
+        }
+        for job in out.done_jobs {
+            let pj = jobs.remove(&job).expect("done job unknown to cluster");
+            let arrive = self.server_links[server].send(now, pj.sub.reply_bytes());
+            replies.push((arrive, pj.proc, pj.parent));
+        }
+    }
+
+    /// Runs `workload` to completion (including writeback drain);
+    /// returns the run's statistics.
+    ///
+    /// State (file allocations, cache contents, device head positions)
+    /// persists across calls, enabling warm-cache measurements.
+    pub fn run(&mut self, workload: &mut dyn Workload) -> RunStats {
+        let n_procs = workload.procs();
+        assert!(n_procs > 0, "workload has no processes");
+        let start = self.sim.now();
+        let layout = self.layout();
+        let ibridge = self.cfg.flag_fragments;
+
+        for s in &mut self.servers {
+            s.prepare_run();
+        }
+
+        let mut client_links: Vec<Link> =
+            (0..n_procs).map(|_| Link::new(self.cfg.link.clone())).collect();
+        let mut proc_state = vec![ProcState::Running; n_procs];
+        let mut proc_iter = vec![0u64; n_procs];
+        let mut active = n_procs;
+        let mut jobs: HashMap<JobId, PendingJob> = HashMap::new();
+        let mut parents: HashMap<u64, ParentState> = HashMap::new();
+        let mut latency_ms = MeanTracker::new();
+        let mut latency_hist_ms = Histogram::new();
+        let mut io_time = SimDuration::ZERO;
+        let mut think_time = SimDuration::ZERO;
+        let mut bytes = 0u64;
+        let mut requests = 0u64;
+        let mut client_done_at = start;
+        let mut proc_bytes = vec![0u64; n_procs];
+        let mut proc_done = vec![SimDuration::ZERO; n_procs];
+        let mut draining = false;
+        let use_barrier = workload.barrier();
+        let barrier_mask: Vec<bool> =
+            (0..n_procs).map(|p| workload.in_barrier(p)).collect();
+
+        for proc in 0..n_procs {
+            self.sim.schedule_now(Ev::Wake { proc });
+        }
+        if ibridge {
+            for server in 0..self.cfg.n_servers {
+                self.sim
+                    .schedule_in(self.cfg.report_interval, Ev::Report { server });
+                self.sim
+                    .schedule_in(self.cfg.writeback_interval, Ev::WritebackTick { server });
+            }
+        }
+
+        while let Some((now, ev)) = self.sim.pop() {
+            match ev {
+                Ev::Wake { proc } => {
+                    debug_assert_eq!(proc_state[proc], ProcState::Running);
+                    match workload.next(proc, proc_iter[proc]) {
+                        None => {
+                            proc_state[proc] = ProcState::Done;
+                            proc_done[proc] = now - start;
+                            active -= 1;
+                            if active == 0 {
+                                client_done_at = now;
+                            } else if use_barrier {
+                                // A departing process may release the barrier.
+                                self.maybe_release_barrier(
+                                    &mut proc_state,
+                                    &barrier_mask,
+                                    now,
+                                );
+                            }
+                        }
+                        Some(item) => {
+                            proc_iter[proc] += 1;
+                            think_time += item.think;
+                            let jitter = match self.cfg.client_jitter.as_nanos() {
+                                0 => SimDuration::ZERO,
+                                max => SimDuration::from_nanos(
+                                    self.jitter_rng.gen_range(0..max),
+                                ),
+                            };
+                            let delay = item.think + jitter;
+                            if delay > SimDuration::ZERO {
+                                self.sim.schedule_in(
+                                    delay,
+                                    Ev::Issue {
+                                        proc,
+                                        req: item.req,
+                                    },
+                                );
+                            } else {
+                                self.sim.schedule_now(Ev::Issue {
+                                    proc,
+                                    req: item.req,
+                                });
+                            }
+                        }
+                    }
+                }
+                Ev::Issue { proc, req } => {
+                    assert!(req.len > 0, "zero-length file request");
+                    let subs = layout.sub_requests(
+                        req.dir,
+                        req.file,
+                        req.offset,
+                        req.len,
+                        self.cfg.threshold,
+                        ibridge,
+                    );
+                    let parent = self.next_parent;
+                    self.next_parent += 1;
+                    parents.insert(
+                        parent,
+                        ParentState {
+                            proc,
+                            pending: subs.len(),
+                            issued_at: now,
+                        },
+                    );
+                    requests += 1;
+                    bytes += req.len;
+                    proc_bytes[proc] += req.len;
+                    for sub in subs {
+                        let job = self.next_job;
+                        self.next_job += 1;
+                        let arrive = client_links[proc].send(now, sub.request_bytes());
+                        let server = sub.server;
+                        jobs.insert(job, PendingJob { sub, proc, parent });
+                        self.sim.schedule_at(arrive, Ev::SubArrive { server, job });
+                    }
+                }
+                Ev::SubArrive { server, job } => {
+                    let exec_at = self.servers[server].cpu_admit(now);
+                    self.sim.schedule_at(exec_at, Ev::SubExec { server, job });
+                }
+                Ev::SubExec { server, job } => {
+                    let (sub, proc) = {
+                        let pj = jobs.get(&job).expect("executing unknown job");
+                        (pj.sub.clone(), pj.proc)
+                    };
+                    let out = self.servers[server].exec_subreq(now, job, proc as u64, sub);
+                    let mut replies = Vec::new();
+                    self.handle_server_out(now, server, out, &mut jobs, &mut replies);
+                    for (arrive, proc, parent) in replies {
+                        self.sim.schedule_at(arrive, Ev::Reply { proc, parent });
+                    }
+                }
+                Ev::DevComplete { server, kind } => {
+                    let mut out = self.servers[server].on_dev_complete(now, kind);
+                    if draining && !self.servers[server].quiescent() {
+                        let extra = self.servers[server].writeback_tick(now, true);
+                        out.merge(extra);
+                    }
+                    let mut replies = Vec::new();
+                    self.handle_server_out(now, server, out, &mut jobs, &mut replies);
+                    for (arrive, proc, parent) in replies {
+                        self.sim.schedule_at(arrive, Ev::Reply { proc, parent });
+                    }
+                }
+                Ev::DevRecheck { server, kind, gen } => {
+                    let out = self.servers[server].on_dev_recheck(now, kind, gen);
+                    let mut replies = Vec::new();
+                    self.handle_server_out(now, server, out, &mut jobs, &mut replies);
+                    for (arrive, proc, parent) in replies {
+                        self.sim.schedule_at(arrive, Ev::Reply { proc, parent });
+                    }
+                }
+                Ev::Reply { proc, parent } => {
+                    let done = {
+                        let p = parents.get_mut(&parent).expect("reply for unknown parent");
+                        p.pending -= 1;
+                        p.pending == 0
+                    };
+                    if done {
+                        let p = parents.remove(&parent).expect("checked above");
+                        let wait = now - p.issued_at;
+                        io_time += wait;
+                        latency_ms.record(wait.as_millis_f64());
+                        latency_hist_ms.record(wait.as_millis_f64().round() as u64);
+                        debug_assert_eq!(p.proc, proc);
+                        if use_barrier && barrier_mask[proc] {
+                            proc_state[proc] = ProcState::AtBarrier;
+                            self.maybe_release_barrier(&mut proc_state, &barrier_mask, now);
+                        } else {
+                            self.sim.schedule_now(Ev::Wake { proc });
+                        }
+                    }
+                }
+                Ev::Report { server } => {
+                    let t = self.servers[server].policy().report_t();
+                    let arrive = self.server_links[server].send(now, 128);
+                    self.sim.schedule_at(arrive, Ev::ReportArrive { server, t });
+                    if active > 0 {
+                        self.sim
+                            .schedule_in(self.cfg.report_interval, Ev::Report { server });
+                    }
+                }
+                Ev::ReportArrive { server, t } => {
+                    self.mds_table[server] = t;
+                    for dest in 0..self.cfg.n_servers {
+                        let arrive = self
+                            .mds_link
+                            .send(now, 64 * self.cfg.n_servers as u64);
+                        self.sim.schedule_at(
+                            arrive,
+                            Ev::Broadcast {
+                                server: dest,
+                                table: self.mds_table.clone(),
+                            },
+                        );
+                    }
+                }
+                Ev::Broadcast { server, table } => {
+                    self.servers[server].policy_mut().receive_broadcast(&table);
+                }
+                Ev::WritebackTick { server } => {
+                    let out = self.servers[server].writeback_tick(now, false);
+                    let mut replies = Vec::new();
+                    self.handle_server_out(now, server, out, &mut jobs, &mut replies);
+                    debug_assert!(replies.is_empty());
+                    if active > 0 {
+                        self.sim.schedule_in(
+                            self.cfg.writeback_interval,
+                            Ev::WritebackTick { server },
+                        );
+                    }
+                }
+                Ev::DrainTick { server } => {
+                    let out = self.servers[server].writeback_tick(now, true);
+                    let mut replies = Vec::new();
+                    self.handle_server_out(now, server, out, &mut jobs, &mut replies);
+                    debug_assert!(replies.is_empty());
+                }
+            }
+
+            if active == 0 {
+                if !draining {
+                    draining = true;
+                    for server in 0..self.cfg.n_servers {
+                        self.sim.schedule_now(Ev::DrainTick { server });
+                    }
+                }
+                if self.servers.iter().all(|s| s.quiescent()) {
+                    break;
+                }
+            }
+        }
+
+        let end = self.sim.now();
+        RunStats {
+            elapsed: end - start,
+            client_elapsed: client_done_at - start,
+            bytes,
+            requests,
+            latency_ms,
+            latency_hist_ms,
+            io_time,
+            think_time,
+            proc_bytes,
+            proc_done,
+            servers: self
+                .servers
+                .iter()
+                .map(|s| {
+                    let (ra_hits, ra_bytes) = s.readahead_hits();
+                    ServerRunStats {
+                        primary: s.primary().stats(),
+                        cache: s.cache().map(|c| c.stats()),
+                        policy: s.policy().stats(),
+                        primary_reads: s.primary().tracer().reads().clone(),
+                        primary_writes: s.primary().tracer().writes().clone(),
+                        ra_hits,
+                        ra_bytes,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn maybe_release_barrier(
+        &mut self,
+        proc_state: &mut [ProcState],
+        barrier_mask: &[bool],
+        now: SimTime,
+    ) {
+        let _ = now;
+        // Release when no barrier participant is still running.
+        let blocked = proc_state
+            .iter()
+            .zip(barrier_mask)
+            .any(|(&s, &m)| m && s == ProcState::Running);
+        if blocked {
+            return;
+        }
+        for (proc, st) in proc_state.iter_mut().enumerate() {
+            if *st == ProcState::AtBarrier {
+                *st = ProcState::Running;
+                self.sim.schedule_now(Ev::Wake { proc });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::StockPolicy;
+    use crate::workload::SequentialWorkload;
+    use ibridge_device::IoDir;
+
+    fn small_cluster(n_servers: usize) -> Cluster {
+        let cfg = ClusterConfig {
+            n_servers,
+            ..Default::default()
+        };
+        Cluster::new(cfg, |_| Box::new(StockPolicy::new()))
+    }
+
+    fn seq(dir: IoDir, procs: usize, size: u64, iters: u64) -> SequentialWorkload {
+        SequentialWorkload {
+            dir,
+            file: FileHandle(1),
+            procs,
+            size,
+            iters,
+            shift: 0,
+            use_barrier: false,
+        }
+    }
+
+    #[test]
+    fn write_workload_completes_and_counts_bytes() {
+        let mut c = small_cluster(4);
+        let mut w = seq(IoDir::Write, 4, 65536, 8);
+        let stats = c.run(&mut w);
+        assert_eq!(stats.requests, 32);
+        assert_eq!(stats.bytes, 32 * 65536);
+        assert!(stats.elapsed > SimDuration::ZERO);
+        assert!(stats.throughput_mbps() > 0.0);
+        let written: u64 = stats.servers.iter().map(|s| s.primary.bytes_written).sum();
+        assert_eq!(written, 32 * 65536);
+    }
+
+    #[test]
+    fn read_workload_requires_preallocation_and_completes() {
+        let mut c = small_cluster(4);
+        c.preallocate(FileHandle(1), 4 << 20);
+        let mut w = seq(IoDir::Read, 2, 65536, 8);
+        let stats = c.run(&mut w);
+        assert_eq!(stats.requests, 16);
+        let read: u64 = stats.servers.iter().map(|s| s.primary.bytes_read).sum();
+        assert_eq!(read, 16 * 65536);
+        assert!(stats.latency_ms.mean().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn aligned_reads_hit_one_server_each() {
+        let mut c = small_cluster(8);
+        c.preallocate(FileHandle(1), 8 << 20);
+        // One proc, 64 KB aligned requests: each should touch exactly one
+        // server; with 8 iterations all 8 servers see one request.
+        let mut w = seq(IoDir::Read, 1, 65536, 8);
+        let stats = c.run(&mut w);
+        for s in &stats.servers {
+            assert_eq!(s.primary.bytes_read, 65536, "round-robin distribution");
+        }
+    }
+
+    #[test]
+    fn unaligned_reads_split_across_servers() {
+        let mut c = small_cluster(8);
+        c.preallocate(FileHandle(1), 16 << 20);
+        let mut w = seq(IoDir::Read, 1, 65 * 1024, 8);
+        let stats = c.run(&mut w);
+        // 65 KB requests are served by two servers each; total bytes conserved.
+        let read: u64 = stats.servers.iter().map(|s| s.primary.bytes_read).sum();
+        assert!(read >= 8 * 65 * 1024, "sector rounding can only add bytes");
+        assert!(read < 8 * 66 * 1024);
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let run = || {
+            let mut c = small_cluster(4);
+            c.preallocate(FileHandle(1), 8 << 20);
+            let mut w = seq(IoDir::Read, 4, 65536, 8);
+            c.run(&mut w).elapsed
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn barrier_synchronises_iterations() {
+        let mut c = small_cluster(4);
+        c.preallocate(FileHandle(1), 8 << 20);
+        let mut w = seq(IoDir::Read, 4, 65536, 4);
+        w.use_barrier = true;
+        let stats = c.run(&mut w);
+        assert_eq!(stats.requests, 16);
+        // With barriers the run cannot be faster than without.
+        let mut c2 = small_cluster(4);
+        c2.preallocate(FileHandle(1), 8 << 20);
+        let mut w2 = seq(IoDir::Read, 4, 65536, 4);
+        let stats2 = c2.run(&mut w2);
+        assert!(stats.elapsed >= stats2.elapsed);
+    }
+
+    #[test]
+    fn rerun_continues_from_existing_state() {
+        let mut c = small_cluster(2);
+        c.preallocate(FileHandle(1), 4 << 20);
+        let mut w = seq(IoDir::Read, 1, 65536, 4);
+        let first = c.run(&mut w);
+        let mut w2 = seq(IoDir::Read, 1, 65536, 4);
+        let second = c.run(&mut w2);
+        assert_eq!(first.requests, second.requests);
+        assert!(second.elapsed > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn think_time_delays_execution() {
+        #[derive(Debug)]
+        struct Thinker {
+            left: u64,
+        }
+        impl Workload for Thinker {
+            fn procs(&self) -> usize {
+                1
+            }
+            fn next(&mut self, _proc: usize, _iter: u64) -> Option<crate::workload::WorkItem> {
+                if self.left == 0 {
+                    return None;
+                }
+                self.left -= 1;
+                Some(crate::workload::WorkItem {
+                    req: FileRequest {
+                        dir: IoDir::Write,
+                        file: FileHandle(1),
+                        offset: (4 - self.left) * 4096,
+                        len: 4096,
+                    },
+                    think: SimDuration::from_millis(50),
+                })
+            }
+        }
+        let mut c = small_cluster(1);
+        let stats = c.run(&mut Thinker { left: 4 });
+        assert!(stats.elapsed >= SimDuration::from_millis(200));
+        assert_eq!(stats.think_time, SimDuration::from_millis(200));
+        assert!(stats.io_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_server_cluster_works() {
+        let mut c = small_cluster(1);
+        c.preallocate(FileHandle(1), 2 << 20);
+        let mut w = seq(IoDir::Read, 2, 65536, 4);
+        let stats = c.run(&mut w);
+        assert_eq!(stats.requests, 8);
+    }
+
+    #[test]
+    fn heterogeneous_constructor_applies_per_server_configs() {
+        let cfg = ClusterConfig {
+            n_servers: 2,
+            ..Default::default()
+        };
+        let c = Cluster::heterogeneous(
+            cfg,
+            |id| {
+                let mut s = crate::server::ServerConfig::default();
+                if id == 0 {
+                    s.primary_is_ssd = true;
+                }
+                s
+            },
+            |_| Box::new(StockPolicy::new()),
+        );
+        use ibridge_iosched::StorageDev;
+        assert!(matches!(c.server(0).primary().storage(), StorageDev::Ssd(_)));
+        assert!(matches!(c.server(1).primary().storage(), StorageDev::Disk(_)));
+    }
+
+    #[test]
+    fn latency_histogram_matches_request_count() {
+        let mut c = small_cluster(4);
+        c.preallocate(FileHandle(1), 8 << 20);
+        let mut w = seq(IoDir::Read, 4, 65536, 8);
+        let stats = c.run(&mut w);
+        assert_eq!(stats.latency_hist_ms.total(), stats.requests);
+        // Quantiles are ordered.
+        let p50 = stats.latency_hist_ms.quantile(0.5).unwrap();
+        let p99 = stats.latency_hist_ms.quantile(0.99).unwrap();
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn proc_accounting_sums_to_totals() {
+        let mut c = small_cluster(4);
+        c.preallocate(FileHandle(1), 8 << 20);
+        let mut w = seq(IoDir::Read, 4, 65536, 8);
+        let stats = c.run(&mut w);
+        assert_eq!(stats.proc_bytes.iter().sum::<u64>(), stats.bytes);
+        assert_eq!(stats.proc_bytes.len(), 4);
+        assert!(stats
+            .proc_done
+            .iter()
+            .all(|&d| d > SimDuration::ZERO && d <= stats.client_elapsed));
+        // Group throughput over all procs ≥ aggregate client throughput
+        // (the group finishes when the slowest proc does).
+        let g = stats.group_throughput_mbps(0..4);
+        assert!((g - stats.client_throughput_mbps()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn page_cache_hits_short_circuit_repeated_reads() {
+        let mut c = small_cluster(2);
+        c.preallocate(FileHandle(1), 4 << 20);
+        // The same proc reads the same range twice in a row.
+        #[derive(Debug)]
+        struct Rereader {
+            left: u64,
+        }
+        impl Workload for Rereader {
+            fn procs(&self) -> usize {
+                1
+            }
+            fn next(&mut self, _p: usize, _i: u64) -> Option<crate::workload::WorkItem> {
+                if self.left == 0 {
+                    return None;
+                }
+                self.left -= 1;
+                Some(crate::workload::WorkItem {
+                    req: FileRequest {
+                        dir: IoDir::Read,
+                        file: FileHandle(1),
+                        offset: 0,
+                        len: 262144,
+                    },
+                    think: SimDuration::ZERO,
+                })
+            }
+        }
+        let stats = c.run(&mut Rereader { left: 4 });
+        // 4 requests x 2 sub-requests: the first pair misses and
+        // populates; the remaining 3 repeats hit on both servers.
+        let hits: u64 = stats.servers.iter().map(|s| s.ra_hits).sum();
+        assert_eq!(hits, 6, "repeats must hit the page cache");
+    }
+
+    #[test]
+    fn dispatch_histograms_populated() {
+        let mut c = small_cluster(4);
+        c.preallocate(FileHandle(1), 8 << 20);
+        let mut w = seq(IoDir::Read, 4, 65536, 8);
+        let stats = c.run(&mut w);
+        let h = stats.combined_read_hist();
+        assert!(h.total() > 0);
+        // All dispatches are at least one sector and at most the merge cap.
+        for (k, _) in h.iter() {
+            assert!((1..=256).contains(&k));
+        }
+    }
+}

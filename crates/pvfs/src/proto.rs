@@ -1,0 +1,115 @@
+//! Wire-level protocol types exchanged between clients, the metadata
+//! server, and data servers.
+
+use ibridge_device::IoDir;
+use ibridge_localfs::FileHandle;
+
+/// Classification of a sub-request, decided at the client
+/// (the paper's instrumented `io_datafile_setup_msgpairs()`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReqClass {
+    /// A small piece of a larger request that spans several servers;
+    /// carries the ids of the servers holding its sibling sub-requests
+    /// so the data server can evaluate the striping magnification effect.
+    Fragment {
+        /// Servers serving this fragment's siblings.
+        siblings: Vec<u32>,
+    },
+    /// The whole parent request is smaller than the threshold — a
+    /// "regular random request" in the paper's terminology.
+    Random,
+    /// Anything else: large or aligned pieces.
+    Bulk,
+}
+
+impl ReqClass {
+    /// True for [`ReqClass::Fragment`].
+    pub fn is_fragment(&self) -> bool {
+        matches!(self, ReqClass::Fragment { .. })
+    }
+    /// True for [`ReqClass::Random`].
+    pub fn is_random(&self) -> bool {
+        matches!(self, ReqClass::Random)
+    }
+}
+
+/// A client-level file request (before striping decomposition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileRequest {
+    /// Read or write.
+    pub dir: IoDir,
+    /// Target file.
+    pub file: FileHandle,
+    /// Logical byte offset.
+    pub offset: u64,
+    /// Length in bytes (> 0).
+    pub len: u64,
+}
+
+/// A sub-request as shipped to one data server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubRequest {
+    /// Read or write.
+    pub dir: IoDir,
+    /// Target file (per-server datafile namespace).
+    pub file: FileHandle,
+    /// Destination data server.
+    pub server: usize,
+    /// Offset within the server's local datafile.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Client-side classification (iBridge's fragment flag).
+    pub class: ReqClass,
+}
+
+/// Fixed overhead of a request/reply message on the wire, in bytes.
+pub const MSG_HEADER_BYTES: u64 = 256;
+
+impl SubRequest {
+    /// Bytes of the request message client → server.
+    pub fn request_bytes(&self) -> u64 {
+        match self.dir {
+            IoDir::Write => MSG_HEADER_BYTES + self.len,
+            IoDir::Read => MSG_HEADER_BYTES,
+        }
+    }
+
+    /// Bytes of the reply message server → client.
+    pub fn reply_bytes(&self) -> u64 {
+        match self.dir {
+            IoDir::Write => MSG_HEADER_BYTES,
+            IoDir::Read => MSG_HEADER_BYTES + self.len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_sizes_carry_payload_on_the_data_direction() {
+        let mut s = SubRequest {
+            dir: IoDir::Write,
+            file: FileHandle(1),
+            server: 0,
+            offset: 0,
+            len: 1000,
+            class: ReqClass::Bulk,
+        };
+        assert_eq!(s.request_bytes(), MSG_HEADER_BYTES + 1000);
+        assert_eq!(s.reply_bytes(), MSG_HEADER_BYTES);
+        s.dir = IoDir::Read;
+        assert_eq!(s.request_bytes(), MSG_HEADER_BYTES);
+        assert_eq!(s.reply_bytes(), MSG_HEADER_BYTES + 1000);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(ReqClass::Fragment { siblings: vec![] }.is_fragment());
+        assert!(ReqClass::Random.is_random());
+        assert!(!ReqClass::Bulk.is_fragment());
+        assert!(!ReqClass::Bulk.is_random());
+    }
+}

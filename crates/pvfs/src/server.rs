@@ -1,0 +1,1069 @@
+//! The data server: the `pvfs2-server` daemon analogue.
+//!
+//! Each server owns a primary device (disk behind CFQ — or SSD behind
+//! Noop in the "SSD-only" configuration of Fig. 10), an optional SSD
+//! cache device (Noop), a local file system, and a [`CachePolicy`]. The
+//! server is a passive state machine: the cluster event loop feeds it
+//! sub-request arrivals and device completions; it answers with device
+//! actions to schedule and jobs that finished.
+//!
+//! I/O for one sub-request may span several device extents (file-system
+//! extents, or SSD-log extents); the server tracks them as *groups* and
+//! completes the upper-level work item when the whole group is done.
+//! Besides client jobs, groups are used for post-read cache admissions
+//! and the two phases of writeback (SSD read → disk write).
+
+use crate::policy::{CachePolicy, EntryId, FlushId, FlushOp, Placement};
+use crate::proto::SubRequest;
+use ibridge_des::{SimDuration, SimTime};
+use ibridge_device::{
+    bytes_to_sectors, DiskModel, DiskProfile, IoDir, SsdModel, SsdProfile,
+};
+use ibridge_iosched::{
+    Action, AnySched, BlockDevice, BlockRequest, Cfq, CfqConfig, Deadline, Noop, StorageDev,
+    StreamId,
+};
+use ibridge_localfs::{Extent, FileHandle, FsConfig, LocalFs};
+use std::collections::HashMap;
+
+/// Identifies a client job (one sub-request being served).
+pub type JobId = u64;
+
+/// Stream id used for cache-admission writes (a background kernel-thread
+/// analogue).
+pub const ADMISSION_STREAM: StreamId = u64::MAX - 1;
+/// Stream id used for writeback I/O (the flusher-thread analogue).
+pub const FLUSH_STREAM: StreamId = u64::MAX;
+
+/// Which of the server's block devices an action belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DevKind {
+    /// The device holding the datafiles (disk, or SSD in SSD-only mode).
+    Primary,
+    /// The iBridge SSD cache.
+    Cache,
+}
+
+/// Which I/O scheduler fronts the primary disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiskSched {
+    /// CFQ — the paper's testbed configuration.
+    #[default]
+    Cfq,
+    /// Deadline elevator (scheduler-comparison ablations).
+    Deadline,
+    /// Plain FIFO with merging.
+    Noop,
+}
+
+/// Static per-server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Disk model parameters.
+    pub disk: DiskProfile,
+    /// SSD model parameters (cache device, or primary in SSD-only mode).
+    pub ssd: SsdProfile,
+    /// Scheduler for the primary disk.
+    pub disk_sched: DiskSched,
+    /// Device queue depth of the primary disk (NCQ). 1 disables
+    /// device-side reordering.
+    pub ncq_depth: usize,
+    /// CFQ parameters for the disk.
+    pub cfq: CfqConfig,
+    /// Local file system parameters.
+    pub fs: FsConfig,
+    /// Use an SSD as the primary device (Fig. 10's "SSD-only").
+    pub primary_is_ssd: bool,
+    /// Attach an SSD cache device (required for iBridge policies).
+    pub with_cache_dev: bool,
+    /// Per-sub-request server CPU cost (request decoding, Trove/BMI
+    /// bookkeeping); serialises on one core.
+    pub op_overhead: SimDuration,
+    /// Maximum bytes flushed per writeback round.
+    pub writeback_batch: u64,
+    /// Kernel-readahead model: a disk read starting within this many
+    /// bytes after the datafile's current read cursor is extended
+    /// backwards to the cursor, filling the hole (this is what turns
+    /// iBridge's fragment-holes into the large sequential dispatches of
+    /// Fig. 5). Zero disables readahead.
+    pub ra_fill: u64,
+    /// Page-cache budget for readahead bytes, per datafile.
+    pub ra_budget: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            disk: DiskProfile::hp_mm0500(),
+            ssd: SsdProfile::hp_mk0120(),
+            disk_sched: DiskSched::Cfq,
+            ncq_depth: 1,
+            cfq: CfqConfig::default(),
+            fs: FsConfig::default(),
+            primary_is_ssd: false,
+            with_cache_dev: false,
+            op_overhead: SimDuration::from_micros(150),
+            writeback_batch: 4 << 20,
+            ra_fill: 64 * 1024,
+            ra_budget: 8 << 20,
+        }
+    }
+}
+
+/// Per-datafile kernel-readahead state: a read cursor plus the ranges
+/// read beyond what clients asked for (a minimal page-cache model, large
+/// enough to make hole-filling useful and bounded by `ra_budget`).
+#[derive(Debug, Default)]
+struct ReadAhead {
+    cursor: u64,
+    /// Prefetched byte ranges, disjoint, keyed by start offset.
+    prefetched: std::collections::BTreeMap<u64, u64>,
+    bytes: u64,
+}
+
+impl ReadAhead {
+    /// True when `[offset, offset+len)` is fully inside one prefetched
+    /// range.
+    fn covered(&self, offset: u64, len: u64) -> bool {
+        match self.prefetched.range(..=offset).next_back() {
+            Some((&start, &l)) => offset + len <= start + l,
+            None => false,
+        }
+    }
+
+    /// Records `[offset, offset+len)` as prefetched, merging with any
+    /// adjacent or overlapping ranges, and enforces the byte budget by
+    /// dropping the lowest (oldest) ranges.
+    fn record(&mut self, offset: u64, len: u64, budget: u64) {
+        if len == 0 {
+            return;
+        }
+        let mut new_start = offset;
+        let mut new_end = offset + len;
+        if let Some((&s, &l)) = self.prefetched.range(..=new_start).next_back() {
+            if s + l >= new_start {
+                new_start = s;
+                new_end = new_end.max(s + l);
+                self.prefetched.remove(&s);
+                self.bytes -= l;
+            }
+        }
+        while let Some((&s, &l)) = self.prefetched.range(new_start..).next() {
+            if s > new_end {
+                break;
+            }
+            new_end = new_end.max(s + l);
+            self.prefetched.remove(&s);
+            self.bytes -= l;
+        }
+        self.prefetched.insert(new_start, new_end - new_start);
+        self.bytes += new_end - new_start;
+        while self.bytes > budget {
+            let (&start, &l) = self
+                .prefetched
+                .iter()
+                .next()
+                .expect("positive bytes implies ranges");
+            self.prefetched.remove(&start);
+            self.bytes -= l;
+        }
+    }
+}
+
+#[derive(Debug)]
+struct JobState {
+    sub: SubRequest,
+    admit: bool,
+    served_at_disk: bool,
+}
+
+/// One device segment of a group.
+#[derive(Debug, Clone, Copy)]
+struct SegSpec {
+    dir: IoDir,
+    extent: Extent,
+    fua: bool,
+    rmw_edges: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GroupKind {
+    Job(JobId),
+    Admission(EntryId),
+    FlushRead(FlushId),
+    FlushWrite(FlushId),
+}
+
+#[derive(Debug)]
+struct Group {
+    kind: GroupKind,
+    pending: usize,
+}
+
+/// What the cluster must do after poking a server.
+#[derive(Debug, Default)]
+pub struct ServerOut {
+    /// Device actions to schedule, tagged with the device they concern.
+    pub dev_actions: Vec<(DevKind, Action)>,
+    /// Jobs whose sub-request completed (replies can be sent).
+    pub done_jobs: Vec<JobId>,
+}
+
+impl ServerOut {
+    fn extend_dev(&mut self, kind: DevKind, actions: Vec<Action>) {
+        self.dev_actions.extend(actions.into_iter().map(|a| (kind, a)));
+    }
+
+    /// Appends another batch of outputs (used when one event triggers
+    /// several server calls).
+    pub fn merge(&mut self, other: ServerOut) {
+        self.dev_actions.extend(other.dev_actions);
+        self.done_jobs.extend(other.done_jobs);
+    }
+}
+
+/// One data server.
+#[derive(Debug)]
+pub struct DataServer {
+    id: usize,
+    primary: BlockDevice,
+    cache: Option<BlockDevice>,
+    fs: LocalFs,
+    policy: Box<dyn CachePolicy>,
+    cfg: ServerConfig,
+    cpu_free: SimTime,
+    jobs: HashMap<JobId, JobState>,
+    groups: HashMap<u64, Group>,
+    seg_to_group: HashMap<u64, u64>,
+    flushes: HashMap<FlushId, FlushOp>,
+    ra: HashMap<FileHandle, ReadAhead>,
+    ra_hits: u64,
+    ra_bytes: u64,
+    next_group: u64,
+    next_seg: u64,
+}
+
+impl DataServer {
+    /// Creates a server with the given policy.
+    pub fn new(id: usize, cfg: ServerConfig, policy: Box<dyn CachePolicy>) -> Self {
+        let primary = if cfg.primary_is_ssd {
+            BlockDevice::new(
+                StorageDev::Ssd(SsdModel::new(cfg.ssd.clone())),
+                AnySched::Noop(Noop::default()),
+            )
+        } else {
+            let sched = match cfg.disk_sched {
+                DiskSched::Cfq => AnySched::Cfq(Cfq::new(cfg.cfq.clone())),
+                DiskSched::Deadline => {
+                    AnySched::Deadline(Deadline::new(cfg.cfq.max_merge_sectors))
+                }
+                DiskSched::Noop => {
+                    AnySched::Noop(Noop::new(cfg.cfq.max_merge_sectors))
+                }
+            };
+            BlockDevice::with_ncq(
+                StorageDev::Disk(DiskModel::new(cfg.disk.clone())),
+                sched,
+                cfg.ncq_depth,
+            )
+        };
+        let cache = cfg.with_cache_dev.then(|| {
+            BlockDevice::new(
+                StorageDev::Ssd(SsdModel::new(cfg.ssd.clone())),
+                AnySched::Noop(Noop::default()),
+            )
+        });
+        let fs_capacity = if cfg.primary_is_ssd {
+            cfg.ssd.capacity_sectors
+        } else {
+            cfg.disk.capacity_sectors
+        };
+        DataServer {
+            id,
+            primary,
+            cache,
+            fs: LocalFs::new(fs_capacity, cfg.fs.clone()),
+            policy,
+            cfg,
+            cpu_free: SimTime::ZERO,
+            jobs: HashMap::new(),
+            groups: HashMap::new(),
+            seg_to_group: HashMap::new(),
+            flushes: HashMap::new(),
+            ra: HashMap::new(),
+            ra_hits: 0,
+            ra_bytes: 0,
+            next_group: 0,
+            next_seg: 0,
+        }
+    }
+
+    /// Readahead page-cache hits served without any device I/O:
+    /// `(count, bytes)`.
+    pub fn readahead_hits(&self) -> (u64, u64) {
+        (self.ra_hits, self.ra_bytes)
+    }
+
+    /// Server index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The primary block device (for stats/tracing).
+    pub fn primary(&self) -> &BlockDevice {
+        &self.primary
+    }
+
+    /// The cache block device, if configured.
+    pub fn cache(&self) -> Option<&BlockDevice> {
+        self.cache.as_ref()
+    }
+
+    /// The cache policy (for stats).
+    pub fn policy(&self) -> &dyn CachePolicy {
+        self.policy.as_ref()
+    }
+
+    /// Mutable policy access (broadcast delivery).
+    pub fn policy_mut(&mut self) -> &mut dyn CachePolicy {
+        self.policy.as_mut()
+    }
+
+    /// The local file system (for preallocation at setup).
+    pub fn fs_mut(&mut self) -> &mut LocalFs {
+        &mut self.fs
+    }
+
+    /// Clears dispatch traces on all devices (skip warm-up).
+    pub fn reset_tracers(&mut self) {
+        self.primary.reset_tracer();
+        if let Some(c) = &mut self.cache {
+            c.reset_tracer();
+        }
+    }
+
+    /// Per-run reset: clears dispatch traces and drops the page cache /
+    /// readahead state (the paper flushes system buffer caches before
+    /// each run). SSD cache contents deliberately survive.
+    pub fn prepare_run(&mut self) {
+        self.reset_tracers();
+        self.ra.clear();
+        self.ra_hits = 0;
+        self.ra_bytes = 0;
+    }
+
+    /// Serialises the per-request CPU cost: returns when the sub-request
+    /// can start executing.
+    pub fn cpu_admit(&mut self, now: SimTime) -> SimTime {
+        let start = self.cpu_free.max(now);
+        self.cpu_free = start + self.cfg.op_overhead;
+        self.cpu_free
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit_group(
+        &mut self,
+        now: SimTime,
+        kind: GroupKind,
+        dev: DevKind,
+        dir: IoDir,
+        extents: &[Extent],
+        stream: StreamId,
+        fua: bool,
+        out: &mut ServerOut,
+    ) {
+        let parts: Vec<SegSpec> = extents
+            .iter()
+            .map(|&e| SegSpec {
+                dir,
+                extent: e,
+                fua,
+                rmw_edges: 0,
+            })
+            .collect();
+        self.submit_mixed_group(now, kind, dev, &parts, stream, out);
+    }
+
+    /// Submits a group of per-segment specs (direction/FUA/RMW may vary).
+    fn submit_mixed_group(
+        &mut self,
+        now: SimTime,
+        kind: GroupKind,
+        dev: DevKind,
+        parts: &[SegSpec],
+        stream: StreamId,
+        out: &mut ServerOut,
+    ) {
+        assert!(!parts.is_empty(), "empty extent list for {kind:?}");
+        let group_id = self.next_group;
+        self.next_group += 1;
+        self.groups.insert(
+            group_id,
+            Group {
+                kind,
+                pending: parts.len(),
+            },
+        );
+        for &SegSpec {
+            dir,
+            extent: e,
+            fua,
+            rmw_edges,
+        } in parts
+        {
+            let seg = self.next_seg;
+            self.next_seg += 1;
+            self.seg_to_group.insert(seg, group_id);
+            let mut req = BlockRequest::new(dir, e.lbn, e.sectors, stream, now, seg)
+                .with_rmw_edges(rmw_edges);
+            if fua {
+                req = req.with_fua();
+            }
+            let actions = match dev {
+                DevKind::Primary => self.primary.submit(now, req),
+                DevKind::Cache => self
+                    .cache
+                    .as_mut()
+                    .expect("cache device not configured")
+                    .submit(now, req),
+            };
+            out.extend_dev(dev, actions);
+        }
+    }
+
+    /// Executes a sub-request (after its CPU admission delay).
+    ///
+    /// `stream` identifies the issuing client process for CFQ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a read touches a range that was never allocated — the
+    /// experiment setup must preallocate data sets, mirroring the
+    /// paper's "a 10 GB file is accessed" methodology.
+    pub fn exec_subreq(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        stream: StreamId,
+        sub: SubRequest,
+    ) -> ServerOut {
+        let mut out = ServerOut::default();
+        let block_bytes = self.cfg.fs.block_sectors * ibridge_localfs::SECTOR_SIZE;
+        // Read-modify-write: a write whose edges are not block-aligned
+        // must first read the partially-overwritten blocks when they hold
+        // prior data that is not in the page cache — the block-level
+        // penalty of unaligned access. iBridge's SSD log is byte-granular
+        // and pays none of this.
+        let mut rmw_edges: u8 = 0;
+        if sub.dir.is_write() {
+            let mut edge_blocks = Vec::new();
+            if !sub.offset.is_multiple_of(block_bytes) {
+                edge_blocks.push(sub.offset / block_bytes);
+            }
+            let end = sub.offset + sub.len;
+            if !end.is_multiple_of(block_bytes) {
+                edge_blocks.push(end / block_bytes);
+            }
+            edge_blocks.dedup();
+            for block in edge_blocks {
+                let allocated = self
+                    .fs
+                    .map_range(sub.file, block * block_bytes, block_bytes)
+                    .is_ok();
+                let warm = self
+                    .ra
+                    .get(&sub.file)
+                    .is_some_and(|ra| ra.covered(block * block_bytes, block_bytes));
+                if allocated && !warm {
+                    rmw_edges += 1;
+                }
+            }
+            // The written (and RMW-read) bytes populate the page cache.
+            let budget = self.cfg.ra_budget;
+            let cache_start = sub.offset / block_bytes * block_bytes;
+            let cache_len = end.div_ceil(block_bytes) * block_bytes - cache_start;
+            self.ra
+                .entry(sub.file)
+                .or_default()
+                .record(cache_start, cache_len, budget);
+            let first = sub.offset / block_bytes;
+            let last = (sub.offset + sub.len - 1) / block_bytes;
+            self.fs
+                .ensure_allocated(sub.file, first, last - first + 1)
+                .expect("server device out of space");
+        }
+        let extents = self
+            .fs
+            .map_range(sub.file, sub.offset, sub.len)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "server {}: reading unallocated data ({e}); preallocate the \
+                     experiment files first",
+                    self.id
+                )
+            });
+        // Page-cache hit on previously readahead bytes: no device I/O.
+        if sub.dir.is_read() {
+            let covered = self
+                .ra
+                .get(&sub.file)
+                .is_some_and(|ra| ra.covered(sub.offset, sub.len));
+            if covered {
+                self.ra_hits += 1;
+                self.ra_bytes += sub.len;
+                out.done_jobs.push(job);
+                return out;
+            }
+        }
+        let disk_lbn = extents[0].lbn;
+        let placement = self.policy.place(now, &sub, disk_lbn);
+        match placement {
+            Placement::Disk { admit_after_read } => {
+                // Kernel readahead: extend a near-cursor read backwards
+                // to the cursor, filling small holes so the disk sees a
+                // sequential stream.
+                let mut extents = extents;
+                if sub.dir.is_read() && self.cfg.ra_fill > 0 {
+                    let budget = self.cfg.ra_budget;
+                    let fill = self.cfg.ra_fill;
+                    let ra = self.ra.entry(sub.file).or_default();
+                    let start = if ra.cursor > 0
+                        && sub.offset >= ra.cursor
+                        && sub.offset - ra.cursor <= fill
+                    {
+                        ra.cursor
+                    } else {
+                        sub.offset
+                    };
+                    if start < sub.offset {
+                        // The hole may be unallocated (e.g. never written
+                        // to disk); only fill when it maps.
+                        if let Ok(ext) = self.fs.map_range(
+                            sub.file,
+                            start,
+                            sub.offset + sub.len - start,
+                        ) {
+                            ra.record(start, sub.offset - start, budget);
+                            extents = ext;
+                        }
+                    }
+                    // The read's own bytes enter the page cache too.
+                    ra.record(sub.offset, sub.len, budget);
+                    ra.cursor = ra.cursor.max(sub.offset + sub.len);
+                }
+                self.jobs.insert(
+                    job,
+                    JobState {
+                        sub: sub.clone(),
+                        admit: admit_after_read,
+                        served_at_disk: true,
+                    },
+                );
+                // TroveSyncData: client writes are flush barriers; the
+                // first segment carries the RMW edge penalty.
+                let fua = sub.dir.is_write();
+                let parts: Vec<SegSpec> = extents
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &e)| SegSpec {
+                        dir: sub.dir,
+                        extent: e,
+                        fua,
+                        rmw_edges: if i == 0 { rmw_edges } else { 0 },
+                    })
+                    .collect();
+                self.submit_mixed_group(
+                    now,
+                    GroupKind::Job(job),
+                    DevKind::Primary,
+                    &parts,
+                    stream,
+                    &mut out,
+                );
+            }
+            Placement::Ssd { extents: log_extents } => {
+                self.jobs.insert(
+                    job,
+                    JobState {
+                        sub: sub.clone(),
+                        admit: false,
+                        served_at_disk: false,
+                    },
+                );
+                self.submit_group(
+                    now,
+                    GroupKind::Job(job),
+                    DevKind::Cache,
+                    sub.dir,
+                    &log_extents,
+                    stream,
+                    false,
+                    &mut out,
+                );
+            }
+        }
+        out
+    }
+
+    fn handle_group_done(&mut self, now: SimTime, kind: GroupKind, out: &mut ServerOut) {
+        match kind {
+            GroupKind::Job(job) => {
+                let st = self.jobs.remove(&job).expect("unknown job");
+                if st.admit && st.sub.dir.is_read() && st.served_at_disk {
+                    if let Some((entry, extents)) = self.policy.read_admission(now, &st.sub) {
+                        self.submit_group(
+                            now,
+                            GroupKind::Admission(entry),
+                            DevKind::Cache,
+                            IoDir::Write,
+                            &extents,
+                            ADMISSION_STREAM,
+                            false,
+                            out,
+                        );
+                    }
+                }
+                out.done_jobs.push(job);
+            }
+            GroupKind::Admission(entry) => {
+                self.policy.admission_complete(now, entry);
+            }
+            GroupKind::FlushRead(flush) => {
+                let op = self.flushes.get(&flush).expect("unknown flush").clone();
+                let extents = self
+                    .fs
+                    .map_range(op.file, op.offset, op.len)
+                    .expect("flushing data whose home blocks vanished");
+                // Writeback of a byte range pays RMW for its cold partial
+                // block edges like any other write.
+                let block_bytes = self.cfg.fs.block_sectors * ibridge_localfs::SECTOR_SIZE;
+                let mut rmw_edges: u8 = 0;
+                for edge in [op.offset, op.offset + op.len] {
+                    if edge % block_bytes != 0 {
+                        let block = edge / block_bytes;
+                        let warm = self.ra.get(&op.file).is_some_and(|ra| {
+                            ra.covered(block * block_bytes, block_bytes)
+                        });
+                        if !warm {
+                            rmw_edges += 1;
+                        }
+                    }
+                }
+                let parts: Vec<SegSpec> = extents
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &e)| SegSpec {
+                        dir: IoDir::Write,
+                        extent: e,
+                        fua: false,
+                        rmw_edges: if i == 0 { rmw_edges } else { 0 },
+                    })
+                    .collect();
+                self.submit_mixed_group(
+                    now,
+                    GroupKind::FlushWrite(flush),
+                    DevKind::Primary,
+                    &parts,
+                    FLUSH_STREAM,
+                    out,
+                );
+            }
+            GroupKind::FlushWrite(flush) => {
+                self.flushes.remove(&flush);
+                self.policy.flush_complete(now, flush);
+            }
+        }
+    }
+
+    /// A device finished its in-flight request.
+    pub fn on_dev_complete(&mut self, now: SimTime, kind: DevKind) -> ServerOut {
+        let mut out = ServerOut::default();
+        let (req, actions) = match kind {
+            DevKind::Primary => self.primary.on_complete(now),
+            DevKind::Cache => self
+                .cache
+                .as_mut()
+                .expect("cache device not configured")
+                .on_complete(now),
+        };
+        out.extend_dev(kind, actions);
+        for seg in &req.tags {
+            let group_id = self
+                .seg_to_group
+                .remove(seg)
+                .expect("completion for unknown segment");
+            let group = self.groups.get_mut(&group_id).expect("group exists");
+            group.pending -= 1;
+            if group.pending == 0 {
+                let kind = group.kind;
+                self.groups.remove(&group_id);
+                self.handle_group_done(now, kind, &mut out);
+            }
+        }
+        out
+    }
+
+    /// A device anticipation timer fired.
+    pub fn on_dev_recheck(&mut self, now: SimTime, kind: DevKind, gen: u64) -> ServerOut {
+        let mut out = ServerOut::default();
+        let actions = match kind {
+            DevKind::Primary => self.primary.on_recheck(now, gen),
+            DevKind::Cache => self
+                .cache
+                .as_mut()
+                .map(|c| c.on_recheck(now, gen))
+                .unwrap_or_default(),
+        };
+        out.extend_dev(kind, actions);
+        out
+    }
+
+    /// Periodic writeback opportunity. Unless `force`d (end-of-run
+    /// drain), only acts while the primary device is quiet, as the paper
+    /// specifies ("during quiet I/O-device periods").
+    pub fn writeback_tick(&mut self, now: SimTime, force: bool) -> ServerOut {
+        let mut out = ServerOut::default();
+        if self.cache.is_none() {
+            return out;
+        }
+        if !force && !self.primary.is_idle() {
+            return out;
+        }
+        let batch = self.policy.flush_batch(now, self.cfg.writeback_batch);
+        for op in batch {
+            let prev = self.flushes.insert(op.id, op.clone());
+            assert!(prev.is_none(), "duplicate flush id {}", op.id);
+            let extents = op.ssd_extents.clone();
+            self.submit_group(
+                now,
+                GroupKind::FlushRead(op.id),
+                DevKind::Cache,
+                IoDir::Read,
+                &extents,
+                FLUSH_STREAM,
+                false,
+                &mut out,
+            );
+        }
+        out
+    }
+
+    /// True when the server has no work in flight and no dirty data.
+    pub fn quiescent(&self) -> bool {
+        self.jobs.is_empty()
+            && self.groups.is_empty()
+            && self.primary.is_idle()
+            && self.cache.as_ref().is_none_or(|c| c.is_idle())
+            && self.policy.dirty_bytes() == 0
+    }
+
+    /// Preallocates the local datafile backing `file` with `bytes` of
+    /// capacity (the per-server share of a striped file).
+    pub fn preallocate(&mut self, file: FileHandle, bytes: u64) {
+        self.fs
+            .preallocate(file, bytes)
+            .expect("preallocation exceeded device capacity");
+    }
+
+    /// Sectors a sub-request of `len` bytes occupies (helper for stats).
+    pub fn sectors_for(len: u64) -> u64 {
+        bytes_to_sectors(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ReqClass;
+    use crate::StockPolicy;
+    use ibridge_des::Simulation;
+
+    fn server() -> DataServer {
+        DataServer::new(0, ServerConfig::default(), Box::new(StockPolicy::new()))
+    }
+
+    fn sub(dir: IoDir, offset: u64, len: u64) -> SubRequest {
+        SubRequest {
+            dir,
+            file: FileHandle(1),
+            server: 0,
+            offset,
+            len,
+            class: ReqClass::Bulk,
+        }
+    }
+
+    /// Pumps all device events for one server until quiet; returns done
+    /// jobs in completion order.
+    fn pump(server: &mut DataServer, initial: ServerOut) -> Vec<JobId> {
+        #[derive(Debug)]
+        enum Ev {
+            Done(DevKind),
+            Recheck(DevKind, u64),
+        }
+        let mut sim: Simulation<Ev> = Simulation::new();
+        let mut done = Vec::new();
+        let push = |sim: &mut Simulation<Ev>, out: &ServerOut| {
+            for (kind, a) in &out.dev_actions {
+                match a {
+                    Action::CompleteAt(t) => sim.schedule_at(*t, Ev::Done(*kind)),
+                    Action::RecheckAt(t, g) => sim.schedule_at(*t, Ev::Recheck(*kind, *g)),
+                };
+            }
+        };
+        done.extend(initial.done_jobs.iter().copied());
+        push(&mut sim, &initial);
+        while let Some((t, ev)) = sim.pop() {
+            let out = match ev {
+                Ev::Done(k) => server.on_dev_complete(t, k),
+                Ev::Recheck(k, g) => server.on_dev_recheck(t, k, g),
+            };
+            done.extend(out.done_jobs.iter().copied());
+            push(&mut sim, &out);
+        }
+        done
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        // Disable the page-cache model so the read actually hits the disk.
+        let cfg = ServerConfig {
+            ra_fill: 0,
+            ra_budget: 0,
+            ..Default::default()
+        };
+        let mut s = DataServer::new(0, cfg, Box::new(StockPolicy::new()));
+        let t = SimTime::ZERO;
+        let out = s.exec_subreq(t, 1, 10, sub(IoDir::Write, 0, 65536));
+        let done = pump(&mut s, out);
+        assert_eq!(done, vec![1]);
+        let out = s.exec_subreq(SimTime::from_secs(1), 2, 10, sub(IoDir::Read, 0, 65536));
+        let done = pump(&mut s, out);
+        assert_eq!(done, vec![2]);
+        assert!(s.quiescent());
+        let stats = s.primary().stats();
+        assert_eq!(stats.bytes_written, 65536);
+        assert_eq!(stats.bytes_read, 65536);
+    }
+
+    #[test]
+    fn write_then_read_hits_page_cache() {
+        let mut s = server();
+        let out = s.exec_subreq(SimTime::ZERO, 1, 10, sub(IoDir::Write, 0, 65536));
+        pump(&mut s, out);
+        let out = s.exec_subreq(SimTime::from_secs(1), 2, 10, sub(IoDir::Read, 0, 65536));
+        let done = pump(&mut s, out);
+        assert_eq!(done, vec![2]);
+        assert_eq!(s.primary().stats().bytes_read, 0, "served from page cache");
+        assert_eq!(s.readahead_hits(), (1, 65536));
+    }
+
+    #[test]
+    #[should_panic(expected = "preallocate")]
+    fn reading_unallocated_panics() {
+        let mut s = server();
+        s.exec_subreq(SimTime::ZERO, 1, 10, sub(IoDir::Read, 0, 4096));
+    }
+
+    #[test]
+    fn preallocation_enables_reads() {
+        let mut s = server();
+        s.preallocate(FileHandle(1), 1 << 20);
+        let out = s.exec_subreq(SimTime::ZERO, 7, 3, sub(IoDir::Read, 65536, 65536));
+        let done = pump(&mut s, out);
+        assert_eq!(done, vec![7]);
+    }
+
+    #[test]
+    fn cpu_admission_serialises() {
+        let mut s = server();
+        let t = SimTime::ZERO;
+        let a = s.cpu_admit(t);
+        let b = s.cpu_admit(t);
+        assert_eq!(a, t + ServerConfig::default().op_overhead);
+        assert_eq!(b, a + ServerConfig::default().op_overhead);
+        // After an idle gap the CPU is free immediately.
+        let later = SimTime::from_secs(5);
+        let c = s.cpu_admit(later);
+        assert_eq!(c, later + ServerConfig::default().op_overhead);
+    }
+
+    #[test]
+    fn multiple_jobs_complete_independently() {
+        let mut s = server();
+        s.preallocate(FileHandle(1), 4 << 20);
+        let t = SimTime::ZERO;
+        let mut out = s.exec_subreq(t, 1, 10, sub(IoDir::Read, 0, 65536));
+        out.merge(s.exec_subreq(t, 2, 11, sub(IoDir::Read, 2 << 20, 65536)));
+        let done = pump(&mut s, out);
+        assert_eq!(done.len(), 2);
+        assert!(s.quiescent());
+    }
+
+    #[test]
+    fn ssd_only_primary_works() {
+        let cfg = ServerConfig {
+            primary_is_ssd: true,
+            ..Default::default()
+        };
+        let mut s = DataServer::new(0, cfg, Box::new(StockPolicy::new()));
+        let out = s.exec_subreq(SimTime::ZERO, 1, 10, sub(IoDir::Write, 0, 4096));
+        let done = pump(&mut s, out);
+        assert_eq!(done, vec![1]);
+    }
+
+    #[test]
+    fn writeback_tick_without_cache_is_noop() {
+        let mut s = server();
+        let out = s.writeback_tick(SimTime::ZERO, true);
+        assert!(out.dev_actions.is_empty());
+        assert!(out.done_jobs.is_empty());
+    }
+
+    /// A scripted policy exercising the server's cache plumbing: every
+    /// read admits after disk service; every write redirects to a fixed
+    /// log position; flush_batch returns one op per dirty entry.
+    #[derive(Debug, Default)]
+    struct Scripted {
+        next_log: u64,
+        dirty: Vec<(u64, crate::policy::FlushOp)>,
+        admissions: std::cell::Cell<u64>,
+        flushed: u64,
+    }
+
+    impl crate::policy::CachePolicy for Scripted {
+        fn place(
+            &mut self,
+            _now: SimTime,
+            sub: &SubRequest,
+            _lbn: u64,
+        ) -> crate::policy::Placement {
+            if sub.dir.is_write() {
+                let sectors = sub.len.div_ceil(512);
+                let extents = vec![Extent { lbn: self.next_log, sectors }];
+                let id = self.next_log;
+                self.next_log += sectors;
+                self.dirty.push((
+                    id,
+                    crate::policy::FlushOp {
+                        id,
+                        file: sub.file,
+                        offset: sub.offset,
+                        len: sub.len,
+                        ssd_extents: extents.clone(),
+                    },
+                ));
+                crate::policy::Placement::Ssd { extents }
+            } else {
+                crate::policy::Placement::Disk { admit_after_read: true }
+            }
+        }
+
+        fn read_admission(
+            &mut self,
+            _now: SimTime,
+            sub: &SubRequest,
+        ) -> Option<(u64, Vec<Extent>)> {
+            let sectors = sub.len.div_ceil(512);
+            let extents = vec![Extent { lbn: self.next_log, sectors }];
+            let id = self.next_log;
+            self.next_log += sectors;
+            Some((id, extents))
+        }
+
+        fn admission_complete(&mut self, _now: SimTime, _entry: u64) {
+            self.admissions.set(self.admissions.get() + 1);
+        }
+
+        fn flush_batch(&mut self, _now: SimTime, _max: u64) -> Vec<crate::policy::FlushOp> {
+            self.dirty.drain(..).map(|(_, op)| op).collect()
+        }
+
+        fn flush_complete(&mut self, _now: SimTime, _id: u64) {
+            self.flushed += 1;
+        }
+
+        fn report_t(&self) -> f64 {
+            0.0
+        }
+        fn receive_broadcast(&mut self, _t: &[f64]) {}
+        fn dirty_bytes(&self) -> u64 {
+            self.dirty.len() as u64
+        }
+        fn stats(&self) -> crate::policy::CacheStats {
+            crate::policy::CacheStats::default()
+        }
+    }
+
+    fn cache_server() -> DataServer {
+        let cfg = ServerConfig {
+            with_cache_dev: true,
+            ..Default::default()
+        };
+        DataServer::new(0, cfg, Box::new(Scripted::default()))
+    }
+
+    #[test]
+    fn redirected_write_uses_the_cache_device() {
+        let mut s = cache_server();
+        let out = s.exec_subreq(SimTime::ZERO, 1, 10, sub(IoDir::Write, 0, 4096));
+        let done = pump(&mut s, out);
+        assert_eq!(done, vec![1]);
+        assert_eq!(s.cache().unwrap().stats().bytes_written, 4096);
+        assert_eq!(s.primary().stats().bytes_written, 0, "disk untouched");
+    }
+
+    #[test]
+    fn read_admission_copies_into_the_cache_after_disk_read() {
+        let mut s = cache_server();
+        s.preallocate(FileHandle(1), 1 << 20);
+        let out = s.exec_subreq(SimTime::ZERO, 1, 10, sub(IoDir::Read, 0, 8192));
+        let done = pump(&mut s, out);
+        assert_eq!(done, vec![1]);
+        assert_eq!(s.primary().stats().bytes_read, 8192);
+        // The admission write landed on the SSD afterwards.
+        assert_eq!(s.cache().unwrap().stats().bytes_written, 8192);
+    }
+
+    #[test]
+    fn forced_writeback_runs_the_two_phase_flush() {
+        let mut s = cache_server();
+        let out = s.exec_subreq(SimTime::ZERO, 1, 10, sub(IoDir::Write, 0, 4096));
+        pump(&mut s, out);
+        assert!(!s.quiescent(), "dirty data pending");
+        let out = s.writeback_tick(SimTime::from_secs(1), true);
+        pump(&mut s, out);
+        // SSD read + disk write both happened.
+        assert_eq!(s.cache().unwrap().stats().bytes_read, 4096);
+        assert_eq!(s.primary().stats().bytes_written, 4096);
+        assert!(s.quiescent());
+    }
+
+    #[test]
+    fn unforced_writeback_waits_for_a_quiet_disk() {
+        let mut s = cache_server();
+        s.preallocate(FileHandle(1), 1 << 20);
+        // Busy the disk with a read, leave a dirty entry in the cache.
+        let mut out = s.exec_subreq(SimTime::ZERO, 1, 10, sub(IoDir::Write, 65536, 4096));
+        out.merge(s.exec_subreq(SimTime::ZERO, 2, 11, sub(IoDir::Read, 0, 65536)));
+        // Tick immediately: the primary device is busy → no flush issued.
+        let tick = s.writeback_tick(SimTime::ZERO, false);
+        assert!(tick.dev_actions.is_empty(), "must not flush under load");
+        pump(&mut s, out);
+        // Now the disk is quiet: the tick flushes.
+        let tick = s.writeback_tick(SimTime::from_secs(2), false);
+        assert!(!tick.dev_actions.is_empty());
+        pump(&mut s, tick);
+        assert!(s.quiescent());
+    }
+
+    #[test]
+    fn sub_block_write_is_sector_granular() {
+        let mut s = server();
+        let out = s.exec_subreq(SimTime::ZERO, 1, 10, sub(IoDir::Write, 100, 700));
+        let done = pump(&mut s, out);
+        assert_eq!(done, vec![1]);
+        // 700 bytes from offset 100 → sectors 0..2 (two sectors).
+        assert_eq!(s.primary().stats().bytes_written, 1024);
+    }
+}

@@ -1,0 +1,82 @@
+//! Trace utility: synthesise application traces to files, and classify
+//! existing trace files the way Table I does.
+//!
+//! ```text
+//! tracegen gen s3d out.trace --requests 10000 --span-mb 1024 --seed 7
+//! tracegen classify out.trace [--unit-kb 64] [--random-kb 20]
+//! tracegen apps
+//! ```
+
+use ibridge_workloads::{classify, AppProfile, Trace};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => gen(&args[1..]),
+        Some("classify") => classify_cmd(&args[1..]),
+        Some("apps") => {
+            for p in AppProfile::table1() {
+                println!(
+                    "{:12} unaligned {:4.1}%  random {:4.1}%  mean-large {} KB",
+                    p.name,
+                    p.unaligned_frac * 100.0,
+                    p.random_frac * 100.0,
+                    p.mean_large >> 10
+                );
+            }
+        }
+        _ => die("usage: tracegen <gen|classify|apps> ... (see module docs)"),
+    }
+}
+
+fn flag(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|_| die(&format!("{name} needs an integer"))))
+        .unwrap_or(default)
+}
+
+fn gen(args: &[String]) {
+    let (Some(app), Some(path)) = (args.first(), args.get(1)) else {
+        die("usage: tracegen gen <app> <path> [--requests N] [--span-mb M] [--seed S]");
+    };
+    let profile = AppProfile::table1()
+        .into_iter()
+        .find(|p| p.name.eq_ignore_ascii_case(app) || p.name.to_lowercase().contains(&app.to_lowercase()))
+        .unwrap_or_else(|| die(&format!("unknown app {app:?}; see `tracegen apps`")));
+    let requests = flag(args, "--requests", 10_000) as usize;
+    let span = flag(args, "--span-mb", 1024) << 20;
+    let seed = flag(args, "--seed", 42);
+    let trace = Trace::synthesize(&profile, requests, span, seed);
+    trace
+        .save_path(path)
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    println!(
+        "wrote {} requests ({:.1} MB of I/O) for {} to {path}",
+        trace.records.len(),
+        trace.bytes() as f64 / 1e6,
+        profile.name
+    );
+}
+
+fn classify_cmd(args: &[String]) {
+    let Some(path) = args.first() else {
+        die("usage: tracegen classify <path> [--unit-kb K] [--random-kb K]");
+    };
+    let unit = flag(args, "--unit-kb", 64) << 10;
+    let random = flag(args, "--random-kb", 20) << 10;
+    let trace =
+        Trace::load_path(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let c = classify(&trace.records, unit, random);
+    println!("requests  : {}", c.requests);
+    println!("mean size : {:.1} KB", c.mean_size / 1024.0);
+    println!("unaligned : {:.1}%", c.unaligned_pct);
+    println!("random    : {:.1}%", c.random_pct);
+    println!("total     : {:.1}%", c.total_pct);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("tracegen: {msg}");
+    std::process::exit(2);
+}

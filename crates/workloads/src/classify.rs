@@ -1,0 +1,117 @@
+//! Request classification — regenerates **Table I**.
+//!
+//! The paper's definitions: *unaligned* requests are "larger than a
+//! striping unit (64KB) but are not aligned to the striping unit
+//! boundaries"; requests "smaller than 20KB are categorized as random".
+
+use crate::traces::TraceRecord;
+
+/// Classification percentages for a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Classification {
+    /// % of requests larger than the unit but unaligned.
+    pub unaligned_pct: f64,
+    /// % of requests below the random threshold.
+    pub random_pct: f64,
+    /// Unaligned + random (the paper's "Total" column).
+    pub total_pct: f64,
+    /// Number of requests classified.
+    pub requests: usize,
+    /// Mean request size in bytes.
+    pub mean_size: f64,
+}
+
+/// Classifies `records` with striping unit `su` and random threshold
+/// `random_below` (paper: 64 KB and 20 KB).
+pub fn classify(records: &[TraceRecord], su: u64, random_below: u64) -> Classification {
+    let n = records.len();
+    if n == 0 {
+        return Classification {
+            unaligned_pct: 0.0,
+            random_pct: 0.0,
+            total_pct: 0.0,
+            requests: 0,
+            mean_size: 0.0,
+        };
+    }
+    let mut unaligned = 0usize;
+    let mut random = 0usize;
+    let mut bytes = 0u64;
+    for r in records {
+        bytes += r.len;
+        if r.len < random_below {
+            random += 1;
+        } else if r.len > su && (r.offset % su != 0 || (r.offset + r.len) % su != 0) {
+            unaligned += 1;
+        }
+    }
+    let pct = |x: usize| x as f64 * 100.0 / n as f64;
+    Classification {
+        unaligned_pct: pct(unaligned),
+        random_pct: pct(random),
+        total_pct: pct(unaligned + random),
+        requests: n,
+        mean_size: bytes as f64 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibridge_device::IoDir;
+
+    const KB: u64 = 1024;
+
+    fn rec(offset: u64, len: u64) -> TraceRecord {
+        TraceRecord {
+            dir: IoDir::Read,
+            offset,
+            len,
+        }
+    }
+
+    #[test]
+    fn categories_follow_the_paper_definitions() {
+        let records = vec![
+            rec(0, 4 * KB),            // random (< 20 KB)
+            rec(0, 64 * KB),           // aligned
+            rec(0, 65 * KB),           // unaligned (end off-grid)
+            rec(KB, 128 * KB),         // unaligned (start off-grid)
+            rec(64 * KB, 128 * KB),    // aligned
+            rec(0, 32 * KB),           // neither: 20 KB..64 KB
+        ];
+        let c = classify(&records, 64 * KB, 20 * KB);
+        assert_eq!(c.requests, 6);
+        assert!((c.random_pct - 100.0 / 6.0).abs() < 1e-9);
+        assert!((c.unaligned_pct - 200.0 / 6.0).abs() < 1e-9);
+        assert!((c.total_pct - 300.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_cases() {
+        // Exactly the threshold is NOT random; exactly one unit aligned
+        // is NOT unaligned; one unit + offset IS unaligned only if
+        // larger than a unit.
+        let c = classify(&[rec(0, 20 * KB)], 64 * KB, 20 * KB);
+        assert_eq!(c.random_pct, 0.0);
+        let c = classify(&[rec(0, 64 * KB)], 64 * KB, 20 * KB);
+        assert_eq!(c.unaligned_pct, 0.0);
+        let c = classify(&[rec(KB, 64 * KB)], 64 * KB, 20 * KB);
+        assert_eq!(c.unaligned_pct, 0.0, "not larger than a unit");
+        let c = classify(&[rec(KB, 65 * KB)], 64 * KB, 20 * KB);
+        assert_eq!(c.unaligned_pct, 100.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let c = classify(&[], 64 * KB, 20 * KB);
+        assert_eq!(c.requests, 0);
+        assert_eq!(c.total_pct, 0.0);
+    }
+
+    #[test]
+    fn mean_size_computed() {
+        let c = classify(&[rec(0, KB), rec(0, 3 * KB)], 64 * KB, 20 * KB);
+        assert!((c.mean_size - 2048.0).abs() < 1e-9);
+    }
+}

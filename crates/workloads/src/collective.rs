@@ -1,0 +1,209 @@
+//! Two-phase collective I/O (ROMIO collective buffering).
+//!
+//! The paper's related work (§IV) notes that MPI-IO optimisations like
+//! collective I/O rearrange accesses — and that even accesses that look
+//! well-formed logically can end up unaligned on disk. Collective
+//! buffering is *the* classic alternative to iBridge's server-side fix:
+//! the processes exchange their pieces so that a few aggregator
+//! processes issue large, stripe-aligned requests.
+//!
+//! [`CollectiveBuffering`] wraps an iteration-tiled access pattern (one
+//! where iteration `k` of all `procs` compute processes covers the
+//! contiguous range `[k*N*s, (k+1)*N*s)`, like `mpi-io-test`): per
+//! iteration, the combined range is re-split among `aggregators` on
+//! stripe-unit boundaries, and the data-exchange (shuffle) phase is
+//! modelled as think time on the aggregators. Only the aggregators touch
+//! the file system, so the simulated process set is the aggregator set;
+//! the compute processes exist implicitly through `procs` (which sizes
+//! each iteration's range) and `exchange` (which prices the shuffle).
+
+use ibridge_des::SimDuration;
+use ibridge_device::IoDir;
+use ibridge_localfs::FileHandle;
+use ibridge_pvfs::{FileRequest, WorkItem, Workload};
+
+/// Collective-buffering transformation of a tiled workload.
+#[derive(Debug, Clone)]
+pub struct CollectiveBuffering {
+    /// Read or write run.
+    pub dir: IoDir,
+    /// Target file.
+    pub file: FileHandle,
+    /// Compute processes of the original program (sizes the iteration
+    /// range; they do no I/O themselves).
+    pub procs: usize,
+    /// Aggregator processes performing the actual file I/O.
+    pub aggregators: usize,
+    /// Per-process request size of the original program.
+    pub size: u64,
+    /// Iterations.
+    pub iters: u64,
+    /// Stripe unit the aggregators align to.
+    pub stripe_unit: u64,
+    /// Modelled cost of the shuffle (data exchange) per iteration.
+    pub exchange: SimDuration,
+}
+
+impl CollectiveBuffering {
+    /// Wraps an `mpi-io-test`-shaped access pattern.
+    pub fn new(
+        dir: IoDir,
+        file: FileHandle,
+        procs: usize,
+        aggregators: usize,
+        size: u64,
+        total_bytes: u64,
+    ) -> Self {
+        assert!(aggregators >= 1 && aggregators <= procs);
+        let iters = (total_bytes / (size * procs as u64)).max(1);
+        CollectiveBuffering {
+            dir,
+            file,
+            procs,
+            aggregators,
+            size,
+            iters,
+            stripe_unit: 64 * 1024,
+            exchange: SimDuration::from_micros(500),
+        }
+    }
+
+    /// The logical file span touched.
+    pub fn span_bytes(&self) -> u64 {
+        self.iters * self.procs as u64 * self.size
+    }
+
+    /// The stripe-aligned slice aggregator `a` covers in iteration
+    /// `iter`: `(offset, len)`, or `None` when the slice is empty.
+    fn slice(&self, a: usize, iter: u64) -> Option<(u64, u64)> {
+        let range_start = iter * self.procs as u64 * self.size;
+        let range_end = range_start + self.procs as u64 * self.size;
+        // Split [range_start, range_end) among aggregators on unit
+        // boundaries.
+        let su = self.stripe_unit;
+        let first_unit = range_start / su;
+        let last_unit = range_end.div_ceil(su);
+        let units = last_unit - first_unit;
+        let per = units.div_ceil(self.aggregators as u64);
+        let my_first = first_unit + a as u64 * per;
+        let my_last = (my_first + per).min(last_unit);
+        if my_first >= my_last {
+            return None;
+        }
+        let start = (my_first * su).max(range_start);
+        let end = (my_last * su).min(range_end);
+        (start < end).then_some((start, end - start))
+    }
+}
+
+impl Workload for CollectiveBuffering {
+    fn procs(&self) -> usize {
+        self.aggregators
+    }
+
+    fn next(&mut self, proc: usize, iter: u64) -> Option<WorkItem> {
+        if iter >= self.iters {
+            return None;
+        }
+        let (offset, len) = self.slice(proc, iter).unwrap_or({
+            // An empty slice still participates in the exchange; issue
+            // the smallest legal request on the range start (the
+            // aggregator's buffer metadata touch).
+            (iter * self.procs as u64 * self.size, 1)
+        });
+        Some(WorkItem {
+            req: FileRequest {
+                dir: self.dir,
+                file: self.file,
+                offset,
+                len,
+            },
+            think: self.exchange,
+        })
+    }
+
+    fn barrier(&self) -> bool {
+        // Two-phase I/O synchronises every iteration.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KB: u64 = 1024;
+
+    fn cb(procs: usize, aggs: usize, size: u64, iters: u64) -> CollectiveBuffering {
+        CollectiveBuffering {
+            dir: IoDir::Write,
+            file: FileHandle(1),
+            procs,
+            aggregators: aggs,
+            size,
+            iters,
+            stripe_unit: 64 * KB,
+            exchange: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn aggregator_slices_tile_each_iteration() {
+        let w = cb(16, 4, 65 * KB, 3);
+        for iter in 0..3 {
+            let range_start = iter * 16 * 65 * KB;
+            let range_end = range_start + 16 * 65 * KB;
+            let mut covered = 0;
+            let mut cursor = None;
+            for a in 0..4 {
+                if let Some((o, l)) = w.slice(a, iter) {
+                    if let Some(c) = cursor {
+                        assert_eq!(o, c, "slices must be contiguous");
+                    } else {
+                        assert_eq!(o, range_start);
+                    }
+                    cursor = Some(o + l);
+                    covered += l;
+                }
+            }
+            assert_eq!(cursor, Some(range_end));
+            assert_eq!(covered, range_end - range_start);
+        }
+    }
+
+    #[test]
+    fn interior_slice_edges_are_stripe_aligned() {
+        let w = cb(16, 4, 65 * KB, 1);
+        for a in 0..4 {
+            if let Some((o, l)) = w.slice(a, 0) {
+                if o != 0 {
+                    assert_eq!(o % (64 * KB), 0, "aggregator {a} start");
+                }
+                let end = o + l;
+                if end != 16 * 65 * KB {
+                    assert_eq!(end % (64 * KB), 0, "aggregator {a} end");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn only_aggregators_are_simulated() {
+        let w = cb(64, 4, 65 * KB, 2);
+        assert_eq!(w.procs(), 4);
+        assert!(w.barrier());
+    }
+
+    #[test]
+    fn exchange_cost_attached_to_every_item() {
+        let mut w = cb(8, 2, 65 * KB, 2);
+        w.exchange = SimDuration::from_millis(1);
+        assert_eq!(w.next(0, 0).unwrap().think, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn workload_terminates() {
+        let mut w = cb(8, 2, 65 * KB, 2);
+        assert!(w.next(0, 2).is_none());
+    }
+}

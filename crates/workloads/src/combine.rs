@@ -1,0 +1,97 @@
+//! Concurrent execution of two workloads (heterogeneous experiment,
+//! Fig. 12: `mpi-io-test` writing one file while `BTIO` writes another).
+//!
+//! Processes `0..a.procs()` run workload `a`; the rest run `b`. Barriers
+//! are intentionally not propagated: the two programs are independent.
+
+use ibridge_pvfs::{WorkItem, Workload};
+
+/// Two workloads sharing the cluster.
+#[derive(Debug, Clone)]
+pub struct CombinedWorkload<A, B> {
+    /// First program (processes `0..a.procs()`).
+    pub a: A,
+    /// Second program (the remaining processes).
+    pub b: B,
+}
+
+impl<A: Workload, B: Workload> CombinedWorkload<A, B> {
+    /// Combines two workloads.
+    pub fn new(a: A, b: B) -> Self {
+        CombinedWorkload { a, b }
+    }
+
+    /// Process range of workload `a` (for per-group stats).
+    pub fn a_procs(&self) -> std::ops::Range<usize> {
+        0..self.a.procs()
+    }
+
+    /// Process range of workload `b`.
+    pub fn b_procs(&self) -> std::ops::Range<usize> {
+        self.a.procs()..self.a.procs() + self.b.procs()
+    }
+}
+
+impl<A: Workload, B: Workload> Workload for CombinedWorkload<A, B> {
+    fn procs(&self) -> usize {
+        self.a.procs() + self.b.procs()
+    }
+
+    fn next(&mut self, proc: usize, iter: u64) -> Option<WorkItem> {
+        let a_procs = self.a.procs();
+        if proc < a_procs {
+            self.a.next(proc, iter)
+        } else {
+            self.b.next(proc - a_procs, iter)
+        }
+    }
+
+    fn barrier(&self) -> bool {
+        self.a.barrier() || self.b.barrier()
+    }
+
+    /// Each program's processes participate only in their own program's
+    /// barrier; since the cluster has a single barrier, a program that
+    /// does not use barriers is exempted entirely.
+    fn in_barrier(&self, proc: usize) -> bool {
+        let a_procs = self.a.procs();
+        if proc < a_procs {
+            self.a.barrier() && self.a.in_barrier(proc)
+        } else {
+            self.b.barrier() && self.b.in_barrier(proc - a_procs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ior::IorMpiIo;
+    use crate::mpiiotest::MpiIoTest;
+    use ibridge_device::IoDir;
+    use ibridge_localfs::FileHandle;
+
+    #[test]
+    fn processes_route_to_their_program() {
+        let a = MpiIoTest::sized(IoDir::Write, FileHandle(1), 4, 65536, 1 << 20);
+        let b = IorMpiIo::sized(IoDir::Read, FileHandle(2), 2, 4096, 1 << 18);
+        let mut c = CombinedWorkload::new(a, b);
+        assert_eq!(c.procs(), 6);
+        assert_eq!(c.a_procs(), 0..4);
+        assert_eq!(c.b_procs(), 4..6);
+        let from_a = c.next(0, 0).unwrap();
+        assert_eq!(from_a.req.file, FileHandle(1));
+        let from_b = c.next(4, 0).unwrap();
+        assert_eq!(from_b.req.file, FileHandle(2));
+        assert!(from_b.req.dir.is_read());
+    }
+
+    #[test]
+    fn programs_finish_independently() {
+        let a = MpiIoTest::sized(IoDir::Write, FileHandle(1), 1, 65536, 65536); // 1 iter
+        let b = MpiIoTest::sized(IoDir::Write, FileHandle(2), 1, 65536, 4 * 65536); // 4 iters
+        let mut c = CombinedWorkload::new(a, b);
+        assert!(c.next(0, 1).is_none(), "program A is done");
+        assert!(c.next(1, 3).is_some(), "program B still running");
+    }
+}

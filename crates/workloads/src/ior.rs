@@ -1,0 +1,115 @@
+//! The `ior-mpi-io` benchmark (ASCI Purple suite).
+//!
+//! "A file is split into 64 chunks of equal size and each process is
+//! responsible for sequentially reading or writing one data chunk using
+//! requests whose sizes can be configured. However, because requests for
+//! data at the same relative offset are issued concurrently by different
+//! processes, the effective access pattern is random from the
+//! perspective of a parallel file system."
+
+use ibridge_des::SimDuration;
+use ibridge_device::IoDir;
+use ibridge_localfs::FileHandle;
+use ibridge_pvfs::{FileRequest, WorkItem, Workload};
+
+/// The benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct IorMpiIo {
+    /// Read or write run.
+    pub dir: IoDir,
+    /// Target file.
+    pub file: FileHandle,
+    /// Process count (= chunk count).
+    pub procs: usize,
+    /// Request size in bytes.
+    pub size: u64,
+    /// Chunk size per process in bytes.
+    pub chunk: u64,
+}
+
+impl IorMpiIo {
+    /// Splits a `total_bytes` file among `procs` processes accessed in
+    /// `size`-byte requests.
+    pub fn sized(
+        dir: IoDir,
+        file: FileHandle,
+        procs: usize,
+        size: u64,
+        total_bytes: u64,
+    ) -> Self {
+        assert!(size > 0 && procs > 0);
+        let chunk = (total_bytes / procs as u64).max(size);
+        IorMpiIo {
+            dir,
+            file,
+            procs,
+            size,
+            chunk,
+        }
+    }
+
+    /// Iterations per process.
+    pub fn iters(&self) -> u64 {
+        self.chunk / self.size
+    }
+
+    /// The logical file span touched (for preallocation).
+    pub fn span_bytes(&self) -> u64 {
+        self.chunk * self.procs as u64
+    }
+}
+
+impl Workload for IorMpiIo {
+    fn procs(&self) -> usize {
+        self.procs
+    }
+
+    fn next(&mut self, proc: usize, iter: u64) -> Option<WorkItem> {
+        if iter >= self.iters() {
+            return None;
+        }
+        let offset = proc as u64 * self.chunk + iter * self.size;
+        Some(WorkItem {
+            req: FileRequest {
+                dir: self.dir,
+                file: self.file,
+                offset,
+                len: self.size,
+            },
+            think: SimDuration::ZERO,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_process_walks_its_own_chunk() {
+        let mut w = IorMpiIo::sized(IoDir::Read, FileHandle(1), 4, 1024, 16384);
+        let chunk = w.chunk;
+        assert_eq!(chunk, 4096);
+        assert_eq!(w.next(0, 0).unwrap().req.offset, 0);
+        assert_eq!(w.next(0, 1).unwrap().req.offset, 1024);
+        assert_eq!(w.next(3, 0).unwrap().req.offset, 3 * chunk);
+        assert_eq!(w.iters(), 4);
+        assert!(w.next(0, 4).is_none());
+    }
+
+    #[test]
+    fn same_iteration_offsets_are_chunk_strided() {
+        // "requests for data at the same relative offset are issued
+        // concurrently" — they are exactly one chunk apart.
+        let mut w = IorMpiIo::sized(IoDir::Write, FileHandle(1), 8, 65 * 1024, 1 << 26);
+        let o0 = w.next(0, 5).unwrap().req.offset;
+        let o1 = w.next(1, 5).unwrap().req.offset;
+        assert_eq!(o1 - o0, w.chunk);
+    }
+
+    #[test]
+    fn span_covers_all_chunks() {
+        let w = IorMpiIo::sized(IoDir::Read, FileHandle(1), 64, 33 * 1024, 1 << 28);
+        assert_eq!(w.span_bytes(), w.chunk * 64);
+    }
+}

@@ -1,0 +1,38 @@
+//! Workload models: the paper's MPI-IO benchmarks and scientific
+//! application I/O traces.
+//!
+//! * [`mpiiotest`] — the PVFS2 `mpi-io-test` benchmark (§I.A and §III.B):
+//!   N processes iteratively reading/writing a shared file with
+//!   configurable request size, request offset ("+x KB" patterns) and
+//!   optional barriers.
+//! * [`ior`] — LLNL's `ior-mpi-io` (§III.C): the file is split into one
+//!   chunk per process; each process reads/writes its chunk
+//!   sequentially, which interleaves into random access at the servers.
+//! * [`btio`] — the NAS BTIO macro-benchmark (§III.D): alternating
+//!   compute phases and very small strided writes whose size shrinks as
+//!   the process count grows.
+//! * [`traces`] — synthetic ALEGRA/CTH/S3D traces matching the Table I
+//!   request mix, a text trace format, and a single-process replayer
+//!   (§III.E).
+//! * [`mod@classify`] — the Table I classifier (unaligned/random
+//!   percentages for a given striping unit).
+//! * [`combine`] — runs two workloads concurrently against different
+//!   files (the heterogeneous experiment of Fig. 12).
+
+pub mod btio;
+pub mod classify;
+pub mod collective;
+pub mod combine;
+pub mod ior;
+pub mod mpiiotest;
+pub mod sieving;
+pub mod traces;
+
+pub use btio::Btio;
+pub use classify::{classify, Classification};
+pub use collective::CollectiveBuffering;
+pub use combine::CombinedWorkload;
+pub use ior::IorMpiIo;
+pub use mpiiotest::MpiIoTest;
+pub use sieving::StridedAccess;
+pub use traces::{AppProfile, Trace, TraceRecord, TraceReplay};

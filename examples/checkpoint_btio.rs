@@ -1,0 +1,49 @@
+//! A checkpointing application (BTIO-style): tiny strided writes with
+//! compute phases, on disk-only / SSD-only / iBridge storage, plus the
+//! effect of shrinking the SSD cache.
+//!
+//! ```sh
+//! cargo run --release --example checkpoint_btio
+//! ```
+
+use ibridge_repro::prelude::*;
+
+fn workload(file: FileHandle) -> Btio {
+    Btio::new(file, 16, 32 << 20, 8, SimDuration::from_millis(500))
+}
+
+fn main() {
+    let file = FileHandle(1);
+    println!(
+        "BTIO-style checkpointing: 16 procs, {}B requests, 32 MiB data + verification reads\n",
+        Btio::request_size_for(16)
+    );
+
+    for (label, mut cluster) in [
+        ("disk-only", stock_cluster(ClusterConfig::default())),
+        ("SSD-only ", ssd_only_cluster(ClusterConfig::default())),
+        ("iBridge  ", ibridge_cluster(ClusterConfig::default(), 10 << 30)),
+    ] {
+        let mut w = workload(file);
+        cluster.preallocate(file, w.span_bytes() + (1 << 20));
+        let stats = cluster.run(&mut w);
+        println!(
+            "{label}: execution {:7.2} s   I/O wait {:7.2} s per proc",
+            stats.elapsed.as_secs_f64(),
+            stats.io_time.as_secs_f64() / 16.0
+        );
+    }
+
+    println!("\nshrinking the iBridge cache (per-server):");
+    for capacity in [8u64 << 20, 2 << 20, 512 << 10, 1] {
+        let mut cluster = ibridge_cluster(ClusterConfig::default(), capacity);
+        let mut w = workload(file);
+        cluster.preallocate(file, w.span_bytes() + (1 << 20));
+        let stats = cluster.run(&mut w);
+        println!(
+            "  {:>8} B: I/O wait {:7.2} s per proc",
+            capacity,
+            stats.io_time.as_secs_f64() / 16.0
+        );
+    }
+}

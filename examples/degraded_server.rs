@@ -1,0 +1,75 @@
+//! A heterogeneous cluster with one degraded disk: the scenario behind
+//! the paper's Eq. (3). The slow server's T value (its decayed average
+//! request service time) diverges from its peers', the metadata server
+//! broadcasts the divergence, and fragments landing on the bottleneck
+//! carry the striping-magnification boost.
+//!
+//! ```sh
+//! cargo run --release --example degraded_server
+//! ```
+
+use ibridge_repro::prelude::*;
+
+fn degraded_profile() -> DiskProfile {
+    let base = DiskProfile::hp_mm0500();
+    DiskProfile {
+        min_seek: base.min_seek * 4,
+        max_seek: base.max_seek * 4,
+        sectors_per_track: base.sectors_per_track / 2,
+        ..base
+    }
+}
+
+fn main() {
+    let file = FileHandle(1);
+    let total = 48u64 << 20;
+
+    for (label, degrade) in [("uniform cluster ", false), ("server 0 degraded", true)] {
+        let cfg = ClusterConfig {
+            flag_fragments: true,
+            server: ServerConfig {
+                with_cache_dev: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let base_server = cfg.server.clone();
+        let mut cluster = Cluster::heterogeneous(
+            cfg,
+            move |id| {
+                let mut s = base_server.clone();
+                if degrade && id == 0 {
+                    s.disk = degraded_profile();
+                }
+                s
+            },
+            move |id| {
+                let mut c = IBridgeConfig::paper_defaults(id);
+                if degrade && id == 0 {
+                    c.disk = degraded_profile();
+                }
+                Box::new(IBridgePolicy::new(c))
+            },
+        );
+        let mut w = MpiIoTest::sized(IoDir::Write, file, 32, 65 * 1024, total);
+        cluster.preallocate(file, w.span_bytes() + (1 << 20));
+        let stats = cluster.run(&mut w);
+        let per_server: Vec<String> = stats
+            .servers
+            .iter()
+            .map(|s| format!("{:.2}s", s.primary.busy.as_secs_f64()))
+            .collect();
+        println!(
+            "{label}: {:5.1} MB/s, mean latency {:6.1} ms, p99 {:4} ms",
+            stats.throughput_mbps(),
+            stats.latency_ms.mean().unwrap_or(0.0),
+            stats.latency_hist_ms.quantile(0.99).unwrap_or(0),
+        );
+        println!("  per-server disk busy seconds: {}", per_server.join("  "));
+    }
+    println!(
+        "\nthe degraded server dominates completion times — exactly the\n\
+         bottleneck coupling (striping magnification) iBridge's Eq. (3)\n\
+         reasons about via the broadcast T values."
+    );
+}

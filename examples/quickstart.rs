@@ -1,0 +1,50 @@
+//! Quickstart: build a stock and an iBridge cluster, run the same
+//! unaligned workload on both, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ibridge_repro::prelude::*;
+
+fn main() {
+    let file = FileHandle(1);
+    let total = 64u64 << 20; // 64 MiB of 65 KB requests from 16 processes
+    let make = || MpiIoTest::sized(IoDir::Write, file, 16, 65 * 1024, total);
+    let span = make().span_bytes() + (1 << 20);
+
+    // The stock system: 8 data servers, disks behind CFQ, no flagging.
+    let mut stock = stock_cluster(ClusterConfig::default());
+    stock.preallocate(file, span);
+    let s = stock.run(&mut make());
+
+    // iBridge: same cluster plus a 10 GB SSD partition per server and
+    // client-side fragment flagging.
+    let mut bridged = ibridge_cluster(ClusterConfig::default(), 10 << 30);
+    bridged.preallocate(file, span);
+    let i = bridged.run(&mut make());
+
+    println!("65 KB unaligned writes, 16 processes, 8 servers:");
+    println!(
+        "  stock   : {:7.1} MB/s   (mean request latency {:.1} ms)",
+        s.throughput_mbps(),
+        s.latency_ms.mean().unwrap_or(0.0)
+    );
+    println!(
+        "  iBridge : {:7.1} MB/s   (mean request latency {:.1} ms)",
+        i.throughput_mbps(),
+        i.latency_ms.mean().unwrap_or(0.0)
+    );
+    println!(
+        "  {:.0}% of bytes served by the SSDs; {} fragments redirected",
+        i.ssd_served_fraction() * 100.0,
+        i.servers
+            .iter()
+            .map(|x| x.policy.redirected_writes)
+            .sum::<u64>()
+    );
+    println!(
+        "  improvement: {:+.0}%",
+        (i.throughput_mbps() - s.throughput_mbps()) / s.throughput_mbps() * 100.0
+    );
+}

@@ -1,0 +1,49 @@
+//! Scientific-trace replay: synthesise an S3D-like trace, save/load it
+//! through the text format, classify it (Table I style), and replay it
+//! on the stock and iBridge clusters (Table III style).
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use ibridge_repro::prelude::*;
+
+fn main() {
+    let span = 1u64 << 29; // 512 MiB replay window
+    let profile = AppProfile::s3d();
+    let trace = Trace::synthesize(&profile, 2_000, span, 42);
+
+    // Round-trip through the on-disk format.
+    let path = std::env::temp_dir().join("ibridge-s3d.trace");
+    trace.save_path(&path).expect("write trace file");
+    let trace = Trace::load_path(&path).expect("read trace file");
+    println!(
+        "{}: {} requests, {:.1} MB total, saved to {}",
+        profile.name,
+        trace.records.len(),
+        trace.bytes() as f64 / 1e6,
+        path.display()
+    );
+
+    let c = classify(&trace.records, 64 << 10, 20 << 10);
+    println!(
+        "classification: {:.1}% unaligned, {:.1}% random (paper Table I: 62.8 / 5.8)\n",
+        c.unaligned_pct, c.random_pct
+    );
+
+    let file = FileHandle(1);
+    for (label, mut cluster) in [
+        ("stock  ", stock_cluster(ClusterConfig::default())),
+        ("iBridge", ibridge_cluster(ClusterConfig::default(), 10 << 30)),
+    ] {
+        cluster.preallocate(file, span + (1 << 20));
+        let mut w = TraceReplay::new(trace.clone(), file);
+        let stats = cluster.run(&mut w);
+        println!(
+            "{label}: mean request service time {:6.2} ms  ({:.1} MB/s)",
+            stats.latency_ms.mean().unwrap_or(0.0),
+            stats.throughput_mbps()
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
