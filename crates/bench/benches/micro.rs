@@ -27,6 +27,53 @@ fn des_kernel(c: &mut Criterion) {
             black_box(acc)
         })
     });
+    // The calendar hot path at event-loop scale: a rolling horizon of
+    // timers where a third are cancelled before they fire — the pvfs
+    // cluster's actual mix (I/O completions plus cancelled anticipation
+    // deadlines).
+    c.bench_function("des/schedule+cancel+pop 1M events", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<u64> = Simulation::new();
+            let mut pending = std::collections::VecDeque::with_capacity(64);
+            let mut acc = 0u64;
+            let mut fired = 0u64;
+            let mut i = 0u64;
+            while fired < 1_000_000 {
+                let at = sim.now() + SimDuration::from_nanos((i * 7919) % 10_000 + 1);
+                pending.push_back(sim.schedule_at(at, i));
+                if pending.len() > 64 {
+                    // Cancel the oldest still-tracked handle (may already
+                    // have fired — cancellation must absorb both cases).
+                    let id = pending.pop_front().unwrap();
+                    sim.cancel(id);
+                }
+                if i.is_multiple_of(2) {
+                    if let Some((_, e)) = sim.pop() {
+                        acc = acc.wrapping_add(e);
+                        fired += 1;
+                    }
+                }
+                i += 1;
+            }
+            black_box((acc, sim.pending()))
+        })
+    });
+    // Fire-and-forget fast path: no cancellation handles at all.
+    c.bench_function("des/post+pop 1M events", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<u64> = Simulation::new();
+            let mut acc = 0u64;
+            for i in 0..1_000_000u64 {
+                sim.post_in(SimDuration::from_nanos((i * 7919) % 10_000 + 1), i);
+                if i % 2 == 1 {
+                    let (_, a) = sim.pop().expect("queue non-empty");
+                    let (_, b) = sim.pop().expect("queue non-empty");
+                    acc = acc.wrapping_add(a).wrapping_add(b);
+                }
+            }
+            black_box(acc)
+        })
+    });
 }
 
 fn disk_model(c: &mut Criterion) {
@@ -108,7 +155,10 @@ fn cache_structures(c: &mut Criterion) {
                     FileHandle(1),
                     i * 8192,
                     4096,
-                    vec![Extent { lbn: i * 8, sectors: 8 }],
+                    vec![Extent {
+                        lbn: i * 8,
+                        sectors: 8,
+                    }],
                     EntryType::Fragment,
                     0.001,
                     false,

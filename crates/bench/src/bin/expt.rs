@@ -5,16 +5,25 @@
 //! expt fig4 fig5           # specific experiments
 //! expt --full all          # paper-scale data sizes (slow)
 //! expt --seed 7 table3     # different seed
+//! expt --jobs 4 all        # worker-pool size (output is identical)
+//! expt --bench-report B.json all   # also write a self-benchmark report
 //! expt --list              # what exists
 //! ```
+//!
+//! Experiments run concurrently on the [`ibridge_bench::runpar`] pool
+//! (individual data points parallelise too, against the same budget) and
+//! their rendered blocks print in catalogue order, so stdout is
+//! byte-identical at any `--jobs` level.
 
-use ibridge_bench::experiments;
-use ibridge_bench::Scale;
+use ibridge_bench::experiments::{self, Experiment};
+use ibridge_bench::{runpar, Scale};
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::quick();
     let mut selected: Vec<String> = Vec::new();
+    let mut bench_report: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -25,12 +34,22 @@ fn main() {
                 };
             }
             "--seed" => {
+                let v = it.next().unwrap_or_else(|| die("--seed needs a value"));
+                scale.seed = v.parse().unwrap_or_else(|_| die("--seed needs an integer"));
+            }
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| die("--jobs needs a value"));
+                let n: usize = v.parse().unwrap_or_else(|_| die("--jobs needs an integer"));
+                if n == 0 {
+                    die("--jobs must be at least 1");
+                }
+                runpar::set_jobs(n);
+            }
+            "--bench-report" => {
                 let v = it
                     .next()
-                    .unwrap_or_else(|| die("--seed needs a value"));
-                scale.seed = v
-                    .parse()
-                    .unwrap_or_else(|_| die("--seed needs an integer"));
+                    .unwrap_or_else(|| die("--bench-report needs a path"));
+                bench_report = Some(v.clone());
             }
             "--list" => {
                 for e in experiments::all() {
@@ -40,7 +59,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: expt [--full] [--seed N] [--list] <experiment|all>..."
+                    "usage: expt [--full] [--seed N] [--jobs N] \
+                     [--bench-report PATH] [--list] <experiment|all>..."
                 );
                 return;
             }
@@ -54,24 +74,120 @@ fn main() {
         die("no experiment named; try `expt --list` or `expt all`");
     }
     let catalogue = experiments::all();
-    let run_all = selected.iter().any(|s| s == "all");
-    let start = std::time::Instant::now();
-    let mut ran = 0;
-    for e in &catalogue {
-        if run_all || selected.iter().any(|s| s == e.name) {
-            println!("### {} — {}\n", e.name, e.what);
-            (e.run)(&scale);
-            ran += 1;
-        }
+    let unknown: Vec<&str> = selected
+        .iter()
+        .filter(|s| *s != "all" && !catalogue.iter().any(|e| e.name == s.as_str()))
+        .map(|s| s.as_str())
+        .collect();
+    if !unknown.is_empty() {
+        die(&format!(
+            "unknown experiment(s): {}; try `expt --list`",
+            unknown.join(", ")
+        ));
     }
-    if ran == 0 {
+    let run_all = selected.iter().any(|s| s == "all");
+    let chosen: Vec<&Experiment> = catalogue
+        .iter()
+        .filter(|e| run_all || selected.iter().any(|s| s == e.name))
+        .collect();
+    if chosen.is_empty() {
         die("no experiment matched; try `expt --list`");
     }
+
+    let jobs = runpar::jobs();
+    let start = Instant::now();
+    let events_before = ibridge_pvfs::total_events_dispatched();
+    let results: Vec<(String, f64)> = runpar::par_map(chosen.clone(), |e| {
+        let t0 = Instant::now();
+        let out = (e.run)(&scale);
+        (out, t0.elapsed().as_secs_f64())
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let events = ibridge_pvfs::total_events_dispatched() - events_before;
+    for (e, (out, _)) in chosen.iter().zip(&results) {
+        print!("### {} — {}\n\n{out}", e.name, e.what);
+    }
     eprintln!(
-        "[{} experiment(s) in {:.1}s wall]",
-        ran,
-        start.elapsed().as_secs_f64()
+        "[{} experiment(s) in {:.1}s wall, {} sim events, {:.0} events/s, jobs={}]",
+        chosen.len(),
+        wall,
+        events,
+        events as f64 / wall.max(1e-9),
+        jobs,
     );
+
+    if let Some(path) = bench_report {
+        write_bench_report(&path, &scale, jobs, &chosen, &results, wall, events);
+    }
+}
+
+/// Reruns the chosen experiments at `--jobs 1`, checks byte-identity of
+/// the rendered output, and writes a JSON self-benchmark report.
+#[allow(clippy::too_many_arguments)]
+fn write_bench_report(
+    path: &str,
+    scale: &Scale,
+    jobs: usize,
+    chosen: &[&Experiment],
+    par_results: &[(String, f64)],
+    par_wall: f64,
+    events: u64,
+) {
+    eprintln!("[bench-report: rerunning at --jobs 1 for the baseline]");
+    runpar::set_jobs(1);
+    let seq_start = Instant::now();
+    let seq: Vec<(String, f64)> = chosen
+        .iter()
+        .map(|e| {
+            let t0 = Instant::now();
+            let out = (e.run)(scale);
+            (out, t0.elapsed().as_secs_f64())
+        })
+        .collect();
+    let seq_wall = seq_start.elapsed().as_secs_f64();
+    let identical = par_results.iter().zip(&seq).all(|((a, _), (b, _))| a == b);
+
+    let mut per = String::new();
+    for (i, e) in chosen.iter().enumerate() {
+        if i > 0 {
+            per.push(',');
+        }
+        per.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"wall_s_jobs1\": {:.3}}}",
+            e.name, par_results[i].1, seq[i].1
+        ));
+    }
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let note = if jobs > host_cpus {
+        format!(
+            ",\n  \"note\": \"requested {jobs} jobs but the host exposes only \
+             {host_cpus} CPU(s); speedup is bounded by available parallelism\""
+        )
+    } else {
+        String::new()
+    };
+    let json = format!(
+        "{{\n  \"jobs\": {jobs},\n  \"host_cpus\": {host_cpus},\n  \
+         \"seed\": {},\n  \"experiments\": [{per}\n  ],\n  \
+         \"wall_s\": {par_wall:.3},\n  \"wall_s_jobs1\": {seq_wall:.3},\n  \
+         \"speedup_vs_jobs1\": {:.3},\n  \"events_dispatched\": {events},\n  \
+         \"events_per_sec\": {:.0},\n  \"output_identical_to_jobs1\": {identical}{note}\n}}\n",
+        scale.seed,
+        seq_wall / par_wall.max(1e-9),
+        events as f64 / par_wall.max(1e-9),
+    );
+    if let Err(e) = std::fs::write(path, &json) {
+        die(&format!("cannot write {path}: {e}"));
+    }
+    eprintln!(
+        "[bench-report: {path} — speedup {:.2}x vs --jobs 1, identical={identical}]",
+        seq_wall / par_wall.max(1e-9)
+    );
+    if !identical {
+        die("output at --jobs N differs from --jobs 1 (determinism bug)");
+    }
 }
 
 fn die(msg: &str) -> ! {

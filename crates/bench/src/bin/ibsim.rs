@@ -40,7 +40,10 @@ fn parse() -> Opts {
     };
     let getu = |name: &str, default: u64| -> u64 {
         get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("{name} needs an integer"))))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("{name} needs an integer")))
+            })
             .unwrap_or(default)
     };
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -136,7 +139,11 @@ fn report(o: &Opts, stats: &RunStats) {
     );
     if o.system == System::IBridge {
         let hits: u64 = stats.servers.iter().map(|s| s.policy.read_hits).sum();
-        let redirected: u64 = stats.servers.iter().map(|s| s.policy.redirected_writes).sum();
+        let redirected: u64 = stats
+            .servers
+            .iter()
+            .map(|s| s.policy.redirected_writes)
+            .sum();
         println!(
             "  ssd        : {:.1}% of bytes, {} hits, {} redirected writes",
             stats.ssd_served_fraction() * 100.0,

@@ -24,7 +24,7 @@ fn stream_throughput(scale: &Scale, cluster: &mut Cluster, dir: IoDir, size: u64
     cluster.run(&mut w).throughput_mbps()
 }
 
-fn schedulers(scale: &Scale) {
+fn schedulers(scale: &Scale) -> String {
     let mut t = Table::new(
         "Ablation — disk scheduler (stock, 64 procs)",
         &["scheduler", "aligned-64KB read", "65KB read", "65KB write"],
@@ -50,12 +50,8 @@ fn schedulers(scale: &Scale) {
             IoDir::Read,
             65 * KB,
         );
-        let unaligned_w = stream_throughput(
-            scale,
-            &mut stock_with(scale, server),
-            IoDir::Write,
-            65 * KB,
-        );
+        let unaligned_w =
+            stream_throughput(scale, &mut stock_with(scale, server), IoDir::Write, 65 * KB);
         t.row(&[
             label.to_string(),
             mbps(aligned),
@@ -63,14 +59,14 @@ fn schedulers(scale: &Scale) {
             mbps(unaligned_w),
         ]);
     }
-    t.print();
-    println!(
-        "unaligned access hurts under every scheduler — the fragmentation \
-         is in the workload, not the elevator.\n"
-    );
+    format!(
+        "{}unaligned access hurts under every scheduler — the fragmentation \
+         is in the workload, not the elevator.\n\n",
+        t.block()
+    )
 }
 
-fn ncq(scale: &Scale) {
+fn ncq(scale: &Scale) -> String {
     let mut t = Table::new(
         "Ablation — disk NCQ depth (stock, 65 KB reads, 64 procs)",
         &["depth", "throughput(MB/s)"],
@@ -80,39 +76,38 @@ fn ncq(scale: &Scale) {
             ncq_depth: depth,
             ..Default::default()
         };
-        let thpt = stream_throughput(
-            scale,
-            &mut stock_with(scale, server),
-            IoDir::Read,
-            65 * KB,
-        );
+        let thpt = stream_throughput(scale, &mut stock_with(scale, server), IoDir::Read, 65 * KB);
         t.row(&[depth.to_string(), mbps(thpt)]);
     }
-    t.print();
-    println!(
-        "device-side reordering recovers part of the unaligned penalty by \
-         servicing co-queued pieces nearest-first.\n"
-    );
+    format!(
+        "{}device-side reordering recovers part of the unaligned penalty by \
+         servicing co-queued pieces nearest-first.\n\n",
+        t.block()
+    )
 }
 
 /// Eq. (3) sibling boost on/off; CFQ anticipation on/off; scheduler and
-/// NCQ-depth comparisons.
-pub fn run(scale: &Scale) {
-    eq3(scale);
-    eq3_degraded(scale);
-    anticipation(scale);
-    schedulers(scale);
-    ncq(scale);
-    collective(scale);
-    sieving(scale);
-    read_only_cache(scale);
-    network(scale);
+/// NCQ-depth comparisons. Each ablation is an independent job; the
+/// rendered blocks are concatenated in the fixed order below.
+pub fn run(scale: &Scale) -> String {
+    let parts: Vec<fn(&Scale) -> String> = vec![
+        eq3,
+        eq3_degraded,
+        anticipation,
+        schedulers,
+        ncq,
+        collective,
+        sieving,
+        read_only_cache,
+        network,
+    ];
+    crate::par_map(parts, |f| f(scale)).concat()
 }
 
 /// Interconnect sensitivity: the paper's QDR InfiniBand vs slower
 /// fabrics. Synchronous clients demand little per-link bandwidth, so the
 /// experiments stay device-bound on every realistic network.
-fn network(scale: &Scale) {
+fn network(scale: &Scale) -> String {
     use ibridge_net::LinkConfig;
     let mut t = Table::new(
         "Ablation — interconnect (65 KB writes, 64 procs)",
@@ -140,8 +135,7 @@ fn network(scale: &Scale) {
             } else {
                 ibridge_core::stock_cluster(cfg)
             };
-            let mut w =
-                MpiIoTest::sized(IoDir::Write, FILE_A, 64, 65 * KB, scale.stream_bytes / 2);
+            let mut w = MpiIoTest::sized(IoDir::Write, FILE_A, 64, 65 * KB, scale.stream_bytes / 2);
             cluster.preallocate(FILE_A, w.span_bytes() + (1 << 20));
             pair.push(cluster.run(&mut w).throughput_mbps());
         }
@@ -152,17 +146,17 @@ fn network(scale: &Scale) {
             format!("{:+.0}%", (pair[1] - pair[0]) / pair[0] * 100.0),
         ]);
     }
-    t.print();
-    println!(
-        "at 64 synchronous processes even a 10 Mb/s per-client link stays \
+    format!(
+        "{}at 64 synchronous processes even a 10 Mb/s per-client link stays \
          under the per-process demand (~0.4 MB/s), so the workload remains \
          device-bound and iBridge's gain is network-insensitive — which is \
-         why the paper never needed to characterise its fabric.\n"
-    );
+         why the paper never needed to characterise its fabric.\n\n",
+        t.block()
+    )
 }
 
 /// Data sieving (ROMIO's client-side fix for strided pieces) vs iBridge.
-fn sieving(scale: &Scale) {
+fn sieving(scale: &Scale) -> String {
     use ibridge_workloads::StridedAccess;
     let mut t = Table::new(
         "Ablation — data sieving vs iBridge (strided 2 KB pieces, 32 procs)",
@@ -184,14 +178,19 @@ fn sieving(scale: &Scale) {
         ("iBridge, per-piece (warm)", crate::System::IBridge, false),
     ];
     for (label, system, sieve) in configs {
-        let mut w = StridedAccess { sieve, ..base.clone() };
-        let useful =
-            w.useful_bytes_per_iter() * w.iters * w.procs as u64;
+        let mut w = StridedAccess {
+            sieve,
+            ..base.clone()
+        };
+        let useful = w.useful_bytes_per_iter() * w.iters * w.procs as u64;
         let mut cluster = crate::build(system, 8, scale);
         cluster.preallocate(FILE_A, w.span_bytes() + (1 << 20));
         if system == crate::System::IBridge {
             // Reads profit from pre-loaded pieces: warm first.
-            cluster.run(&mut StridedAccess { sieve, ..base.clone() });
+            cluster.run(&mut StridedAccess {
+                sieve,
+                ..base.clone()
+            });
         }
         let stats = cluster.run(&mut w);
         t.row(&[
@@ -200,17 +199,17 @@ fn sieving(scale: &Scale) {
             format!("{:.1}x", stats.bytes as f64 / useful as f64),
         ]);
     }
-    t.print();
-    println!(
-        "sieving trades wasted transfer (8x here) for far fewer ops; \
+    format!(
+        "{}sieving trades wasted transfer (8x here) for far fewer ops; \
          iBridge attacks the same pieces server-side without moving extra \
-         bytes.\n"
-    );
+         bytes.\n\n",
+        t.block()
+    )
 }
 
 /// Eq. (3) under server skew: one degraded disk (4× slower seeks, half
 /// the media rate) — the bottleneck scenario the boost was designed for.
-fn eq3_degraded(scale: &Scale) {
+fn eq3_degraded(scale: &Scale) -> String {
     use ibridge_core::IBridgePolicy;
     use ibridge_device::DiskProfile;
     let degraded = || {
@@ -255,8 +254,7 @@ fn eq3_degraded(scale: &Scale) {
                 Box::new(IBridgePolicy::new(c))
             },
         );
-        let mut w =
-            MpiIoTest::sized(IoDir::Write, FILE_A, 64, 65 * KB, scale.stream_bytes / 2);
+        let mut w = MpiIoTest::sized(IoDir::Write, FILE_A, 64, 65 * KB, scale.stream_bytes / 2);
         cluster.preallocate(FILE_A, w.span_bytes() + (1 << 20));
         let stats = cluster.run(&mut w);
         t.row(&[
@@ -265,18 +263,18 @@ fn eq3_degraded(scale: &Scale) {
             format!("{:.1}", stats.latency_ms.max().unwrap_or(0.0)),
         ]);
     }
-    t.print();
-    println!(
-        "a degraded server makes the broadcast T values diverge, which is \
+    format!(
+        "{}a degraded server makes the broadcast T values diverge, which is \
          when Eq. (3) can matter — under the per-byte return model even \
          unboosted fragments already clear the admission bar, so the boost \
          stays belt-and-braces here too (an honest negative result; under \
-         the paper's per-request reading it is what tips fragments in).\n"
-    );
+         the paper's per-request reading it is what tips fragments in).\n\n",
+        t.block()
+    )
 }
 
 /// Read-only cache (no write redirection) vs the full scheme.
-fn read_only_cache(scale: &Scale) {
+fn read_only_cache(scale: &Scale) -> String {
     let mut t = Table::new(
         "Ablation — write redirection (65 KB writes, 64 procs)",
         &["variant", "throughput(MB/s)", "ssd-bytes"],
@@ -287,8 +285,7 @@ fn read_only_cache(scale: &Scale) {
             c.redirect_writes = redirect;
             c
         });
-        let mut w =
-            MpiIoTest::sized(IoDir::Write, FILE_A, 64, 65 * KB, scale.stream_bytes / 2);
+        let mut w = MpiIoTest::sized(IoDir::Write, FILE_A, 64, 65 * KB, scale.stream_bytes / 2);
         cluster.preallocate(FILE_A, w.span_bytes() + (1 << 20));
         let stats = cluster.run(&mut w);
         t.row(&[
@@ -297,17 +294,17 @@ fn read_only_cache(scale: &Scale) {
             crate::pct(stats.ssd_served_fraction() * 100.0),
         ]);
     }
-    t.print();
-    println!(
-        "without write redirection a write-only workload cannot use the \
+    format!(
+        "{}without write redirection a write-only workload cannot use the \
          SSD at all — the redirect path is what the paper's write gains \
-         come from.\n"
-    );
+         come from.\n\n",
+        t.block()
+    )
 }
 
 /// Collective buffering (the client-side alternative from §IV) vs
 /// iBridge (the server-side fix) on the same unaligned pattern.
-fn collective(scale: &Scale) {
+fn collective(scale: &Scale) -> String {
     use ibridge_workloads::CollectiveBuffering;
     let mut t = Table::new(
         "Ablation — collective buffering vs iBridge (65 KB writes, 64 procs)",
@@ -324,29 +321,23 @@ fn collective(scale: &Scale) {
 
     // Two-phase collective I/O on the stock system.
     let mut cluster = crate::build(crate::System::Stock, 8, scale);
-    let mut w = CollectiveBuffering::new(
-        IoDir::Write,
-        FILE_A,
-        64,
-        8,
-        65 * KB,
-        scale.stream_bytes / 2,
-    );
+    let mut w =
+        CollectiveBuffering::new(IoDir::Write, FILE_A, 64, 8, 65 * KB, scale.stream_bytes / 2);
     cluster.preallocate(FILE_A, w.span_bytes() + (1 << 20));
     let stats = cluster.run(&mut w);
     t.row(&[
         "stock + collective buffering".into(),
         mbps(stats.throughput_mbps()),
     ]);
-    t.print();
-    println!(
-        "collective buffering removes the unalignment at the client (at \
+    format!(
+        "{}collective buffering removes the unalignment at the client (at \
          the cost of a data exchange and strict synchronisation); iBridge \
-         removes it at the server and needs no application change.\n"
-    );
+         removes it at the server and needs no application change.\n\n",
+        t.block()
+    )
 }
 
-fn eq3(scale: &Scale) {
+fn eq3(scale: &Scale) -> String {
     let mut t = Table::new(
         "Ablation — Eq. (3) striping-magnification boost (65 KB writes, 64 procs)",
         &["variant", "throughput(MB/s)", "redirected-writes"],
@@ -357,8 +348,7 @@ fn eq3(scale: &Scale) {
             c.eq3 = eq3;
             c
         });
-        let mut w =
-            MpiIoTest::sized(IoDir::Write, FILE_A, 64, 65 * KB, scale.stream_bytes);
+        let mut w = MpiIoTest::sized(IoDir::Write, FILE_A, 64, 65 * KB, scale.stream_bytes);
         cluster.preallocate(FILE_A, w.span_bytes() + (1 << 20));
         let stats = cluster.run(&mut w);
         let redirected: u64 = stats
@@ -372,15 +362,15 @@ fn eq3(scale: &Scale) {
             redirected.to_string(),
         ]);
     }
-    t.print();
-    println!(
-        "Eq. (3) widens admission for fragments whose server is the \
+    format!(
+        "{}Eq. (3) widens admission for fragments whose server is the \
          bottleneck of their sibling set; with uniform load its effect is \
-         small, under skew it grows.\n"
-    );
+         small, under skew it grows.\n\n",
+        t.block()
+    )
 }
 
-fn anticipation(scale: &Scale) {
+fn anticipation(scale: &Scale) -> String {
     let mut t = Table::new(
         "Ablation — CFQ anticipation (stock, aligned 64 KB reads, 64 procs)",
         &["variant", "throughput(MB/s)"],
@@ -398,16 +388,15 @@ fn anticipation(scale: &Scale) {
             ..Default::default()
         };
         let mut cluster = Cluster::new(cfg, |_| Box::new(StockPolicy::new()));
-        let mut w =
-            MpiIoTest::sized(IoDir::Read, FILE_A, 64, 64 * KB, scale.stream_bytes);
+        let mut w = MpiIoTest::sized(IoDir::Read, FILE_A, 64, 64 * KB, scale.stream_bytes);
         cluster.preallocate(FILE_A, w.span_bytes() + (1 << 20));
         let stats = cluster.run(&mut w);
         t.row(&[label.to_string(), mbps(stats.throughput_mbps())]);
     }
-    t.print();
-    println!(
-        "anticipation preserves per-process spatial locality on the disks; \
+    format!(
+        "{}anticipation preserves per-process spatial locality on the disks; \
          disabling it shows how much of the stock system's aligned \
-         performance depends on it.\n"
-    );
+         performance depends on it.\n\n",
+        t.block()
+    )
 }

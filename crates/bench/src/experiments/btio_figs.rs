@@ -1,5 +1,6 @@
 //! Figs. 9–11: the BTIO macro-benchmark.
 
+use crate::runpar::par_map;
 use crate::{build, build_ibridge_with, Scale, System, Table, FILE_A};
 use ibridge_core::IBridgeConfig;
 use ibridge_pvfs::RunStats;
@@ -31,7 +32,8 @@ fn secs(stats: &RunStats) -> f64 {
 }
 
 /// Fig. 9: execution time vs process count, stock vs iBridge.
-pub fn fig9(scale: &Scale) {
+pub fn fig9(scale: &Scale) -> String {
+    let procs_list = [9usize, 16, 64, 100];
     let mut t = Table::new(
         "Fig 9 — BTIO execution time (s) vs process count",
         &[
@@ -44,9 +46,13 @@ pub fn fig9(scale: &Scale) {
             "iBridge-io%",
         ],
     );
-    for procs in [9usize, 16, 64, 100] {
-        let stock = run_system(scale, procs, System::Stock);
-        let ib = run_system(scale, procs, System::IBridge);
+    let jobs: Vec<(usize, System)> = procs_list
+        .iter()
+        .flat_map(|&p| [(p, System::Stock), (p, System::IBridge)])
+        .collect();
+    let results = par_map(jobs, |(procs, system)| run_system(scale, procs, system));
+    for (idx, &procs) in procs_list.iter().enumerate() {
+        let (stock, ib) = (&results[2 * idx], &results[2 * idx + 1]);
         let io_frac = |s: &RunStats| {
             let total = s.io_time + s.think_time;
             if total == ibridge_des::SimDuration::ZERO {
@@ -58,22 +64,23 @@ pub fn fig9(scale: &Scale) {
         t.row(&[
             procs.to_string(),
             format!("{}B", Btio::request_size_for(procs)),
-            format!("{:.1}", secs(&stock)),
-            format!("{:.1}", secs(&ib)),
-            format!("{:.0}%", (secs(&stock) - secs(&ib)) / secs(&stock) * 100.0),
-            format!("{:.0}%", io_frac(&stock)),
-            format!("{:.0}%", io_frac(&ib)),
+            format!("{:.1}", secs(stock)),
+            format!("{:.1}", secs(ib)),
+            format!("{:.0}%", (secs(stock) - secs(ib)) / secs(stock) * 100.0),
+            format!("{:.0}%", io_frac(stock)),
+            format!("{:.0}%", io_frac(ib)),
         ]);
     }
-    t.print();
-    println!(
-        "paper: execution times drop 45/55/61/59% at 9/16/64/100 procs; \
-         the I/O share of execution falls from 58% to 4% on average.\n"
-    );
+    format!(
+        "{}paper: execution times drop 45/55/61/59% at 9/16/64/100 procs; \
+         the I/O share of execution falls from 58% to 4% on average.\n\n",
+        t.block()
+    )
 }
 
 /// Fig. 10: disk-only vs SSD-only vs iBridge.
-pub fn fig10(scale: &Scale) {
+pub fn fig10(scale: &Scale) -> String {
+    let procs_list = [9usize, 16, 64, 100];
     let mut t = Table::new(
         "Fig 10 — BTIO execution time and I/O time (s): storage variants",
         &[
@@ -86,33 +93,46 @@ pub fn fig10(scale: &Scale) {
             "io:iBridge",
         ],
     );
-    for procs in [9usize, 16, 64, 100] {
-        let disk = run_system(scale, procs, System::Stock);
-        let ssd = run_system(scale, procs, System::SsdOnly);
-        let ib = run_system(scale, procs, System::IBridge);
+    let jobs: Vec<(usize, System)> = procs_list
+        .iter()
+        .flat_map(|&p| {
+            [
+                (p, System::Stock),
+                (p, System::SsdOnly),
+                (p, System::IBridge),
+            ]
+        })
+        .collect();
+    let results = par_map(jobs, |(procs, system)| run_system(scale, procs, system));
+    for (idx, &procs) in procs_list.iter().enumerate() {
+        let (disk, ssd, ib) = (
+            &results[3 * idx],
+            &results[3 * idx + 1],
+            &results[3 * idx + 2],
+        );
         let io = |s: &RunStats| s.io_time.as_secs_f64() / procs as f64;
         t.row(&[
             procs.to_string(),
-            format!("{:.1}", secs(&disk)),
-            format!("{:.1}", secs(&ssd)),
-            format!("{:.1}", secs(&ib)),
-            format!("{:.1}", io(&disk)),
-            format!("{:.2}", io(&ssd)),
-            format!("{:.2}", io(&ib)),
+            format!("{:.1}", secs(disk)),
+            format!("{:.1}", secs(ssd)),
+            format!("{:.1}", secs(ib)),
+            format!("{:.1}", io(disk)),
+            format!("{:.2}", io(ssd)),
+            format!("{:.2}", io(ib)),
         ]);
     }
-    t.print();
-    println!(
-        "paper: iBridge beats even SSD-only storage — its log-structured \
+    format!(
+        "{}paper: iBridge beats even SSD-only storage — its log-structured \
          writes run at the SSD's sequential bandwidth (140 MB/s) while \
-         SSD-only placement writes randomly (30 MB/s).\n"
-    );
+         SSD-only placement writes randomly (30 MB/s).\n\n",
+        t.block()
+    )
 }
 
 /// Fig. 11: I/O time as the per-server SSD cache shrinks (paper sweeps
 /// 8 GB → 0 GB against a 6.8 GB data set; the scaled sweep keeps the
 /// same capacity/data ratios).
-pub fn fig11(scale: &Scale) {
+pub fn fig11(scale: &Scale) -> String {
     let ratios: [(f64, &str); 5] = [
         (1.18, "8GB-equiv"),
         (0.59, "4GB-equiv"),
@@ -125,28 +145,29 @@ pub fn fig11(scale: &Scale) {
         "Fig 11 — BTIO I/O time (s) vs per-server SSD capacity",
         &["capacity", "io-time", "exec-time", "vs-full"],
     );
-    let mut first_io = None;
-    for (ratio, label) in ratios {
+    let results = par_map(ratios.to_vec(), |(ratio, _)| {
         let capacity = ((scale.btio_bytes as f64 * ratio) as u64 / 8).max(1);
         let mut cluster = build_ibridge_with(8, scale, 20 << 10, move |id| {
             IBridgeConfig::with_capacity(id, capacity)
         });
         let mut w = btio(scale, procs);
         cluster.preallocate(FILE_A, w.span_bytes() + (1 << 20));
-        let stats = cluster.run(&mut w);
+        cluster.run(&mut w)
+    });
+    let first_io = results[0].io_time.as_secs_f64() / procs as f64;
+    for ((_, label), stats) in ratios.iter().zip(&results) {
         let io = stats.io_time.as_secs_f64() / procs as f64;
-        let first = *first_io.get_or_insert(io);
         t.row(&[
             label.to_string(),
             format!("{io:.2}"),
-            format!("{:.1}", secs(&stats)),
-            format!("{:.1}x", io / first),
+            format!("{:.1}", secs(stats)),
+            format!("{:.1}x", io / first_io),
         ]);
     }
-    t.print();
-    println!(
-        "paper: I/O time grows almost linearly as the cache shrinks and is \
+    format!(
+        "{}paper: I/O time grows almost linearly as the cache shrinks and is \
          12x longer at 0 GB, while total execution time grows only 2.2x \
-         (computation is significant).\n"
-    );
+         (computation is significant).\n\n",
+        t.block()
+    )
 }

@@ -1,5 +1,6 @@
 //! Fig. 13: the request-size threshold sweep — throughput vs SSD wear.
 
+use crate::runpar::par_map;
 use crate::{build_ibridge_with, run_once, Scale, System, Table, FILE_A};
 use ibridge_core::IBridgeConfig;
 use ibridge_device::IoDir;
@@ -10,13 +11,30 @@ const KB: u64 = 1024;
 /// Runs `mpi-io-test` (65 KB writes, 64 procs) with thresholds from
 /// 10 KB to 40 KB; reports throughput normalised to the aligned-64 KB
 /// stock reference and SSD usage normalised to the accessed data.
-pub fn run(scale: &Scale) {
-    // Aligned reference (the paper normalises to 164 MB/s).
-    let mut aligned =
-        MpiIoTest::sized(IoDir::Write, FILE_A, 64, 64 * KB, scale.stream_bytes);
-    let aligned_span = aligned.span_bytes();
-    let reference = run_once(System::Stock, 8, scale, aligned_span, &mut aligned)
-        .throughput_mbps();
+pub fn run(scale: &Scale) -> String {
+    let thresholds = [10u64, 20, 30, 40];
+    // Job 0 is the aligned reference (the paper normalises to 164 MB/s);
+    // jobs 1.. are the threshold sweep.
+    let jobs: Vec<Option<u64>> = std::iter::once(None)
+        .chain(thresholds.iter().map(|&t| Some(t)))
+        .collect();
+    let results = par_map(jobs, |job| match job {
+        None => {
+            let mut aligned =
+                MpiIoTest::sized(IoDir::Write, FILE_A, 64, 64 * KB, scale.stream_bytes);
+            let aligned_span = aligned.span_bytes();
+            run_once(System::Stock, 8, scale, aligned_span, &mut aligned)
+        }
+        Some(threshold) => {
+            let mut cluster = build_ibridge_with(8, scale, threshold * KB, |id| {
+                IBridgeConfig::paper_defaults(id)
+            });
+            let mut w = MpiIoTest::sized(IoDir::Write, FILE_A, 64, 65 * KB, scale.stream_bytes);
+            cluster.preallocate(FILE_A, w.span_bytes() + (1 << 20));
+            cluster.run(&mut w)
+        }
+    });
+    let reference = results[0].throughput_mbps();
 
     let mut t = Table::new(
         "Fig 13 — threshold sweep, 65 KB writes, 64 procs",
@@ -27,14 +45,7 @@ pub fn run(scale: &Scale) {
             "ssd-usage/accessed",
         ],
     );
-    for threshold in [10u64, 20, 30, 40] {
-        let mut cluster = build_ibridge_with(8, scale, threshold * KB, |id| {
-            IBridgeConfig::paper_defaults(id)
-        });
-        let mut w =
-            MpiIoTest::sized(IoDir::Write, FILE_A, 64, 65 * KB, scale.stream_bytes);
-        cluster.preallocate(FILE_A, w.span_bytes() + (1 << 20));
-        let stats = cluster.run(&mut w);
+    for (threshold, stats) in thresholds.iter().zip(&results[1..]) {
         let appended: u64 = stats.servers.iter().map(|s| s.policy.appended_bytes).sum();
         t.row(&[
             format!("{threshold}KB"),
@@ -43,10 +54,10 @@ pub fn run(scale: &Scale) {
             format!("{:.0}%", appended as f64 * 100.0 / stats.bytes as f64),
         ]);
     }
-    t.print();
-    println!(
-        "paper: throughput rises with the threshold (+56% at 40 KB over \
+    format!(
+        "{}paper: throughput rises with the threshold (+56% at 40 KB over \
          10 KB) but SSD usage grows from 3% to 42% of the accessed data; \
-         20 KB balances performance against SSD longevity.\n"
-    );
+         20 KB balances performance against SSD longevity.\n\n",
+        t.block()
+    )
 }

@@ -9,7 +9,7 @@
 //! between iterations — the loss grows with k.
 
 use crate::{mbps, Scale, System, Table, FILE_A, FILE_B};
-use ibridge_des::rng::{streams, stream_rng};
+use ibridge_des::rng::{stream_rng, streams};
 use ibridge_des::SimDuration;
 use ibridge_device::IoDir;
 use ibridge_localfs::FileHandle;
@@ -104,8 +104,38 @@ impl Workload for RandomOnServerK {
     }
 }
 
+/// One point of the Fig. 3 grid: main-program throughput for a given
+/// span count, barrier setting and fragment setting.
+fn measure(scale: &Scale, k: u64, barrier: bool, fragment: bool) -> f64 {
+    let iters = (scale.stream_bytes / 8 / (16 * k * SU)).clamp(8, 256);
+    let main = SpanReqs {
+        k,
+        fragment,
+        procs: 16,
+        iters,
+        barrier,
+    };
+    let span = main.span_bytes();
+    let antagonist_units = span / ((k + 1) * SU);
+    let antagonist = RandomOnServerK {
+        k,
+        procs: 4,
+        iters: iters * 8,
+        units: antagonist_units.max(1),
+        rng: stream_rng(scale.seed, streams::WORKLOAD),
+        file: FILE_B,
+    };
+    let mut combined = CombinedWorkload::new(main, antagonist);
+    let mut cluster = crate::build(System::Stock, k as usize + 1, scale);
+    cluster.preallocate(FILE_A, span + SU);
+    cluster.preallocate(FILE_B, span + SU);
+    let stats = cluster.run(&mut combined);
+    // Throughput of the main program only.
+    stats.group_throughput_mbps(combined.a_procs())
+}
+
 /// Runs the Fig. 3 grid.
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale) -> String {
     let mut t = Table::new(
         "Fig 3 — main-program throughput (MB/s) vs servers serving non-fragment data",
         &[
@@ -118,38 +148,22 @@ pub fn run(scale: &Scale) {
             "loss(barrier)",
         ],
     );
-    for k in [1u64, 2, 4, 8] {
+    let ks = [1u64, 2, 4, 8];
+    let jobs: Vec<(u64, bool, bool)> = ks
+        .iter()
+        .flat_map(|&k| {
+            [false, true]
+                .into_iter()
+                .flat_map(move |barrier| [(k, barrier, false), (k, barrier, true)])
+        })
+        .collect();
+    let results = crate::par_map(jobs, |(k, barrier, fragment)| {
+        measure(scale, k, barrier, fragment)
+    });
+    for (i, k) in ks.iter().enumerate() {
         let mut cells = vec![k.to_string()];
-        for barrier in [false, true] {
-            let mut pair = Vec::new();
-            for fragment in [false, true] {
-                let iters =
-                    (scale.stream_bytes / 8 / (16 * k * SU)).clamp(8, 256);
-                let main = SpanReqs {
-                    k,
-                    fragment,
-                    procs: 16,
-                    iters,
-                    barrier,
-                };
-                let span = main.span_bytes();
-                let antagonist_units = span / ((k + 1) * SU);
-                let antagonist = RandomOnServerK {
-                    k,
-                    procs: 4,
-                    iters: iters * 8,
-                    units: antagonist_units.max(1),
-                    rng: stream_rng(scale.seed, streams::WORKLOAD),
-                    file: FILE_B,
-                };
-                let mut combined = CombinedWorkload::new(main, antagonist);
-                let mut cluster = crate::build(System::Stock, k as usize + 1, scale);
-                cluster.preallocate(FILE_A, span + SU);
-                cluster.preallocate(FILE_B, span + SU);
-                let stats = cluster.run(&mut combined);
-                // Throughput of the main program only.
-                pair.push(stats.group_throughput_mbps(combined.a_procs()));
-            }
+        for b in 0..2 {
+            let pair = &results[i * 4 + b * 2..i * 4 + b * 2 + 2];
             let loss = (pair[0] - pair[1]) / pair[0] * 100.0;
             cells.push(mbps(pair[0]));
             cells.push(mbps(pair[1]));
@@ -157,10 +171,10 @@ pub fn run(scale: &Scale) {
         }
         t.row(&cells);
     }
-    t.print();
-    println!(
-        "paper: throughput with fragments is consistently lower and the \
+    format!(
+        "{}paper: throughput with fragments is consistently lower and the \
          relative loss grows with k (striping magnification); barriers \
-         amplify the penalty of the slow fragment server.\n"
-    );
+         amplify the penalty of the slow fragment server.\n\n",
+        t.block()
+    )
 }

@@ -1,7 +1,8 @@
 //! Figs. 4 and 5: mpi-io-test with iBridge.
 
-use crate::experiments::fig2::print_hist;
-use crate::{build, mbps, pct, run_once, run_warm, Scale, System, Table, FILE_A};
+use crate::experiments::fig2::render_hist;
+use crate::runpar::par_map;
+use crate::{mbps, pct, run_once, run_warm, Scale, System, Table, FILE_A};
 use ibridge_device::IoDir;
 use ibridge_pvfs::RunStats;
 use ibridge_workloads::MpiIoTest;
@@ -17,19 +18,42 @@ struct Config {
 }
 
 const CONFIGS: [Config; 6] = [
-    Config { label: "33KB", size: 33 * KB, shift: 0 },
-    Config { label: "65KB", size: 65 * KB, shift: 0 },
-    Config { label: "129KB", size: 129 * KB, shift: 0 },
-    Config { label: "64KB+0", size: 64 * KB, shift: 0 },
-    Config { label: "64KB+1K", size: 64 * KB, shift: KB },
-    Config { label: "64KB+10K", size: 64 * KB, shift: 10 * KB },
+    Config {
+        label: "33KB",
+        size: 33 * KB,
+        shift: 0,
+    },
+    Config {
+        label: "65KB",
+        size: 65 * KB,
+        shift: 0,
+    },
+    Config {
+        label: "129KB",
+        size: 129 * KB,
+        shift: 0,
+    },
+    Config {
+        label: "64KB+0",
+        size: 64 * KB,
+        shift: 0,
+    },
+    Config {
+        label: "64KB+1K",
+        size: 64 * KB,
+        shift: KB,
+    },
+    Config {
+        label: "64KB+10K",
+        size: 64 * KB,
+        shift: 10 * KB,
+    },
 ];
 
 fn measure(scale: &Scale, dir: IoDir, c: Config, system: System) -> RunStats {
     let procs = 64;
-    let make = || {
-        MpiIoTest::sized(dir, FILE_A, procs, c.size, scale.stream_bytes).with_shift(c.shift)
-    };
+    let make =
+        || MpiIoTest::sized(dir, FILE_A, procs, c.size, scale.stream_bytes).with_shift(c.shift);
     let span = make().span_bytes();
     if dir.is_read() && system == System::IBridge {
         // Reads profit from pre-loaded fragments: measure the warm run.
@@ -40,7 +64,8 @@ fn measure(scale: &Scale, dir: IoDir, c: Config, system: System) -> RunStats {
 }
 
 /// Fig. 4(a,b): stock vs iBridge across sizes and offsets, 64 procs.
-pub fn fig4(scale: &Scale) {
+pub fn fig4(scale: &Scale) -> String {
+    let mut out = String::new();
     for (dir, label, paper) in [
         (
             IoDir::Write,
@@ -58,9 +83,14 @@ pub fn fig4(scale: &Scale) {
             label,
             &["config", "stock", "iBridge", "improvement", "ssd-bytes"],
         );
-        for c in CONFIGS {
-            let stock = measure(scale, dir, c, System::Stock);
-            let ib = measure(scale, dir, c, System::IBridge);
+        // One job per (config, system) pair; rows pair them back up.
+        let jobs: Vec<(Config, System)> = CONFIGS
+            .into_iter()
+            .flat_map(|c| [(c, System::Stock), (c, System::IBridge)])
+            .collect();
+        let results = par_map(jobs, |(c, system)| measure(scale, dir, c, system));
+        for (idx, c) in CONFIGS.into_iter().enumerate() {
+            let (stock, ib) = (&results[2 * idx], &results[2 * idx + 1]);
             let s = stock.throughput_mbps();
             let i = ib.throughput_mbps();
             t.row(&[
@@ -71,30 +101,31 @@ pub fn fig4(scale: &Scale) {
                 pct(ib.ssd_served_fraction() * 100.0),
             ]);
         }
-        t.print();
-        println!("{paper}\n");
+        out += &t.block();
+        out += &format!("{paper}\n\n");
     }
+    out
 }
 
 /// Fig. 5: block-level dispatch sizes with iBridge for 64 KB + 10 KB
 /// offset reads (compare with the stock distribution of Fig. 2(e)).
-pub fn fig5(scale: &Scale) {
+pub fn fig5(scale: &Scale) -> String {
     let c = Config {
         label: "64KB+10K",
         size: 64 * KB,
         shift: 10 * KB,
     };
     let stats = measure(scale, IoDir::Read, c, System::IBridge);
-    print_hist(
+    let mut out = render_hist(
         "Fig 5 — dispatch sizes with iBridge, 64 KB + 10 KB offset reads \
          (paper: 128- and 256-sector requests predominate)",
         &stats.combined_read_hist(),
         8,
     );
     let below = stats.combined_read_hist().fraction_below(108);
-    println!(
-        "share of dispatches below 108 sectors (the 54 KB piece size): {:.0}%\n",
+    out += &format!(
+        "share of dispatches below 108 sectors (the 54 KB piece size): {:.0}%\n\n",
         below * 100.0
     );
-    let _ = build(System::Stock, 8, scale); // keep the builder linked for doc purposes
+    out
 }

@@ -1,5 +1,6 @@
 //! Figs. 6 and 7: scalability with process count and server count.
 
+use crate::runpar::par_map;
 use crate::{mbps, run_once, run_warm, Scale, System, Table, FILE_A};
 use ibridge_device::IoDir;
 use ibridge_workloads::MpiIoTest;
@@ -25,15 +26,29 @@ fn throughput(
 }
 
 /// Fig. 6: 65 KB requests as the process count grows.
-pub fn fig6(scale: &Scale) {
+pub fn fig6(scale: &Scale) -> String {
+    let procs_list = [16usize, 64, 128, 512];
+    let mut out = String::new();
     for (dir, label) in [
-        (IoDir::Write, "Fig 6 — WRITE throughput (MB/s), 65 KB requests"),
-        (IoDir::Read, "Fig 6 — READ throughput (MB/s), 65 KB requests (iBridge warm)"),
+        (
+            IoDir::Write,
+            "Fig 6 — WRITE throughput (MB/s), 65 KB requests",
+        ),
+        (
+            IoDir::Read,
+            "Fig 6 — READ throughput (MB/s), 65 KB requests (iBridge warm)",
+        ),
     ] {
         let mut t = Table::new(label, &["procs", "stock", "iBridge", "improvement"]);
-        for procs in [16usize, 64, 128, 512] {
-            let s = throughput(scale, System::Stock, dir, 8, procs, 65 * KB);
-            let i = throughput(scale, System::IBridge, dir, 8, procs, 65 * KB);
+        let jobs: Vec<(System, usize)> = procs_list
+            .iter()
+            .flat_map(|&p| [(System::Stock, p), (System::IBridge, p)])
+            .collect();
+        let thpts = par_map(jobs, |(system, procs)| {
+            throughput(scale, system, dir, 8, procs, 65 * KB)
+        });
+        for (idx, procs) in procs_list.iter().enumerate() {
+            let (s, i) = (thpts[2 * idx], thpts[2 * idx + 1]);
             t.row(&[
                 procs.to_string(),
                 mbps(s),
@@ -41,20 +56,27 @@ pub fn fig6(scale: &Scale) {
                 format!("{:+.0}%", (i - s) / s * 100.0),
             ]);
         }
-        t.print();
+        out += &t.block();
     }
-    println!(
-        "paper: iBridge improves 65 KB access by 154% on average across \
-         process counts; 512 procs is moderately slower for both systems.\n"
-    );
+    out += "paper: iBridge improves 65 KB access by 154% on average across \
+         process counts; 512 procs is moderately slower for both systems.\n\n";
+    out
 }
 
 /// Fig. 7(a,b): 64 procs as the data-server count grows; aligned 64 KB
 /// stock is the reference.
-pub fn fig7(scale: &Scale) {
+pub fn fig7(scale: &Scale) -> String {
+    let servers = [1usize, 2, 4, 8];
+    let mut out = String::new();
     for (dir, label) in [
-        (IoDir::Write, "Fig 7(a) — WRITE throughput (MB/s) vs server count, 64 procs"),
-        (IoDir::Read, "Fig 7(b) — READ throughput (MB/s) vs server count, 64 procs"),
+        (
+            IoDir::Write,
+            "Fig 7(a) — WRITE throughput (MB/s) vs server count, 64 procs",
+        ),
+        (
+            IoDir::Read,
+            "Fig 7(b) — READ throughput (MB/s) vs server count, 64 procs",
+        ),
     ] {
         let mut t = Table::new(
             label,
@@ -66,10 +88,21 @@ pub fn fig7(scale: &Scale) {
                 "gap-closed",
             ],
         );
-        for n in [1usize, 2, 4, 8] {
-            let aligned = throughput(scale, System::Stock, dir, n, 64, 64 * KB);
-            let s = throughput(scale, System::Stock, dir, n, 64, 65 * KB);
-            let i = throughput(scale, System::IBridge, dir, n, 64, 65 * KB);
+        let jobs: Vec<(System, usize, u64)> = servers
+            .iter()
+            .flat_map(|&n| {
+                [
+                    (System::Stock, n, 64 * KB),
+                    (System::Stock, n, 65 * KB),
+                    (System::IBridge, n, 65 * KB),
+                ]
+            })
+            .collect();
+        let thpts = par_map(jobs, |(system, n, size)| {
+            throughput(scale, system, dir, n, 64, size)
+        });
+        for (idx, n) in servers.iter().enumerate() {
+            let (aligned, s, i) = (thpts[3 * idx], thpts[3 * idx + 1], thpts[3 * idx + 2]);
             let gap = if aligned > s {
                 (i - s) / (aligned - s) * 100.0
             } else {
@@ -83,11 +116,10 @@ pub fn fig7(scale: &Scale) {
                 format!("{gap:.0}%"),
             ]);
         }
-        t.print();
+        out += &t.block();
     }
-    println!(
-        "paper: throughput grows with server count for all systems; the \
+    out += "paper: throughput grows with server count for all systems; the \
          aligned/unaligned gap widens with more servers and iBridge nearly \
-         closes it, especially for writes.\n"
-    );
+         closes it, especially for writes.\n\n";
+    out
 }

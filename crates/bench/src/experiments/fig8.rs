@@ -1,6 +1,7 @@
 //! Fig. 8: the `ior-mpi-io` benchmark — per-process chunks accessed
 //! concurrently, i.e. random access from the file system's perspective.
 
+use crate::runpar::par_map;
 use crate::{build, mbps, pct, Scale, System, Table, FILE_A};
 use ibridge_device::IoDir;
 use ibridge_pvfs::RunStats;
@@ -21,7 +22,9 @@ fn measure(scale: &Scale, dir: IoDir, size: u64, system: System) -> RunStats {
 }
 
 /// Runs Fig. 8(a) writes and 8(b) reads across request sizes.
-pub fn run(scale: &Scale) {
+pub fn run(scale: &Scale) -> String {
+    let sizes = [33 * KB, 64 * KB, 65 * KB, 129 * KB];
+    let mut out = String::new();
     for (dir, label, paper) in [
         (
             IoDir::Write,
@@ -41,9 +44,13 @@ pub fn run(scale: &Scale) {
             label,
             &["size", "stock", "iBridge", "improvement", "ssd-bytes"],
         );
-        for size in [33 * KB, 64 * KB, 65 * KB, 129 * KB] {
-            let stock = measure(scale, dir, size, System::Stock);
-            let ib = measure(scale, dir, size, System::IBridge);
+        let jobs: Vec<(u64, System)> = sizes
+            .iter()
+            .flat_map(|&size| [(size, System::Stock), (size, System::IBridge)])
+            .collect();
+        let results = par_map(jobs, |(size, system)| measure(scale, dir, size, system));
+        for (idx, &size) in sizes.iter().enumerate() {
+            let (stock, ib) = (&results[2 * idx], &results[2 * idx + 1]);
             let s = stock.throughput_mbps();
             let i = ib.throughput_mbps();
             t.row(&[
@@ -54,7 +61,8 @@ pub fn run(scale: &Scale) {
                 pct(ib.ssd_served_fraction() * 100.0),
             ]);
         }
-        t.print();
-        println!("{paper}\n");
+        out += &t.block();
+        out += &format!("{paper}\n\n");
     }
+    out
 }

@@ -1,6 +1,12 @@
-//! One module per paper table/figure. Every `run` function prints the
+//! One module per paper table/figure. Every `run` function *returns* the
 //! same rows/series the paper reports (with the paper's numbers cited
-//! where published), measured on the simulated cluster.
+//! where published), measured on the simulated cluster, as rendered text.
+//!
+//! Experiments are compute-then-render: each data point is an independent
+//! cluster simulation submitted to [`crate::runpar`], and rendering joins
+//! the results in submission order — so the output is byte-identical at
+//! any `--jobs` level, and whole experiments can themselves run
+//! concurrently.
 
 pub mod ablate;
 pub mod btio_figs;
@@ -22,8 +28,9 @@ pub struct Experiment {
     pub name: &'static str,
     /// What it reproduces.
     pub what: &'static str,
-    /// Runner.
-    pub run: fn(&Scale),
+    /// Runner: computes every data point (in parallel where the budget
+    /// allows) and returns the rendered tables/notes.
+    pub run: fn(&Scale) -> String,
 }
 
 /// All experiments in paper order.

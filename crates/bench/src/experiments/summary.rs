@@ -3,6 +3,7 @@
 //! improvement factors reported elsewhere can be trusted not to be
 //! single-seed flukes.
 
+use crate::runpar::par_map;
 use crate::{run_once, run_warm, Scale, System, Table, FILE_A};
 use ibridge_device::IoDir;
 use ibridge_workloads::MpiIoTest;
@@ -22,25 +23,59 @@ fn fmt(xs: &[f64]) -> String {
     format!("{m:.1} ± {sd:.1}")
 }
 
-fn throughputs(scale: &Scale, system: System, dir: IoDir, size: u64) -> Vec<f64> {
-    SEEDS
-        .iter()
-        .map(|&seed| {
-            let s = Scale { seed, ..*scale };
-            let make = || MpiIoTest::sized(dir, FILE_A, 64, size, s.stream_bytes / 2);
-            let span = make().span_bytes();
-            let stats = if dir.is_read() && system == System::IBridge {
-                run_warm(system, 8, &s, span, &mut || Box::new(make()))
-            } else {
-                run_once(system, 8, &s, span, &mut make())
-            };
-            stats.throughput_mbps()
-        })
-        .collect()
+/// One headline configuration of the summary table.
+#[derive(Debug, Clone, Copy)]
+struct Row {
+    label: &'static str,
+    dir: IoDir,
+    size: u64,
+    shift: u64,
 }
 
-/// Runs the headline rows across 5 seeds.
-pub fn run(scale: &Scale) {
+const ROWS: [Row; 4] = [
+    Row {
+        label: "aligned 64KB write",
+        dir: IoDir::Write,
+        size: 64 * KB,
+        shift: 0,
+    },
+    Row {
+        label: "65KB write",
+        dir: IoDir::Write,
+        size: 65 * KB,
+        shift: 0,
+    },
+    Row {
+        label: "65KB read (warm)",
+        dir: IoDir::Read,
+        size: 65 * KB,
+        shift: 0,
+    },
+    Row {
+        label: "64KB+10KB write",
+        dir: IoDir::Write,
+        size: 64 * KB,
+        shift: 10 * KB,
+    },
+];
+
+fn throughput(scale: &Scale, row: Row, system: System, seed: u64) -> f64 {
+    let s = Scale { seed, ..*scale };
+    let make = || {
+        MpiIoTest::sized(row.dir, FILE_A, 64, row.size, s.stream_bytes / 2).with_shift(row.shift)
+    };
+    let span = make().span_bytes();
+    let stats = if row.dir.is_read() && system == System::IBridge {
+        run_warm(system, 8, &s, span, &mut || Box::new(make()))
+    } else {
+        run_once(system, 8, &s, span, &mut make())
+    };
+    stats.throughput_mbps()
+}
+
+/// Runs the headline rows across 5 seeds — one job per
+/// (row, system, seed) cluster simulation.
+pub fn run(scale: &Scale) -> String {
     let mut t = Table::new(
         format!(
             "Summary — mean ± sd over {} seeds (mpi-io-test, 64 procs, MB/s)",
@@ -48,46 +83,35 @@ pub fn run(scale: &Scale) {
         ),
         &["config", "stock", "iBridge", "improvement"],
     );
-    let rows = [
-        ("aligned 64KB write", IoDir::Write, 64 * KB),
-        ("65KB write", IoDir::Write, 65 * KB),
-        ("65KB read (warm)", IoDir::Read, 65 * KB),
-        ("64KB+10KB write", IoDir::Write, 64 * KB), // shift handled below
-    ];
-    for (label, dir, size) in rows {
-        let (stock, ib) = if label.starts_with("64KB+10KB") {
-            let with_shift = |system| -> Vec<f64> {
-                SEEDS
-                    .iter()
-                    .map(|&seed| {
-                        let s = Scale { seed, ..*scale };
-                        let mut w = MpiIoTest::sized(dir, FILE_A, 64, size, s.stream_bytes / 2)
-                            .with_shift(10 * KB);
-                        let span = w.span_bytes();
-                        run_once(system, 8, &s, span, &mut w).throughput_mbps()
-                    })
-                    .collect()
-            };
-            (with_shift(System::Stock), with_shift(System::IBridge))
-        } else {
-            (
-                throughputs(scale, System::Stock, dir, size),
-                throughputs(scale, System::IBridge, dir, size),
-            )
-        };
-        let (ms, _) = mean_sd(&stock);
-        let (mi, _) = mean_sd(&ib);
+    let jobs: Vec<(Row, System, u64)> = ROWS
+        .into_iter()
+        .flat_map(|row| {
+            [System::Stock, System::IBridge]
+                .into_iter()
+                .flat_map(move |system| SEEDS.iter().map(move |&seed| (row, system, seed)))
+        })
+        .collect();
+    let thpts = par_map(jobs, |(row, system, seed)| {
+        throughput(scale, row, system, seed)
+    });
+    let n = SEEDS.len();
+    for (idx, row) in ROWS.into_iter().enumerate() {
+        let base = idx * 2 * n;
+        let stock = &thpts[base..base + n];
+        let ib = &thpts[base + n..base + 2 * n];
+        let (ms, _) = mean_sd(stock);
+        let (mi, _) = mean_sd(ib);
         t.row(&[
-            label.to_string(),
-            fmt(&stock),
-            fmt(&ib),
+            row.label.to_string(),
+            fmt(stock),
+            fmt(ib),
             format!("{:+.0}%", (mi - ms) / ms * 100.0),
         ]);
     }
-    t.print();
-    println!(
-        "seed variation comes from client jitter and workload randomness; \
+    format!(
+        "{}seed variation comes from client jitter and workload randomness; \
          standard deviations well below the improvement margins mean the \
-         comparisons are stable.\n"
-    );
+         comparisons are stable.\n\n",
+        t.block()
+    )
 }

@@ -1,12 +1,13 @@
 //! Tables I, II and III.
 
-use crate::{build, mbps, System, Table, FILE_A, Scale};
+use crate::runpar::par_map;
+use crate::{build, mbps, Scale, System, Table, FILE_A};
 use ibridge_device::microbench::{bench_disk, bench_ssd, BenchConfig};
 use ibridge_device::{DiskProfile, SsdProfile};
 use ibridge_workloads::{classify, AppProfile, Trace, TraceReplay};
 
 /// Table I: percentages of unaligned and random accesses in the traces.
-pub fn table1(scale: &Scale) {
+pub fn table1(scale: &Scale) -> String {
     let paper = [(35.2, 7.3), (35.7, 6.9), (24.3, 30.1), (62.8, 5.8)];
     let mut t = Table::new(
         "Table I — unaligned/random request percentages (64 KB unit, 20 KB threshold)",
@@ -19,26 +20,41 @@ pub fn table1(scale: &Scale) {
             "paper-random%",
         ],
     );
-    for (profile, (pu, pr)) in AppProfile::table1().iter().zip(paper) {
+    let profiles = AppProfile::table1();
+    let jobs: Vec<(&AppProfile, (f64, f64))> = profiles.iter().zip(paper).collect();
+    let rows = par_map(jobs, |(profile, (pu, pr))| {
         let trace = Trace::synthesize(profile, scale.trace_requests, 1 << 30, scale.seed);
         let c = classify(&trace.records, 64 << 10, 20 << 10);
-        t.row(&[
+        vec![
             profile.name.to_string(),
             format!("{:.1}", c.unaligned_pct),
             format!("{:.1}", c.random_pct),
             format!("{:.1}", c.total_pct),
             format!("{pu:.1}"),
             format!("{pr:.1}"),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(&row);
     }
-    t.print();
+    t.block()
 }
 
 /// Table II: 4 KB-request device bandwidths.
-pub fn table2(_scale: &Scale) {
+pub fn table2(_scale: &Scale) -> String {
     let cfg = BenchConfig::default();
-    let disk = bench_disk(&DiskProfile::hp_mm0500(), &cfg);
-    let ssd = bench_ssd(&SsdProfile::hp_mk0120(), &cfg);
+    let (disk, ssd) = {
+        let mut results = par_map(vec![true, false], |is_disk| {
+            if is_disk {
+                (Some(bench_disk(&DiskProfile::hp_mm0500(), &cfg)), None)
+            } else {
+                (None, Some(bench_ssd(&SsdProfile::hp_mk0120(), &cfg)))
+            }
+        });
+        let (d, _) = results.remove(0);
+        let (_, s) = results.remove(0);
+        (d.unwrap(), s.unwrap())
+    };
     let mut t = Table::new(
         "Table II — device microbenchmark, 4 KB requests (MB/s)",
         &["mode", "SSD", "paper-SSD", "disk", "paper-disk"],
@@ -46,28 +62,28 @@ pub fn table2(_scale: &Scale) {
     let rows = [
         ("sequential read", ssd.seq_read, 160.0, disk.seq_read, 85.0),
         ("random read", ssd.rand_read, 60.0, disk.rand_read, 15.0),
-        ("sequential write", ssd.seq_write, 140.0, disk.seq_write, 80.0),
+        (
+            "sequential write",
+            ssd.seq_write,
+            140.0,
+            disk.seq_write,
+            80.0,
+        ),
         ("random write", ssd.rand_write, 30.0, disk.rand_write, 5.0),
     ];
     for (mode, s, ps, d, pd) in rows {
-        t.row(&[
-            mode.to_string(),
-            mbps(s),
-            mbps(ps),
-            mbps(d),
-            mbps(pd),
-        ]);
+        t.row(&[mode.to_string(), mbps(s), mbps(ps), mbps(d), mbps(pd)]);
     }
-    t.print();
-    println!(
-        "note: the disk's random rows are QD32 NCQ results; the paper's \
+    format!(
+        "{}note: the disk's random rows are QD32 NCQ results; the paper's \
          unusually high 15/5 MB/s suggest additional caching on their SAS \
-         drive — the orderings and the seq/rand gaps are the reproduced shape.\n"
-    );
+         drive — the orderings and the seq/rand gaps are the reproduced shape.\n\n",
+        t.block()
+    )
 }
 
 /// Table III: average request service time of the replayed traces.
-pub fn table3(scale: &Scale) {
+pub fn table3(scale: &Scale) -> String {
     let paper = [(16.6, 14.2), (17.2, 14.0), (19.4, 14.4), (36.0, 25.3)];
     let mut t = Table::new(
         "Table III — trace replay, average request service time (ms)",
@@ -80,26 +96,32 @@ pub fn table3(scale: &Scale) {
             "paper-iBridge",
         ],
     );
-    for (profile, (ps, pi)) in AppProfile::table1().iter().zip(paper) {
+    // One job per (trace, system) replay; joined back in pairs per trace.
+    let profiles = AppProfile::table1();
+    let jobs: Vec<(&AppProfile, System)> = profiles
+        .iter()
+        .flat_map(|p| [(p, System::Stock), (p, System::IBridge)])
+        .collect();
+    let times = par_map(jobs, |(profile, system)| {
         let span = 1 << 30;
         let trace = Trace::synthesize(profile, scale.trace_requests, span, scale.seed);
-        let mut times = Vec::new();
-        for system in [System::Stock, System::IBridge] {
-            let mut cluster = build(system, 8, scale);
-            cluster.preallocate(FILE_A, span + (1 << 20));
-            let mut w = TraceReplay::new(trace.clone(), FILE_A);
-            let stats = cluster.run(&mut w);
-            times.push(stats.latency_ms.mean().unwrap_or(0.0));
-        }
-        let imp = (times[0] - times[1]) / times[0] * 100.0;
+        let mut cluster = build(system, 8, scale);
+        cluster.preallocate(FILE_A, span + (1 << 20));
+        let mut w = TraceReplay::new(trace, FILE_A);
+        let stats = cluster.run(&mut w);
+        stats.latency_ms.mean().unwrap_or(0.0)
+    });
+    for (i, (profile, (ps, pi))) in profiles.iter().zip(paper).enumerate() {
+        let (stock, ib) = (times[2 * i], times[2 * i + 1]);
+        let imp = (stock - ib) / stock * 100.0;
         t.row(&[
             profile.name.to_string(),
-            format!("{:.1}", times[0]),
-            format!("{:.1}", times[1]),
+            format!("{stock:.1}"),
+            format!("{ib:.1}"),
             format!("{imp:.1}%"),
             format!("{ps:.1}"),
             format!("{pi:.1}"),
         ]);
     }
-    t.print();
+    t.block()
 }

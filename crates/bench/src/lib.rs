@@ -12,11 +12,15 @@
 //! -- all`, or a single experiment with e.g. `... -- fig4`.
 
 pub mod experiments;
+pub mod runpar;
 pub mod table;
 
+pub use runpar::{par_map, par_table_rows};
 pub use table::Table;
 
-use ibridge_core::{ibridge_cluster, ssd_only_cluster, stock_cluster, IBridgeConfig, IBridgePolicy};
+use ibridge_core::{
+    ibridge_cluster, ssd_only_cluster, stock_cluster, IBridgeConfig, IBridgePolicy,
+};
 use ibridge_localfs::FileHandle;
 use ibridge_pvfs::{Cluster, ClusterConfig, RunStats, ServerConfig, Workload};
 
@@ -203,13 +207,7 @@ mod tests {
         };
         let span = scale.stream_bytes * 2;
         let stats = run_warm(System::IBridge, 4, &scale, span, &mut || {
-            Box::new(MpiIoTest::sized(
-                IoDir::Read,
-                FILE_A,
-                4,
-                65 * 1024,
-                4 << 20,
-            ))
+            Box::new(MpiIoTest::sized(IoDir::Read, FILE_A, 4, 65 * 1024, 4 << 20))
         });
         let hits: u64 = stats.servers.iter().map(|s| s.policy.read_hits).sum();
         assert!(hits > 0, "warm run must hit the cache");

@@ -75,8 +75,13 @@ impl Table {
 
     /// Renders and prints to stdout.
     pub fn print(&self) {
-        print!("{}", self.render());
-        println!();
+        print!("{}", self.block());
+    }
+
+    /// The table as it appears in experiment output: rendered rows plus
+    /// the trailing blank line [`print`](Table::print) emits.
+    pub fn block(&self) -> String {
+        format!("{}\n", self.render())
     }
 }
 

@@ -216,8 +216,20 @@ mod tests {
         let mut log = CircularLog::new(1000);
         let (a, _) = log.append(100, 1).unwrap();
         let (b, _) = log.append(100, 2).unwrap();
-        assert_eq!(a, vec![Extent { lbn: 0, sectors: 100 }]);
-        assert_eq!(b, vec![Extent { lbn: 100, sectors: 100 }]);
+        assert_eq!(
+            a,
+            vec![Extent {
+                lbn: 0,
+                sectors: 100
+            }]
+        );
+        assert_eq!(
+            b,
+            vec![Extent {
+                lbn: 100,
+                sectors: 100
+            }]
+        );
         assert_eq!(log.head(), 200);
     }
 
@@ -230,8 +242,14 @@ mod tests {
         assert_eq!(
             ext,
             vec![
-                Extent { lbn: 80, sectors: 20 },
-                Extent { lbn: 0, sectors: 20 }
+                Extent {
+                    lbn: 80,
+                    sectors: 20
+                },
+                Extent {
+                    lbn: 0,
+                    sectors: 20
+                }
             ]
         );
         assert_eq!(log.head(), 20);
@@ -243,7 +261,13 @@ mod tests {
         log.append(50, 1).unwrap(); // [0,50)
         log.append(50, 2).unwrap(); // [50,100), head wraps to 0
         let (ext, evicted) = log.append(30, 3).unwrap(); // overwrites part of 1
-        assert_eq!(ext, vec![Extent { lbn: 0, sectors: 30 }]);
+        assert_eq!(
+            ext,
+            vec![Extent {
+                lbn: 0,
+                sectors: 30
+            }]
+        );
         assert_eq!(evicted, vec![1]);
         // Entry 1's remaining region is gone too.
         assert_eq!(log.resident_sectors(), 50 + 30);
@@ -282,7 +306,7 @@ mod tests {
         log.append(32, 1).unwrap();
         log.protect(1);
         log.append(32, 2).unwrap(); // fills the rest; head wraps
-        // Next append would overwrite entry 1: blocked.
+                                    // Next append would overwrite entry 1: blocked.
         assert_eq!(log.append(8, 3), Err(AppendError::BlockedByDirty));
         log.unprotect(1);
         let (_, evicted) = log.append(8, 3).unwrap();

@@ -28,7 +28,9 @@ use crate::table::{EntryType, MappingTable};
 use ibridge_des::SimTime;
 use ibridge_device::{bytes_to_sectors, DiskProfile, Lbn};
 use ibridge_localfs::Extent;
-use ibridge_pvfs::{CachePolicy, CacheStats, EntryId, FlushId, FlushOp, Placement, ReqClass, SubRequest};
+use ibridge_pvfs::{
+    CachePolicy, CacheStats, EntryId, FlushId, FlushOp, Placement, ReqClass, SubRequest,
+};
 use std::collections::HashMap;
 
 /// Configuration of one server's iBridge instance.
@@ -128,13 +130,9 @@ impl IBridgePolicy {
     fn return_of(&self, sub: &SubRequest, disk_lbn: Lbn) -> f64 {
         let base = self.model.ret(disk_lbn, sub.len);
         match (&sub.class, self.cfg.eq3) {
-            (ReqClass::Fragment { siblings }, true) => fragment_return(
-                base,
-                self.model.value(),
-                sub.len,
-                siblings,
-                &self.t_table,
-            ),
+            (ReqClass::Fragment { siblings }, true) => {
+                fragment_return(base, self.model.value(), sub.len, siblings, &self.t_table)
+            }
             _ => base,
         }
     }
@@ -235,13 +233,17 @@ pub struct PersistentState {
 impl IBridgePolicy {
     /// Snapshots the durable cache state (what the on-SSD backup holds).
     pub fn snapshot(&self) -> PersistentState {
+        let mut entries: Vec<crate::table::Entry> = self
+            .table
+            .entries()
+            .filter(|e| !e.pending) // in-flight admissions are not durable
+            .cloned()
+            .collect();
+        // The table iterates in hash order; recovery replays this list in
+        // order (rebuilding LRU positions), so fix a canonical order.
+        entries.sort_by_key(|e| e.id);
         PersistentState {
-            entries: self
-                .table
-                .entries()
-                .filter(|e| !e.pending) // in-flight admissions are not durable
-                .cloned()
-                .collect(),
+            entries,
             log_head: self.log.head(),
             log_capacity_sectors: self.log.capacity(),
         }
@@ -265,9 +267,15 @@ impl IBridgePolicy {
                 .expect("snapshot extents must be disjoint");
             debug_assert!(casualties.is_empty());
             p.table.insert(
-                id, e.file, e.offset, e.len,
-                e.extents.clone(), e.typ, e.ret,
-                e.dirty, false,
+                id,
+                e.file,
+                e.offset,
+                e.len,
+                e.extents.clone(),
+                e.typ,
+                e.ret,
+                e.dirty,
+                false,
             );
             if e.dirty {
                 p.log.protect(id);
@@ -321,8 +329,13 @@ impl CachePolicy for IBridgePolicy {
                 if ret > 0.0 {
                     if let Some((id, extents)) = self.reserve(typ, sub.len) {
                         self.table.insert(
-                            id, sub.file, sub.offset, sub.len,
-                            extents.clone(), typ, ret,
+                            id,
+                            sub.file,
+                            sub.offset,
+                            sub.len,
+                            extents.clone(),
+                            typ,
+                            ret,
                             true,  // dirty
                             false, // servable immediately
                         );
@@ -330,9 +343,9 @@ impl CachePolicy for IBridgePolicy {
                         self.model.serve_ssd();
                         self.stats.redirected_writes += 1;
                         self.stats.bytes_ssd += sub.len;
-                        self.stats.appended_bytes +=
-                            (bytes_to_sectors(sub.len) + self.cfg.meta_sectors)
-                                * ibridge_localfs::SECTOR_SIZE;
+                        self.stats.appended_bytes += (bytes_to_sectors(sub.len)
+                            + self.cfg.meta_sectors)
+                            * ibridge_localfs::SECTOR_SIZE;
                         return Placement::Ssd { extents };
                     }
                     self.stats.admission_failures += 1;
@@ -358,20 +371,28 @@ impl CachePolicy for IBridgePolicy {
             .unwrap_or(0.0);
         // The range may have been cached meanwhile (e.g. by a sibling
         // admission); never double-cache.
-        if !self.table.find_overlaps(sub.file, sub.offset, sub.len).is_empty() {
+        if !self
+            .table
+            .find_overlaps(sub.file, sub.offset, sub.len)
+            .is_empty()
+        {
             return None;
         }
         match self.reserve(typ, sub.len) {
             Some((id, extents)) => {
                 self.table.insert(
-                    id, sub.file, sub.offset, sub.len,
-                    extents.clone(), typ, ret,
+                    id,
+                    sub.file,
+                    sub.offset,
+                    sub.len,
+                    extents.clone(),
+                    typ,
+                    ret,
                     false, // clean: disk already has the data
                     true,  // pending until the SSD write completes
                 );
                 self.stats.admissions += 1;
-                self.stats.appended_bytes += (bytes_to_sectors(sub.len)
-                    + self.cfg.meta_sectors)
+                self.stats.appended_bytes += (bytes_to_sectors(sub.len) + self.cfg.meta_sectors)
                     * ibridge_localfs::SECTOR_SIZE;
                 Some((id, extents))
             }
@@ -475,7 +496,12 @@ mod tests {
     fn bulk_requests_always_go_to_disk() {
         let mut p = policy();
         let placement = p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 1000);
-        assert_eq!(placement, Placement::Disk { admit_after_read: false });
+        assert_eq!(
+            placement,
+            Placement::Disk {
+                admit_after_read: false
+            }
+        );
         assert!(p.stats().redirected_writes == 0);
     }
 
@@ -510,13 +536,19 @@ mod tests {
     fn partial_inner_read_hits_with_sliced_extents() {
         let mut p = policy();
         p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
-        p.place(SimTime::ZERO, &frag(IoDir::Write, 1 << 20, 8 * KB), 900_000_000);
+        p.place(
+            SimTime::ZERO,
+            &frag(IoDir::Write, 1 << 20, 8 * KB),
+            900_000_000,
+        );
         let placement = p.place(
             SimTime::ZERO,
             &frag(IoDir::Read, (1 << 20) + 4 * KB, 2 * KB),
             900_000_000,
         );
-        let Placement::Ssd { extents } = placement else { panic!() };
+        let Placement::Ssd { extents } = placement else {
+            panic!()
+        };
         assert_eq!(extents.iter().map(|e| e.sectors).sum::<u64>(), 4);
     }
 
@@ -526,7 +558,12 @@ mod tests {
         p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
         let sub = frag(IoDir::Read, 2 << 20, KB);
         let placement = p.place(SimTime::ZERO, &sub, 900_000_000);
-        assert_eq!(placement, Placement::Disk { admit_after_read: true });
+        assert_eq!(
+            placement,
+            Placement::Disk {
+                admit_after_read: true
+            }
+        );
         let (entry, extents) = p.read_admission(SimTime::ZERO, &sub).expect("admits");
         assert!(!extents.is_empty());
         // Pending until the SSD write completes: a read now still misses.
@@ -560,12 +597,22 @@ mod tests {
         let mut p = IBridgePolicy::new(cfg);
         p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
         let placement = p.place(SimTime::ZERO, &frag(IoDir::Write, 1 << 20, KB), 900_000_000);
-        assert_eq!(placement, Placement::Disk { admit_after_read: false });
+        assert_eq!(
+            placement,
+            Placement::Disk {
+                admit_after_read: false
+            }
+        );
         assert_eq!(p.stats().redirected_writes, 0);
         // Reads still admit.
         let sub = frag(IoDir::Read, 2 << 20, KB);
         let placement = p.place(SimTime::ZERO, &sub, 900_000_000);
-        assert_eq!(placement, Placement::Disk { admit_after_read: true });
+        assert_eq!(
+            placement,
+            Placement::Disk {
+                admit_after_read: true
+            }
+        );
     }
 
     #[test]
@@ -573,17 +620,34 @@ mod tests {
         let mut p = IBridgePolicy::new(IBridgeConfig::with_capacity(0, 0));
         p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
         let placement = p.place(SimTime::ZERO, &frag(IoDir::Write, 1 << 20, KB), 900_000_000);
-        assert_eq!(placement, Placement::Disk { admit_after_read: false });
+        assert_eq!(
+            placement,
+            Placement::Disk {
+                admit_after_read: false
+            }
+        );
     }
 
     #[test]
     fn overlapping_write_invalidates_cached_entry() {
         let mut p = policy();
         p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
-        p.place(SimTime::ZERO, &frag(IoDir::Write, 1 << 20, 4 * KB), 900_000_000);
+        p.place(
+            SimTime::ZERO,
+            &frag(IoDir::Write, 1 << 20, 4 * KB),
+            900_000_000,
+        );
         // A bulk write over the same range must kill the entry.
-        p.place(SimTime::ZERO, &bulk(IoDir::Write, 1 << 20, 64 * KB), 900_000_000);
-        let placement = p.place(SimTime::ZERO, &frag(IoDir::Read, 1 << 20, 4 * KB), 900_000_000);
+        p.place(
+            SimTime::ZERO,
+            &bulk(IoDir::Write, 1 << 20, 64 * KB),
+            900_000_000,
+        );
+        let placement = p.place(
+            SimTime::ZERO,
+            &frag(IoDir::Read, 1 << 20, 4 * KB),
+            900_000_000,
+        );
         assert!(matches!(placement, Placement::Disk { .. }));
     }
 
@@ -595,7 +659,11 @@ mod tests {
         // Make this server's T large and siblings' small.
         p.receive_broadcast(&[0.0, 0.0001]);
         for i in 0..5 {
-            p.place(SimTime::ZERO, &bulk(IoDir::Write, i * 64 * KB, 64 * KB), i * 1_000_000_000 % 1_500_000_000);
+            p.place(
+                SimTime::ZERO,
+                &bulk(IoDir::Write, i * 64 * KB, 64 * KB),
+                i * 1_000_000_000 % 1_500_000_000,
+            );
         }
         let sub = frag(IoDir::Write, 10 << 20, KB);
         let boosted = p.return_of(&sub, 900_000_000);
@@ -611,8 +679,11 @@ mod tests {
         p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
         let mut failures = 0;
         for i in 0..32u64 {
-            let placement =
-                p.place(SimTime::ZERO, &frag(IoDir::Write, (i + 1) << 20, KB), 900_000_000);
+            let placement = p.place(
+                SimTime::ZERO,
+                &frag(IoDir::Write, (i + 1) << 20, KB),
+                900_000_000,
+            );
             if matches!(placement, Placement::Disk { .. }) {
                 failures += 1;
             }
@@ -625,8 +696,11 @@ mod tests {
         for op in ops {
             p.flush_complete(SimTime::ZERO, op.id);
         }
-        let placement =
-            p.place(SimTime::ZERO, &frag(IoDir::Write, 99 << 20, KB), 900_000_000);
+        let placement = p.place(
+            SimTime::ZERO,
+            &frag(IoDir::Write, 99 << 20, KB),
+            900_000_000,
+        );
         assert!(matches!(placement, Placement::Ssd { .. }));
     }
 
@@ -638,13 +712,22 @@ mod tests {
         for i in 0..64u64 {
             let sub = frag(IoDir::Read, (i + 1) << 20, KB);
             let placement = p.place(SimTime::ZERO, &sub, 900_000_000);
-            assert!(matches!(placement, Placement::Disk { admit_after_read: true }));
+            assert!(matches!(
+                placement,
+                Placement::Disk {
+                    admit_after_read: true
+                }
+            ));
             if let Some((entry, _)) = p.read_admission(SimTime::ZERO, &sub) {
                 p.admission_complete(SimTime::ZERO, entry);
             }
         }
         let s = p.stats();
-        assert!(s.admissions > 16, "most admissions succeed: {}", s.admissions);
+        assert!(
+            s.admissions > 16,
+            "most admissions succeed: {}",
+            s.admissions
+        );
         assert!(s.evictions > 0, "old clean entries must be evicted");
         assert!(s.cached_fragment_bytes <= 16 * 1536);
     }
@@ -654,7 +737,11 @@ mod tests {
         let mut p = policy();
         p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
         for i in 0..8u64 {
-            p.place(SimTime::ZERO, &frag(IoDir::Write, (i + 1) << 20, 4 * KB), 900_000_000);
+            p.place(
+                SimTime::ZERO,
+                &frag(IoDir::Write, (i + 1) << 20, 4 * KB),
+                900_000_000,
+            );
         }
         assert_eq!(p.dirty_bytes(), 32 * KB);
         let ops = p.flush_batch(SimTime::ZERO, 10 * KB);
@@ -729,7 +816,10 @@ mod tests {
         else {
             panic!("redirect expected")
         };
-        assert!(extents[0].lbn >= 3, "must not overwrite the recovered entry");
+        assert!(
+            extents[0].lbn >= 3,
+            "must not overwrite the recovered entry"
+        );
         // Both ranges servable.
         assert!(matches!(
             r.place(SimTime::ZERO, &frag(IoDir::Read, 1 << 20, KB), 900_000_000),

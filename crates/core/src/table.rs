@@ -269,13 +269,10 @@ impl MappingTable {
     /// The least-recently-used *evictable* entry of a class: not dirty,
     /// not flushing, not pending.
     pub fn lru_victim(&self, typ: EntryType) -> Option<EntryId> {
-        self.lru[typ.idx()]
-            .iter()
-            .map(|&(_, id)| id)
-            .find(|id| {
-                let e = &self.entries[id];
-                !e.dirty && !e.flushing && !e.pending
-            })
+        self.lru[typ.idx()].iter().map(|&(_, id)| id).find(|id| {
+            let e = &self.entries[id];
+            !e.dirty && !e.flushing && !e.pending
+        })
     }
 
     /// The oldest dirty entries, grouped for writeback. Returns up to
@@ -351,7 +348,17 @@ mod tests {
         let mut t = MappingTable::new();
         for &(offset, len, typ, dirty) in entries {
             let id = t.next_id();
-            t.insert(id, F, offset, len, ext(offset / 512, len.div_ceil(512)), typ, 0.001, dirty, false);
+            t.insert(
+                id,
+                F,
+                offset,
+                len,
+                ext(offset / 512, len.div_ceil(512)),
+                typ,
+                0.001,
+                dirty,
+                false,
+            );
         }
         t
     }
@@ -370,7 +377,17 @@ mod tests {
     fn pending_entries_are_not_servable() {
         let mut t = MappingTable::new();
         let id = t.next_id();
-        t.insert(id, F, 0, 4096, ext(0, 8), EntryType::Random, 0.0, false, true);
+        t.insert(
+            id,
+            F,
+            0,
+            4096,
+            ext(0, 8),
+            EntryType::Random,
+            0.0,
+            false,
+            true,
+        );
         assert!(t.lookup_covering(F, 0, 4096).is_none());
         t.activate(id);
         assert!(t.lookup_covering(F, 0, 4096).is_some());
@@ -378,7 +395,10 @@ mod tests {
 
     #[test]
     fn overlap_detection() {
-        let t = table_with(&[(1000, 1000, EntryType::Random, false), (5000, 1000, EntryType::Random, false)]);
+        let t = table_with(&[
+            (1000, 1000, EntryType::Random, false),
+            (5000, 1000, EntryType::Random, false),
+        ]);
         assert_eq!(t.find_overlaps(F, 0, 500).len(), 0);
         assert_eq!(t.find_overlaps(F, 1500, 100).len(), 1);
         assert_eq!(t.find_overlaps(F, 900, 5000).len(), 2);
@@ -391,7 +411,17 @@ mod tests {
     fn overlapping_insert_panics() {
         let mut t = table_with(&[(0, 4096, EntryType::Random, false)]);
         let id = t.next_id();
-        t.insert(id, F, 4000, 100, ext(100, 1), EntryType::Random, 0.0, false, false);
+        t.insert(
+            id,
+            F,
+            4000,
+            100,
+            ext(100, 1),
+            EntryType::Random,
+            0.0,
+            false,
+            false,
+        );
     }
 
     #[test]
@@ -469,8 +499,14 @@ mod tests {
             offset: 0,
             len: 20 * 512,
             extents: vec![
-                Extent { lbn: 90, sectors: 10 },
-                Extent { lbn: 0, sectors: 10 },
+                Extent {
+                    lbn: 90,
+                    sectors: 10,
+                },
+                Extent {
+                    lbn: 0,
+                    sectors: 10,
+                },
             ],
             typ: EntryType::Fragment,
             ret: 0.0,
@@ -482,23 +518,61 @@ mod tests {
         // Full range.
         assert_eq!(e.slice(0, 20 * 512), e.extents);
         // Inside the first extent.
-        assert_eq!(e.slice(512, 512), vec![Extent { lbn: 91, sectors: 1 }]);
+        assert_eq!(
+            e.slice(512, 512),
+            vec![Extent {
+                lbn: 91,
+                sectors: 1
+            }]
+        );
         // Straddling the wrap.
         assert_eq!(
             e.slice(9 * 512, 2 * 512),
-            vec![Extent { lbn: 99, sectors: 1 }, Extent { lbn: 0, sectors: 1 }]
+            vec![
+                Extent {
+                    lbn: 99,
+                    sectors: 1
+                },
+                Extent { lbn: 0, sectors: 1 }
+            ]
         );
         // Byte-unaligned range rounds out to sectors.
-        assert_eq!(e.slice(100, 100), vec![Extent { lbn: 90, sectors: 1 }]);
+        assert_eq!(
+            e.slice(100, 100),
+            vec![Extent {
+                lbn: 90,
+                sectors: 1
+            }]
+        );
     }
 
     #[test]
     fn avg_ret_per_class() {
         let mut t = MappingTable::new();
         let a = t.next_id();
-        t.insert(a, F, 0, 100, ext(0, 1), EntryType::Fragment, 0.002, false, false);
+        t.insert(
+            a,
+            F,
+            0,
+            100,
+            ext(0, 1),
+            EntryType::Fragment,
+            0.002,
+            false,
+            false,
+        );
         let b = t.next_id();
-        t.insert(b, F, 1000, 100, ext(2, 1), EntryType::Fragment, 0.004, false, false);
+        t.insert(
+            b,
+            F,
+            1000,
+            100,
+            ext(2, 1),
+            EntryType::Fragment,
+            0.004,
+            false,
+            false,
+        );
         assert!((t.usage(EntryType::Fragment).avg_ret() - 0.003).abs() < 1e-12);
         assert_eq!(t.usage(EntryType::Random).avg_ret(), 0.0);
     }

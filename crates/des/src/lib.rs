@@ -35,18 +35,52 @@ pub use time::{SimDuration, SimTime};
 
 use std::cmp::Ordering;
 use std::collections::binary_heap::BinaryHeap;
-use std::collections::HashSet;
 
 /// Opaque handle to a scheduled event, used for cancellation.
 ///
 /// Handles are unique over the lifetime of a [`Simulation`]; cancelling an
 /// already-fired or already-cancelled event is a harmless no-op.
+///
+/// Internally a handle packs a slot index into the cancellation slab and
+/// that slot's generation at scheduling time, so stale handles (the event
+/// fired, the slot was recycled) are detected without any bookkeeping on
+/// the dispatch path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
+
+impl EventId {
+    #[inline]
+    fn pack(slot: u32, gen: u32) -> Self {
+        EventId(((gen as u64) << 32) | slot as u64)
+    }
+
+    #[inline]
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    #[inline]
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// Sentinel slot for events scheduled through the [`Simulation::post_at`]
+/// family: not cancellable, zero slab traffic.
+const NO_SLOT: u32 = u32::MAX;
+
+/// One entry of the cancellation slab. `gen` increments every time the
+/// slot is recycled, invalidating old [`EventId`]s.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    gen: u32,
+    cancelled: bool,
+}
 
 struct Scheduled<E> {
     at: SimTime,
     seq: u64,
+    slot: u32,
     event: E,
 }
 
@@ -72,11 +106,27 @@ impl<E> Ord for Scheduled<E> {
 ///
 /// `E` is the caller-defined event type. Events scheduled for the same
 /// instant fire in scheduling order (deterministic FIFO tie-break).
+///
+/// Two scheduling families exist:
+///
+/// * [`schedule_at`](Simulation::schedule_at) and friends return an
+///   [`EventId`] for later [`cancel`](Simulation::cancel)lation. Each such
+///   event borrows a slot in a small recycled slab; cancellation is a flag
+///   write, and the pop path checks the flag by index — no hashing, no
+///   allocation.
+/// * [`post_at`](Simulation::post_at) and friends are the fire-and-forget
+///   fast path for events that are never cancelled (the vast majority in
+///   a cluster run): they skip the slab entirely.
 pub struct Simulation<E> {
     now: SimTime,
     queue: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
-    cancelled: HashSet<u64>,
+    /// Cancellation slab, indexed by `Scheduled::slot`.
+    slots: Vec<Slot>,
+    /// Recycled slab indices.
+    free: Vec<u32>,
+    /// Number of cancelled events still sitting in `queue`.
+    tombstones: usize,
     dispatched: u64,
 }
 
@@ -93,7 +143,9 @@ impl<E> Simulation<E> {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            tombstones: 0,
             dispatched: 0,
         }
     }
@@ -110,43 +162,123 @@ impl<E> Simulation<E> {
 
     /// Number of pending (not yet fired, not cancelled) events.
     pub fn pending(&self) -> usize {
-        self.queue.len() - self.cancelled.len()
+        self.queue.len() - self.tombstones
     }
 
-    /// Schedules `event` at absolute time `at`.
+    #[inline]
+    fn check_future(&self, at: SimTime) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?} now={:?}",
+            self.now
+        );
+    }
+
+    #[inline]
+    fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Schedules `event` at absolute time `at`, returning a handle for
+    /// [`cancel`](Simulation::cancel). Prefer [`post_at`](Simulation::post_at)
+    /// when the event will never be cancelled.
     ///
     /// # Panics
     ///
     /// Panics if `at` is earlier than the current time: an event in the
     /// past would silently corrupt causality.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
-        assert!(
-            at >= self.now,
-            "event scheduled in the past: at={at:?} now={:?}",
-            self.now
-        );
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.queue.push(Scheduled { at, seq, event });
-        EventId(seq)
+        self.check_future(at);
+        let seq = self.alloc_seq();
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = self.slots.len() as u32;
+                assert!(slot < NO_SLOT, "cancellation slab exhausted");
+                self.slots.push(Slot {
+                    gen: 0,
+                    cancelled: false,
+                });
+                slot
+            }
+        };
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            slot,
+            event,
+        });
+        EventId::pack(slot, self.slots[slot as usize].gen)
     }
 
-    /// Schedules `event` after delay `d` from now.
+    /// Schedules `event` after delay `d` from now (cancellable).
     pub fn schedule_in(&mut self, d: SimDuration, event: E) -> EventId {
         self.schedule_at(self.now + d, event)
     }
 
     /// Schedules `event` to fire immediately (at the current time, after
-    /// any events already scheduled for this instant).
+    /// any events already scheduled for this instant; cancellable).
     pub fn schedule_now(&mut self, event: E) -> EventId {
         self.schedule_at(self.now, event)
     }
 
-    /// Cancels a previously scheduled event. No-op if it already fired.
+    /// Fire-and-forget variant of [`schedule_at`](Simulation::schedule_at):
+    /// the event cannot be cancelled, and in exchange the calendar does no
+    /// slab bookkeeping on either the push or the pop path. This is the
+    /// right call for the millions of protocol events a cluster run emits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    #[inline]
+    pub fn post_at(&mut self, at: SimTime, event: E) {
+        self.check_future(at);
+        let seq = self.alloc_seq();
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            slot: NO_SLOT,
+            event,
+        });
+    }
+
+    /// Fire-and-forget [`schedule_in`](Simulation::schedule_in).
+    #[inline]
+    pub fn post_in(&mut self, d: SimDuration, event: E) {
+        self.post_at(self.now + d, event);
+    }
+
+    /// Fire-and-forget [`schedule_now`](Simulation::schedule_now).
+    #[inline]
+    pub fn post_now(&mut self, event: E) {
+        self.post_at(self.now, event);
+    }
+
+    /// Cancels a previously scheduled event. No-op if it already fired or
+    /// was already cancelled (the handle's generation no longer matches).
     pub fn cancel(&mut self, id: EventId) {
-        if id.0 < self.next_seq {
-            self.cancelled.insert(id.0);
+        if let Some(slot) = self.slots.get_mut(id.slot() as usize) {
+            if slot.gen == id.gen() && !slot.cancelled {
+                slot.cancelled = true;
+                self.tombstones += 1;
+            }
         }
+    }
+
+    /// Recycles the slab slot of a popped cancellable event; returns true
+    /// when the event had been cancelled.
+    #[inline]
+    fn retire_slot(&mut self, slot: u32) -> bool {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        let was_cancelled = std::mem::take(&mut s.cancelled);
+        self.free.push(slot);
+        if was_cancelled {
+            self.tombstones -= 1;
+        }
+        was_cancelled
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
@@ -154,7 +286,7 @@ impl<E> Simulation<E> {
     /// Returns `None` when the calendar is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(s) = self.queue.pop() {
-            if self.cancelled.remove(&s.seq) {
+            if s.slot != NO_SLOT && self.retire_slot(s.slot) {
                 continue;
             }
             debug_assert!(s.at >= self.now, "calendar yielded an event in the past");
@@ -168,10 +300,10 @@ impl<E> Simulation<E> {
     /// Timestamp of the next pending event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(s) = self.queue.peek() {
-            if self.cancelled.contains(&s.seq) {
-                let seq = s.seq;
+            if s.slot != NO_SLOT && self.slots[s.slot as usize].cancelled {
+                let slot = s.slot;
                 self.queue.pop();
-                self.cancelled.remove(&seq);
+                self.retire_slot(slot);
                 continue;
             }
             return Some(s.at);
@@ -305,10 +437,86 @@ mod tests {
     #[test]
     fn pending_counts_exclude_cancelled() {
         let mut sim: Simulation<u32> = Simulation::new();
-        let ids: Vec<_> = (0..10).map(|i| sim.schedule_at(SimTime::from_millis(i), 0)).collect();
+        let ids: Vec<_> = (0..10)
+            .map(|i| sim.schedule_at(SimTime::from_millis(i), 0))
+            .collect();
         for id in ids.iter().take(5) {
             sim.cancel(*id);
         }
         assert_eq!(sim.pending(), 5);
+    }
+
+    #[test]
+    fn pending_survives_cancel_after_fire() {
+        // Regression: cancelling an already-fired event used to leave a
+        // stale entry in the cancelled set, underflowing pending().
+        let mut sim: Simulation<u32> = Simulation::new();
+        let a = sim.schedule_at(SimTime::from_millis(1), 1);
+        assert_eq!(sim.pop().unwrap().1, 1);
+        sim.cancel(a);
+        assert_eq!(sim.pending(), 0);
+        sim.schedule_at(SimTime::from_millis(2), 2);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.pop().unwrap().1, 2);
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn stale_handle_does_not_cancel_slot_reuser() {
+        // The slot of a fired event is recycled; the old handle must not
+        // cancel whichever event inherited the slot.
+        let mut sim: Simulation<u32> = Simulation::new();
+        let a = sim.schedule_at(SimTime::from_millis(1), 1);
+        sim.pop();
+        let _b = sim.schedule_at(SimTime::from_millis(2), 2); // reuses a's slot
+        sim.cancel(a);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn double_cancel_counts_once() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        let a = sim.schedule_at(SimTime::from_millis(1), 1);
+        sim.schedule_at(SimTime::from_millis(2), 2);
+        sim.cancel(a);
+        sim.cancel(a);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.pop().unwrap().1, 2);
+        assert!(sim.pop().is_none());
+    }
+
+    #[test]
+    fn posted_events_interleave_with_scheduled() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        sim.post_at(SimTime::from_millis(2), 2);
+        let a = sim.schedule_at(SimTime::from_millis(1), 1);
+        sim.post_now(0);
+        sim.cancel(a);
+        let order: Vec<u32> = std::iter::from_fn(|| sim.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 2]);
+    }
+
+    #[test]
+    fn post_in_is_relative_to_now() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.post_in(SimDuration::from_secs(1), ());
+        let (t, _) = sim.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(1));
+        sim.post_in(SimDuration::from_secs(1), ());
+        let (t, _) = sim.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(2));
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn posted_fifo_ties_with_mixed_families() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        let t = SimTime::from_micros(3);
+        sim.post_at(t, 0);
+        sim.schedule_at(t, 1);
+        sim.post_at(t, 2);
+        let order: Vec<u32> = std::iter::from_fn(|| sim.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2]);
     }
 }

@@ -194,7 +194,10 @@ mod tests {
         assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
         assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1000));
         assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1000));
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]

@@ -97,9 +97,8 @@ impl DiskProfile {
         if distance == 0 {
             return SimDuration::ZERO;
         }
-        let frac = (distance.min(self.capacity_sectors) as f64
-            / self.capacity_sectors as f64)
-            .sqrt();
+        let frac =
+            (distance.min(self.capacity_sectors) as f64 / self.capacity_sectors as f64).sqrt();
         self.min_seek + (self.max_seek - self.min_seek).mul_f64(frac)
     }
 
@@ -116,7 +115,8 @@ impl DiskProfile {
     /// Time to transfer `sectors` at media rate.
     pub fn transfer_time(&self, sectors: u64) -> SimDuration {
         // sectors / sectors_per_track revolutions.
-        self.revolution.mul_f64(sectors as f64 / self.sectors_per_track as f64)
+        self.revolution
+            .mul_f64(sectors as f64 / self.sectors_per_track as f64)
     }
 
     fn angle_of_lbn(&self, lbn: Lbn) -> f64 {
@@ -124,8 +124,7 @@ impl DiskProfile {
     }
 
     fn angle_at(&self, t: SimTime) -> f64 {
-        (t.as_nanos() % self.revolution.as_nanos()) as f64
-            / self.revolution.as_nanos() as f64
+        (t.as_nanos() % self.revolution.as_nanos()) as f64 / self.revolution.as_nanos() as f64
     }
 }
 
@@ -288,7 +287,10 @@ mod tests {
         // Contiguous follow-up: pure transfer.
         let second = d.service(t1, &DevOp::read(1128, 128));
         assert_eq!(second, d.profile().transfer_time(128));
-        assert!(second < first, "streaming should be cheaper than first access");
+        assert!(
+            second < first,
+            "streaming should be cheaper than first access"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! (NCQ is enabled on all disks in the paper's testbed).
 
 use crate::{DevOp, DiskModel, DiskProfile, IoDir, SsdModel, SsdProfile};
-use ibridge_des::rng::{streams, stream_rng};
+use ibridge_des::rng::{stream_rng, streams};
 use ibridge_des::{SimDuration, SimTime};
 use rand::Rng;
 
@@ -64,7 +64,10 @@ fn disk_sequential(profile: &DiskProfile, cfg: &BenchConfig, dir: IoDir) -> f64 
         t += dur;
         lbn += cfg.sectors;
     }
-    mbps(cfg.ops as u64 * cfg.sectors * crate::SECTOR_SIZE, t - SimTime::ZERO)
+    mbps(
+        cfg.ops as u64 * cfg.sectors * crate::SECTOR_SIZE,
+        t - SimTime::ZERO,
+    )
 }
 
 fn disk_random(profile: &DiskProfile, cfg: &BenchConfig, dir: IoDir) -> f64 {
@@ -95,7 +98,10 @@ fn disk_random(profile: &DiskProfile, cfg: &BenchConfig, dir: IoDir) -> f64 {
             break;
         }
     }
-    mbps(cfg.ops as u64 * cfg.sectors * crate::SECTOR_SIZE, t - SimTime::ZERO)
+    mbps(
+        cfg.ops as u64 * cfg.sectors * crate::SECTOR_SIZE,
+        t - SimTime::ZERO,
+    )
 }
 
 fn ssd_mode(profile: &SsdProfile, cfg: &BenchConfig, dir: IoDir, sequential: bool) -> f64 {
@@ -147,7 +153,10 @@ mod tests {
         // Sequential read ≈ 85 MB/s (media rate).
         assert!(b.seq_read > 75.0 && b.seq_read < 95.0, "{b:?}");
         // Sequential write close behind.
-        assert!(b.seq_write > 70.0 && b.seq_write <= b.seq_read + 1.0, "{b:?}");
+        assert!(
+            b.seq_write > 70.0 && b.seq_write <= b.seq_read + 1.0,
+            "{b:?}"
+        );
         // Random access at least an order of magnitude slower.
         assert!(b.rand_read < b.seq_read / 10.0, "{b:?}");
         // Random writes slower than random reads (settle penalty).
@@ -177,11 +186,22 @@ mod tests {
     #[test]
     fn deeper_ncq_improves_disk_random_throughput() {
         let profile = DiskProfile::hp_mm0500();
-        let shallow = BenchConfig { queue_depth: 1, ops: 500, ..Default::default() };
-        let deep = BenchConfig { queue_depth: 32, ops: 500, ..Default::default() };
+        let shallow = BenchConfig {
+            queue_depth: 1,
+            ops: 500,
+            ..Default::default()
+        };
+        let deep = BenchConfig {
+            queue_depth: 32,
+            ops: 500,
+            ..Default::default()
+        };
         let s = bench_disk(&profile, &shallow);
         let d = bench_disk(&profile, &deep);
-        assert!(d.rand_read > s.rand_read * 1.5, "depth1={s:?} depth32={d:?}");
+        assert!(
+            d.rand_read > s.rand_read * 1.5,
+            "depth1={s:?} depth32={d:?}"
+        );
     }
 
     #[test]

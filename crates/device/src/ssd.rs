@@ -172,10 +172,7 @@ mod tests {
         let seq = s.service(&DevOp::write(128, 128));
         let rnd = s.service(&DevOp::write(10_000_000, 128));
         // 140 vs 30 MB/s → ~4.7× on transfer; latency narrows it slightly.
-        assert!(
-            rnd.as_nanos() > 3 * seq.as_nanos(),
-            "seq={seq} rnd={rnd}"
-        );
+        assert!(rnd.as_nanos() > 3 * seq.as_nanos(), "seq={seq} rnd={rnd}");
     }
 
     #[test]

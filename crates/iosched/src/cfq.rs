@@ -22,7 +22,7 @@
 use crate::{BlockRequest, Decision, Scheduler, StreamId};
 use ibridge_des::{SimDuration, SimTime};
 use ibridge_device::Lbn;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Tuning knobs of [`Cfq`], defaults matching Linux CFQ's.
 #[derive(Debug, Clone)]
@@ -99,7 +99,11 @@ impl StreamQ {
 #[derive(Debug)]
 pub struct Cfq {
     cfg: CfqConfig,
-    streams: HashMap<StreamId, StreamQ>,
+    /// Per-stream queues, keyed by stream id. Ordered so the merge scan
+    /// in [`Cfq::try_merge`] visits streams in a fixed order — iteration
+    /// order must not depend on hash seeds or results become
+    /// run-to-run nondeterministic.
+    streams: BTreeMap<StreamId, StreamQ>,
     /// Streams with queued requests, awaiting a slice (excludes `active`).
     rr: VecDeque<StreamId>,
     active: Option<StreamId>,
@@ -115,7 +119,7 @@ impl Cfq {
     pub fn new(cfg: CfqConfig) -> Self {
         Cfq {
             cfg,
-            streams: HashMap::new(),
+            streams: BTreeMap::new(),
             rr: VecDeque::new(),
             active: None,
             slice_end: SimTime::ZERO,
@@ -167,10 +171,7 @@ impl Cfq {
 
     fn activate_next(&mut self, now: SimTime) -> bool {
         while let Some(s) = self.rr.pop_front() {
-            let non_empty = self
-                .streams
-                .get(&s)
-                .is_some_and(|q| !q.queue.is_empty());
+            let non_empty = self.streams.get(&s).is_some_and(|q| !q.queue.is_empty());
             if non_empty {
                 self.active = Some(s);
                 self.slice_end = now + self.cfg.slice;
@@ -225,10 +226,7 @@ impl Scheduler for Cfq {
                 }
                 continue;
             };
-            let queue_empty = self
-                .streams
-                .get(&a)
-                .is_none_or(|q| q.queue.is_empty());
+            let queue_empty = self.streams.get(&a).is_none_or(|q| q.queue.is_empty());
             if !queue_empty {
                 if now >= self.slice_end && !self.rr.is_empty() {
                     // Slice expired with other streams waiting: rotate.
@@ -345,7 +343,9 @@ mod tests {
         let t = SimTime::ZERO;
         s.add(t, req(1, 100, 8));
         s.add(t, req(2, 900, 8));
-        let Decision::Request(r) = s.dispatch(t, 0) else { panic!() };
+        let Decision::Request(r) = s.dispatch(t, 0) else {
+            panic!()
+        };
         assert_eq!(r.stream, 1);
         // Stream 1 is empty but stream 2 waits: CFQ idles anyway.
         let d = s.dispatch(t, r.end());
@@ -362,7 +362,9 @@ mod tests {
         let t0 = SimTime::ZERO;
         s.add(t0, req(1, 100, 8));
         s.add(t0, req(2, 900, 8));
-        let Decision::Request(r) = s.dispatch(t0, 0) else { panic!() };
+        let Decision::Request(r) = s.dispatch(t0, 0) else {
+            panic!()
+        };
         let t1 = t0 + SimDuration::from_millis(1);
         let Decision::WaitUntil(_) = s.dispatch(t1, r.end()) else {
             panic!()
@@ -383,12 +385,16 @@ mod tests {
         let t0 = SimTime::ZERO;
         s.add(t0, req(1, 100, 8));
         s.add(t0, req(2, 900, 8));
-        let Decision::Request(_) = s.dispatch(t0, 0) else { panic!() };
+        let Decision::Request(_) = s.dispatch(t0, 0) else {
+            panic!()
+        };
         let Decision::WaitUntil(d) = s.dispatch(t0, 108) else {
             panic!()
         };
         // Idle window passes with no arrival.
-        let Decision::Request(r) = s.dispatch(d, 108) else { panic!() };
+        let Decision::Request(r) = s.dispatch(d, 108) else {
+            panic!()
+        };
         assert_eq!(r.stream, 2);
     }
 
@@ -401,7 +407,9 @@ mod tests {
             s.add(t0, req(1, 1_000 + i * 100, 8));
             s.add(t0, req(2, 900_000 + i * 100, 8));
         }
-        let Decision::Request(r) = s.dispatch(t0, 0) else { panic!() };
+        let Decision::Request(r) = s.dispatch(t0, 0) else {
+            panic!()
+        };
         assert_eq!(r.stream, 1);
         // Past the slice, stream 2 must get its turn.
         let late = t0 + SimDuration::from_millis(150);
@@ -418,7 +426,9 @@ mod tests {
         s.add(t, req(1, 128, 128));
         s.add(t, req(2, 256, 128)); // adjacent, different stream
         assert_eq!(s.len(), 1, "adjacent cross-stream requests should merge");
-        let Decision::Request(r) = s.dispatch(t, 0) else { panic!() };
+        let Decision::Request(r) = s.dispatch(t, 0) else {
+            panic!()
+        };
         assert_eq!(r.sectors, 256);
         assert_eq!(r.tags.len(), 2);
     }
@@ -441,8 +451,12 @@ mod tests {
         let t = SimTime::ZERO;
         s.add(t, req(1, 100, 8));
         s.add(t, req(2, 900, 8));
-        let Decision::Request(_) = s.dispatch(t, 0) else { panic!() };
-        let Decision::Request(r) = s.dispatch(t, 108) else { panic!() };
+        let Decision::Request(_) = s.dispatch(t, 0) else {
+            panic!()
+        };
+        let Decision::Request(r) = s.dispatch(t, 108) else {
+            panic!()
+        };
         assert_eq!(r.stream, 2, "no idling when anticipation disabled");
     }
 
@@ -466,7 +480,9 @@ mod tests {
         s.add(t, req(1, 108, 8));
         s.add(t, req(1, 100, 8)); // front-merges onto 108
         assert_eq!(s.len(), 1);
-        let Decision::Request(r) = s.dispatch(t, 0) else { panic!() };
+        let Decision::Request(r) = s.dispatch(t, 0) else {
+            panic!()
+        };
         assert_eq!(r.lbn, 100);
         assert_eq!(r.sectors, 16);
     }
@@ -493,7 +509,9 @@ mod tests {
         }
         // Stream 1's queue is empty; a sequential stream would idle, but
         // a seeky one must rotate straight to stream 2.
-        let Decision::Request(r) = s.dispatch(t, head) else { panic!() };
+        let Decision::Request(r) = s.dispatch(t, head) else {
+            panic!()
+        };
         assert_eq!(r.stream, 2, "seeky stream must not be anticipated");
     }
 
@@ -524,7 +542,9 @@ mod tests {
         let mut s = cfq();
         let t0 = SimTime::ZERO;
         s.add(t0, req(1, 100, 8));
-        let Decision::Request(_) = s.dispatch(t0, 0) else { panic!() };
+        let Decision::Request(_) = s.dispatch(t0, 0) else {
+            panic!()
+        };
         let Decision::WaitUntil(d1) = s.dispatch(t0, 108) else {
             panic!()
         };

@@ -78,8 +78,7 @@ impl Scheduler for Deadline {
         // Front merge: the merged request keeps its (now stale) sort key;
         // re-key it to keep the elevator exact.
         if let Some((&key, _)) = self.sorted.range((req.end(), 0)..).next() {
-            if key.0 == req.end()
-                && self.sorted[&key].can_front_merge(&req, self.max_merge_sectors)
+            if key.0 == req.end() && self.sorted[&key].can_front_merge(&req, self.max_merge_sectors)
             {
                 let mut queued = self.sorted.remove(&key).expect("key just seen");
                 queued.front_merge(req);
@@ -138,12 +137,18 @@ mod tests {
         s.add(t, req(300, 8, IoDir::Read));
         s.add(t, req(100, 8, IoDir::Read));
         s.add(t, req(200, 8, IoDir::Read));
-        let Decision::Request(r) = s.dispatch(t, 150) else { panic!() };
+        let Decision::Request(r) = s.dispatch(t, 150) else {
+            panic!()
+        };
         assert_eq!(r.lbn, 200);
-        let Decision::Request(r) = s.dispatch(t, r.end()) else { panic!() };
+        let Decision::Request(r) = s.dispatch(t, r.end()) else {
+            panic!()
+        };
         assert_eq!(r.lbn, 300);
         // Wraps around.
-        let Decision::Request(r) = s.dispatch(t, r.end()) else { panic!() };
+        let Decision::Request(r) = s.dispatch(t, r.end()) else {
+            panic!()
+        };
         assert_eq!(r.lbn, 100);
     }
 
@@ -166,7 +171,9 @@ mod tests {
         s.add(SimTime::ZERO, req(10, 8, IoDir::Write));
         let t = SimTime::from_millis(600); // read deadline, not write
         s.add(t, req(5000, 8, IoDir::Write));
-        let Decision::Request(r) = s.dispatch(t, 5000) else { panic!() };
+        let Decision::Request(r) = s.dispatch(t, 5000) else {
+            panic!()
+        };
         assert_eq!(r.lbn, 5000, "write at LBN 10 has not expired yet");
     }
 
@@ -178,7 +185,9 @@ mod tests {
         s.add(t, req(108, 8, IoDir::Read));
         s.add(t, req(92, 8, IoDir::Read));
         assert_eq!(s.len(), 1);
-        let Decision::Request(r) = s.dispatch(t, 0) else { panic!() };
+        let Decision::Request(r) = s.dispatch(t, 0) else {
+            panic!()
+        };
         assert_eq!((r.lbn, r.sectors), (92, 24));
     }
 
@@ -188,9 +197,11 @@ mod tests {
         let t = SimTime::ZERO;
         s.add(t, req(108, 8, IoDir::Read));
         s.add(t, req(100, 8, IoDir::Read)); // front merge → starts at 100
-        // Head at 104: elevator from 104 should NOT find the merged
-        // request "after" the head under its old key.
-        let Decision::Request(r) = s.dispatch(t, 104) else { panic!() };
+                                            // Head at 104: elevator from 104 should NOT find the merged
+                                            // request "after" the head under its old key.
+        let Decision::Request(r) = s.dispatch(t, 104) else {
+            panic!()
+        };
         assert_eq!(r.lbn, 100, "merged request must be keyed by new start");
     }
 

@@ -30,8 +30,8 @@ pub use device::{Action, BlockDevice, DevStats, StorageDev};
 pub use noop::Noop;
 pub use trace::DispatchTracer;
 
-use ibridge_device::{DevOp, IoDir, Lbn};
 use ibridge_des::SimTime;
+use ibridge_device::{DevOp, IoDir, Lbn};
 
 /// Identifies the origin of a request for per-stream scheduling —
 /// the analogue of a Linux I/O context (one per client process here).

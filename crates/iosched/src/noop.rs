@@ -5,8 +5,8 @@
 //! per-command overhead.
 
 use crate::{BlockRequest, Decision, Scheduler};
-use ibridge_device::Lbn;
 use ibridge_des::SimTime;
+use ibridge_device::Lbn;
 use std::collections::VecDeque;
 
 /// FIFO queue with merging.

@@ -63,7 +63,10 @@ fn sector_set(reqs: &[BlockRequest]) -> Vec<(u64, u64, IoDir)> {
     v
 }
 
-fn check_conservation(mut sched: AnySched, raw: &[(u16, u8, u8, bool)]) -> Result<(), TestCaseError> {
+fn check_conservation(
+    mut sched: AnySched,
+    raw: &[(u16, u8, u8, bool)],
+) -> Result<(), TestCaseError> {
     let reqs = requests(raw);
     let submitted = sector_set(&reqs);
     let mut tags: Vec<u64> = reqs.iter().map(|r| r.tags[0]).collect();

@@ -289,7 +289,9 @@ impl LocalFs {
                 let meta = self.files.get_mut(&file).expect("exists");
                 // Coalesce with the previous run when physically adjacent.
                 let merged = match meta.runs.range_mut(..b).next_back() {
-                    Some((&rb, run)) if rb + run.1 == b && run.0 + run.1 * self.cfg.block_sectors == lbn => {
+                    Some((&rb, run))
+                        if rb + run.1 == b && run.0 + run.1 * self.cfg.block_sectors == lbn =>
+                    {
                         run.1 += got;
                         true
                     }
@@ -536,7 +538,8 @@ mod tests {
         // A new file of the same size only fits if the freed space is
         // recycled.
         let b = FileHandle(2);
-        f.preallocate(b, 900 * 4096).expect("freed extents must be recycled");
+        f.preallocate(b, 900 * 4096)
+            .expect("freed extents must be recycled");
         let total: u64 = f
             .map_range(b, 0, 900 * 4096)
             .unwrap()

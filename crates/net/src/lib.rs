@@ -219,9 +219,7 @@ mod tests {
     #[test]
     fn non_blocking_fabric_lets_nodes_send_in_parallel() {
         let mut f = Fabric::new(4, LinkConfig::qdr_infiniband(), None);
-        let arrivals: Vec<SimTime> = (0..4)
-            .map(|n| f.send(n, SimTime::ZERO, 1 << 20))
-            .collect();
+        let arrivals: Vec<SimTime> = (0..4).map(|n| f.send(n, SimTime::ZERO, 1 << 20)).collect();
         // All identical: no shared constraint.
         assert!(arrivals.windows(2).all(|w| w[0] == w[1]));
     }
@@ -231,9 +229,7 @@ mod tests {
         let link = LinkConfig::qdr_infiniband();
         // Core equal to one link: 4 concurrent senders queue behind it.
         let mut f = Fabric::new(4, link.clone(), Some(link.bandwidth));
-        let arrivals: Vec<SimTime> = (0..4)
-            .map(|n| f.send(n, SimTime::ZERO, 1 << 20))
-            .collect();
+        let arrivals: Vec<SimTime> = (0..4).map(|n| f.send(n, SimTime::ZERO, 1 << 20)).collect();
         assert!(
             arrivals.windows(2).all(|w| w[1] > w[0]),
             "core must serialise: {arrivals:?}"

@@ -29,7 +29,10 @@ fn main() {
     for procs in [16usize, 64, 512] {
         for size in [64u64 * 1024, 65 * 1024, 74 * 1024, 94 * 1024] {
             let t = run(procs, size, total, IoDir::Read);
-            println!("read  procs={procs:3} size={:3}KB -> {t:7.1} MB/s", size / 1024);
+            println!(
+                "read  procs={procs:3} size={:3}KB -> {t:7.1} MB/s",
+                size / 1024
+            );
         }
     }
     for size in [64u64 * 1024, 65 * 1024] {

@@ -25,6 +25,19 @@ use ibridge_net::{Link, LinkConfig};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Calendar events dispatched by every [`Cluster::run`] in this process,
+/// across all threads — the implementation-throughput denominator for the
+/// harness's `--bench-report` (events per wall-second).
+static TOTAL_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Total calendar events dispatched by all cluster runs so far in this
+/// process (monotone; updated once per run, so it is cheap and safe to
+/// poll from another thread).
+pub fn total_events_dispatched() -> u64 {
+    TOTAL_EVENTS.load(Ordering::Relaxed)
+}
 
 /// Cluster-wide configuration.
 #[derive(Debug, Clone)]
@@ -84,7 +97,11 @@ enum Ev {
     /// A device finished its in-flight request.
     DevComplete { server: usize, kind: DevKind },
     /// A device anticipation timer fired.
-    DevRecheck { server: usize, kind: DevKind, gen: u64 },
+    DevRecheck {
+        server: usize,
+        kind: DevKind,
+        gen: u64,
+    },
     /// A sub-reply reached the client.
     Reply { proc: usize, parent: u64 },
     /// Periodic T-value report from a server.
@@ -160,6 +177,9 @@ pub struct RunStats {
     pub io_time: SimDuration,
     /// Total compute (think) time (summed across procs).
     pub think_time: SimDuration,
+    /// Calendar events dispatched during this run (simulator work, not a
+    /// property of the simulated system).
+    pub events_dispatched: u64,
     /// Bytes moved by each process (heterogeneous-workload accounting).
     pub proc_bytes: Vec<u64>,
     /// When each process finished, relative to run start.
@@ -247,10 +267,7 @@ pub struct Cluster {
 impl Cluster {
     /// Builds a cluster; `make_policy` constructs each server's cache
     /// policy (e.g. `|_| Box::new(StockPolicy::new())`).
-    pub fn new(
-        cfg: ClusterConfig,
-        make_policy: impl Fn(usize) -> Box<dyn CachePolicy>,
-    ) -> Self {
+    pub fn new(cfg: ClusterConfig, make_policy: impl Fn(usize) -> Box<dyn CachePolicy>) -> Self {
         let shared = cfg.server.clone();
         Self::heterogeneous(cfg, move |_| shared.clone(), make_policy)
     }
@@ -326,11 +343,10 @@ impl Cluster {
         for (kind, action) in out.dev_actions {
             match action {
                 Action::CompleteAt(t) => {
-                    self.sim.schedule_at(t, Ev::DevComplete { server, kind });
+                    self.sim.post_at(t, Ev::DevComplete { server, kind });
                 }
                 Action::RecheckAt(t, gen) => {
-                    self.sim
-                        .schedule_at(t, Ev::DevRecheck { server, kind, gen });
+                    self.sim.post_at(t, Ev::DevRecheck { server, kind, gen });
                 }
             }
         }
@@ -350,6 +366,7 @@ impl Cluster {
         let n_procs = workload.procs();
         assert!(n_procs > 0, "workload has no processes");
         let start = self.sim.now();
+        let dispatched_before = self.sim.dispatched();
         let layout = self.layout();
         let ibridge = self.cfg.flag_fragments;
 
@@ -357,8 +374,9 @@ impl Cluster {
             s.prepare_run();
         }
 
-        let mut client_links: Vec<Link> =
-            (0..n_procs).map(|_| Link::new(self.cfg.link.clone())).collect();
+        let mut client_links: Vec<Link> = (0..n_procs)
+            .map(|_| Link::new(self.cfg.link.clone()))
+            .collect();
         let mut proc_state = vec![ProcState::Running; n_procs];
         let mut proc_iter = vec![0u64; n_procs];
         let mut active = n_procs;
@@ -375,18 +393,17 @@ impl Cluster {
         let mut proc_done = vec![SimDuration::ZERO; n_procs];
         let mut draining = false;
         let use_barrier = workload.barrier();
-        let barrier_mask: Vec<bool> =
-            (0..n_procs).map(|p| workload.in_barrier(p)).collect();
+        let barrier_mask: Vec<bool> = (0..n_procs).map(|p| workload.in_barrier(p)).collect();
 
         for proc in 0..n_procs {
-            self.sim.schedule_now(Ev::Wake { proc });
+            self.sim.post_now(Ev::Wake { proc });
         }
         if ibridge {
             for server in 0..self.cfg.n_servers {
                 self.sim
-                    .schedule_in(self.cfg.report_interval, Ev::Report { server });
+                    .post_in(self.cfg.report_interval, Ev::Report { server });
                 self.sim
-                    .schedule_in(self.cfg.writeback_interval, Ev::WritebackTick { server });
+                    .post_in(self.cfg.writeback_interval, Ev::WritebackTick { server });
             }
         }
 
@@ -403,11 +420,7 @@ impl Cluster {
                                 client_done_at = now;
                             } else if use_barrier {
                                 // A departing process may release the barrier.
-                                self.maybe_release_barrier(
-                                    &mut proc_state,
-                                    &barrier_mask,
-                                    now,
-                                );
+                                self.maybe_release_barrier(&mut proc_state, &barrier_mask, now);
                             }
                         }
                         Some(item) => {
@@ -415,13 +428,11 @@ impl Cluster {
                             think_time += item.think;
                             let jitter = match self.cfg.client_jitter.as_nanos() {
                                 0 => SimDuration::ZERO,
-                                max => SimDuration::from_nanos(
-                                    self.jitter_rng.gen_range(0..max),
-                                ),
+                                max => SimDuration::from_nanos(self.jitter_rng.gen_range(0..max)),
                             };
                             let delay = item.think + jitter;
                             if delay > SimDuration::ZERO {
-                                self.sim.schedule_in(
+                                self.sim.post_in(
                                     delay,
                                     Ev::Issue {
                                         proc,
@@ -429,7 +440,7 @@ impl Cluster {
                                     },
                                 );
                             } else {
-                                self.sim.schedule_now(Ev::Issue {
+                                self.sim.post_now(Ev::Issue {
                                     proc,
                                     req: item.req,
                                 });
@@ -466,12 +477,12 @@ impl Cluster {
                         let arrive = client_links[proc].send(now, sub.request_bytes());
                         let server = sub.server;
                         jobs.insert(job, PendingJob { sub, proc, parent });
-                        self.sim.schedule_at(arrive, Ev::SubArrive { server, job });
+                        self.sim.post_at(arrive, Ev::SubArrive { server, job });
                     }
                 }
                 Ev::SubArrive { server, job } => {
                     let exec_at = self.servers[server].cpu_admit(now);
-                    self.sim.schedule_at(exec_at, Ev::SubExec { server, job });
+                    self.sim.post_at(exec_at, Ev::SubExec { server, job });
                 }
                 Ev::SubExec { server, job } => {
                     let (sub, proc) = {
@@ -482,7 +493,7 @@ impl Cluster {
                     let mut replies = Vec::new();
                     self.handle_server_out(now, server, out, &mut jobs, &mut replies);
                     for (arrive, proc, parent) in replies {
-                        self.sim.schedule_at(arrive, Ev::Reply { proc, parent });
+                        self.sim.post_at(arrive, Ev::Reply { proc, parent });
                     }
                 }
                 Ev::DevComplete { server, kind } => {
@@ -494,7 +505,7 @@ impl Cluster {
                     let mut replies = Vec::new();
                     self.handle_server_out(now, server, out, &mut jobs, &mut replies);
                     for (arrive, proc, parent) in replies {
-                        self.sim.schedule_at(arrive, Ev::Reply { proc, parent });
+                        self.sim.post_at(arrive, Ev::Reply { proc, parent });
                     }
                 }
                 Ev::DevRecheck { server, kind, gen } => {
@@ -502,7 +513,7 @@ impl Cluster {
                     let mut replies = Vec::new();
                     self.handle_server_out(now, server, out, &mut jobs, &mut replies);
                     for (arrive, proc, parent) in replies {
-                        self.sim.schedule_at(arrive, Ev::Reply { proc, parent });
+                        self.sim.post_at(arrive, Ev::Reply { proc, parent });
                     }
                 }
                 Ev::Reply { proc, parent } => {
@@ -522,26 +533,24 @@ impl Cluster {
                             proc_state[proc] = ProcState::AtBarrier;
                             self.maybe_release_barrier(&mut proc_state, &barrier_mask, now);
                         } else {
-                            self.sim.schedule_now(Ev::Wake { proc });
+                            self.sim.post_now(Ev::Wake { proc });
                         }
                     }
                 }
                 Ev::Report { server } => {
                     let t = self.servers[server].policy().report_t();
                     let arrive = self.server_links[server].send(now, 128);
-                    self.sim.schedule_at(arrive, Ev::ReportArrive { server, t });
+                    self.sim.post_at(arrive, Ev::ReportArrive { server, t });
                     if active > 0 {
                         self.sim
-                            .schedule_in(self.cfg.report_interval, Ev::Report { server });
+                            .post_in(self.cfg.report_interval, Ev::Report { server });
                     }
                 }
                 Ev::ReportArrive { server, t } => {
                     self.mds_table[server] = t;
                     for dest in 0..self.cfg.n_servers {
-                        let arrive = self
-                            .mds_link
-                            .send(now, 64 * self.cfg.n_servers as u64);
-                        self.sim.schedule_at(
+                        let arrive = self.mds_link.send(now, 64 * self.cfg.n_servers as u64);
+                        self.sim.post_at(
                             arrive,
                             Ev::Broadcast {
                                 server: dest,
@@ -559,10 +568,8 @@ impl Cluster {
                     self.handle_server_out(now, server, out, &mut jobs, &mut replies);
                     debug_assert!(replies.is_empty());
                     if active > 0 {
-                        self.sim.schedule_in(
-                            self.cfg.writeback_interval,
-                            Ev::WritebackTick { server },
-                        );
+                        self.sim
+                            .post_in(self.cfg.writeback_interval, Ev::WritebackTick { server });
                     }
                 }
                 Ev::DrainTick { server } => {
@@ -577,7 +584,7 @@ impl Cluster {
                 if !draining {
                     draining = true;
                     for server in 0..self.cfg.n_servers {
-                        self.sim.schedule_now(Ev::DrainTick { server });
+                        self.sim.post_now(Ev::DrainTick { server });
                     }
                 }
                 if self.servers.iter().all(|s| s.quiescent()) {
@@ -587,6 +594,8 @@ impl Cluster {
         }
 
         let end = self.sim.now();
+        let events_dispatched = self.sim.dispatched() - dispatched_before;
+        TOTAL_EVENTS.fetch_add(events_dispatched, Ordering::Relaxed);
         RunStats {
             elapsed: end - start,
             client_elapsed: client_done_at - start,
@@ -596,6 +605,7 @@ impl Cluster {
             latency_hist_ms,
             io_time,
             think_time,
+            events_dispatched,
             proc_bytes,
             proc_done,
             servers: self
@@ -635,7 +645,7 @@ impl Cluster {
         for (proc, st) in proc_state.iter_mut().enumerate() {
             if *st == ProcState::AtBarrier {
                 *st = ProcState::Running;
-                self.sim.schedule_now(Ev::Wake { proc });
+                self.sim.post_now(Ev::Wake { proc });
             }
         }
     }
@@ -817,8 +827,14 @@ mod tests {
             |_| Box::new(StockPolicy::new()),
         );
         use ibridge_iosched::StorageDev;
-        assert!(matches!(c.server(0).primary().storage(), StorageDev::Ssd(_)));
-        assert!(matches!(c.server(1).primary().storage(), StorageDev::Disk(_)));
+        assert!(matches!(
+            c.server(0).primary().storage(),
+            StorageDev::Ssd(_)
+        ));
+        assert!(matches!(
+            c.server(1).primary().storage(),
+            StorageDev::Disk(_)
+        ));
     }
 
     #[test]

@@ -87,8 +87,7 @@ impl Layout {
             // Last unit ≤ u1 owned by server s.
             let last = u1 - (u1 % n + n - s) % n;
             debug_assert!(last >= first && last % n == s);
-            let start_local = (first / n) * su
-                + if first == u0 { offset % su } else { 0 };
+            let start_local = (first / n) * su + if first == u0 { offset % su } else { 0 };
             let end_local = (last / n) * su
                 + if last == u1 {
                     (offset + len - 1) % su + 1
@@ -264,14 +263,7 @@ mod tests {
     #[test]
     fn fragment_flagging_for_65k() {
         let l = l8();
-        let subs = l.sub_requests(
-            IoDir::Read,
-            FileHandle(1),
-            0,
-            65 * KB,
-            20 * KB,
-            true,
-        );
+        let subs = l.sub_requests(IoDir::Read, FileHandle(1), 0, 65 * KB, 20 * KB, true);
         assert_eq!(subs.len(), 2);
         let bulk = subs.iter().find(|s| s.len == 64 * KB).unwrap();
         assert_eq!(bulk.class, ReqClass::Bulk);

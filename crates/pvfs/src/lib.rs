@@ -53,7 +53,7 @@ pub mod proto;
 pub mod server;
 pub mod workload;
 
-pub use cluster::{Cluster, ClusterConfig, RunStats, ServerRunStats};
+pub use cluster::{total_events_dispatched, Cluster, ClusterConfig, RunStats, ServerRunStats};
 pub use layout::Layout;
 pub use policy::{CachePolicy, CacheStats, EntryId, FlushId, FlushOp, Placement, StockPolicy};
 pub use proto::{FileRequest, ReqClass, SubRequest};

@@ -92,11 +92,7 @@ pub trait CachePolicy: std::fmt::Debug {
     /// Called when a disk read for which `place` requested admission has
     /// completed. Returns log extents to write (and the entry id), or
     /// `None` if the policy changed its mind (e.g. no clean log space).
-    fn read_admission(
-        &mut self,
-        now: SimTime,
-        sub: &SubRequest,
-    ) -> Option<(EntryId, Vec<Extent>)>;
+    fn read_admission(&mut self, now: SimTime, sub: &SubRequest) -> Option<(EntryId, Vec<Extent>)>;
 
     /// The admission write finished; the entry becomes servable.
     fn admission_complete(&mut self, now: SimTime, entry: EntryId);

@@ -16,9 +16,7 @@
 use crate::policy::{CachePolicy, EntryId, FlushId, FlushOp, Placement};
 use crate::proto::SubRequest;
 use ibridge_des::{SimDuration, SimTime};
-use ibridge_device::{
-    bytes_to_sectors, DiskModel, DiskProfile, IoDir, SsdModel, SsdProfile,
-};
+use ibridge_device::{bytes_to_sectors, DiskModel, DiskProfile, IoDir, SsdModel, SsdProfile};
 use ibridge_iosched::{
     Action, AnySched, BlockDevice, BlockRequest, Cfq, CfqConfig, Deadline, Noop, StorageDev,
     StreamId,
@@ -211,7 +209,8 @@ pub struct ServerOut {
 
 impl ServerOut {
     fn extend_dev(&mut self, kind: DevKind, actions: Vec<Action>) {
-        self.dev_actions.extend(actions.into_iter().map(|a| (kind, a)));
+        self.dev_actions
+            .extend(actions.into_iter().map(|a| (kind, a)));
     }
 
     /// Appends another batch of outputs (used when one event triggers
@@ -254,12 +253,8 @@ impl DataServer {
         } else {
             let sched = match cfg.disk_sched {
                 DiskSched::Cfq => AnySched::Cfq(Cfq::new(cfg.cfq.clone())),
-                DiskSched::Deadline => {
-                    AnySched::Deadline(Deadline::new(cfg.cfq.max_merge_sectors))
-                }
-                DiskSched::Noop => {
-                    AnySched::Noop(Noop::new(cfg.cfq.max_merge_sectors))
-                }
+                DiskSched::Deadline => AnySched::Deadline(Deadline::new(cfg.cfq.max_merge_sectors)),
+                DiskSched::Noop => AnySched::Noop(Noop::new(cfg.cfq.max_merge_sectors)),
             };
             BlockDevice::with_ncq(
                 StorageDev::Disk(DiskModel::new(cfg.disk.clone())),
@@ -538,11 +533,10 @@ impl DataServer {
                     if start < sub.offset {
                         // The hole may be unallocated (e.g. never written
                         // to disk); only fill when it maps.
-                        if let Ok(ext) = self.fs.map_range(
-                            sub.file,
-                            start,
-                            sub.offset + sub.len - start,
-                        ) {
+                        if let Ok(ext) =
+                            self.fs
+                                .map_range(sub.file, start, sub.offset + sub.len - start)
+                        {
                             ra.record(start, sub.offset - start, budget);
                             extents = ext;
                         }
@@ -581,7 +575,9 @@ impl DataServer {
                     &mut out,
                 );
             }
-            Placement::Ssd { extents: log_extents } => {
+            Placement::Ssd {
+                extents: log_extents,
+            } => {
                 self.jobs.insert(
                     job,
                     JobState {
@@ -641,9 +637,10 @@ impl DataServer {
                 for edge in [op.offset, op.offset + op.len] {
                     if edge % block_bytes != 0 {
                         let block = edge / block_bytes;
-                        let warm = self.ra.get(&op.file).is_some_and(|ra| {
-                            ra.covered(block * block_bytes, block_bytes)
-                        });
+                        let warm = self
+                            .ra
+                            .get(&op.file)
+                            .is_some_and(|ra| ra.covered(block * block_bytes, block_bytes));
                         if !warm {
                             rmw_edges += 1;
                         }
@@ -940,7 +937,10 @@ mod tests {
         ) -> crate::policy::Placement {
             if sub.dir.is_write() {
                 let sectors = sub.len.div_ceil(512);
-                let extents = vec![Extent { lbn: self.next_log, sectors }];
+                let extents = vec![Extent {
+                    lbn: self.next_log,
+                    sectors,
+                }];
                 let id = self.next_log;
                 self.next_log += sectors;
                 self.dirty.push((
@@ -955,7 +955,9 @@ mod tests {
                 ));
                 crate::policy::Placement::Ssd { extents }
             } else {
-                crate::policy::Placement::Disk { admit_after_read: true }
+                crate::policy::Placement::Disk {
+                    admit_after_read: true,
+                }
             }
         }
 
@@ -965,7 +967,10 @@ mod tests {
             sub: &SubRequest,
         ) -> Option<(u64, Vec<Extent>)> {
             let sectors = sub.len.div_ceil(512);
-            let extents = vec![Extent { lbn: self.next_log, sectors }];
+            let extents = vec![Extent {
+                lbn: self.next_log,
+                sectors,
+            }];
             let id = self.next_log;
             self.next_log += sectors;
             Some((id, extents))

@@ -33,7 +33,10 @@ fn flag(args: &[String], name: &str, default: u64) -> u64 {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().unwrap_or_else(|_| die(&format!("{name} needs an integer"))))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("{name} needs an integer")))
+        })
         .unwrap_or(default)
 }
 
@@ -43,7 +46,9 @@ fn gen(args: &[String]) {
     };
     let profile = AppProfile::table1()
         .into_iter()
-        .find(|p| p.name.eq_ignore_ascii_case(app) || p.name.to_lowercase().contains(&app.to_lowercase()))
+        .find(|p| {
+            p.name.eq_ignore_ascii_case(app) || p.name.to_lowercase().contains(&app.to_lowercase())
+        })
         .unwrap_or_else(|| die(&format!("unknown app {app:?}; see `tracegen apps`")));
     let requests = flag(args, "--requests", 10_000) as usize;
     let span = flag(args, "--span-mb", 1024) << 20;
@@ -66,8 +71,7 @@ fn classify_cmd(args: &[String]) {
     };
     let unit = flag(args, "--unit-kb", 64) << 10;
     let random = flag(args, "--random-kb", 20) << 10;
-    let trace =
-        Trace::load_path(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let trace = Trace::load_path(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     let c = classify(&trace.records, unit, random);
     println!("requests  : {}", c.requests);
     println!("mean size : {:.1} KB", c.mean_size / 1024.0);

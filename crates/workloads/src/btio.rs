@@ -67,8 +67,7 @@ impl Btio {
     ) -> Self {
         assert!(procs > 0 && steps > 0);
         let req_size = Self::request_size_for(procs);
-        let reqs_per_step =
-            (data_bytes / (procs as u64 * steps * req_size)).max(1);
+        let reqs_per_step = (data_bytes / (procs as u64 * steps * req_size)).max(1);
         let slots = reqs_per_step * procs as u64 * steps;
         // Multipliers coprime with `slots` scatter the slot sequence
         // into bijective pseudo-random placements; the verification
@@ -106,13 +105,7 @@ impl Btio {
     /// The paper's scaled-down default: 256 MB over 16 steps with 50 ms
     /// of compute per step (class C is 6.8 GB; the shape is preserved).
     pub fn scaled(file: FileHandle, procs: usize) -> Self {
-        Btio::new(
-            file,
-            procs,
-            256 << 20,
-            16,
-            SimDuration::from_millis(50),
-        )
+        Btio::new(file, procs, 256 << 20, 16, SimDuration::from_millis(50))
     }
 
     /// Per-request size: ≈2160 B at 9 processes, ≈640 B at 100
@@ -161,8 +154,7 @@ impl Workload for Btio {
             // uncorrelated with the write order.
             let k = iter - writes;
             let linear = k * self.procs as u64 + proc as u64;
-            let offset =
-                (linear.wrapping_mul(self.verify_multiplier) % self.slots) * self.req_size;
+            let offset = (linear.wrapping_mul(self.verify_multiplier) % self.slots) * self.req_size;
             return Some(WorkItem {
                 req: FileRequest {
                     dir: IoDir::Read,
@@ -251,13 +243,7 @@ mod tests {
 
     #[test]
     fn compute_precedes_each_phase() {
-        let mut b = Btio::new(
-            FileHandle(1),
-            9,
-            1 << 20,
-            4,
-            SimDuration::from_millis(7),
-        );
+        let mut b = Btio::new(FileHandle(1), 9, 1 << 20, 4, SimDuration::from_millis(7));
         assert_eq!(b.next(0, 0).unwrap().think, SimDuration::from_millis(7));
         assert_eq!(b.next(0, 1).unwrap().think, SimDuration::ZERO);
         // First request of the second phase computes again.
@@ -267,8 +253,7 @@ mod tests {
 
     #[test]
     fn workload_terminates() {
-        let mut b =
-            Btio::new(FileHandle(1), 9, 1 << 18, 2, SimDuration::ZERO).without_verify();
+        let mut b = Btio::new(FileHandle(1), 9, 1 << 18, 2, SimDuration::ZERO).without_verify();
         let total = b.steps * b.reqs_per_step;
         assert!(b.next(0, total).is_none());
     }

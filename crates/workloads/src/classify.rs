@@ -73,12 +73,12 @@ mod tests {
     #[test]
     fn categories_follow_the_paper_definitions() {
         let records = vec![
-            rec(0, 4 * KB),            // random (< 20 KB)
-            rec(0, 64 * KB),           // aligned
-            rec(0, 65 * KB),           // unaligned (end off-grid)
-            rec(KB, 128 * KB),         // unaligned (start off-grid)
-            rec(64 * KB, 128 * KB),    // aligned
-            rec(0, 32 * KB),           // neither: 20 KB..64 KB
+            rec(0, 4 * KB),         // random (< 20 KB)
+            rec(0, 64 * KB),        // aligned
+            rec(0, 65 * KB),        // unaligned (end off-grid)
+            rec(KB, 128 * KB),      // unaligned (start off-grid)
+            rec(64 * KB, 128 * KB), // aligned
+            rec(0, 32 * KB),        // neither: 20 KB..64 KB
         ];
         let c = classify(&records, 64 * KB, 20 * KB);
         assert_eq!(c.requests, 6);

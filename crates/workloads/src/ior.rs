@@ -30,13 +30,7 @@ pub struct IorMpiIo {
 impl IorMpiIo {
     /// Splits a `total_bytes` file among `procs` processes accessed in
     /// `size`-byte requests.
-    pub fn sized(
-        dir: IoDir,
-        file: FileHandle,
-        procs: usize,
-        size: u64,
-        total_bytes: u64,
-    ) -> Self {
+    pub fn sized(dir: IoDir, file: FileHandle, procs: usize, size: u64, total_bytes: u64) -> Self {
         assert!(size > 0 && procs > 0);
         let chunk = (total_bytes / procs as u64).max(size);
         IorMpiIo {

@@ -34,13 +34,7 @@ pub struct MpiIoTest {
 impl MpiIoTest {
     /// A run moving `total_bytes` in requests of `size` with `procs`
     /// processes (iterations derived; at least one).
-    pub fn sized(
-        dir: IoDir,
-        file: FileHandle,
-        procs: usize,
-        size: u64,
-        total_bytes: u64,
-    ) -> Self {
+    pub fn sized(dir: IoDir, file: FileHandle, procs: usize, size: u64, total_bytes: u64) -> Self {
         assert!(size > 0 && procs > 0);
         let iters = (total_bytes / (size * procs as u64)).max(1);
         MpiIoTest {
@@ -81,8 +75,7 @@ impl Workload for MpiIoTest {
         if iter >= self.iters {
             return None;
         }
-        let offset =
-            (iter * self.procs as u64 + proc as u64) * self.size + self.shift;
+        let offset = (iter * self.procs as u64 + proc as u64) * self.size + self.shift;
         Some(WorkItem {
             req: FileRequest {
                 dir: self.dir,
@@ -115,16 +108,16 @@ mod tests {
 
     #[test]
     fn shift_produces_pattern_iii() {
-        let mut w = MpiIoTest::sized(IoDir::Read, FileHandle(1), 2, 65536, 4 * 65536)
-            .with_shift(10 * 1024);
+        let mut w =
+            MpiIoTest::sized(IoDir::Read, FileHandle(1), 2, 65536, 4 * 65536).with_shift(10 * 1024);
         assert_eq!(w.next(0, 0).unwrap().req.offset, 10 * 1024);
         assert_eq!(w.next(1, 0).unwrap().req.offset, 65536 + 10 * 1024);
     }
 
     #[test]
     fn span_covers_all_accesses() {
-        let w = MpiIoTest::sized(IoDir::Write, FileHandle(1), 8, 65 * 1024, 1 << 24)
-            .with_shift(1024);
+        let w =
+            MpiIoTest::sized(IoDir::Write, FileHandle(1), 8, 65 * 1024, 1 << 24).with_shift(1024);
         let mut max_end = 0;
         let mut w2 = w.clone();
         for proc in 0..w.procs {

@@ -11,7 +11,7 @@
 //! format (`R|W <offset> <len>`), and replayed by a single synchronous
 //! process, exactly like the paper's replayer.
 
-use ibridge_des::rng::{streams, stream_rng};
+use ibridge_des::rng::{stream_rng, streams};
 use ibridge_des::SimDuration;
 use ibridge_device::IoDir;
 use ibridge_localfs::FileHandle;
@@ -142,8 +142,7 @@ impl Trace {
                 // Unaligned: > one striping unit, edges off the grid.
                 let spread = profile.mean_large / 2;
                 let mut len = rng.gen_range(
-                    (SU + 1024).max(profile.mean_large - spread)
-                        ..profile.mean_large + spread,
+                    (SU + 1024).max(profile.mean_large - spread)..profile.mean_large + spread,
                 );
                 if len % SU == 0 {
                     len += 1024;
@@ -346,19 +345,36 @@ mod tests {
     #[test]
     fn load_rejects_garbage() {
         for bad in ["X 0 10", "R ten 10", "R 0", "R 0 0"] {
-            assert!(Trace::load(io::Cursor::new(bad.as_bytes())).is_err(), "{bad}");
+            assert!(
+                Trace::load(io::Cursor::new(bad.as_bytes())).is_err(),
+                "{bad}"
+            );
         }
         // Comments and blank lines are fine.
         let ok = "# header\n\nR 0 512\n";
-        assert_eq!(Trace::load(io::Cursor::new(ok.as_bytes())).unwrap().records.len(), 1);
+        assert_eq!(
+            Trace::load(io::Cursor::new(ok.as_bytes()))
+                .unwrap()
+                .records
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn replay_walks_records_in_order() {
         let t = Trace {
             records: vec![
-                TraceRecord { dir: IoDir::Read, offset: 0, len: 512 },
-                TraceRecord { dir: IoDir::Write, offset: 1024, len: 256 },
+                TraceRecord {
+                    dir: IoDir::Read,
+                    offset: 0,
+                    len: 512,
+                },
+                TraceRecord {
+                    dir: IoDir::Write,
+                    offset: 1024,
+                    len: 256,
+                },
             ],
         };
         let mut w = TraceReplay::new(t, FileHandle(9));
@@ -383,8 +399,7 @@ mod tests {
                 iter += 1;
             }
         }
-        let mut expect: Vec<(u64, u64)> =
-            t.records.iter().map(|r| (r.offset, r.len)).collect();
+        let mut expect: Vec<(u64, u64)> = t.records.iter().map(|r| (r.offset, r.len)).collect();
         replayed.sort_unstable();
         expect.sort_unstable();
         assert_eq!(replayed, expect, "every record replayed exactly once");

@@ -22,7 +22,10 @@ fn main() {
     for (label, mut cluster) in [
         ("disk-only", stock_cluster(ClusterConfig::default())),
         ("SSD-only ", ssd_only_cluster(ClusterConfig::default())),
-        ("iBridge  ", ibridge_cluster(ClusterConfig::default(), 10 << 30)),
+        (
+            "iBridge  ",
+            ibridge_cluster(ClusterConfig::default(), 10 << 30),
+        ),
     ] {
         let mut w = workload(file);
         cluster.preallocate(file, w.span_bytes() + (1 << 20));

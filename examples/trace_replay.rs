@@ -34,7 +34,10 @@ fn main() {
     let file = FileHandle(1);
     for (label, mut cluster) in [
         ("stock  ", stock_cluster(ClusterConfig::default())),
-        ("iBridge", ibridge_cluster(ClusterConfig::default(), 10 << 30)),
+        (
+            "iBridge",
+            ibridge_cluster(ClusterConfig::default(), 10 << 30),
+        ),
     ] {
         cluster.preallocate(file, span + (1 << 20));
         let mut w = TraceReplay::new(trace.clone(), file);

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml — run before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== expt --jobs parallel output identity"
+./target/release/expt all >/tmp/ibridge_ci_j1.txt 2>/dev/null
+./target/release/expt --jobs 4 all >/tmp/ibridge_ci_j4.txt 2>/dev/null
+cmp /tmp/ibridge_ci_j1.txt /tmp/ibridge_ci_j4.txt
+echo "CI OK"

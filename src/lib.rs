@@ -53,11 +53,11 @@ pub mod prelude {
     pub use ibridge_device::{DiskProfile, IoDir, SsdProfile};
     pub use ibridge_localfs::FileHandle;
     pub use ibridge_pvfs::{
-        Cluster, ClusterConfig, FileRequest, Layout, ReqClass, RunStats, ServerConfig,
-        StockPolicy, SubRequest, WorkItem, Workload,
+        Cluster, ClusterConfig, FileRequest, Layout, ReqClass, RunStats, ServerConfig, StockPolicy,
+        SubRequest, WorkItem, Workload,
     };
     pub use ibridge_workloads::{
-        classify, AppProfile, Btio, CombinedWorkload, IorMpiIo, MpiIoTest, Trace,
-        TraceRecord, TraceReplay,
+        classify, AppProfile, Btio, CombinedWorkload, IorMpiIo, MpiIoTest, Trace, TraceRecord,
+        TraceReplay,
     };
 }

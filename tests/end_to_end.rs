@@ -167,9 +167,12 @@ fn striping_magnification_is_visible() {
                     })
                 }
             }
-            let main = Spans { k, extra, iters: 24 };
-            let mut combined =
-                CombinedWorkload::new(main, Antagonist { k, iters: 96 });
+            let main = Spans {
+                k,
+                extra,
+                iters: 24,
+            };
+            let mut combined = CombinedWorkload::new(main, Antagonist { k, iters: 96 });
             let range = combined.a_procs();
             let stats = c.run(&mut combined);
             pair.push(stats.group_throughput_mbps(range));

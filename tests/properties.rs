@@ -1,9 +1,9 @@
 //! Property-based tests of the core data structures and invariants.
 
-use ibridge_repro::prelude::*;
 use ibridge_repro::core::{CircularLog, EntryType, MappingTable};
 use ibridge_repro::des::stats::Histogram;
 use ibridge_repro::localfs::{FsConfig, LocalFs};
+use ibridge_repro::prelude::*;
 use proptest::prelude::*;
 
 const KB: u64 = 1024;
