@@ -1,0 +1,95 @@
+//! `calbench` — calendar-queue microbenchmark for the perf-smoke gate.
+//!
+//! Dispatches a fixed number of events (default 10⁶) through the DES
+//! calendar while keeping a rolling window of pending timers, the same
+//! push/pop/cancel mix a cluster run produces. Stdout is a deterministic
+//! digest that CI compares against a committed golden; wall-clock
+//! figures go to stderr so timing noise never fails the gate.
+//!
+//! ```text
+//! calbench [--events N] [--window W] [--seed S]
+//! ```
+
+use ibridge_bench::alloc_count;
+use ibridge_des::rng::stream_rng;
+use ibridge_des::{SimDuration, Simulation};
+use rand::Rng;
+use std::time::Instant;
+
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static COUNTING_ALLOC: alloc_count::CountingAlloc = alloc_count::CountingAlloc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |name: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse().expect("integer argument"))
+            .unwrap_or(default)
+    };
+    let total: u64 = get("--events", 1_000_000);
+    let window: u64 = get("--window", 256);
+    let seed: u64 = get("--seed", 42);
+
+    let mut sim: Simulation<u64> = Simulation::new();
+    let mut rng = stream_rng(seed, 0);
+    // Pending timers get cancelled and rescheduled like device rechecks.
+    let mut cancel_me = Vec::new();
+    let mut payload_sum = 0u64;
+    let mut dispatched = 0u64;
+    for i in 0..window {
+        sim.post_in(SimDuration::from_nanos(rng.gen_range(1..1000)), i);
+    }
+    let a0 = alloc_count::snapshot();
+    let t0 = Instant::now();
+    while dispatched < total {
+        let (now, payload) = sim.pop().expect("calendar drained early");
+        dispatched += 1;
+        payload_sum = payload_sum.wrapping_mul(31).wrapping_add(payload);
+        // Keep the window full: one new timer per dispatch, and every
+        // 16th event also schedules-then-cancels (the recheck pattern).
+        let d = SimDuration::from_nanos(rng.gen_range(1..1000));
+        sim.post_in(d, payload.wrapping_add(1));
+        if dispatched % 16 == 0 {
+            let id = sim.schedule_at(
+                now + SimDuration::from_nanos(rng.gen_range(1..1000)),
+                u64::MAX,
+            );
+            cancel_me.push(id);
+        }
+        if cancel_me.len() >= 8 {
+            for id in cancel_me.drain(..) {
+                sim.cancel(id);
+            }
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let a1 = alloc_count::snapshot();
+
+    // Deterministic digest: compared byte-for-byte by CI.
+    println!(
+        "calbench events={} window={} seed={} digest={:016x} final_ns={}",
+        dispatched,
+        window,
+        seed,
+        payload_sum,
+        sim.now().as_nanos(),
+    );
+    eprintln!(
+        "[calbench: {:.0} events/s, {:.3}s wall{}]",
+        dispatched as f64 / wall.max(1e-9),
+        wall,
+        if alloc_count::enabled() {
+            format!(
+                ", {} allocs ({:.4}/event), peak {} bytes",
+                a1.allocs - a0.allocs,
+                (a1.allocs - a0.allocs) as f64 / dispatched as f64,
+                a1.peak,
+            )
+        } else {
+            String::new()
+        }
+    );
+}

@@ -16,8 +16,15 @@
 //! byte-identical at any `--jobs` level.
 
 use ibridge_bench::experiments::{self, Experiment};
-use ibridge_bench::{runpar, Scale};
+use ibridge_bench::{alloc_count, runpar, Scale};
 use std::time::Instant;
+
+/// With `--features count-allocs`, every heap operation in this binary is
+/// counted per thread; `--bench-report` turns the counters into
+/// allocations-per-event figures (see `BENCH_pr2.json`).
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static COUNTING_ALLOC: alloc_count::CountingAlloc = alloc_count::CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -135,27 +142,67 @@ fn write_bench_report(
 ) {
     eprintln!("[bench-report: rerunning at --jobs 1 for the baseline]");
     runpar::set_jobs(1);
+    // At `--jobs 1` the runpar pool degenerates to a sequential map on
+    // this thread, so thread-local allocation counters and the global
+    // event counter attribute exactly to the experiment between the two
+    // snapshots.
+    struct SeqRun {
+        out: String,
+        wall: f64,
+        events: u64,
+        allocs: u64,
+        alloc_bytes: u64,
+        peak_bytes: u64,
+    }
     let seq_start = Instant::now();
-    let seq: Vec<(String, f64)> = chosen
+    let seq: Vec<SeqRun> = chosen
         .iter()
         .map(|e| {
             let t0 = Instant::now();
+            let ev0 = ibridge_pvfs::total_events_dispatched();
+            let a0 = alloc_count::snapshot();
+            alloc_count::reset_peak();
             let out = (e.run)(scale);
-            (out, t0.elapsed().as_secs_f64())
+            let a1 = alloc_count::snapshot();
+            SeqRun {
+                out,
+                wall: t0.elapsed().as_secs_f64(),
+                events: ibridge_pvfs::total_events_dispatched() - ev0,
+                allocs: a1.allocs - a0.allocs,
+                alloc_bytes: a1.bytes - a0.bytes,
+                peak_bytes: a1.peak,
+            }
         })
         .collect();
     let seq_wall = seq_start.elapsed().as_secs_f64();
-    let identical = par_results.iter().zip(&seq).all(|((a, _), (b, _))| a == b);
+    let identical = par_results.iter().zip(&seq).all(|((a, _), b)| *a == b.out);
 
     let mut per = String::new();
     for (i, e) in chosen.iter().enumerate() {
         if i > 0 {
             per.push(',');
         }
+        let s = &seq[i];
         per.push_str(&format!(
-            "\n    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"wall_s_jobs1\": {:.3}}}",
-            e.name, par_results[i].1, seq[i].1
+            "\n    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"wall_s_jobs1\": {:.3}, \
+             \"events\": {}, \"events_per_sec_jobs1\": {:.0}",
+            e.name,
+            par_results[i].1,
+            s.wall,
+            s.events,
+            s.events as f64 / s.wall.max(1e-9),
         ));
+        if alloc_count::enabled() {
+            per.push_str(&format!(
+                ", \"allocs\": {}, \"alloc_bytes\": {}, \"peak_bytes\": {}, \
+                 \"allocs_per_event\": {:.3}",
+                s.allocs,
+                s.alloc_bytes,
+                s.peak_bytes,
+                s.allocs as f64 / (s.events.max(1)) as f64,
+            ));
+        }
+        per.push('}');
     }
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -168,12 +215,24 @@ fn write_bench_report(
     } else {
         String::new()
     };
+    let alloc_summary = if alloc_count::enabled() {
+        let allocs: u64 = seq.iter().map(|s| s.allocs).sum();
+        let ev: u64 = seq.iter().map(|s| s.events).sum();
+        format!(
+            ",\n  \"counting_allocator\": true,\n  \"allocs_jobs1\": {allocs},\n  \
+             \"allocs_per_event_jobs1\": {:.3}",
+            allocs as f64 / (ev.max(1)) as f64
+        )
+    } else {
+        ",\n  \"counting_allocator\": false".to_string()
+    };
     let json = format!(
         "{{\n  \"jobs\": {jobs},\n  \"host_cpus\": {host_cpus},\n  \
          \"seed\": {},\n  \"experiments\": [{per}\n  ],\n  \
          \"wall_s\": {par_wall:.3},\n  \"wall_s_jobs1\": {seq_wall:.3},\n  \
          \"speedup_vs_jobs1\": {:.3},\n  \"events_dispatched\": {events},\n  \
-         \"events_per_sec\": {:.0},\n  \"output_identical_to_jobs1\": {identical}{note}\n}}\n",
+         \"events_per_sec\": {:.0},\n  \
+         \"output_identical_to_jobs1\": {identical}{alloc_summary}{note}\n}}\n",
         scale.seed,
         seq_wall / par_wall.max(1e-9),
         events as f64 / par_wall.max(1e-9),

@@ -11,6 +11,7 @@
 //! Run everything with `cargo run --release -p ibridge-bench --bin expt
 //! -- all`, or a single experiment with e.g. `... -- fig4`.
 
+pub mod alloc_count;
 pub mod experiments;
 pub mod runpar;
 pub mod table;

@@ -12,7 +12,7 @@
 //! enough that this is rare.
 
 use ibridge_device::Lbn;
-use ibridge_localfs::Extent;
+use ibridge_localfs::{Extent, ExtentList};
 use std::collections::BTreeMap;
 
 /// Identifier of a cache entry, matching `ibridge_pvfs::EntryId`.
@@ -98,20 +98,41 @@ impl CircularLog {
         self.protected.remove(&entry);
     }
 
-    /// Residents whose region intersects `[start, start+len)` (no wrap).
-    fn overlapping(&self, start: Lbn, len: u64) -> Vec<(Lbn, Resident)> {
+    /// Walks the residents intersecting `[start, start+len)` (no wrap),
+    /// collecting casualties; fails on a protected one.
+    fn check_piece(
+        &self,
+        start: Lbn,
+        len: u64,
+        casualties: &mut Vec<EntryId>,
+    ) -> Result<(), AppendError> {
         let end = start + len;
-        let mut out = Vec::new();
         // A resident starting before `start` may still reach into it.
         if let Some((&s, &r)) = self.residents.range(..start).next_back() {
             if s + r.sectors > start {
-                out.push((s, r));
+                if self.protected.contains(&r.entry) {
+                    return Err(AppendError::BlockedByDirty);
+                }
+                casualties.push(r.entry);
             }
         }
-        for (&s, &r) in self.residents.range(start..end) {
-            out.push((s, r));
+        for (_, &r) in self.residents.range(start..end) {
+            if self.protected.contains(&r.entry) {
+                return Err(AppendError::BlockedByDirty);
+            }
+            casualties.push(r.entry);
         }
-        out
+        Ok(())
+    }
+
+    /// True when any resident intersects `[start, start+len)` (no wrap).
+    fn piece_occupied(&self, start: Lbn, len: u64) -> bool {
+        if let Some((&s, &r)) = self.residents.range(..start).next_back() {
+            if s + r.sectors > start {
+                return true;
+            }
+        }
+        self.residents.range(start..start + len).next().is_some()
     }
 
     /// Appends `sectors` at the head, wrapping if needed. On success,
@@ -122,26 +143,28 @@ impl CircularLog {
         &mut self,
         sectors: u64,
         entry: EntryId,
-    ) -> Result<(Vec<Extent>, Vec<EntryId>), AppendError> {
+    ) -> Result<(ExtentList, Vec<EntryId>), AppendError> {
         assert!(sectors > 0, "zero-length append");
         if sectors > self.capacity {
             return Err(AppendError::TooLarge);
         }
-        // Determine the (up to two) pieces the allocation covers.
+        // Determine the (up to two) pieces the allocation covers — the
+        // inline capacity of `ExtentList` is sized for exactly this.
         let first_len = sectors.min(self.capacity - self.head);
-        let mut pieces = vec![(self.head, first_len)];
+        let mut extents = ExtentList::one(Extent {
+            lbn: self.head,
+            sectors: first_len,
+        });
         if first_len < sectors {
-            pieces.push((0, sectors - first_len));
+            extents.push(Extent {
+                lbn: 0,
+                sectors: sectors - first_len,
+            });
         }
         // Check every piece for protected residents before mutating.
         let mut casualties = Vec::new();
-        for &(start, len) in &pieces {
-            for (_, r) in self.overlapping(start, len) {
-                if self.protected.contains(&r.entry) {
-                    return Err(AppendError::BlockedByDirty);
-                }
-                casualties.push(r.entry);
-            }
+        for e in &extents {
+            self.check_piece(e.lbn, e.sectors, &mut casualties)?;
         }
         casualties.sort_unstable();
         casualties.dedup();
@@ -151,19 +174,14 @@ impl CircularLog {
             self.residents.retain(|_, r| r.entry != *id);
         }
         // Claim the space.
-        let mut extents = Vec::with_capacity(pieces.len());
-        for &(start, len) in &pieces {
+        for e in &extents {
             self.residents.insert(
-                start,
+                e.lbn,
                 Resident {
-                    sectors: len,
+                    sectors: e.sectors,
                     entry,
                 },
             );
-            extents.push(Extent {
-                lbn: start,
-                sectors: len,
-            });
         }
         self.head = (self.head + sectors) % self.capacity;
         Ok((extents, casualties))
@@ -181,10 +199,10 @@ impl CircularLog {
         &mut self,
         extents: &[Extent],
         entry: EntryId,
-    ) -> Result<(Vec<Extent>, Vec<EntryId>), AppendError> {
+    ) -> Result<(ExtentList, Vec<EntryId>), AppendError> {
         for e in extents {
             assert!(e.end() <= self.capacity, "extent beyond the log");
-            if !self.overlapping(e.lbn, e.sectors).is_empty() {
+            if self.piece_occupied(e.lbn, e.sectors) {
                 return Err(AppendError::BlockedByDirty);
             }
         }
@@ -197,7 +215,7 @@ impl CircularLog {
                 },
             );
         }
-        Ok((extents.to_vec(), Vec::new()))
+        Ok((extents.iter().copied().collect(), Vec::new()))
     }
 
     /// Restores the append head (crash recovery).
@@ -218,17 +236,17 @@ mod tests {
         let (b, _) = log.append(100, 2).unwrap();
         assert_eq!(
             a,
-            vec![Extent {
+            ExtentList::one(Extent {
                 lbn: 0,
                 sectors: 100
-            }]
+            })
         );
         assert_eq!(
             b,
-            vec![Extent {
+            ExtentList::one(Extent {
                 lbn: 100,
                 sectors: 100
-            }]
+            })
         );
         assert_eq!(log.head(), 200);
     }
@@ -241,7 +259,7 @@ mod tests {
         let (ext, _) = log.append(40, 2).unwrap();
         assert_eq!(
             ext,
-            vec![
+            ExtentList::two(
                 Extent {
                     lbn: 80,
                     sectors: 20
@@ -250,8 +268,9 @@ mod tests {
                     lbn: 0,
                     sectors: 20
                 }
-            ]
+            )
         );
+        assert!(!ext.spilled(), "wrap must fit the inline capacity");
         assert_eq!(log.head(), 20);
     }
 
@@ -263,10 +282,10 @@ mod tests {
         let (ext, evicted) = log.append(30, 3).unwrap(); // overwrites part of 1
         assert_eq!(
             ext,
-            vec![Extent {
+            ExtentList::one(Extent {
                 lbn: 0,
                 sectors: 30
-            }]
+            })
         );
         assert_eq!(evicted, vec![1]);
         // Entry 1's remaining region is gone too.

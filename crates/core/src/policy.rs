@@ -27,7 +27,7 @@ use crate::partition::PartitionMode;
 use crate::table::{EntryType, MappingTable};
 use ibridge_des::SimTime;
 use ibridge_device::{bytes_to_sectors, DiskProfile, Lbn};
-use ibridge_localfs::Extent;
+use ibridge_localfs::ExtentList;
 use ibridge_pvfs::{
     CachePolicy, CacheStats, EntryId, FlushId, FlushOp, Placement, ReqClass, SubRequest,
 };
@@ -92,6 +92,8 @@ pub struct IBridgePolicy {
     pending_admissions: HashMap<(u64, u64), f64>,
     flush_to_entry: HashMap<FlushId, EntryId>,
     next_flush: FlushId,
+    /// Reused scratch for overlap invalidation (no per-write allocation).
+    overlap_scratch: Vec<EntryId>,
 }
 
 impl IBridgePolicy {
@@ -108,6 +110,7 @@ impl IBridgePolicy {
             pending_admissions: HashMap::new(),
             flush_to_entry: HashMap::new(),
             next_flush: 0,
+            overlap_scratch: Vec::new(),
             cfg,
         }
     }
@@ -167,7 +170,7 @@ impl IBridgePolicy {
 
     /// Reserves log space for `len` bytes (+ mapping-table backup) under
     /// a fresh entry id. Returns the id and the data extents.
-    fn reserve(&mut self, typ: EntryType, len: u64) -> Option<(EntryId, Vec<Extent>)> {
+    fn reserve(&mut self, typ: EntryType, len: u64) -> Option<(EntryId, ExtentList)> {
         if !self.make_room(typ, len) {
             return None;
         }
@@ -186,7 +189,10 @@ impl IBridgePolicy {
                 // is already included in the extents handed to the SSD).
                 let mut meta_left = self.cfg.meta_sectors;
                 while meta_left > 0 {
-                    let last = extents.last_mut().expect("append returned extents");
+                    let last = extents
+                        .as_mut_slice()
+                        .last_mut()
+                        .expect("append returned extents");
                     if last.sectors > meta_left {
                         last.sectors -= meta_left;
                         meta_left = 0;
@@ -207,10 +213,15 @@ impl IBridgePolicy {
     /// workloads in the paper do not overlap in-flight ranges; this path
     /// preserves table consistency for those that do).
     fn invalidate_overlaps(&mut self, sub: &SubRequest) {
-        for id in self.table.find_overlaps(sub.file, sub.offset, sub.len) {
+        let mut ids = std::mem::take(&mut self.overlap_scratch);
+        ids.clear();
+        self.table
+            .find_overlaps_into(sub.file, sub.offset, sub.len, &mut ids);
+        for &id in &ids {
             self.drop_entry(id);
             self.stats.evictions += 1;
         }
+        self.overlap_scratch = ids;
     }
 }
 
@@ -300,6 +311,10 @@ impl CachePolicy for IBridgePolicy {
             if let Some(entry) = self.table.lookup_covering(sub.file, sub.offset, sub.len) {
                 let extents = entry.slice(sub.offset - entry.offset, sub.len);
                 let id = entry.id;
+                match entry.typ {
+                    EntryType::Fragment => self.stats.fragment_read_hits += 1,
+                    EntryType::Random => self.stats.random_read_hits += 1,
+                }
                 self.table.touch(id);
                 self.model.serve_ssd();
                 self.stats.read_hits += 1;
@@ -307,6 +322,11 @@ impl CachePolicy for IBridgePolicy {
                 return Placement::Ssd { extents };
             }
             self.stats.read_misses += 1;
+            match candidate_class {
+                Some(EntryType::Fragment) => self.stats.fragment_read_misses += 1,
+                Some(EntryType::Random) => self.stats.random_read_misses += 1,
+                None => {}
+            }
             let admit = candidate_class.is_some() && {
                 let ret = self.return_of(sub, disk_lbn);
                 if ret > 0.0 {
@@ -359,11 +379,7 @@ impl CachePolicy for IBridgePolicy {
         }
     }
 
-    fn read_admission(
-        &mut self,
-        _now: SimTime,
-        sub: &SubRequest,
-    ) -> Option<(EntryId, Vec<Extent>)> {
+    fn read_admission(&mut self, _now: SimTime, sub: &SubRequest) -> Option<(EntryId, ExtentList)> {
         let typ = Self::class_of(sub)?;
         let ret = self
             .pending_admissions
@@ -371,11 +387,7 @@ impl CachePolicy for IBridgePolicy {
             .unwrap_or(0.0);
         // The range may have been cached meanwhile (e.g. by a sibling
         // admission); never double-cache.
-        if !self
-            .table
-            .find_overlaps(sub.file, sub.offset, sub.len)
-            .is_empty()
-        {
+        if self.table.has_overlap(sub.file, sub.offset, sub.len) {
             return None;
         }
         match self.reserve(typ, sub.len) {
@@ -392,6 +404,10 @@ impl CachePolicy for IBridgePolicy {
                     true,  // pending until the SSD write completes
                 );
                 self.stats.admissions += 1;
+                match typ {
+                    EntryType::Fragment => self.stats.fragment_admissions += 1,
+                    EntryType::Random => self.stats.random_admissions += 1,
+                }
                 self.stats.appended_bytes += (bytes_to_sectors(sub.len) + self.cfg.meta_sectors)
                     * ibridge_localfs::SECTOR_SIZE;
                 Some((id, extents))

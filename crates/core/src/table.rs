@@ -8,7 +8,7 @@
 //! partitioning), dirtiness, and LRU position within its class.
 
 use crate::log::EntryId;
-use ibridge_localfs::{Extent, FileHandle};
+use ibridge_localfs::{Extent, ExtentList, FileHandle};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Which SSD partition an entry belongs to.
@@ -41,7 +41,7 @@ pub struct Entry {
     /// Length in bytes.
     pub len: u64,
     /// Data sectors in the SSD log (1 or 2 extents).
-    pub extents: Vec<Extent>,
+    pub extents: ExtentList,
     /// Partition.
     pub typ: EntryType,
     /// Return value recorded at admission.
@@ -58,13 +58,13 @@ pub struct Entry {
 impl Entry {
     /// Slices this entry's log extents to the byte sub-range
     /// `[from, from + len)` relative to the entry's own range.
-    pub fn slice(&self, from: u64, len: u64) -> Vec<Extent> {
+    pub fn slice(&self, from: u64, len: u64) -> ExtentList {
         assert!(from + len <= self.len, "slice outside entry");
         let first_sector = from / ibridge_localfs::SECTOR_SIZE;
         let last_sector = (from + len).div_ceil(ibridge_localfs::SECTOR_SIZE);
         let mut want = last_sector - first_sector;
         let mut skip = first_sector;
-        let mut out = Vec::new();
+        let mut out = ExtentList::new();
         for e in &self.extents {
             if skip >= e.sectors {
                 skip -= e.sectors;
@@ -109,15 +109,59 @@ impl ClassUsage {
 }
 
 /// The mapping table.
+///
+/// Besides the id → entry map, three indexes keep every hot query
+/// sub-linear: `by_range` (per-file offset order) answers hit and
+/// overlap lookups, and two per-class LRU-ordered *eligibility* sets
+/// answer eviction and writeback candidate queries in O(log n) — an
+/// entry sits in `evictable` when it could be dropped right now
+/// (clean, not flushing, not pending), in `dirty_lru` when it could be
+/// flushed right now (dirty, not flushing, not pending), and in
+/// neither while an admission or writeback is in flight. The sets are
+/// keyed by `(lru_seq, id)`, so iteration order *is* LRU order and the
+/// picked candidates match what a linear scan over a single LRU list
+/// would have found.
 #[derive(Debug, Default)]
 pub struct MappingTable {
     entries: HashMap<EntryId, Entry>,
     by_range: HashMap<FileHandle, BTreeMap<u64, EntryId>>,
-    lru: [BTreeSet<(u64, EntryId)>; 2],
+    evictable: [BTreeSet<(u64, EntryId)>; 2],
+    dirty_lru: [BTreeSet<(u64, EntryId)>; 2],
     usage: [ClassUsage; 2],
     dirty_bytes: u64,
     next_id: EntryId,
     next_seq: u64,
+}
+
+/// Drops `e`'s key from whichever eligibility set holds it.
+fn unindex(
+    evictable: &mut [BTreeSet<(u64, EntryId)>; 2],
+    dirty_lru: &mut [BTreeSet<(u64, EntryId)>; 2],
+    e: &Entry,
+) {
+    let key = (e.lru_seq, e.id);
+    let i = e.typ.idx();
+    if !evictable[i].remove(&key) {
+        dirty_lru[i].remove(&key);
+    }
+}
+
+/// Files `e` into the eligibility set its flags call for, if any.
+fn index(
+    evictable: &mut [BTreeSet<(u64, EntryId)>; 2],
+    dirty_lru: &mut [BTreeSet<(u64, EntryId)>; 2],
+    e: &Entry,
+) {
+    if e.flushing || e.pending {
+        return;
+    }
+    let key = (e.lru_seq, e.id);
+    let i = e.typ.idx();
+    if e.dirty {
+        dirty_lru[i].insert(key);
+    } else {
+        evictable[i].insert(key);
+    }
 }
 
 impl MappingTable {
@@ -168,7 +212,7 @@ impl MappingTable {
         file: FileHandle,
         offset: u64,
         len: u64,
-        extents: Vec<Extent>,
+        extents: ExtentList,
         typ: EntryType,
         ret: f64,
         dirty: bool,
@@ -176,7 +220,7 @@ impl MappingTable {
     ) {
         assert!(len > 0, "empty entry");
         assert!(
-            self.find_overlaps(file, offset, len).is_empty(),
+            !self.has_overlap(file, offset, len),
             "inserting over an existing entry"
         );
         self.next_seq += 1;
@@ -193,7 +237,7 @@ impl MappingTable {
             pending,
             lru_seq: self.next_seq,
         };
-        self.lru[typ.idx()].insert((self.next_seq, id));
+        index(&mut self.evictable, &mut self.dirty_lru, &entry);
         let u = &mut self.usage[typ.idx()];
         u.bytes += len;
         u.entries += 1;
@@ -209,7 +253,7 @@ impl MappingTable {
     /// Removes an entry, returning it.
     pub fn remove(&mut self, id: EntryId) -> Option<Entry> {
         let entry = self.entries.remove(&id)?;
-        self.lru[entry.typ.idx()].remove(&(entry.lru_seq, id));
+        unindex(&mut self.evictable, &mut self.dirty_lru, &entry);
         let u = &mut self.usage[entry.typ.idx()];
         u.bytes -= entry.len;
         u.entries -= 1;
@@ -234,9 +278,9 @@ impl MappingTable {
             return;
         };
         self.next_seq += 1;
-        self.lru[entry.typ.idx()].remove(&(entry.lru_seq, id));
+        unindex(&mut self.evictable, &mut self.dirty_lru, entry);
         entry.lru_seq = self.next_seq;
-        self.lru[entry.typ.idx()].insert((self.next_seq, id));
+        index(&mut self.evictable, &mut self.dirty_lru, entry);
     }
 
     /// Finds the single *servable* (non-pending) entry fully covering
@@ -248,12 +292,34 @@ impl MappingTable {
         (!e.pending && e.offset <= offset && offset + len <= e.offset + e.len).then_some(e)
     }
 
-    /// Ids of all entries overlapping `[offset, offset + len)` of `file`.
-    pub fn find_overlaps(&self, file: FileHandle, offset: u64, len: u64) -> Vec<EntryId> {
+    /// True when any entry overlaps `[offset, offset + len)` of `file`.
+    /// O(log n), no allocation — the hot-path form of overlap checking.
+    pub fn has_overlap(&self, file: FileHandle, offset: u64, len: u64) -> bool {
         let Some(m) = self.by_range.get(&file) else {
-            return Vec::new();
+            return false;
         };
-        let mut out = Vec::new();
+        if let Some((_, &id)) = m.range(..offset).next_back() {
+            let e = &self.entries[&id];
+            if e.offset + e.len > offset {
+                return true;
+            }
+        }
+        m.range(offset..offset + len).next().is_some()
+    }
+
+    /// Appends the ids of all entries overlapping `[offset, offset +
+    /// len)` of `file` to `out` (a caller-owned scratch buffer, so
+    /// steady-state invalidation allocates nothing).
+    pub fn find_overlaps_into(
+        &self,
+        file: FileHandle,
+        offset: u64,
+        len: u64,
+        out: &mut Vec<EntryId>,
+    ) {
+        let Some(m) = self.by_range.get(&file) else {
+            return;
+        };
         if let Some((_, &id)) = m.range(..offset).next_back() {
             let e = &self.entries[&id];
             if e.offset + e.len > offset {
@@ -263,67 +329,77 @@ impl MappingTable {
         for (_, &id) in m.range(offset..offset + len) {
             out.push(id);
         }
+    }
+
+    /// Ids of all entries overlapping `[offset, offset + len)` of `file`.
+    pub fn find_overlaps(&self, file: FileHandle, offset: u64, len: u64) -> Vec<EntryId> {
+        let mut out = Vec::new();
+        self.find_overlaps_into(file, offset, len, &mut out);
         out
     }
 
     /// The least-recently-used *evictable* entry of a class: not dirty,
-    /// not flushing, not pending.
+    /// not flushing, not pending. O(log n) — the first element of the
+    /// class's evictable set is the oldest by construction.
     pub fn lru_victim(&self, typ: EntryType) -> Option<EntryId> {
-        self.lru[typ.idx()].iter().map(|&(_, id)| id).find(|id| {
-            let e = &self.entries[id];
-            !e.dirty && !e.flushing && !e.pending
-        })
+        self.evictable[typ.idx()].first().map(|&(_, id)| id)
     }
 
     /// The oldest dirty entries, grouped for writeback. Returns up to
     /// `max_bytes` worth of entry ids **sorted by home location** so the
     /// resulting disk writes are as sequential as possible (the paper's
-    /// writeback scheduling).
+    /// writeback scheduling). Only flush-eligible entries are visited
+    /// (via the per-class dirty sets), and each candidate's sort key is
+    /// captured during that walk, so the batch is built with one pass
+    /// and one sort — no per-candidate table lookups afterwards.
     pub fn dirty_batch(&self, max_bytes: u64) -> Vec<EntryId> {
-        let mut picked = Vec::new();
+        let mut picked: Vec<(FileHandle, u64, EntryId)> = Vec::new();
         let mut budget = max_bytes;
-        for lru in &self.lru {
-            for &(_, id) in lru.iter() {
+        for dirty in &self.dirty_lru {
+            for &(_, id) in dirty.iter() {
                 let e = &self.entries[&id];
-                if !e.dirty || e.flushing || e.pending {
-                    continue;
-                }
+                debug_assert!(e.dirty && !e.flushing && !e.pending);
                 if e.len > budget {
                     continue;
                 }
                 budget -= e.len;
-                picked.push(id);
+                picked.push((e.file, e.offset, id));
             }
         }
-        picked.sort_by_key(|id| {
-            let e = &self.entries[id];
-            (e.file, e.offset)
-        });
-        picked
+        // Offsets are unique per file (overlapping inserts are refused),
+        // so the unstable sort is deterministic.
+        picked.sort_unstable();
+        picked.into_iter().map(|(_, _, id)| id).collect()
     }
 
     /// Sets the flushing flag.
     pub fn set_flushing(&mut self, id: EntryId, flushing: bool) {
         if let Some(e) = self.entries.get_mut(&id) {
+            unindex(&mut self.evictable, &mut self.dirty_lru, e);
             e.flushing = flushing;
+            index(&mut self.evictable, &mut self.dirty_lru, e);
         }
     }
 
     /// Marks an entry clean (writeback finished).
     pub fn mark_clean(&mut self, id: EntryId) {
         if let Some(e) = self.entries.get_mut(&id) {
+            unindex(&mut self.evictable, &mut self.dirty_lru, e);
             if e.dirty {
                 e.dirty = false;
                 self.dirty_bytes -= e.len;
             }
             e.flushing = false;
+            index(&mut self.evictable, &mut self.dirty_lru, e);
         }
     }
 
     /// Clears the pending flag (admission write finished).
     pub fn activate(&mut self, id: EntryId) {
         if let Some(e) = self.entries.get_mut(&id) {
+            unindex(&mut self.evictable, &mut self.dirty_lru, e);
             e.pending = false;
+            index(&mut self.evictable, &mut self.dirty_lru, e);
         }
     }
 
@@ -339,8 +415,8 @@ mod tests {
 
     const F: FileHandle = FileHandle(1);
 
-    fn ext(lbn: u64, sectors: u64) -> Vec<Extent> {
-        vec![Extent { lbn, sectors }]
+    fn ext(lbn: u64, sectors: u64) -> ExtentList {
+        ExtentList::one(Extent { lbn, sectors })
     }
 
     fn table_with(entries: &[(u64, u64, EntryType, bool)]) -> MappingTable {
@@ -498,7 +574,7 @@ mod tests {
             file: F,
             offset: 0,
             len: 20 * 512,
-            extents: vec![
+            extents: ExtentList::two(
                 Extent {
                     lbn: 90,
                     sectors: 10,
@@ -507,7 +583,7 @@ mod tests {
                     lbn: 0,
                     sectors: 10,
                 },
-            ],
+            ),
             typ: EntryType::Fragment,
             ret: 0.0,
             dirty: false,
@@ -520,29 +596,29 @@ mod tests {
         // Inside the first extent.
         assert_eq!(
             e.slice(512, 512),
-            vec![Extent {
+            ExtentList::one(Extent {
                 lbn: 91,
                 sectors: 1
-            }]
+            })
         );
         // Straddling the wrap.
         assert_eq!(
             e.slice(9 * 512, 2 * 512),
-            vec![
+            ExtentList::two(
                 Extent {
                     lbn: 99,
                     sectors: 1
                 },
                 Extent { lbn: 0, sectors: 1 }
-            ]
+            )
         );
         // Byte-unaligned range rounds out to sectors.
         assert_eq!(
             e.slice(100, 100),
-            vec![Extent {
+            ExtentList::one(Extent {
                 lbn: 90,
                 sectors: 1
-            }]
+            })
         );
     }
 

@@ -239,7 +239,7 @@ impl Scheduler for Cfq {
                 let req = q.pop_elevator(head).expect("queue checked non-empty");
                 self.total -= 1;
                 self.idle_until = None;
-                return Decision::Request(Box::new(req));
+                return Decision::Request(req);
             }
             // Active queue is empty: anticipate, then deactivate.
             // Seeky streams get no idling (Linux disables anticipation

@@ -112,7 +112,7 @@ impl Scheduler for Deadline {
                 .or_else(|| self.sorted.keys().next().copied())
         });
         match key.and_then(|k| self.sorted.remove(&k)) {
-            Some(r) => Decision::Request(Box::new(r)),
+            Some(r) => Decision::Request(r),
             None => Decision::Empty,
         }
     }

@@ -51,6 +51,87 @@ pub enum Action {
     RecheckAt(SimTime, u64),
 }
 
+/// Fixed-capacity action set returned by one device poke.
+///
+/// A single kick can start at most one request (`CompleteAt`) and arm at
+/// most one anticipation timer (`RecheckAt`), so the result needs no heap
+/// storage at all. Iteration yields the completion first, matching the
+/// order the event loop has always scheduled them in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActionList {
+    complete: Option<SimTime>,
+    recheck: Option<(SimTime, u64)>,
+}
+
+impl ActionList {
+    /// No actions.
+    pub const EMPTY: ActionList = ActionList {
+        complete: None,
+        recheck: None,
+    };
+
+    fn set_complete(&mut self, t: SimTime) {
+        debug_assert!(self.complete.is_none(), "double completion in one kick");
+        self.complete = Some(t);
+    }
+
+    fn set_recheck(&mut self, t: SimTime, gen: u64) {
+        debug_assert!(self.recheck.is_none(), "double recheck in one kick");
+        self.recheck = Some((t, gen));
+    }
+
+    /// Number of actions (0–2).
+    pub fn len(&self) -> usize {
+        usize::from(self.complete.is_some()) + usize::from(self.recheck.is_some())
+    }
+
+    /// True when there is nothing to schedule.
+    pub fn is_empty(&self) -> bool {
+        self.complete.is_none() && self.recheck.is_none()
+    }
+
+    /// The actions, completion first.
+    pub fn iter(&self) -> ActionIter {
+        self.into_iter()
+    }
+}
+
+/// Iterator over an [`ActionList`].
+#[derive(Debug, Clone)]
+pub struct ActionIter {
+    complete: Option<SimTime>,
+    recheck: Option<(SimTime, u64)>,
+}
+
+impl Iterator for ActionIter {
+    type Item = Action;
+    fn next(&mut self) -> Option<Action> {
+        if let Some(t) = self.complete.take() {
+            return Some(Action::CompleteAt(t));
+        }
+        self.recheck.take().map(|(t, g)| Action::RecheckAt(t, g))
+    }
+}
+
+impl IntoIterator for ActionList {
+    type Item = Action;
+    type IntoIter = ActionIter;
+    fn into_iter(self) -> ActionIter {
+        ActionIter {
+            complete: self.complete,
+            recheck: self.recheck,
+        }
+    }
+}
+
+impl IntoIterator for &ActionList {
+    type Item = Action;
+    type IntoIter = ActionIter;
+    fn into_iter(self) -> ActionIter {
+        (*self).into_iter()
+    }
+}
+
 /// Aggregate device utilisation counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DevStats {
@@ -135,7 +216,7 @@ impl BlockDevice {
     }
 
     /// Submits a request; returns actions to schedule.
-    pub fn submit(&mut self, now: SimTime, req: BlockRequest) -> Vec<Action> {
+    pub fn submit(&mut self, now: SimTime, req: BlockRequest) -> ActionList {
         self.sched.add(now, req);
         self.kick(now)
     }
@@ -148,7 +229,7 @@ impl BlockDevice {
     /// # Panics
     ///
     /// Panics if nothing is in flight or the time does not match.
-    pub fn on_complete(&mut self, now: SimTime) -> (BlockRequest, Vec<Action>) {
+    pub fn on_complete(&mut self, now: SimTime) -> (BlockRequest, ActionList) {
         let (req, finish) = self
             .inflight
             .take()
@@ -159,18 +240,19 @@ impl BlockDevice {
     }
 
     /// Handles an anticipation recheck. Stale generations are ignored.
-    pub fn on_recheck(&mut self, now: SimTime, gen: u64) -> Vec<Action> {
+    pub fn on_recheck(&mut self, now: SimTime, gen: u64) -> ActionList {
         match self.scheduled_recheck {
             Some((_, g)) if g == gen => {
                 self.scheduled_recheck = None;
                 self.kick(now)
             }
-            _ => Vec::new(),
+            _ => ActionList::EMPTY,
         }
     }
 
-    /// Starts servicing the cheapest NCQ entry, if the head is free.
-    fn start_service(&mut self, now: SimTime) -> Option<Action> {
+    /// Starts servicing the cheapest NCQ entry, if the head is free;
+    /// returns its completion time.
+    fn start_service(&mut self, now: SimTime) -> Option<SimTime> {
         if self.inflight.is_some() || self.ncq.is_empty() {
             return None;
         }
@@ -198,10 +280,10 @@ impl BlockDevice {
             self.stats.bytes_written += req.sectors * ibridge_device::SECTOR_SIZE;
         }
         self.inflight = Some((req, finish));
-        Some(Action::CompleteAt(finish))
+        Some(finish)
     }
 
-    fn kick(&mut self, now: SimTime) -> Vec<Action> {
+    fn kick(&mut self, now: SimTime) -> ActionList {
         // Fill the device queue from the scheduler.
         let mut wait: Option<SimTime> = None;
         while self.ncq.len() + usize::from(self.inflight.is_some()) < self.ncq_depth
@@ -209,7 +291,7 @@ impl BlockDevice {
         {
             match self.sched.dispatch(now, self.storage.head()) {
                 Decision::Request(req) => {
-                    self.ncq.push(*req);
+                    self.ncq.push(req);
                     self.scheduled_recheck = None;
                 }
                 Decision::WaitUntil(t) => {
@@ -219,9 +301,9 @@ impl BlockDevice {
                 Decision::Empty => break,
             }
         }
-        let mut actions = Vec::new();
-        if let Some(a) = self.start_service(now) {
-            actions.push(a);
+        let mut actions = ActionList::EMPTY;
+        if let Some(finish) = self.start_service(now) {
+            actions.set_complete(finish);
         }
         if let Some(t) = wait {
             match self.scheduled_recheck {
@@ -230,7 +312,7 @@ impl BlockDevice {
                 _ => {
                     self.recheck_gen += 1;
                     self.scheduled_recheck = Some((t, self.recheck_gen));
-                    actions.push(Action::RecheckAt(t, self.recheck_gen));
+                    actions.set_recheck(t, self.recheck_gen);
                 }
             }
         }
@@ -265,14 +347,17 @@ mod tests {
 
     /// Drives a block device to completion through a Simulation,
     /// returning finished requests with their completion times.
-    fn run(dev: &mut BlockDevice, initial: Vec<Action>) -> Vec<(SimTime, BlockRequest)> {
+    fn run(
+        dev: &mut BlockDevice,
+        initial: impl IntoIterator<Item = Action>,
+    ) -> Vec<(SimTime, BlockRequest)> {
         #[derive(Debug)]
         enum Ev {
             Done,
             Recheck(u64),
         }
         let mut sim: Simulation<Ev> = Simulation::new();
-        let push = |sim: &mut Simulation<Ev>, actions: Vec<Action>| {
+        let push = |sim: &mut Simulation<Ev>, actions: &mut dyn Iterator<Item = Action>| {
             for a in actions {
                 match a {
                     Action::CompleteAt(t) => {
@@ -284,7 +369,7 @@ mod tests {
                 }
             }
         };
-        push(&mut sim, initial);
+        push(&mut sim, &mut initial.into_iter());
         let mut out = Vec::new();
         while let Some((t, ev)) = sim.pop() {
             let actions = match ev {
@@ -295,7 +380,7 @@ mod tests {
                 }
                 Ev::Recheck(g) => dev.on_recheck(t, g),
             };
-            push(&mut sim, actions);
+            push(&mut sim, &mut actions.into_iter());
         }
         out
     }
@@ -307,7 +392,7 @@ mod tests {
         assert_eq!(a.len(), 1);
         let done = run(&mut dev, a);
         assert_eq!(done.len(), 1);
-        assert_eq!(done[0].1.tags, vec![42]);
+        assert_eq!(&done[0].1.tags[..], &[42]);
         assert!(dev.is_idle());
         assert_eq!(dev.stats().requests, 1);
         assert_eq!(dev.stats().bytes_read, 4096);
@@ -332,7 +417,7 @@ mod tests {
     fn cfq_anticipation_resolves_via_recheck() {
         let mut dev = disk_dev();
         let t0 = SimTime::ZERO;
-        let mut actions = dev.submit(t0, req(1, 1000, 8, t0, 0));
+        let mut actions: Vec<Action> = dev.submit(t0, req(1, 1000, 8, t0, 0)).into_iter().collect();
         actions.extend(dev.submit(t0, req(2, 900_000, 8, t0, 1)));
         let done = run(&mut dev, actions);
         // Both must finish even though CFQ idles between streams.
@@ -344,7 +429,7 @@ mod tests {
     fn tracer_sees_merged_dispatch_sizes() {
         let mut dev = ssd_dev();
         let t0 = SimTime::ZERO;
-        let mut actions = dev.submit(t0, req(1, 0, 128, t0, 0));
+        let mut actions: Vec<Action> = dev.submit(t0, req(1, 0, 128, t0, 0)).into_iter().collect();
         // Adjacent while the first is still queued? The first dispatches
         // immediately, so submit two more adjacent ones that will merge
         // with each other while the device is busy.

@@ -26,7 +26,7 @@ pub mod trace;
 
 pub use cfq::{Cfq, CfqConfig};
 pub use deadline::Deadline;
-pub use device::{Action, BlockDevice, DevStats, StorageDev};
+pub use device::{Action, ActionList, BlockDevice, DevStats, StorageDev};
 pub use noop::Noop;
 pub use trace::DispatchTracer;
 
@@ -40,6 +40,120 @@ pub type StreamId = u64;
 /// Upper-layer completion tag: identifies the server job a block request
 /// belongs to, so merged requests can complete several jobs at once.
 pub type JobTag = u64;
+
+/// Tags kept inline before spilling to the heap. Unmerged requests carry
+/// exactly one tag, and most merges combine only a handful of
+/// sub-requests, so the common case never allocates.
+pub const TAG_INLINE: usize = 4;
+
+/// An inline-first list of [`JobTag`]s.
+///
+/// Stores up to [`TAG_INLINE`] tags in place; the `spill` vector takes
+/// over (holding *all* tags) once a merge chain grows past that. Mirrors
+/// the `ExtentList` used by the file-system layer.
+#[derive(Clone)]
+pub struct TagList {
+    inline: [JobTag; TAG_INLINE],
+    len: u8,
+    spill: Vec<JobTag>,
+}
+
+impl TagList {
+    /// An empty list.
+    pub const fn new() -> Self {
+        TagList {
+            inline: [0; TAG_INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// A list holding one tag.
+    pub const fn one(tag: JobTag) -> Self {
+        let mut inline = [0; TAG_INLINE];
+        inline[0] = tag;
+        TagList {
+            inline,
+            len: 1,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends a tag, spilling to the heap past the inline capacity.
+    pub fn push(&mut self, tag: JobTag) {
+        if !self.spill.is_empty() {
+            self.spill.push(tag);
+        } else if (self.len as usize) < TAG_INLINE {
+            self.inline[self.len as usize] = tag;
+            self.len += 1;
+        } else {
+            self.spill.reserve(TAG_INLINE * 2);
+            self.spill
+                .extend_from_slice(&self.inline[..self.len as usize]);
+            self.spill.push(tag);
+            self.len = 0;
+        }
+    }
+
+    /// The tags as a slice.
+    pub fn as_slice(&self) -> &[JobTag] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// True once the list has spilled to the heap (diagnostics).
+    pub fn spilled(&self) -> bool {
+        !self.spill.is_empty()
+    }
+}
+
+impl Default for TagList {
+    fn default() -> Self {
+        TagList::new()
+    }
+}
+
+impl std::ops::Deref for TagList {
+    type Target = [JobTag];
+    fn deref(&self) -> &[JobTag] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for TagList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for TagList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for TagList {}
+
+impl<'a> IntoIterator for &'a TagList {
+    type Item = &'a JobTag;
+    type IntoIter = std::slice::Iter<'a, JobTag>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<JobTag> for TagList {
+    fn from_iter<I: IntoIterator<Item = JobTag>>(iter: I) -> Self {
+        let mut list = TagList::new();
+        for tag in iter {
+            list.push(tag);
+        }
+        list
+    }
+}
 
 /// A block-level request as seen by an I/O scheduler.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,7 +175,7 @@ pub struct BlockRequest {
     /// Cold partial-block edges requiring read-modify-write.
     pub rmw_edges: u8,
     /// Upper-layer jobs carried by this request; merging concatenates.
-    pub tags: Vec<JobTag>,
+    pub tags: TagList,
 }
 
 impl BlockRequest {
@@ -83,7 +197,7 @@ impl BlockRequest {
             submitted,
             fua: false,
             rmw_edges: 0,
-            tags: vec![tag],
+            tags: TagList::one(tag),
         }
     }
 
@@ -140,7 +254,9 @@ impl BlockRequest {
         assert_eq!(self.end(), other.lbn, "merge of non-adjacent requests");
         self.sectors += other.sectors;
         self.rmw_edges = self.rmw_edges.saturating_add(other.rmw_edges);
-        self.tags.extend(other.tags);
+        for &t in &other.tags {
+            self.tags.push(t);
+        }
         self.submitted = self.submitted.min(other.submitted);
     }
 
@@ -156,7 +272,9 @@ impl BlockRequest {
         self.lbn = other.lbn;
         self.sectors += other.sectors;
         self.rmw_edges = self.rmw_edges.saturating_add(other.rmw_edges);
-        self.tags.extend(other.tags);
+        for &t in &other.tags {
+            self.tags.push(t);
+        }
         self.submitted = self.submitted.min(other.submitted);
     }
 }
@@ -165,7 +283,7 @@ impl BlockRequest {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Decision {
     /// Dispatch this request now.
-    Request(Box<BlockRequest>),
+    Request(BlockRequest),
     /// Nothing to dispatch now, but re-ask at the given time (the
     /// scheduler is anticipating a near-future arrival).
     WaitUntil(SimTime),
@@ -238,12 +356,12 @@ mod tests {
     fn back_merge_combines_ranges_and_tags() {
         let mut a = req(100, 8);
         let mut b = req(108, 8);
-        b.tags = vec![7];
+        b.tags = TagList::one(7);
         assert!(a.can_back_merge(&b, 1024));
         a.back_merge(b);
         assert_eq!(a.lbn, 100);
         assert_eq!(a.sectors, 16);
-        assert_eq!(a.tags, vec![0, 7]);
+        assert_eq!(&a.tags[..], &[0, 7]);
     }
 
     #[test]

@@ -53,7 +53,7 @@ impl Scheduler for Noop {
 
     fn dispatch(&mut self, _now: SimTime, _head: Lbn) -> Decision {
         match self.queue.pop_front() {
-            Some(r) => Decision::Request(Box::new(r)),
+            Some(r) => Decision::Request(r),
             None => Decision::Empty,
         }
     }
@@ -75,7 +75,7 @@ mod tests {
     fn drain(s: &mut Noop) -> Vec<BlockRequest> {
         let mut out = Vec::new();
         while let Decision::Request(r) = s.dispatch(SimTime::ZERO, 0) {
-            out.push(*r);
+            out.push(r);
         }
         out
     }

@@ -43,7 +43,7 @@ fn drain(s: &mut dyn Scheduler) -> Vec<BlockRequest> {
         match s.dispatch(now, head) {
             Decision::Request(r) => {
                 head = r.end();
-                out.push(*r);
+                out.push(r);
             }
             Decision::WaitUntil(t) => {
                 now = t + SimDuration::from_nanos(1);
@@ -78,7 +78,10 @@ fn check_conservation(
     let got = sector_set(&dispatched);
     prop_assert_eq!(got, submitted);
     // Every tag survives merging exactly once.
-    let mut got_tags: Vec<u64> = dispatched.iter().flat_map(|r| r.tags.clone()).collect();
+    let mut got_tags: Vec<u64> = dispatched
+        .iter()
+        .flat_map(|r| r.tags.iter().copied())
+        .collect();
     got_tags.sort_unstable();
     tags.sort_unstable();
     prop_assert_eq!(got_tags, tags);

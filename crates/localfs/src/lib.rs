@@ -52,6 +52,189 @@ impl Extent {
     }
 }
 
+/// Number of extents an [`ExtentList`] stores without heap allocation.
+///
+/// Two covers the common cases by construction: a mapping-table entry
+/// holds "1, or 2 when the log wraps" extents, and an unfragmented file
+/// range maps to one extent (two when it crosses a block-group
+/// boundary). Longer lists (deliberate fragmentation, multi-group
+/// spans) spill to the heap transparently.
+pub const EXTENT_INLINE: usize = 2;
+
+/// A list of [`Extent`]s that stores up to [`EXTENT_INLINE`] entries
+/// inline and spills to a `Vec` beyond that.
+///
+/// This is the extent currency of the simulator's hot path: file-system
+/// mappings, SSD-log placements and per-entry bookkeeping all pass
+/// `ExtentList`s, so the per-I/O `Vec` allocation the old `Vec<Extent>`
+/// returns imposed only happens for genuinely fragmented ranges.
+/// Dereferences to `[Extent]` for iteration and indexing.
+#[derive(Clone)]
+pub struct ExtentList {
+    /// Valid in `..len` while `spill` is empty.
+    inline: [Extent; EXTENT_INLINE],
+    /// Inline length; once the list spills, `spill.len()` is the truth.
+    len: u8,
+    /// Heap storage after overflow; holds *all* extents then.
+    spill: Vec<Extent>,
+}
+
+impl Default for ExtentList {
+    fn default() -> Self {
+        ExtentList::new()
+    }
+}
+
+impl ExtentList {
+    const ZERO: Extent = Extent { lbn: 0, sectors: 0 };
+
+    /// Creates an empty list (no allocation).
+    pub const fn new() -> Self {
+        ExtentList {
+            inline: [Self::ZERO; EXTENT_INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Creates a list holding one extent (no allocation).
+    pub const fn one(e: Extent) -> Self {
+        let mut inline = [Self::ZERO; EXTENT_INLINE];
+        inline[0] = e;
+        ExtentList {
+            inline,
+            len: 1,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Creates a list holding two extents (no allocation).
+    pub const fn two(a: Extent, b: Extent) -> Self {
+        ExtentList {
+            inline: [a, b],
+            len: 2,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends an extent, spilling to the heap past [`EXTENT_INLINE`].
+    pub fn push(&mut self, e: Extent) {
+        if self.spill.is_empty() && (self.len as usize) < EXTENT_INLINE {
+            self.inline[self.len as usize] = e;
+            self.len += 1;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.reserve(EXTENT_INLINE * 2);
+                self.spill
+                    .extend_from_slice(&self.inline[..self.len as usize]);
+                self.len = 0;
+            }
+            self.spill.push(e);
+        }
+    }
+
+    /// Removes and returns the last extent.
+    pub fn pop(&mut self) -> Option<Extent> {
+        if !self.spill.is_empty() {
+            // Draining the spill below the inline capacity is fine: the
+            // spill stays authoritative while non-empty, and an empty
+            // spill with `len == 0` reads as an empty list.
+            return self.spill.pop();
+        }
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        Some(self.inline[self.len as usize])
+    }
+
+    /// Empties the list, keeping any spill capacity for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// The extents as a slice.
+    pub fn as_slice(&self) -> &[Extent] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// The extents as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [Extent] {
+        if self.spill.is_empty() {
+            &mut self.inline[..self.len as usize]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    /// True when the list heap-allocated (diagnostics/tests).
+    pub fn spilled(&self) -> bool {
+        !self.spill.is_empty()
+    }
+}
+
+impl std::ops::Deref for ExtentList {
+    type Target = [Extent];
+    fn deref(&self) -> &[Extent] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for ExtentList {
+    fn deref_mut(&mut self) -> &mut [Extent] {
+        self.as_mut_slice()
+    }
+}
+
+impl fmt::Debug for ExtentList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for ExtentList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ExtentList {}
+
+impl FromIterator<Extent> for ExtentList {
+    fn from_iter<I: IntoIterator<Item = Extent>>(iter: I) -> Self {
+        let mut out = ExtentList::new();
+        for e in iter {
+            out.push(e);
+        }
+        out
+    }
+}
+
+impl From<Vec<Extent>> for ExtentList {
+    fn from(v: Vec<Extent>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+impl<const N: usize> From<[Extent; N]> for ExtentList {
+    fn from(a: [Extent; N]) -> Self {
+        a.into_iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a ExtentList {
+    type Item = &'a Extent;
+    type IntoIter = std::slice::Iter<'a, Extent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Allocation errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FsError {
@@ -342,9 +525,9 @@ impl LocalFs {
         file: FileHandle,
         offset: u64,
         len: u64,
-    ) -> Result<Vec<Extent>, FsError> {
+    ) -> Result<ExtentList, FsError> {
         if len == 0 {
-            return Ok(Vec::new());
+            return Ok(ExtentList::new());
         }
         let meta = self
             .files
@@ -354,7 +537,7 @@ impl LocalFs {
         // Sector-align the byte range.
         let first_sector = offset / SECTOR_SIZE;
         let last_sector = (offset + len).div_ceil(SECTOR_SIZE);
-        let mut out: Vec<Extent> = Vec::new();
+        let mut out = ExtentList::new();
         let mut s = first_sector;
         while s < last_sector {
             let block = s / bs;
@@ -371,7 +554,7 @@ impl LocalFs {
             let take_end = last_sector.min(run_end_sector);
             let lbn = run_lbn + (s - run_start_sector);
             let sectors = take_end - s;
-            match out.last_mut() {
+            match out.as_mut_slice().last_mut() {
                 Some(prev) if prev.end() == lbn => prev.sectors += sectors,
                 _ => out.push(Extent { lbn, sectors }),
             }
@@ -554,6 +737,44 @@ mod tests {
         let mut f = fs();
         f.truncate(FileHandle(99));
         assert_eq!(f.used_blocks(), 0);
+    }
+
+    #[test]
+    fn extent_list_stays_inline_up_to_two() {
+        let a = Extent { lbn: 0, sectors: 8 };
+        let b = Extent {
+            lbn: 16,
+            sectors: 8,
+        };
+        let c = Extent {
+            lbn: 32,
+            sectors: 8,
+        };
+        let mut l = ExtentList::new();
+        assert!(l.is_empty() && !l.spilled());
+        l.push(a);
+        l.push(b);
+        assert_eq!(l.len(), 2);
+        assert!(!l.spilled(), "two extents must not allocate");
+        assert_eq!(l.as_slice(), &[a, b]);
+        l.push(c);
+        assert!(l.spilled());
+        assert_eq!(l.as_slice(), &[a, b, c]);
+        assert_eq!(l, ExtentList::from(vec![a, b, c]));
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(ExtentList::one(a).as_slice(), &[a]);
+        assert_eq!(ExtentList::two(a, b).as_slice(), &[a, b]);
+        assert_eq!(format!("{:?}", ExtentList::one(a)), format!("{:?}", [a]));
+    }
+
+    #[test]
+    fn unfragmented_map_range_does_not_spill() {
+        let mut f = fs();
+        let h = FileHandle(1);
+        f.preallocate(h, 1 << 20).unwrap();
+        let ext = f.map_range(h, 0, 1 << 20).unwrap();
+        assert!(!ext.spilled());
     }
 
     #[test]

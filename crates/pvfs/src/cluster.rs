@@ -26,6 +26,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Calendar events dispatched by every [`Cluster::run`] in this process,
 /// across all threads — the implementation-throughput denominator for the
@@ -108,8 +109,9 @@ enum Ev {
     Report { server: usize },
     /// The report reached the MDS.
     ReportArrive { server: usize, t: f64 },
-    /// The MDS broadcast reached a server.
-    Broadcast { server: usize, table: Vec<f64> },
+    /// The MDS broadcast reached a server. The table is shared: one
+    /// snapshot per report, not one clone per destination server.
+    Broadcast { server: usize, table: Arc<[f64]> },
     /// Periodic writeback-daemon check.
     WritebackTick { server: usize },
     /// End-of-run drain kick.
@@ -118,7 +120,10 @@ enum Ev {
 
 #[derive(Debug)]
 struct PendingJob {
-    sub: SubRequest,
+    /// Taken (moved into the server) when the CPU admits the job; the
+    /// reply size is precomputed so the reply path never needs it back.
+    sub: Option<SubRequest>,
+    reply_bytes: u64,
     proc: usize,
     parent: u64,
 }
@@ -332,15 +337,18 @@ impl Cluster {
         }
     }
 
+    /// Posts a server's accumulated output onto the calendar, draining
+    /// `out` in place so the caller can reuse its capacity. Event order
+    /// (device actions first, then replies in completion order) is part
+    /// of the determinism contract: ties on the calendar break FIFO.
     fn handle_server_out(
         &mut self,
         now: SimTime,
         server: usize,
-        out: ServerOut,
+        out: &mut ServerOut,
         jobs: &mut HashMap<JobId, PendingJob>,
-        replies: &mut Vec<(SimTime, usize, u64)>,
     ) {
-        for (kind, action) in out.dev_actions {
+        for (kind, action) in out.dev_actions.drain(..) {
             match action {
                 Action::CompleteAt(t) => {
                     self.sim.post_at(t, Ev::DevComplete { server, kind });
@@ -350,10 +358,16 @@ impl Cluster {
                 }
             }
         }
-        for job in out.done_jobs {
+        for job in out.done_jobs.drain(..) {
             let pj = jobs.remove(&job).expect("done job unknown to cluster");
-            let arrive = self.server_links[server].send(now, pj.sub.reply_bytes());
-            replies.push((arrive, pj.proc, pj.parent));
+            let arrive = self.server_links[server].send(now, pj.reply_bytes);
+            self.sim.post_at(
+                arrive,
+                Ev::Reply {
+                    proc: pj.proc,
+                    parent: pj.parent,
+                },
+            );
         }
     }
 
@@ -392,6 +406,9 @@ impl Cluster {
         let mut proc_bytes = vec![0u64; n_procs];
         let mut proc_done = vec![SimDuration::ZERO; n_procs];
         let mut draining = false;
+        // Reused across every calendar event: after warm-up the event
+        // loop performs no allocation for server output handling.
+        let mut out = ServerOut::default();
         let use_barrier = workload.barrier();
         let barrier_mask: Vec<bool> = (0..n_procs).map(|p| workload.in_barrier(p)).collect();
 
@@ -476,7 +493,16 @@ impl Cluster {
                         self.next_job += 1;
                         let arrive = client_links[proc].send(now, sub.request_bytes());
                         let server = sub.server;
-                        jobs.insert(job, PendingJob { sub, proc, parent });
+                        let reply_bytes = sub.reply_bytes();
+                        jobs.insert(
+                            job,
+                            PendingJob {
+                                sub: Some(sub),
+                                reply_bytes,
+                                proc,
+                                parent,
+                            },
+                        );
                         self.sim.post_at(arrive, Ev::SubArrive { server, job });
                     }
                 }
@@ -486,35 +512,27 @@ impl Cluster {
                 }
                 Ev::SubExec { server, job } => {
                     let (sub, proc) = {
-                        let pj = jobs.get(&job).expect("executing unknown job");
-                        (pj.sub.clone(), pj.proc)
+                        let pj = jobs.get_mut(&job).expect("executing unknown job");
+                        (pj.sub.take().expect("job executed twice"), pj.proc)
                     };
-                    let out = self.servers[server].exec_subreq(now, job, proc as u64, sub);
-                    let mut replies = Vec::new();
-                    self.handle_server_out(now, server, out, &mut jobs, &mut replies);
-                    for (arrive, proc, parent) in replies {
-                        self.sim.post_at(arrive, Ev::Reply { proc, parent });
-                    }
+                    out.clear();
+                    self.servers[server].exec_subreq(now, job, proc as u64, sub, &mut out);
+                    self.handle_server_out(now, server, &mut out, &mut jobs);
                 }
                 Ev::DevComplete { server, kind } => {
-                    let mut out = self.servers[server].on_dev_complete(now, kind);
+                    out.clear();
+                    self.servers[server].on_dev_complete(now, kind, &mut out);
                     if draining && !self.servers[server].quiescent() {
-                        let extra = self.servers[server].writeback_tick(now, true);
-                        out.merge(extra);
+                        // Appends into the same output; ordering matches
+                        // the completion actions followed by the flush's.
+                        self.servers[server].writeback_tick(now, true, &mut out);
                     }
-                    let mut replies = Vec::new();
-                    self.handle_server_out(now, server, out, &mut jobs, &mut replies);
-                    for (arrive, proc, parent) in replies {
-                        self.sim.post_at(arrive, Ev::Reply { proc, parent });
-                    }
+                    self.handle_server_out(now, server, &mut out, &mut jobs);
                 }
                 Ev::DevRecheck { server, kind, gen } => {
-                    let out = self.servers[server].on_dev_recheck(now, kind, gen);
-                    let mut replies = Vec::new();
-                    self.handle_server_out(now, server, out, &mut jobs, &mut replies);
-                    for (arrive, proc, parent) in replies {
-                        self.sim.post_at(arrive, Ev::Reply { proc, parent });
-                    }
+                    out.clear();
+                    self.servers[server].on_dev_recheck(now, kind, gen, &mut out);
+                    self.handle_server_out(now, server, &mut out, &mut jobs);
                 }
                 Ev::Reply { proc, parent } => {
                     let done = {
@@ -548,13 +566,15 @@ impl Cluster {
                 }
                 Ev::ReportArrive { server, t } => {
                     self.mds_table[server] = t;
+                    // One shared snapshot for the whole broadcast fan-out.
+                    let table: Arc<[f64]> = Arc::from(self.mds_table.as_slice());
                     for dest in 0..self.cfg.n_servers {
                         let arrive = self.mds_link.send(now, 64 * self.cfg.n_servers as u64);
                         self.sim.post_at(
                             arrive,
                             Ev::Broadcast {
                                 server: dest,
-                                table: self.mds_table.clone(),
+                                table: Arc::clone(&table),
                             },
                         );
                     }
@@ -563,20 +583,20 @@ impl Cluster {
                     self.servers[server].policy_mut().receive_broadcast(&table);
                 }
                 Ev::WritebackTick { server } => {
-                    let out = self.servers[server].writeback_tick(now, false);
-                    let mut replies = Vec::new();
-                    self.handle_server_out(now, server, out, &mut jobs, &mut replies);
-                    debug_assert!(replies.is_empty());
+                    out.clear();
+                    self.servers[server].writeback_tick(now, false, &mut out);
+                    debug_assert!(out.done_jobs.is_empty());
+                    self.handle_server_out(now, server, &mut out, &mut jobs);
                     if active > 0 {
                         self.sim
                             .post_in(self.cfg.writeback_interval, Ev::WritebackTick { server });
                     }
                 }
                 Ev::DrainTick { server } => {
-                    let out = self.servers[server].writeback_tick(now, true);
-                    let mut replies = Vec::new();
-                    self.handle_server_out(now, server, out, &mut jobs, &mut replies);
-                    debug_assert!(replies.is_empty());
+                    out.clear();
+                    self.servers[server].writeback_tick(now, true, &mut out);
+                    debug_assert!(out.done_jobs.is_empty());
+                    self.handle_server_out(now, server, &mut out, &mut jobs);
                 }
             }
 

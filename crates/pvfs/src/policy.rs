@@ -9,7 +9,7 @@
 use crate::proto::SubRequest;
 use ibridge_des::SimTime;
 use ibridge_device::Lbn;
-use ibridge_localfs::{Extent, FileHandle};
+use ibridge_localfs::{ExtentList, FileHandle};
 
 /// Identifier of a cache entry, assigned by the policy.
 pub type EntryId = u64;
@@ -32,7 +32,7 @@ pub enum Placement {
     /// positions in the SSD log.
     Ssd {
         /// SSD log extents covering the sub-request, in order.
-        extents: Vec<Extent>,
+        extents: ExtentList,
     },
 }
 
@@ -48,7 +48,7 @@ pub struct FlushOp {
     /// Length in bytes.
     pub len: u64,
     /// Where the data sits in the SSD log.
-    pub ssd_extents: Vec<Extent>,
+    pub ssd_extents: ExtentList,
 }
 
 /// Aggregate counters exposed by a policy.
@@ -79,6 +79,34 @@ pub struct CacheStats {
     pub cached_fragment_bytes: u64,
     /// Current cached bytes classified as regular random requests.
     pub cached_random_bytes: u64,
+    /// Read hits served by entries of the fragment partition.
+    pub fragment_read_hits: u64,
+    /// Read hits served by entries of the random partition.
+    pub random_read_hits: u64,
+    /// Read misses of sub-requests classified as fragments.
+    pub fragment_read_misses: u64,
+    /// Read misses of sub-requests classified as regular random.
+    pub random_read_misses: u64,
+    /// Post-read admissions into the fragment partition.
+    pub fragment_admissions: u64,
+    /// Post-read admissions into the random partition.
+    pub random_admissions: u64,
+}
+
+impl CacheStats {
+    /// Read hit rate of one partition (`fragment = true` for the
+    /// fragment class), as a fraction of that class's classified reads.
+    /// Returns `None` when the class saw no reads — the Fig. 12
+    /// partition ablation reports per-class hit rates from these.
+    pub fn class_hit_rate(&self, fragment: bool) -> Option<f64> {
+        let (hits, misses) = if fragment {
+            (self.fragment_read_hits, self.fragment_read_misses)
+        } else {
+            (self.random_read_hits, self.random_read_misses)
+        };
+        let total = hits + misses;
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
 }
 
 /// Decision-making interface of the server-side cache.
@@ -92,7 +120,7 @@ pub trait CachePolicy: std::fmt::Debug {
     /// Called when a disk read for which `place` requested admission has
     /// completed. Returns log extents to write (and the entry id), or
     /// `None` if the policy changed its mind (e.g. no clean log space).
-    fn read_admission(&mut self, now: SimTime, sub: &SubRequest) -> Option<(EntryId, Vec<Extent>)>;
+    fn read_admission(&mut self, now: SimTime, sub: &SubRequest) -> Option<(EntryId, ExtentList)>;
 
     /// The admission write finished; the entry becomes servable.
     fn admission_complete(&mut self, now: SimTime, entry: EntryId);
@@ -144,7 +172,7 @@ impl CachePolicy for StockPolicy {
         &mut self,
         _now: SimTime,
         _sub: &SubRequest,
-    ) -> Option<(EntryId, Vec<Extent>)> {
+    ) -> Option<(EntryId, ExtentList)> {
         None
     }
 

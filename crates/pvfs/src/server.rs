@@ -18,8 +18,8 @@ use crate::proto::SubRequest;
 use ibridge_des::{SimDuration, SimTime};
 use ibridge_device::{bytes_to_sectors, DiskModel, DiskProfile, IoDir, SsdModel, SsdProfile};
 use ibridge_iosched::{
-    Action, AnySched, BlockDevice, BlockRequest, Cfq, CfqConfig, Deadline, Noop, StorageDev,
-    StreamId,
+    Action, ActionList, AnySched, BlockDevice, BlockRequest, Cfq, CfqConfig, Deadline, Noop,
+    StorageDev, StreamId,
 };
 use ibridge_localfs::{Extent, FileHandle, FsConfig, LocalFs};
 use std::collections::HashMap;
@@ -192,10 +192,25 @@ enum GroupKind {
     FlushWrite(FlushId),
 }
 
+/// One slab slot holding a (possibly retired) completion group. The
+/// group's identity is `(slot, gen)` packed into the block-request tag;
+/// bumping `gen` on retirement invalidates stale tags without any map
+/// lookups — the slab/generation pattern of the DES calendar.
 #[derive(Debug)]
-struct Group {
+struct GroupSlot {
+    gen: u32,
+    pending: u32,
     kind: GroupKind,
-    pending: usize,
+}
+
+/// Packs a slab slot and its generation into a block-request tag.
+fn pack_group(slot: u32, gen: u32) -> u64 {
+    (u64::from(gen) << 32) | u64::from(slot)
+}
+
+/// Inverse of [`pack_group`].
+fn unpack_group(tag: u64) -> (u32, u32) {
+    (tag as u32, (tag >> 32) as u32)
 }
 
 /// What the cluster must do after poking a server.
@@ -208,16 +223,17 @@ pub struct ServerOut {
 }
 
 impl ServerOut {
-    fn extend_dev(&mut self, kind: DevKind, actions: Vec<Action>) {
+    fn extend_dev(&mut self, kind: DevKind, actions: ActionList) {
         self.dev_actions
             .extend(actions.into_iter().map(|a| (kind, a)));
     }
 
-    /// Appends another batch of outputs (used when one event triggers
-    /// several server calls).
-    pub fn merge(&mut self, other: ServerOut) {
-        self.dev_actions.extend(other.dev_actions);
-        self.done_jobs.extend(other.done_jobs);
+    /// Empties both lists, keeping their capacity — the event loop reuses
+    /// one `ServerOut` across calendar events so the steady state never
+    /// allocates.
+    pub fn clear(&mut self) {
+        self.dev_actions.clear();
+        self.done_jobs.clear();
     }
 }
 
@@ -232,14 +248,16 @@ pub struct DataServer {
     cfg: ServerConfig,
     cpu_free: SimTime,
     jobs: HashMap<JobId, JobState>,
-    groups: HashMap<u64, Group>,
-    seg_to_group: HashMap<u64, u64>,
+    /// Completion-group slab; retired slots are recycled via `free_groups`.
+    group_slots: Vec<GroupSlot>,
+    free_groups: Vec<u32>,
+    live_groups: usize,
+    /// Reusable per-call segment buffer (never shrinks).
+    seg_scratch: Vec<SegSpec>,
     flushes: HashMap<FlushId, FlushOp>,
     ra: HashMap<FileHandle, ReadAhead>,
     ra_hits: u64,
     ra_bytes: u64,
-    next_group: u64,
-    next_seg: u64,
 }
 
 impl DataServer {
@@ -282,14 +300,14 @@ impl DataServer {
             cfg,
             cpu_free: SimTime::ZERO,
             jobs: HashMap::new(),
-            groups: HashMap::new(),
-            seg_to_group: HashMap::new(),
+            group_slots: Vec::new(),
+            free_groups: Vec::new(),
+            live_groups: 0,
+            seg_scratch: Vec::new(),
             flushes: HashMap::new(),
             ra: HashMap::new(),
             ra_hits: 0,
             ra_bytes: 0,
-            next_group: 0,
-            next_seg: 0,
         }
     }
 
@@ -367,19 +385,22 @@ impl DataServer {
         fua: bool,
         out: &mut ServerOut,
     ) {
-        let parts: Vec<SegSpec> = extents
-            .iter()
-            .map(|&e| SegSpec {
-                dir,
-                extent: e,
-                fua,
-                rmw_edges: 0,
-            })
-            .collect();
+        let mut parts = std::mem::take(&mut self.seg_scratch);
+        parts.clear();
+        parts.extend(extents.iter().map(|&e| SegSpec {
+            dir,
+            extent: e,
+            fua,
+            rmw_edges: 0,
+        }));
         self.submit_mixed_group(now, kind, dev, &parts, stream, out);
+        self.seg_scratch = parts;
     }
 
     /// Submits a group of per-segment specs (direction/FUA/RMW may vary).
+    /// Every segment's block request carries the group's packed
+    /// `(slot, gen)` handle as its tag, so completions need no
+    /// segment-to-group map at all.
     fn submit_mixed_group(
         &mut self,
         now: SimTime,
@@ -390,15 +411,26 @@ impl DataServer {
         out: &mut ServerOut,
     ) {
         assert!(!parts.is_empty(), "empty extent list for {kind:?}");
-        let group_id = self.next_group;
-        self.next_group += 1;
-        self.groups.insert(
-            group_id,
-            Group {
-                kind,
-                pending: parts.len(),
-            },
-        );
+        let slot = match self.free_groups.pop() {
+            Some(slot) => slot,
+            None => {
+                assert!(
+                    self.group_slots.len() < u32::MAX as usize,
+                    "group slab full"
+                );
+                self.group_slots.push(GroupSlot {
+                    gen: 0,
+                    pending: 0,
+                    kind,
+                });
+                (self.group_slots.len() - 1) as u32
+            }
+        };
+        let gs = &mut self.group_slots[slot as usize];
+        gs.kind = kind;
+        gs.pending = parts.len() as u32;
+        let handle = pack_group(slot, gs.gen);
+        self.live_groups += 1;
         for &SegSpec {
             dir,
             extent: e,
@@ -406,10 +438,7 @@ impl DataServer {
             rmw_edges,
         } in parts
         {
-            let seg = self.next_seg;
-            self.next_seg += 1;
-            self.seg_to_group.insert(seg, group_id);
-            let mut req = BlockRequest::new(dir, e.lbn, e.sectors, stream, now, seg)
+            let mut req = BlockRequest::new(dir, e.lbn, e.sectors, stream, now, handle)
                 .with_rmw_edges(rmw_edges);
             if fua {
                 req = req.with_fua();
@@ -441,8 +470,8 @@ impl DataServer {
         job: JobId,
         stream: StreamId,
         sub: SubRequest,
-    ) -> ServerOut {
-        let mut out = ServerOut::default();
+        out: &mut ServerOut,
+    ) {
         let block_bytes = self.cfg.fs.block_sectors * ibridge_localfs::SECTOR_SIZE;
         // Read-modify-write: a write whose edges are not block-aligned
         // must first read the partially-overwritten blocks when they hold
@@ -451,16 +480,23 @@ impl DataServer {
         // and pays none of this.
         let mut rmw_edges: u8 = 0;
         if sub.dir.is_write() {
-            let mut edge_blocks = Vec::new();
+            // At most two partial edges (first and last block).
+            let mut edge_blocks = [0u64; 2];
+            let mut n_edges = 0;
             if !sub.offset.is_multiple_of(block_bytes) {
-                edge_blocks.push(sub.offset / block_bytes);
+                edge_blocks[n_edges] = sub.offset / block_bytes;
+                n_edges += 1;
             }
             let end = sub.offset + sub.len;
-            if !end.is_multiple_of(block_bytes) {
-                edge_blocks.push(end / block_bytes);
+            // Skip the end edge only when it is the same block as an
+            // actually-recorded start edge (a sub-block write).
+            if !end.is_multiple_of(block_bytes)
+                && (n_edges == 0 || end / block_bytes != edge_blocks[0])
+            {
+                edge_blocks[n_edges] = end / block_bytes;
+                n_edges += 1;
             }
-            edge_blocks.dedup();
-            for block in edge_blocks {
+            for &block in &edge_blocks[..n_edges] {
                 let allocated = self
                     .fs
                     .map_range(sub.file, block * block_bytes, block_bytes)
@@ -507,7 +543,7 @@ impl DataServer {
                 self.ra_hits += 1;
                 self.ra_bytes += sub.len;
                 out.done_jobs.push(job);
-                return out;
+                return;
             }
         }
         let disk_lbn = extents[0].lbn;
@@ -545,43 +581,44 @@ impl DataServer {
                     ra.record(sub.offset, sub.len, budget);
                     ra.cursor = ra.cursor.max(sub.offset + sub.len);
                 }
+                // TroveSyncData: client writes are flush barriers; the
+                // first segment carries the RMW edge penalty.
+                let dir = sub.dir;
+                let fua = dir.is_write();
+                let mut parts = std::mem::take(&mut self.seg_scratch);
+                parts.clear();
+                parts.extend(extents.iter().enumerate().map(|(i, &e)| SegSpec {
+                    dir,
+                    extent: e,
+                    fua,
+                    rmw_edges: if i == 0 { rmw_edges } else { 0 },
+                }));
                 self.jobs.insert(
                     job,
                     JobState {
-                        sub: sub.clone(),
+                        sub,
                         admit: admit_after_read,
                         served_at_disk: true,
                     },
                 );
-                // TroveSyncData: client writes are flush barriers; the
-                // first segment carries the RMW edge penalty.
-                let fua = sub.dir.is_write();
-                let parts: Vec<SegSpec> = extents
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &e)| SegSpec {
-                        dir: sub.dir,
-                        extent: e,
-                        fua,
-                        rmw_edges: if i == 0 { rmw_edges } else { 0 },
-                    })
-                    .collect();
                 self.submit_mixed_group(
                     now,
                     GroupKind::Job(job),
                     DevKind::Primary,
                     &parts,
                     stream,
-                    &mut out,
+                    out,
                 );
+                self.seg_scratch = parts;
             }
             Placement::Ssd {
                 extents: log_extents,
             } => {
+                let dir = sub.dir;
                 self.jobs.insert(
                     job,
                     JobState {
-                        sub: sub.clone(),
+                        sub,
                         admit: false,
                         served_at_disk: false,
                     },
@@ -590,15 +627,14 @@ impl DataServer {
                     now,
                     GroupKind::Job(job),
                     DevKind::Cache,
-                    sub.dir,
+                    dir,
                     &log_extents,
                     stream,
                     false,
-                    &mut out,
+                    out,
                 );
             }
         }
-        out
     }
 
     fn handle_group_done(&mut self, now: SimTime, kind: GroupKind, out: &mut ServerOut) {
@@ -625,7 +661,9 @@ impl DataServer {
                 self.policy.admission_complete(now, entry);
             }
             GroupKind::FlushRead(flush) => {
-                let op = self.flushes.get(&flush).expect("unknown flush").clone();
+                // The op is done with its SSD extents once the log read
+                // has finished; take it out instead of cloning it.
+                let op = self.flushes.remove(&flush).expect("unknown flush");
                 let extents = self
                     .fs
                     .map_range(op.file, op.offset, op.len)
@@ -646,16 +684,14 @@ impl DataServer {
                         }
                     }
                 }
-                let parts: Vec<SegSpec> = extents
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &e)| SegSpec {
-                        dir: IoDir::Write,
-                        extent: e,
-                        fua: false,
-                        rmw_edges: if i == 0 { rmw_edges } else { 0 },
-                    })
-                    .collect();
+                let mut parts = std::mem::take(&mut self.seg_scratch);
+                parts.clear();
+                parts.extend(extents.iter().enumerate().map(|(i, &e)| SegSpec {
+                    dir: IoDir::Write,
+                    extent: e,
+                    fua: false,
+                    rmw_edges: if i == 0 { rmw_edges } else { 0 },
+                }));
                 self.submit_mixed_group(
                     now,
                     GroupKind::FlushWrite(flush),
@@ -664,17 +700,16 @@ impl DataServer {
                     FLUSH_STREAM,
                     out,
                 );
+                self.seg_scratch = parts;
             }
             GroupKind::FlushWrite(flush) => {
-                self.flushes.remove(&flush);
                 self.policy.flush_complete(now, flush);
             }
         }
     }
 
     /// A device finished its in-flight request.
-    pub fn on_dev_complete(&mut self, now: SimTime, kind: DevKind) -> ServerOut {
-        let mut out = ServerOut::default();
+    pub fn on_dev_complete(&mut self, now: SimTime, kind: DevKind, out: &mut ServerOut) {
         let (req, actions) = match kind {
             DevKind::Primary => self.primary.on_complete(now),
             DevKind::Cache => self
@@ -684,25 +719,25 @@ impl DataServer {
                 .on_complete(now),
         };
         out.extend_dev(kind, actions);
-        for seg in &req.tags {
-            let group_id = self
-                .seg_to_group
-                .remove(seg)
-                .expect("completion for unknown segment");
-            let group = self.groups.get_mut(&group_id).expect("group exists");
-            group.pending -= 1;
-            if group.pending == 0 {
-                let kind = group.kind;
-                self.groups.remove(&group_id);
-                self.handle_group_done(now, kind, &mut out);
+        for &tag in &req.tags {
+            let (slot, gen) = unpack_group(tag);
+            let gs = &mut self.group_slots[slot as usize];
+            assert_eq!(gs.gen, gen, "completion for a retired group");
+            gs.pending -= 1;
+            if gs.pending == 0 {
+                let done_kind = gs.kind;
+                // Retire the slot: the generation bump invalidates any
+                // stale tag that might still reference it.
+                gs.gen = gs.gen.wrapping_add(1);
+                self.free_groups.push(slot);
+                self.live_groups -= 1;
+                self.handle_group_done(now, done_kind, out);
             }
         }
-        out
     }
 
     /// A device anticipation timer fired.
-    pub fn on_dev_recheck(&mut self, now: SimTime, kind: DevKind, gen: u64) -> ServerOut {
-        let mut out = ServerOut::default();
+    pub fn on_dev_recheck(&mut self, now: SimTime, kind: DevKind, gen: u64, out: &mut ServerOut) {
         let actions = match kind {
             DevKind::Primary => self.primary.on_recheck(now, gen),
             DevKind::Cache => self
@@ -712,43 +747,40 @@ impl DataServer {
                 .unwrap_or_default(),
         };
         out.extend_dev(kind, actions);
-        out
     }
 
     /// Periodic writeback opportunity. Unless `force`d (end-of-run
     /// drain), only acts while the primary device is quiet, as the paper
     /// specifies ("during quiet I/O-device periods").
-    pub fn writeback_tick(&mut self, now: SimTime, force: bool) -> ServerOut {
-        let mut out = ServerOut::default();
+    pub fn writeback_tick(&mut self, now: SimTime, force: bool, out: &mut ServerOut) {
         if self.cache.is_none() {
-            return out;
+            return;
         }
         if !force && !self.primary.is_idle() {
-            return out;
+            return;
         }
         let batch = self.policy.flush_batch(now, self.cfg.writeback_batch);
         for op in batch {
-            let prev = self.flushes.insert(op.id, op.clone());
-            assert!(prev.is_none(), "duplicate flush id {}", op.id);
-            let extents = op.ssd_extents.clone();
             self.submit_group(
                 now,
                 GroupKind::FlushRead(op.id),
                 DevKind::Cache,
                 IoDir::Read,
-                &extents,
+                &op.ssd_extents,
                 FLUSH_STREAM,
                 false,
-                &mut out,
+                out,
             );
+            let id = op.id;
+            let prev = self.flushes.insert(id, op);
+            assert!(prev.is_none(), "duplicate flush id {id}");
         }
-        out
     }
 
     /// True when the server has no work in flight and no dirty data.
     pub fn quiescent(&self) -> bool {
         self.jobs.is_empty()
-            && self.groups.is_empty()
+            && self.live_groups == 0
             && self.primary.is_idle()
             && self.cache.as_ref().is_none_or(|c| c.is_idle())
             && self.policy.dirty_bytes() == 0
@@ -774,6 +806,7 @@ mod tests {
     use crate::proto::ReqClass;
     use crate::StockPolicy;
     use ibridge_des::Simulation;
+    use ibridge_localfs::ExtentList;
 
     fn server() -> DataServer {
         DataServer::new(0, ServerConfig::default(), Box::new(StockPolicy::new()))
@@ -788,6 +821,25 @@ mod tests {
             len,
             class: ReqClass::Bulk,
         }
+    }
+
+    /// Wrapper over the out-param API for tests that want a fresh value.
+    fn exec(
+        s: &mut DataServer,
+        t: SimTime,
+        job: JobId,
+        stream: StreamId,
+        r: SubRequest,
+    ) -> ServerOut {
+        let mut out = ServerOut::default();
+        s.exec_subreq(t, job, stream, r, &mut out);
+        out
+    }
+
+    fn tick(s: &mut DataServer, t: SimTime, force: bool) -> ServerOut {
+        let mut out = ServerOut::default();
+        s.writeback_tick(t, force, &mut out);
+        out
     }
 
     /// Pumps all device events for one server until quiet; returns done
@@ -810,11 +862,13 @@ mod tests {
         };
         done.extend(initial.done_jobs.iter().copied());
         push(&mut sim, &initial);
+        let mut out = ServerOut::default();
         while let Some((t, ev)) = sim.pop() {
-            let out = match ev {
-                Ev::Done(k) => server.on_dev_complete(t, k),
-                Ev::Recheck(k, g) => server.on_dev_recheck(t, k, g),
-            };
+            out.clear();
+            match ev {
+                Ev::Done(k) => server.on_dev_complete(t, k, &mut out),
+                Ev::Recheck(k, g) => server.on_dev_recheck(t, k, g, &mut out),
+            }
             done.extend(out.done_jobs.iter().copied());
             push(&mut sim, &out);
         }
@@ -831,10 +885,16 @@ mod tests {
         };
         let mut s = DataServer::new(0, cfg, Box::new(StockPolicy::new()));
         let t = SimTime::ZERO;
-        let out = s.exec_subreq(t, 1, 10, sub(IoDir::Write, 0, 65536));
+        let out = exec(&mut s, t, 1, 10, sub(IoDir::Write, 0, 65536));
         let done = pump(&mut s, out);
         assert_eq!(done, vec![1]);
-        let out = s.exec_subreq(SimTime::from_secs(1), 2, 10, sub(IoDir::Read, 0, 65536));
+        let out = exec(
+            &mut s,
+            SimTime::from_secs(1),
+            2,
+            10,
+            sub(IoDir::Read, 0, 65536),
+        );
         let done = pump(&mut s, out);
         assert_eq!(done, vec![2]);
         assert!(s.quiescent());
@@ -846,9 +906,15 @@ mod tests {
     #[test]
     fn write_then_read_hits_page_cache() {
         let mut s = server();
-        let out = s.exec_subreq(SimTime::ZERO, 1, 10, sub(IoDir::Write, 0, 65536));
+        let out = exec(&mut s, SimTime::ZERO, 1, 10, sub(IoDir::Write, 0, 65536));
         pump(&mut s, out);
-        let out = s.exec_subreq(SimTime::from_secs(1), 2, 10, sub(IoDir::Read, 0, 65536));
+        let out = exec(
+            &mut s,
+            SimTime::from_secs(1),
+            2,
+            10,
+            sub(IoDir::Read, 0, 65536),
+        );
         let done = pump(&mut s, out);
         assert_eq!(done, vec![2]);
         assert_eq!(s.primary().stats().bytes_read, 0, "served from page cache");
@@ -859,14 +925,14 @@ mod tests {
     #[should_panic(expected = "preallocate")]
     fn reading_unallocated_panics() {
         let mut s = server();
-        s.exec_subreq(SimTime::ZERO, 1, 10, sub(IoDir::Read, 0, 4096));
+        exec(&mut s, SimTime::ZERO, 1, 10, sub(IoDir::Read, 0, 4096));
     }
 
     #[test]
     fn preallocation_enables_reads() {
         let mut s = server();
         s.preallocate(FileHandle(1), 1 << 20);
-        let out = s.exec_subreq(SimTime::ZERO, 7, 3, sub(IoDir::Read, 65536, 65536));
+        let out = exec(&mut s, SimTime::ZERO, 7, 3, sub(IoDir::Read, 65536, 65536));
         let done = pump(&mut s, out);
         assert_eq!(done, vec![7]);
     }
@@ -890,8 +956,8 @@ mod tests {
         let mut s = server();
         s.preallocate(FileHandle(1), 4 << 20);
         let t = SimTime::ZERO;
-        let mut out = s.exec_subreq(t, 1, 10, sub(IoDir::Read, 0, 65536));
-        out.merge(s.exec_subreq(t, 2, 11, sub(IoDir::Read, 2 << 20, 65536)));
+        let mut out = exec(&mut s, t, 1, 10, sub(IoDir::Read, 0, 65536));
+        s.exec_subreq(t, 2, 11, sub(IoDir::Read, 2 << 20, 65536), &mut out);
         let done = pump(&mut s, out);
         assert_eq!(done.len(), 2);
         assert!(s.quiescent());
@@ -904,7 +970,7 @@ mod tests {
             ..Default::default()
         };
         let mut s = DataServer::new(0, cfg, Box::new(StockPolicy::new()));
-        let out = s.exec_subreq(SimTime::ZERO, 1, 10, sub(IoDir::Write, 0, 4096));
+        let out = exec(&mut s, SimTime::ZERO, 1, 10, sub(IoDir::Write, 0, 4096));
         let done = pump(&mut s, out);
         assert_eq!(done, vec![1]);
     }
@@ -912,7 +978,7 @@ mod tests {
     #[test]
     fn writeback_tick_without_cache_is_noop() {
         let mut s = server();
-        let out = s.writeback_tick(SimTime::ZERO, true);
+        let out = tick(&mut s, SimTime::ZERO, true);
         assert!(out.dev_actions.is_empty());
         assert!(out.done_jobs.is_empty());
     }
@@ -937,10 +1003,10 @@ mod tests {
         ) -> crate::policy::Placement {
             if sub.dir.is_write() {
                 let sectors = sub.len.div_ceil(512);
-                let extents = vec![Extent {
+                let extents = ExtentList::one(Extent {
                     lbn: self.next_log,
                     sectors,
-                }];
+                });
                 let id = self.next_log;
                 self.next_log += sectors;
                 self.dirty.push((
@@ -961,16 +1027,12 @@ mod tests {
             }
         }
 
-        fn read_admission(
-            &mut self,
-            _now: SimTime,
-            sub: &SubRequest,
-        ) -> Option<(u64, Vec<Extent>)> {
+        fn read_admission(&mut self, _now: SimTime, sub: &SubRequest) -> Option<(u64, ExtentList)> {
             let sectors = sub.len.div_ceil(512);
-            let extents = vec![Extent {
+            let extents = ExtentList::one(Extent {
                 lbn: self.next_log,
                 sectors,
-            }];
+            });
             let id = self.next_log;
             self.next_log += sectors;
             Some((id, extents))
@@ -1011,7 +1073,7 @@ mod tests {
     #[test]
     fn redirected_write_uses_the_cache_device() {
         let mut s = cache_server();
-        let out = s.exec_subreq(SimTime::ZERO, 1, 10, sub(IoDir::Write, 0, 4096));
+        let out = exec(&mut s, SimTime::ZERO, 1, 10, sub(IoDir::Write, 0, 4096));
         let done = pump(&mut s, out);
         assert_eq!(done, vec![1]);
         assert_eq!(s.cache().unwrap().stats().bytes_written, 4096);
@@ -1022,7 +1084,7 @@ mod tests {
     fn read_admission_copies_into_the_cache_after_disk_read() {
         let mut s = cache_server();
         s.preallocate(FileHandle(1), 1 << 20);
-        let out = s.exec_subreq(SimTime::ZERO, 1, 10, sub(IoDir::Read, 0, 8192));
+        let out = exec(&mut s, SimTime::ZERO, 1, 10, sub(IoDir::Read, 0, 8192));
         let done = pump(&mut s, out);
         assert_eq!(done, vec![1]);
         assert_eq!(s.primary().stats().bytes_read, 8192);
@@ -1033,10 +1095,10 @@ mod tests {
     #[test]
     fn forced_writeback_runs_the_two_phase_flush() {
         let mut s = cache_server();
-        let out = s.exec_subreq(SimTime::ZERO, 1, 10, sub(IoDir::Write, 0, 4096));
+        let out = exec(&mut s, SimTime::ZERO, 1, 10, sub(IoDir::Write, 0, 4096));
         pump(&mut s, out);
         assert!(!s.quiescent(), "dirty data pending");
-        let out = s.writeback_tick(SimTime::from_secs(1), true);
+        let out = tick(&mut s, SimTime::from_secs(1), true);
         pump(&mut s, out);
         // SSD read + disk write both happened.
         assert_eq!(s.cache().unwrap().stats().bytes_read, 4096);
@@ -1049,23 +1111,23 @@ mod tests {
         let mut s = cache_server();
         s.preallocate(FileHandle(1), 1 << 20);
         // Busy the disk with a read, leave a dirty entry in the cache.
-        let mut out = s.exec_subreq(SimTime::ZERO, 1, 10, sub(IoDir::Write, 65536, 4096));
-        out.merge(s.exec_subreq(SimTime::ZERO, 2, 11, sub(IoDir::Read, 0, 65536)));
+        let mut out = exec(&mut s, SimTime::ZERO, 1, 10, sub(IoDir::Write, 65536, 4096));
+        s.exec_subreq(SimTime::ZERO, 2, 11, sub(IoDir::Read, 0, 65536), &mut out);
         // Tick immediately: the primary device is busy → no flush issued.
-        let tick = s.writeback_tick(SimTime::ZERO, false);
-        assert!(tick.dev_actions.is_empty(), "must not flush under load");
+        let t0 = tick(&mut s, SimTime::ZERO, false);
+        assert!(t0.dev_actions.is_empty(), "must not flush under load");
         pump(&mut s, out);
         // Now the disk is quiet: the tick flushes.
-        let tick = s.writeback_tick(SimTime::from_secs(2), false);
-        assert!(!tick.dev_actions.is_empty());
-        pump(&mut s, tick);
+        let t1 = tick(&mut s, SimTime::from_secs(2), false);
+        assert!(!t1.dev_actions.is_empty());
+        pump(&mut s, t1);
         assert!(s.quiescent());
     }
 
     #[test]
     fn sub_block_write_is_sector_granular() {
         let mut s = server();
-        let out = s.exec_subreq(SimTime::ZERO, 1, 10, sub(IoDir::Write, 100, 700));
+        let out = exec(&mut s, SimTime::ZERO, 1, 10, sub(IoDir::Write, 100, 700));
         let done = pump(&mut s, out);
         assert_eq!(done, vec![1]);
         // 700 bytes from offset 100 → sectors 0..2 (two sectors).

@@ -19,4 +19,15 @@ echo "== expt --jobs parallel output identity"
 ./target/release/expt all >/tmp/ibridge_ci_j1.txt 2>/dev/null
 ./target/release/expt --jobs 4 all >/tmp/ibridge_ci_j4.txt 2>/dev/null
 cmp /tmp/ibridge_ci_j1.txt /tmp/ibridge_ci_j4.txt
+
+echo "== perf-smoke (counting allocator; gates on determinism only)"
+cargo build --release -p ibridge-bench --features count-allocs
+./target/release/calbench >/tmp/ibridge_ci_calbench.txt
+cmp /tmp/ibridge_ci_calbench.txt goldens/calbench.txt
+./target/release/expt summary >/tmp/ibridge_ci_perf_smoke.txt 2>/dev/null
+cmp /tmp/ibridge_ci_perf_smoke.txt goldens/perf_smoke.txt
+# Local-only artifact: allocations-per-event and events/sec figures.
+# Wall-clock numbers inside are informational and never gate CI.
+./target/release/expt --jobs 4 --bench-report BENCH_pr2_smoke.json summary \
+  >/dev/null 2>&1
 echo "CI OK"

@@ -127,7 +127,9 @@ proptest! {
             let id = t.next_id();
             t.insert(
                 id, file, offset, len,
-                vec![ibridge_repro::localfs::Extent { lbn: id * 512, sectors: len.div_ceil(512) }],
+                ibridge_repro::localfs::ExtentList::one(
+                    ibridge_repro::localfs::Extent { lbn: id * 512, sectors: len.div_ceil(512) },
+                ),
                 EntryType::Random, 0.001, dirty, false,
             );
             inserted.push((offset, len));
@@ -141,6 +143,102 @@ proptest! {
             if let Some(x) = t.lookup_covering(file, offset + len, 1) {
                 prop_assert!(x.offset != offset);
             }
+        }
+    }
+
+    /// `Entry::slice` over a two-extent entry: sector counts match the
+    /// byte sub-range (including sub-sector offsets and lengths), every
+    /// sliced extent is a sub-range of a source extent, and the
+    /// full-range slice reproduces the source extents.
+    #[test]
+    fn entry_slice_invariants(
+        total in 2u64..64,
+        split_frac in 0u64..100,
+        tail in 1u64..=512,
+        from_frac in 0u64..100,
+        len_frac in 1u64..=100,
+    ) {
+        use ibridge_repro::localfs::{Extent, ExtentList};
+        let split = split_frac * total / 100; // 0..total sectors in the first extent
+        let mut extents = ExtentList::new();
+        if split > 0 {
+            extents.push(Extent { lbn: 10_000, sectors: split });
+        }
+        if split < total {
+            extents.push(Extent { lbn: 50_000, sectors: total - split });
+        }
+        let len = (total - 1) * 512 + tail;
+        let mut t = MappingTable::new();
+        let file = ibridge_repro::localfs::FileHandle(9);
+        let id = t.next_id();
+        t.insert(id, file, 0, len, extents.clone(), EntryType::Random, 0.0, false, false);
+        let e = t.lookup_covering(file, 0, len).expect("just inserted");
+
+        // Sub-range slice, deliberately not sector-aligned.
+        let from = from_frac * (len - 1) / 100;
+        let slen = 1 + len_frac * (len - from - 1) / 100;
+        let s = e.slice(from, slen);
+        let want = (from + slen).div_ceil(512) - from / 512;
+        prop_assert_eq!(s.iter().map(|x| x.sectors).sum::<u64>(), want);
+        // Each sliced extent sits inside one of the source extents.
+        for x in &s {
+            prop_assert!(
+                extents.iter().any(|src| src.lbn <= x.lbn && x.end() <= src.end()),
+                "slice escaped the source extents"
+            );
+        }
+        // A slice spanning the extent boundary produces both pieces.
+        if (0 < split && split < total) && from / 512 < split && (from + slen).div_ceil(512) > split {
+            prop_assert_eq!(s.len(), 2);
+        }
+        // Full-range slice is the identity on the extent list.
+        let full = e.slice(0, len);
+        prop_assert_eq!(full, extents);
+    }
+
+    /// MappingTable overlap semantics: adjacent ranges don't overlap,
+    /// contained and straddling ranges do, and `has_overlap` always
+    /// agrees with `find_overlaps`.
+    #[test]
+    fn mapping_table_overlap_semantics(
+        offset in 1024u64..(1 << 20),
+        len in 1u64..65536,
+        probe_len in 1u64..65536,
+        d_frac in 0u64..100,
+    ) {
+        let mut t = MappingTable::new();
+        let file = ibridge_repro::localfs::FileHandle(3);
+        let id = t.next_id();
+        t.insert(
+            id, file, offset, len,
+            ibridge_repro::localfs::ExtentList::one(
+                ibridge_repro::localfs::Extent { lbn: 0, sectors: len.div_ceil(512) },
+            ),
+            EntryType::Fragment, 0.0, false, false,
+        );
+        // Adjacent on either side: no overlap (ranges are half-open).
+        let left_start = offset.saturating_sub(probe_len).min(offset - 1);
+        prop_assert!(!t.has_overlap(file, left_start, offset - left_start));
+        prop_assert!(!t.has_overlap(file, offset + len, probe_len));
+        prop_assert!(t.find_overlaps(file, offset + len, probe_len).is_empty());
+        // Contained: any sub-range overlaps and finds exactly this entry.
+        let d = d_frac * (len - 1) / 100;
+        let inner_len = 1 + (len - d - 1) * d_frac / 100;
+        prop_assert!(t.has_overlap(file, offset + d, inner_len));
+        prop_assert_eq!(t.find_overlaps(file, offset + d, inner_len), vec![id]);
+        // Straddling either edge (and full covering) overlap too.
+        prop_assert!(t.has_overlap(file, left_start, offset - left_start + 1));
+        prop_assert!(t.has_overlap(file, offset + len - 1, probe_len));
+        prop_assert!(t.has_overlap(file, left_start, offset - left_start + len + probe_len));
+        // Different file: never overlaps.
+        prop_assert!(!t.has_overlap(ibridge_repro::localfs::FileHandle(4), offset, len));
+        // Consistency: the boolean form agrees with the id-list form.
+        for (o, l) in [
+            (left_start, offset - left_start),
+            (offset + d, inner_len),
+            (offset + len, probe_len),
+        ] {
+            prop_assert_eq!(t.has_overlap(file, o, l), !t.find_overlaps(file, o, l).is_empty());
         }
     }
 
