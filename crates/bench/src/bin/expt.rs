@@ -58,6 +58,12 @@ fn main() {
                     .unwrap_or_else(|| die("--bench-report needs a path"));
                 bench_report = Some(v.clone());
             }
+            "--fault-plan" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--fault-plan needs a builtin name or a file path"));
+                scale.fault_plan = Some(load_fault_plan(v));
+            }
             "--list" => {
                 for e in experiments::all() {
                     println!("{:8} {}", e.name, e.what);
@@ -67,7 +73,11 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: expt [--full] [--seed N] [--jobs N] \
-                     [--bench-report PATH] [--list] <experiment|all>..."
+                     [--bench-report PATH] [--fault-plan NAME|FILE] \
+                     [--list] <experiment|all>...\n\
+                     fault plans: builtin names are {}; anything else is \
+                     read as a plan file (see crates/faults)",
+                    ibridge_faults::BUILTIN_NAMES.join(", ")
                 );
                 return;
             }
@@ -226,13 +236,25 @@ fn write_bench_report(
     } else {
         ",\n  \"counting_allocator\": false".to_string()
     };
+    let fc = ibridge_pvfs::total_fault_counters();
+    let fault_counters = format!(
+        ",\n  \"fault_counters\": {{\"retries\": {}, \"timeouts\": {}, \
+         \"dropped_messages\": {}, \"dirty_bytes_lost\": {}, \
+         \"degraded_s\": {:.3}}}",
+        fc.retries,
+        fc.timeouts,
+        fc.dropped_messages,
+        fc.dirty_bytes_lost,
+        fc.degraded_ns as f64 / 1e9,
+    );
     let json = format!(
         "{{\n  \"jobs\": {jobs},\n  \"host_cpus\": {host_cpus},\n  \
          \"seed\": {},\n  \"experiments\": [{per}\n  ],\n  \
          \"wall_s\": {par_wall:.3},\n  \"wall_s_jobs1\": {seq_wall:.3},\n  \
          \"speedup_vs_jobs1\": {:.3},\n  \"events_dispatched\": {events},\n  \
          \"events_per_sec\": {:.0},\n  \
-         \"output_identical_to_jobs1\": {identical}{alloc_summary}{note}\n}}\n",
+         \"output_identical_to_jobs1\": {identical}{alloc_summary}\
+         {fault_counters}{note}\n}}\n",
         scale.seed,
         seq_wall / par_wall.max(1e-9),
         events as f64 / par_wall.max(1e-9),
@@ -246,6 +268,26 @@ fn write_bench_report(
     );
     if !identical {
         die("output at --jobs N differs from --jobs 1 (determinism bug)");
+    }
+}
+
+/// Resolves `--fault-plan`: a builtin name, else a plan file. Parse
+/// errors quote the offending line; the process exits non-zero.
+fn load_fault_plan(value: &str) -> &'static ibridge_faults::FaultPlan {
+    let text = match ibridge_faults::builtin(value) {
+        Some(src) => src.to_string(),
+        None => std::fs::read_to_string(value).unwrap_or_else(|e| {
+            die(&format!(
+                "--fault-plan '{value}' is not a builtin plan ({}) and \
+                 cannot be read as a file: {e}",
+                ibridge_faults::BUILTIN_NAMES.join(", ")
+            ))
+        }),
+    };
+    match ibridge_faults::FaultPlan::parse(&text) {
+        // One plan per process: leaking keeps `Scale` Copy.
+        Ok(plan) => Box::leak(Box::new(plan)),
+        Err(e) => die(&format!("--fault-plan {value}: {e}")),
     }
 }
 

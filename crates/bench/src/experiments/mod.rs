@@ -10,6 +10,7 @@
 
 pub mod ablate;
 pub mod btio_figs;
+pub mod faults;
 pub mod fig12;
 pub mod fig13;
 pub mod fig2;
@@ -126,6 +127,12 @@ pub fn all() -> Vec<Experiment> {
             what: "Ablations: Eq. 3 boost, CFQ anticipation, schedulers, NCQ, \
                    collective I/O, data sieving, networks (beyond the paper)",
             run: ablate::run,
+        },
+        Experiment {
+            name: "faults",
+            what: "Fault injection: crash, SSD loss, fail-slow, network faults \
+                   vs the faultless baseline (beyond the paper)",
+            run: faults::run,
         },
         Experiment {
             name: "summary",

@@ -65,6 +65,10 @@ pub struct Scale {
     pub page_cache: u64,
     /// Experiment seed.
     pub seed: u64,
+    /// A user-supplied fault plan (`expt --fault-plan ...`); the
+    /// `faults` experiment adds a row for it next to the builtin plans.
+    /// Leaked to `'static` by the CLI so `Scale` stays `Copy`.
+    pub fault_plan: Option<&'static ibridge_faults::FaultPlan>,
 }
 
 impl Scale {
@@ -77,6 +81,7 @@ impl Scale {
             ssd_capacity: 10 << 30,
             page_cache: 512 << 10,
             seed: 42,
+            fault_plan: None,
         }
     }
 
@@ -89,6 +94,7 @@ impl Scale {
             ssd_capacity: 10 << 30,
             page_cache: 8 << 20,
             seed: 42,
+            fault_plan: None,
         }
     }
 }

@@ -29,7 +29,8 @@ use ibridge_des::SimTime;
 use ibridge_device::{bytes_to_sectors, DiskProfile, Lbn};
 use ibridge_localfs::ExtentList;
 use ibridge_pvfs::{
-    CachePolicy, CacheStats, EntryId, FlushId, FlushOp, Placement, ReqClass, SubRequest,
+    CachePolicy, CacheStats, EntryId, FlushId, FlushOp, Placement, ReqClass, RestartReport,
+    SubRequest,
 };
 use std::collections::HashMap;
 
@@ -94,6 +95,9 @@ pub struct IBridgePolicy {
     next_flush: FlushId,
     /// Reused scratch for overlap invalidation (no per-write allocation).
     overlap_scratch: Vec<EntryId>,
+    /// Set when the SSD device died: the policy runs disk-only from
+    /// then on and the MDS drops this server from its broadcasts.
+    degraded: bool,
 }
 
 impl IBridgePolicy {
@@ -111,6 +115,7 @@ impl IBridgePolicy {
             flush_to_entry: HashMap::new(),
             next_flush: 0,
             overlap_scratch: Vec::new(),
+            degraded: false,
             cfg,
         }
     }
@@ -445,10 +450,12 @@ impl CachePolicy for IBridgePolicy {
     }
 
     fn flush_complete(&mut self, _now: SimTime, id: FlushId) {
-        let entry = self
-            .flush_to_entry
-            .remove(&id)
-            .expect("completion for unknown flush");
+        // Unknown ids are tolerated: an in-flight flush write can
+        // complete after a crash or SSD loss already discarded the
+        // flush bookkeeping it belongs to.
+        let Some(entry) = self.flush_to_entry.remove(&id) else {
+            return;
+        };
         self.table.mark_clean(entry);
         self.log.unprotect(entry);
     }
@@ -471,6 +478,53 @@ impl CachePolicy for IBridgePolicy {
         s.cached_fragment_bytes = self.table.usage(EntryType::Fragment).bytes;
         s.cached_random_bytes = self.table.usage(EntryType::Random).bytes;
         s
+    }
+
+    fn server_restart(&mut self, _now: SimTime) -> RestartReport {
+        if !self.enabled() {
+            return RestartReport::default();
+        }
+        // What the on-SSD backup holds (pending admissions were never
+        // durable), minus the clean entries: their home-disk copies are
+        // authoritative, so replay conservatively invalidates them
+        // rather than trusting a table whose process just died.
+        let pending_dropped = self.table.entries().filter(|e| e.pending).count() as u64;
+        let mut state = self.snapshot();
+        let clean_dropped = state.entries.iter().filter(|e| !e.dirty).count() as u64;
+        state.entries.retain(|e| e.dirty);
+        let report = RestartReport {
+            dirty_entries_kept: state.entries.len() as u64,
+            dirty_bytes_kept: state.entries.iter().map(|e| e.len).sum(),
+            clean_entries_dropped: clean_dropped,
+            pending_entries_dropped: pending_dropped,
+        };
+        // Cumulative counters describe the run, not the process: carry
+        // them across the restart.
+        let stats = self.stats;
+        *self = IBridgePolicy::recover(self.cfg.clone(), &state);
+        self.stats = stats;
+        report
+    }
+
+    fn ssd_lost(&mut self, _now: SimTime) -> u64 {
+        if !self.enabled() {
+            self.degraded = true;
+            return 0;
+        }
+        let lost = self.table.dirty_bytes();
+        self.table = MappingTable::new();
+        self.log = CircularLog::new(1);
+        self.pending_admissions.clear();
+        self.flush_to_entry.clear();
+        // Zero capacity disables every cache path in `place`; the
+        // policy keeps answering, but everything goes to the disk.
+        self.cfg.ssd_capacity = 0;
+        self.degraded = true;
+        lost
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded
     }
 }
 

@@ -56,6 +56,8 @@ pub mod streams {
     pub const CLIENT: u64 = 6;
     /// Local file system allocation decisions.
     pub const LOCALFS: u64 = 7;
+    /// Fault-injection draws (network impairment outcomes).
+    pub const FAULTS: u64 = 8;
 }
 
 #[cfg(test)]

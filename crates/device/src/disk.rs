@@ -144,12 +144,30 @@ impl DiskProfile {
 pub struct DiskModel {
     profile: DiskProfile,
     head: Lbn,
+    slow_factor: f64,
 }
 
 impl DiskModel {
     /// Creates a disk with the head parked at LBN 0.
     pub fn new(profile: DiskProfile) -> Self {
-        DiskModel { profile, head: 0 }
+        DiskModel {
+            profile,
+            head: 0,
+            slow_factor: 1.0,
+        }
+    }
+
+    /// Service-time multiplier for fail-slow fault injection. `1.0` is
+    /// healthy; larger values stretch every service proportionally
+    /// (mechanics — head movement, streaming detection — unchanged).
+    pub fn slow_factor(&self) -> f64 {
+        self.slow_factor
+    }
+
+    /// Sets the fail-slow multiplier. Must be finite and >= 1.
+    pub fn set_slow_factor(&mut self, f: f64) {
+        assert!(f.is_finite() && f >= 1.0, "bad slow factor: {f}");
+        self.slow_factor = f;
     }
 
     /// The static profile.
@@ -243,7 +261,13 @@ impl DiskModel {
             self.positional_cost(start, op) + self.profile.transfer_time(op.sectors)
         };
         self.head = op.end();
-        total
+        // Healthy path multiplies by nothing at all, so fault-free runs
+        // cannot pick up float rounding from the fail-slow hook.
+        if self.slow_factor != 1.0 {
+            total.mul_f64(self.slow_factor)
+        } else {
+            total
+        }
     }
 }
 

@@ -72,6 +72,7 @@ pub struct SsdModel {
     profile: SsdProfile,
     last_read_end: Option<Lbn>,
     last_write_end: Option<Lbn>,
+    slow_factor: f64,
 }
 
 impl SsdModel {
@@ -81,7 +82,20 @@ impl SsdModel {
             profile,
             last_read_end: None,
             last_write_end: None,
+            slow_factor: 1.0,
         }
+    }
+
+    /// Service-time multiplier for fail-slow fault injection (`1.0` =
+    /// healthy).
+    pub fn slow_factor(&self) -> f64 {
+        self.slow_factor
+    }
+
+    /// Sets the fail-slow multiplier. Must be finite and >= 1.
+    pub fn set_slow_factor(&mut self, f: f64) {
+        assert!(f.is_finite() && f >= 1.0, "bad slow factor: {f}");
+        self.slow_factor = f;
     }
 
     /// The static profile.
@@ -125,7 +139,12 @@ impl SsdModel {
             IoDir::Read => self.last_read_end = Some(op.end()),
             IoDir::Write => self.last_write_end = Some(op.end()),
         }
-        dur
+        // Skip the multiply entirely when healthy (see DiskModel).
+        if self.slow_factor != 1.0 {
+            dur.mul_f64(self.slow_factor)
+        } else {
+            dur
+        }
     }
 }
 

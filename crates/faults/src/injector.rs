@@ -1,0 +1,302 @@
+//! Seeded fault injector and recovery counters.
+//!
+//! A [`FaultInjector`] compiles a [`FaultPlan`] into (a) a sorted
+//! timeline of discrete faults the cluster schedules as ordinary
+//! calendar events at run start, and (b) a set of network impairment
+//! windows consulted per data-plane message. All randomness comes from
+//! one dedicated RNG stream (`streams::FAULTS`) seeded from the
+//! experiment seed, so a (seed, plan) pair replays the exact same
+//! failure history — including across `--jobs` worker counts, because
+//! each run owns its injector and draws in event order.
+
+use crate::plan::{FaultDev, FaultPlan, FaultSpec, RetryConfig};
+use ibridge_des::rng::{stream_rng, streams};
+use ibridge_des::SimDuration;
+use ibridge_net::{Impairment, NetDecision};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A discrete fault the cluster executes at a scheduled instant.
+/// `Restart` and `SlowEnd` are derived from their opening events when
+/// the timeline is compiled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimedFault {
+    /// Kill the server process; in-flight work on the node dies.
+    Crash {
+        /// Victim server.
+        server: usize,
+    },
+    /// Bring a crashed server back and replay its mapping-table backup.
+    Restart {
+        /// Recovering server.
+        server: usize,
+    },
+    /// The SSD cache device fails permanently.
+    SsdLoss {
+        /// Victim server.
+        server: usize,
+    },
+    /// Begin a fail-slow window on one device.
+    SlowStart {
+        /// Victim server.
+        server: usize,
+        /// Which device degrades.
+        dev: FaultDev,
+        /// Service-time multiplier.
+        factor: f64,
+    },
+    /// End a fail-slow window (restore the healthy service time).
+    SlowEnd {
+        /// Recovering server.
+        server: usize,
+        /// Which device recovers.
+        dev: FaultDev,
+    },
+}
+
+/// Fault-injection and recovery counters for one run, reported next to
+/// the cache statistics. `degraded` is the union of per-server degraded
+/// intervals (down, fail-slow, or running without its SSD) summed over
+/// servers — "degraded-server seconds".
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultStats {
+    /// Server crashes executed.
+    pub crashes: u64,
+    /// Server restarts executed.
+    pub restarts: u64,
+    /// SSD cache devices lost.
+    pub ssd_losses: u64,
+    /// Fail-slow windows opened.
+    pub slow_windows: u64,
+    /// Data-plane messages lost (network drops + sends to down servers).
+    pub dropped_messages: u64,
+    /// Data-plane messages delivered late.
+    pub delayed_messages: u64,
+    /// Data-plane messages delivered twice.
+    pub duplicated_messages: u64,
+    /// Client-side sub-request timeouts fired.
+    pub timeouts: u64,
+    /// Sub-request retries sent.
+    pub retries: u64,
+    /// Sub-requests abandoned after exhausting their retry budget.
+    pub failed_subs: u64,
+    /// Late or duplicate replies ignored by the in-flight table.
+    pub duplicate_replies: u64,
+    /// Device completions discarded because the device was rebuilt
+    /// (crash) or removed (SSD loss) while the I/O was in flight.
+    pub stale_completions: u64,
+    /// Dirty bytes in the SSD log destroyed by device loss — the
+    /// durability cost of buffering writes in the cache.
+    pub dirty_bytes_lost: u64,
+    /// Clean mapping-table entries invalidated during restart replay.
+    pub clean_entries_dropped: u64,
+    /// Pending (not yet durable) entries discarded during restart.
+    pub pending_entries_dropped: u64,
+    /// Total time servers spent degraded (summed across servers).
+    pub degraded: SimDuration,
+}
+
+impl FaultStats {
+    /// Degraded-server seconds, for reports.
+    pub fn degraded_secs(&self) -> f64 {
+        self.degraded.as_secs_f64()
+    }
+
+    /// True when no fault machinery left any trace — what a faultless
+    /// plan (or no plan) must produce.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
+/// Compiled, seeded fault schedule for one cluster.
+#[derive(Debug)]
+pub struct FaultInjector {
+    timeline: Vec<(SimDuration, TimedFault)>,
+    armed: bool,
+    windows: Vec<(SimDuration, SimDuration, Impairment)>,
+    rng: StdRng,
+    retry: RetryConfig,
+}
+
+impl FaultInjector {
+    /// Compiles `plan` for an experiment `seed`. The RNG stream is
+    /// independent of every other simulator stream, so arming a plan
+    /// with no probabilistic faults perturbs nothing.
+    pub fn new(plan: &FaultPlan, seed: u64) -> Self {
+        let mut timeline = Vec::new();
+        let mut windows = Vec::new();
+        for spec in &plan.specs {
+            match spec.clone() {
+                FaultSpec::ServerCrash {
+                    server,
+                    at,
+                    restart_after,
+                } => {
+                    timeline.push((at, TimedFault::Crash { server }));
+                    timeline.push((at + restart_after, TimedFault::Restart { server }));
+                }
+                FaultSpec::SsdLoss { server, at } => {
+                    timeline.push((at, TimedFault::SsdLoss { server }));
+                }
+                FaultSpec::FailSlow {
+                    server,
+                    dev,
+                    from,
+                    until,
+                    factor,
+                } => {
+                    timeline.push((
+                        from,
+                        TimedFault::SlowStart {
+                            server,
+                            dev,
+                            factor,
+                        },
+                    ));
+                    timeline.push((until, TimedFault::SlowEnd { server, dev }));
+                }
+                FaultSpec::NetFault { from, until, imp } => {
+                    windows.push((from, until, imp.clone()));
+                }
+            }
+        }
+        // Stable by time: simultaneous faults fire in plan order.
+        timeline.sort_by_key(|(t, _)| *t);
+        FaultInjector {
+            timeline,
+            armed: false,
+            windows,
+            rng: stream_rng(seed, streams::FAULTS),
+            retry: plan.retry_config(),
+        }
+    }
+
+    /// The retry policy the cluster should run while this injector is
+    /// armed.
+    pub fn retry(&self) -> &RetryConfig {
+        &self.retry
+    }
+
+    /// Hands the timed-fault schedule to the cluster exactly once (the
+    /// run that arms it); later runs on the same cluster see an empty
+    /// timeline rather than a re-injection.
+    pub fn arm(&mut self) -> &[(SimDuration, TimedFault)] {
+        if self.armed {
+            return &[];
+        }
+        self.armed = true;
+        &self.timeline
+    }
+
+    /// Decides the fate of a data-plane message sent at `since_start`
+    /// after the armed run began. Draws from the fault RNG only inside
+    /// an impairment window, so runs without network faults consume no
+    /// randomness here. Overlapping windows: the first (plan order)
+    /// containing window wins.
+    pub fn decide(&mut self, since_start: SimDuration) -> NetDecision {
+        for (from, until, imp) in &self.windows {
+            if since_start >= *from && since_start < *until {
+                let u: f64 = self.rng.gen();
+                return imp.decide(u);
+            }
+        }
+        NetDecision::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+
+    fn plan(text: &str) -> FaultPlan {
+        FaultPlan::parse(text).expect("test plan parses")
+    }
+
+    #[test]
+    fn timeline_is_sorted_and_derives_closing_events() {
+        let p = plan(
+            "fail-slow server=1 dev=primary from=50ms until=90ms factor=3\n\
+             crash server=0 at=10ms restart=30ms\n",
+        );
+        let mut inj = FaultInjector::new(&p, 7);
+        let tl: Vec<_> = inj.arm().to_vec();
+        assert_eq!(
+            tl,
+            vec![
+                (
+                    SimDuration::from_millis(10),
+                    TimedFault::Crash { server: 0 }
+                ),
+                (
+                    SimDuration::from_millis(40),
+                    TimedFault::Restart { server: 0 }
+                ),
+                (
+                    SimDuration::from_millis(50),
+                    TimedFault::SlowStart {
+                        server: 1,
+                        dev: FaultDev::Primary,
+                        factor: 3.0
+                    }
+                ),
+                (
+                    SimDuration::from_millis(90),
+                    TimedFault::SlowEnd {
+                        server: 1,
+                        dev: FaultDev::Primary
+                    }
+                ),
+            ]
+        );
+        assert!(inj.arm().is_empty(), "second arm must hand out nothing");
+    }
+
+    #[test]
+    fn decide_is_deterministic_per_seed() {
+        let p = plan("net from=0ms until=100ms drop=0.3 delay=0.3 delay-by=1ms dup=0.2\n");
+        let mut a = FaultInjector::new(&p, 42);
+        let mut b = FaultInjector::new(&p, 42);
+        let da: Vec<_> = (0..64)
+            .map(|i| a.decide(SimDuration::from_millis(i)))
+            .collect();
+        let db: Vec<_> = (0..64)
+            .map(|i| b.decide(SimDuration::from_millis(i)))
+            .collect();
+        assert_eq!(da, db);
+        // With these probabilities 64 draws hit every branch w.h.p.
+        assert!(da.contains(&NetDecision::Drop));
+        assert!(da.contains(&NetDecision::Deliver));
+    }
+
+    #[test]
+    fn no_draws_outside_windows() {
+        let p = plan("net from=10ms until=20ms drop=1\n");
+        let mut inj = FaultInjector::new(&p, 1);
+        assert_eq!(
+            inj.decide(SimDuration::from_millis(5)),
+            NetDecision::Deliver
+        );
+        assert_eq!(
+            inj.decide(SimDuration::from_millis(25)),
+            NetDecision::Deliver
+        );
+        assert_eq!(
+            inj.decide(SimDuration::from_millis(20)),
+            NetDecision::Deliver
+        );
+        assert_eq!(inj.decide(SimDuration::from_millis(10)), NetDecision::Drop);
+        assert_eq!(inj.decide(SimDuration::from_millis(19)), NetDecision::Drop);
+    }
+
+    #[test]
+    fn fault_stats_zero_roundtrip() {
+        let s = FaultStats::default();
+        assert!(s.is_zero());
+        let mut s2 = s;
+        s2.retries = 1;
+        assert!(!s2.is_zero());
+        assert_eq!(s.degraded_secs(), 0.0);
+    }
+}

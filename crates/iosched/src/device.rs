@@ -39,6 +39,20 @@ impl StorageDev {
             StorageDev::Ssd(s) => s.service(&req.op()),
         }
     }
+
+    fn set_slow_factor(&mut self, f: f64) {
+        match self {
+            StorageDev::Disk(d) => d.set_slow_factor(f),
+            StorageDev::Ssd(s) => s.set_slow_factor(f),
+        }
+    }
+
+    fn slow_factor(&self) -> f64 {
+        match self {
+            StorageDev::Disk(d) => d.slow_factor(),
+            StorageDev::Ssd(s) => s.slow_factor(),
+        }
+    }
 }
 
 /// Event the caller must schedule on behalf of the device.
@@ -203,6 +217,18 @@ impl BlockDevice {
     /// The underlying device model (immutable).
     pub fn storage(&self) -> &StorageDev {
         &self.storage
+    }
+
+    /// Fail-slow fault hook: stretch (or restore) every service time by
+    /// `f`. Applies to requests that *start* service from now on; the
+    /// current in-flight request keeps its already-computed finish time.
+    pub fn set_slow_factor(&mut self, f: f64) {
+        self.storage.set_slow_factor(f);
+    }
+
+    /// Current fail-slow multiplier (`1.0` = healthy).
+    pub fn slow_factor(&self) -> f64 {
+        self.storage.slow_factor()
     }
 
     /// True when nothing is in flight and nothing is queued.

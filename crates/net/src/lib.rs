@@ -60,6 +60,65 @@ impl LinkConfig {
     }
 }
 
+/// What the network did to one message under fault injection.
+///
+/// Produced by [`Impairment::decide`]; consumed by whoever posts the
+/// arrival event. `Deliver` is the healthy outcome and the only one a
+/// fault-free link ever produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetDecision {
+    /// The message arrives normally.
+    Deliver,
+    /// The message is lost after transmission; no arrival happens.
+    Drop,
+    /// The message arrives late by the attached extra delay.
+    Delay(SimDuration),
+    /// The message is delivered twice (original plus a copy).
+    Duplicate,
+}
+
+/// A lossy-network model: independent per-message probabilities of
+/// dropping, delaying, or duplicating a message. The sender still pays
+/// the serialisation cost — impairment happens *after* the NIC, in the
+/// fabric — so link state (and therefore later arrival times) is
+/// unchanged by the decision itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Impairment {
+    /// Probability the message is silently dropped.
+    pub drop: f64,
+    /// Probability the message is delayed by `delay_by`.
+    pub delay: f64,
+    /// Extra one-way delay applied to delayed messages.
+    pub delay_by: SimDuration,
+    /// Probability the message is delivered twice.
+    pub dup: f64,
+}
+
+impl Impairment {
+    /// Maps one uniform draw `u ∈ [0, 1)` to a decision. The unit
+    /// interval is partitioned `[drop | delay | dup | deliver]`, so a
+    /// single draw per message keeps fault schedules reproducible.
+    /// Probabilities must be non-negative and sum to at most 1.
+    pub fn decide(&self, u: f64) -> NetDecision {
+        debug_assert!(
+            self.drop >= 0.0
+                && self.delay >= 0.0
+                && self.dup >= 0.0
+                && self.drop + self.delay + self.dup <= 1.0,
+            "invalid impairment probabilities: {self:?}"
+        );
+        if u < self.drop {
+            NetDecision::Drop
+        } else if u < self.drop + self.delay {
+            NetDecision::Delay(self.delay_by)
+        } else if u < self.drop + self.delay + self.dup {
+            NetDecision::Duplicate
+        } else {
+            NetDecision::Deliver
+        }
+    }
+}
+
 /// A serialised transmit link owned by one node.
 #[derive(Debug, Clone)]
 pub struct Link {
@@ -237,6 +296,43 @@ mod tests {
         // The last arrival is ~4 transmissions out.
         let tx = link.tx_time(1 << 20);
         assert!(arrivals[3] >= SimTime::ZERO + tx * 4);
+    }
+
+    #[test]
+    fn impairment_partitions_unit_interval() {
+        let imp = Impairment {
+            drop: 0.1,
+            delay: 0.2,
+            delay_by: SimDuration::from_millis(5),
+            dup: 0.3,
+        };
+        assert_eq!(imp.decide(0.0), NetDecision::Drop);
+        assert_eq!(imp.decide(0.09), NetDecision::Drop);
+        assert_eq!(
+            imp.decide(0.1),
+            NetDecision::Delay(SimDuration::from_millis(5))
+        );
+        assert_eq!(
+            imp.decide(0.29), // just inside the delay band
+            NetDecision::Delay(SimDuration::from_millis(5))
+        );
+        assert_eq!(imp.decide(0.31), NetDecision::Duplicate);
+        assert_eq!(imp.decide(0.59), NetDecision::Duplicate);
+        assert_eq!(imp.decide(0.61), NetDecision::Deliver);
+        assert_eq!(imp.decide(0.999), NetDecision::Deliver);
+    }
+
+    #[test]
+    fn zero_impairment_always_delivers() {
+        let imp = Impairment {
+            drop: 0.0,
+            delay: 0.0,
+            delay_by: SimDuration::ZERO,
+            dup: 0.0,
+        };
+        for i in 0..10 {
+            assert_eq!(imp.decide(i as f64 / 10.0), NetDecision::Deliver);
+        }
     }
 
     #[test]

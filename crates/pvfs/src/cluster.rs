@@ -18,10 +18,11 @@ use crate::proto::{FileRequest, SubRequest};
 use crate::server::{DataServer, DevKind, JobId, ServerConfig, ServerOut};
 use crate::workload::Workload;
 use ibridge_des::stats::{Histogram, MeanTracker};
-use ibridge_des::{SimDuration, SimTime, Simulation};
+use ibridge_des::{EventId, SimDuration, SimTime, Simulation};
+use ibridge_faults::{FaultDev, FaultInjector, FaultPlan, FaultStats, TimedFault};
 use ibridge_iosched::{Action, DevStats};
 use ibridge_localfs::FileHandle;
-use ibridge_net::{Link, LinkConfig};
+use ibridge_net::{Link, LinkConfig, NetDecision};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::HashMap;
@@ -38,6 +39,41 @@ static TOTAL_EVENTS: AtomicU64 = AtomicU64::new(0);
 /// poll from another thread).
 pub fn total_events_dispatched() -> u64 {
     TOTAL_EVENTS.load(Ordering::Relaxed)
+}
+
+static TOTAL_RETRIES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_TIMEOUTS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_DROPPED_MSGS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_DIRTY_LOST: AtomicU64 = AtomicU64::new(0);
+static TOTAL_DEGRADED_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide fault/recovery totals, aggregated once per run across all
+/// threads (the harness's `--bench-report` pulls these next to the cache
+/// counters). All zero unless a fault plan was armed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTotals {
+    /// Sub-request retransmissions.
+    pub retries: u64,
+    /// Client-side sub-request timeouts.
+    pub timeouts: u64,
+    /// Messages lost to crashes or injected network drops.
+    pub dropped_messages: u64,
+    /// Dirty bytes lost to SSD device failures.
+    pub dirty_bytes_lost: u64,
+    /// Summed per-server degraded time, nanoseconds.
+    pub degraded_ns: u64,
+}
+
+/// Snapshot of the process-wide fault counters (monotone; updated once
+/// per run, like [`total_events_dispatched`]).
+pub fn total_fault_counters() -> FaultTotals {
+    FaultTotals {
+        retries: TOTAL_RETRIES.load(Ordering::Relaxed),
+        timeouts: TOTAL_TIMEOUTS.load(Ordering::Relaxed),
+        dropped_messages: TOTAL_DROPPED_MSGS.load(Ordering::Relaxed),
+        dirty_bytes_lost: TOTAL_DIRTY_LOST.load(Ordering::Relaxed),
+        degraded_ns: TOTAL_DEGRADED_NS.load(Ordering::Relaxed),
+    }
 }
 
 /// Cluster-wide configuration.
@@ -93,18 +129,43 @@ enum Ev {
     Issue { proc: usize, req: FileRequest },
     /// Sub-request message reached its server.
     SubArrive { server: usize, job: JobId },
-    /// Server CPU admitted the sub-request.
-    SubExec { server: usize, job: JobId },
-    /// A device finished its in-flight request.
-    DevComplete { server: usize, kind: DevKind },
+    /// Server CPU admitted the sub-request. `epoch` is the server's
+    /// process epoch at admission: a crash bumps it, so executions queued
+    /// by the dead process are discarded instead of acting on the
+    /// restarted one.
+    SubExec {
+        server: usize,
+        job: JobId,
+        epoch: u32,
+    },
+    /// A device finished its in-flight request. `epoch` guards against
+    /// completions of a device instance that a crash or SSD loss has
+    /// since torn down and rebuilt.
+    DevComplete {
+        server: usize,
+        kind: DevKind,
+        epoch: u32,
+    },
     /// A device anticipation timer fired.
     DevRecheck {
         server: usize,
         kind: DevKind,
         gen: u64,
+        epoch: u32,
     },
-    /// A sub-reply reached the client.
-    Reply { proc: usize, parent: u64 },
+    /// A sub-reply reached the client. `sub_idx` identifies the
+    /// sub-request within its parent so duplicate replies (retries,
+    /// network duplication) are detected and dropped.
+    Reply {
+        proc: usize,
+        parent: u64,
+        sub_idx: u32,
+    },
+    /// A scheduled fault fires (only when a plan is armed).
+    Fault(TimedFault),
+    /// Client-side retransmission timer for one sub-request (only when a
+    /// plan is armed; cancelled when the reply arrives).
+    SubTimeout { parent: u64, sub_idx: u32 },
     /// Periodic T-value report from a server.
     Report { server: usize },
     /// The report reached the MDS.
@@ -126,6 +187,19 @@ struct PendingJob {
     reply_bytes: u64,
     proc: usize,
     parent: u64,
+    server: usize,
+    sub_idx: u32,
+}
+
+/// Client-side in-flight record of one sub-request, kept only while a
+/// fault plan is armed: the original message for retransmission, the
+/// attempt count, and the pending timeout timer.
+#[derive(Debug)]
+struct SubTrack {
+    sub: SubRequest,
+    attempt: u32,
+    done: bool,
+    timeout: Option<EventId>,
 }
 
 #[derive(Debug)]
@@ -133,6 +207,8 @@ struct ParentState {
     proc: usize,
     pending: usize,
     issued_at: SimTime,
+    /// In-flight table for retry/dedup; empty when no plan is armed.
+    subs: Vec<SubTrack>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -140,6 +216,43 @@ enum ProcState {
     Running,
     AtBarrier,
     Done,
+}
+
+fn dev_idx(kind: DevKind) -> usize {
+    match kind {
+        DevKind::Primary => 0,
+        DevKind::Cache => 1,
+    }
+}
+
+fn devkind(dev: FaultDev) -> DevKind {
+    match dev {
+        FaultDev::Primary => DevKind::Primary,
+        FaultDev::Cache => DevKind::Cache,
+    }
+}
+
+/// Folds a plan's server id into the cluster's range so one plan file
+/// works across cluster sizes.
+fn clamp_fault(f: TimedFault, n: usize) -> TimedFault {
+    match f {
+        TimedFault::Crash { server } => TimedFault::Crash { server: server % n },
+        TimedFault::Restart { server } => TimedFault::Restart { server: server % n },
+        TimedFault::SsdLoss { server } => TimedFault::SsdLoss { server: server % n },
+        TimedFault::SlowStart {
+            server,
+            dev,
+            factor,
+        } => TimedFault::SlowStart {
+            server: server % n,
+            dev,
+            factor,
+        },
+        TimedFault::SlowEnd { server, dev } => TimedFault::SlowEnd {
+            server: server % n,
+            dev,
+        },
+    }
 }
 
 /// Per-server statistics captured at the end of a run.
@@ -191,6 +304,8 @@ pub struct RunStats {
     pub proc_done: Vec<SimDuration>,
     /// Per-server breakdown.
     pub servers: Vec<ServerRunStats>,
+    /// Fault/recovery counters (all zero unless a plan was armed).
+    pub faults: FaultStats,
 }
 
 impl RunStats {
@@ -267,6 +382,23 @@ pub struct Cluster {
     jitter_rng: StdRng,
     next_job: u64,
     next_parent: u64,
+    /// Armed fault schedule; `None` keeps every fault path inert so an
+    /// unarmed cluster is byte-identical to one that never saw a plan.
+    injector: Option<FaultInjector>,
+    fstats: FaultStats,
+    run_start: SimTime,
+    /// Per-server: process currently crashed.
+    down: Vec<bool>,
+    /// Per-server process epoch (bumped on crash).
+    srv_epoch: Vec<u32>,
+    /// Per-server device epochs, `[primary, cache]` (crash bumps both,
+    /// SSD loss bumps only the cache slot).
+    dev_epoch: Vec<[u32; 2]>,
+    /// Per-server count of overlapping degradation causes (down, slow
+    /// window, lost SSD); time with depth > 0 accrues to
+    /// [`FaultStats::degraded`].
+    degraded_depth: Vec<u32>,
+    degraded_since: Vec<SimTime>,
 }
 
 impl Cluster {
@@ -301,8 +433,25 @@ impl Cluster {
             server_links,
             next_job: 0,
             next_parent: 0,
+            injector: None,
+            fstats: FaultStats::default(),
+            run_start: SimTime::ZERO,
+            down: vec![false; cfg.n_servers],
+            srv_epoch: vec![0; cfg.n_servers],
+            dev_epoch: vec![[0, 0]; cfg.n_servers],
+            degraded_depth: vec![0; cfg.n_servers],
+            degraded_since: vec![SimTime::ZERO; cfg.n_servers],
             cfg,
         }
+    }
+
+    /// Arms `plan` for the next run: its schedule is injected (times
+    /// relative to that run's start) and the client switches to the
+    /// plan's timeout/retry protocol. A faultless plan arms nothing at
+    /// all — the run is byte-identical to one on a cluster that never
+    /// saw a plan. Server ids in the plan are taken modulo `n_servers`.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.injector = (!plan.is_faultless()).then(|| FaultInjector::new(plan, self.cfg.seed));
     }
 
     /// The striping layout used for all files.
@@ -349,25 +498,218 @@ impl Cluster {
         jobs: &mut HashMap<JobId, PendingJob>,
     ) {
         for (kind, action) in out.dev_actions.drain(..) {
+            let epoch = self.dev_epoch[server][dev_idx(kind)];
             match action {
                 Action::CompleteAt(t) => {
-                    self.sim.post_at(t, Ev::DevComplete { server, kind });
+                    self.sim.post_at(
+                        t,
+                        Ev::DevComplete {
+                            server,
+                            kind,
+                            epoch,
+                        },
+                    );
                 }
                 Action::RecheckAt(t, gen) => {
-                    self.sim.post_at(t, Ev::DevRecheck { server, kind, gen });
+                    self.sim.post_at(
+                        t,
+                        Ev::DevRecheck {
+                            server,
+                            kind,
+                            gen,
+                            epoch,
+                        },
+                    );
                 }
             }
         }
         for job in out.done_jobs.drain(..) {
             let pj = jobs.remove(&job).expect("done job unknown to cluster");
             let arrive = self.server_links[server].send(now, pj.reply_bytes);
-            self.sim.post_at(
-                arrive,
-                Ev::Reply {
+            let (proc, parent, sub_idx) = (pj.proc, pj.parent, pj.sub_idx);
+            match self.net_decision(now) {
+                NetDecision::Deliver => {
+                    self.sim.post_at(
+                        arrive,
+                        Ev::Reply {
+                            proc,
+                            parent,
+                            sub_idx,
+                        },
+                    );
+                }
+                NetDecision::Drop => {
+                    // The client's timeout retransmits; the server will
+                    // serve the retry again.
+                    self.fstats.dropped_messages += 1;
+                }
+                NetDecision::Delay(d) => {
+                    self.fstats.delayed_messages += 1;
+                    self.sim.post_at(
+                        arrive + d,
+                        Ev::Reply {
+                            proc,
+                            parent,
+                            sub_idx,
+                        },
+                    );
+                }
+                NetDecision::Duplicate => {
+                    self.fstats.duplicated_messages += 1;
+                    for _ in 0..2 {
+                        self.sim.post_at(
+                            arrive,
+                            Ev::Reply {
+                                proc,
+                                parent,
+                                sub_idx,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Routes one client→server sub-request message through the armed
+    /// network impairments (a straight delivery when no plan is armed).
+    fn post_sub_arrival(
+        &mut self,
+        now: SimTime,
+        arrive: SimTime,
+        server: usize,
+        job: JobId,
+        jobs: &mut HashMap<JobId, PendingJob>,
+    ) {
+        match self.net_decision(now) {
+            NetDecision::Deliver => {
+                self.sim.post_at(arrive, Ev::SubArrive { server, job });
+            }
+            NetDecision::Drop => {
+                self.fstats.dropped_messages += 1;
+                jobs.remove(&job);
+            }
+            NetDecision::Delay(d) => {
+                self.fstats.delayed_messages += 1;
+                self.sim.post_at(arrive + d, Ev::SubArrive { server, job });
+            }
+            NetDecision::Duplicate => {
+                self.fstats.duplicated_messages += 1;
+                self.sim.post_at(arrive, Ev::SubArrive { server, job });
+                // The copy travels as its own job so the server can hold
+                // both at once; the client deduplicates on reply.
+                let pj = &jobs[&job];
+                let copy = PendingJob {
+                    sub: pj.sub.clone(),
+                    reply_bytes: pj.reply_bytes,
                     proc: pj.proc,
                     parent: pj.parent,
-                },
-            );
+                    server: pj.server,
+                    sub_idx: pj.sub_idx,
+                };
+                let job2 = self.next_job;
+                self.next_job += 1;
+                jobs.insert(job2, copy);
+                self.sim
+                    .post_at(arrive, Ev::SubArrive { server, job: job2 });
+            }
+        }
+    }
+
+    fn net_decision(&mut self, now: SimTime) -> NetDecision {
+        match self.injector.as_mut() {
+            Some(inj) => inj.decide(now - self.run_start),
+            None => NetDecision::Deliver,
+        }
+    }
+
+    fn degrade_start(&mut self, server: usize, now: SimTime) {
+        if self.degraded_depth[server] == 0 {
+            self.degraded_since[server] = now;
+        }
+        self.degraded_depth[server] += 1;
+    }
+
+    fn degrade_end(&mut self, server: usize, now: SimTime) {
+        // Depth 0 means the matching start fired in a run that was never
+        // armed (leftover calendar event) — nothing to close.
+        if self.degraded_depth[server] == 0 {
+            return;
+        }
+        self.degraded_depth[server] -= 1;
+        if self.degraded_depth[server] == 0 {
+            self.fstats.degraded += now - self.degraded_since[server];
+        }
+    }
+
+    /// Applies one scheduled fault. `jobs`/`lost_jobs` are the run's
+    /// in-flight tables; `draining` tells a restart to kick the drain.
+    fn apply_fault(
+        &mut self,
+        now: SimTime,
+        fault: TimedFault,
+        jobs: &mut HashMap<JobId, PendingJob>,
+        lost_jobs: &mut Vec<JobId>,
+        draining: bool,
+    ) {
+        match fault {
+            TimedFault::Crash { server } => {
+                if !self.down[server] {
+                    self.down[server] = true;
+                    self.fstats.crashes += 1;
+                    self.srv_epoch[server] = self.srv_epoch[server].wrapping_add(1);
+                    self.dev_epoch[server][0] = self.dev_epoch[server][0].wrapping_add(1);
+                    self.dev_epoch[server][1] = self.dev_epoch[server][1].wrapping_add(1);
+                    // Sub-requests in the dead process's custody vanish
+                    // with it; the clients' timeouts recover them.
+                    jobs.retain(|_, pj| !(pj.server == server && pj.sub.is_none()));
+                    self.servers[server].crash(now);
+                    self.degrade_start(server, now);
+                }
+            }
+            TimedFault::Restart { server } => {
+                if self.down[server] {
+                    self.down[server] = false;
+                    self.fstats.restarts += 1;
+                    let report = self.servers[server].restart(now);
+                    self.fstats.clean_entries_dropped += report.clean_entries_dropped;
+                    self.fstats.pending_entries_dropped += report.pending_entries_dropped;
+                    self.degrade_end(server, now);
+                    if draining {
+                        // Replayed dirty entries must still be written
+                        // back for the run to quiesce.
+                        self.sim.post_now(Ev::DrainTick { server });
+                    }
+                }
+            }
+            TimedFault::SsdLoss { server } => {
+                if self.servers[server].cache().is_some() {
+                    self.fstats.ssd_losses += 1;
+                    self.dev_epoch[server][1] = self.dev_epoch[server][1].wrapping_add(1);
+                    lost_jobs.clear();
+                    let lost = self.servers[server].lose_cache_dev(now, lost_jobs);
+                    self.fstats.dirty_bytes_lost += lost;
+                    for job in lost_jobs.drain(..) {
+                        jobs.remove(&job);
+                    }
+                    // The MDS stops steering fragments at this server.
+                    self.mds_table[server] = 0.0;
+                    self.degrade_start(server, now);
+                }
+            }
+            TimedFault::SlowStart {
+                server,
+                dev,
+                factor,
+            } => {
+                self.fstats.slow_windows += 1;
+                self.servers[server].set_slow_factor(devkind(dev), factor);
+                self.degrade_start(server, now);
+            }
+            TimedFault::SlowEnd { server, dev } => {
+                self.servers[server].set_slow_factor(devkind(dev), 1.0);
+                self.degrade_end(server, now);
+            }
         }
     }
 
@@ -383,6 +725,34 @@ impl Cluster {
         let dispatched_before = self.sim.dispatched();
         let layout = self.layout();
         let ibridge = self.cfg.flag_fragments;
+
+        // Fault machinery. Everything below is inert when no plan is
+        // armed: no extra events, no RNG draws, identical event order.
+        self.run_start = start;
+        self.fstats = FaultStats::default();
+        let faults = self.injector.is_some();
+        let retry = self
+            .injector
+            .as_ref()
+            .map(|inj| inj.retry().clone())
+            .unwrap_or_default();
+        if let Some(inj) = self.injector.as_mut() {
+            // `arm` hands the timeline out exactly once, so a cluster
+            // re-run without re-arming does not re-inject old faults.
+            let timeline: Vec<(SimDuration, TimedFault)> = inj.arm().to_vec();
+            for (off, f) in timeline {
+                self.sim
+                    .post_at(start + off, Ev::Fault(clamp_fault(f, self.cfg.n_servers)));
+            }
+        }
+        for s in 0..self.cfg.n_servers {
+            // Degradation persisting from an earlier run (e.g. a lost
+            // SSD) accrues from this run's start.
+            if self.degraded_depth[s] > 0 {
+                self.degraded_since[s] = start;
+            }
+        }
+        let mut lost_jobs: Vec<JobId> = Vec::new();
 
         for s in &mut self.servers {
             s.prepare_run();
@@ -477,23 +847,33 @@ impl Cluster {
                     );
                     let parent = self.next_parent;
                     self.next_parent += 1;
-                    parents.insert(
-                        parent,
-                        ParentState {
-                            proc,
-                            pending: subs.len(),
-                            issued_at: now,
-                        },
-                    );
                     requests += 1;
                     bytes += req.len;
                     proc_bytes[proc] += req.len;
-                    for sub in subs {
+                    let pending = subs.len();
+                    let mut tracks: Vec<SubTrack> = Vec::new();
+                    if faults {
+                        tracks.reserve(pending);
+                    }
+                    for (idx, sub) in subs.into_iter().enumerate() {
                         let job = self.next_job;
                         self.next_job += 1;
                         let arrive = client_links[proc].send(now, sub.request_bytes());
                         let server = sub.server;
                         let reply_bytes = sub.reply_bytes();
+                        let sub_idx = idx as u32;
+                        if faults {
+                            let tid = self.sim.schedule_at(
+                                now + retry.timeout,
+                                Ev::SubTimeout { parent, sub_idx },
+                            );
+                            tracks.push(SubTrack {
+                                sub: sub.clone(),
+                                attempt: 0,
+                                done: false,
+                                timeout: Some(tid),
+                            });
+                        }
                         jobs.insert(
                             job,
                             PendingJob {
@@ -501,64 +881,193 @@ impl Cluster {
                                 reply_bytes,
                                 proc,
                                 parent,
+                                server,
+                                sub_idx,
                             },
                         );
-                        self.sim.post_at(arrive, Ev::SubArrive { server, job });
+                        self.post_sub_arrival(now, arrive, server, job, &mut jobs);
                     }
+                    parents.insert(
+                        parent,
+                        ParentState {
+                            proc,
+                            pending,
+                            issued_at: now,
+                            subs: tracks,
+                        },
+                    );
                 }
                 Ev::SubArrive { server, job } => {
-                    let exec_at = self.servers[server].cpu_admit(now);
-                    self.sim.post_at(exec_at, Ev::SubExec { server, job });
-                }
-                Ev::SubExec { server, job } => {
-                    let (sub, proc) = {
-                        let pj = jobs.get_mut(&job).expect("executing unknown job");
-                        (pj.sub.take().expect("job executed twice"), pj.proc)
-                    };
-                    out.clear();
-                    self.servers[server].exec_subreq(now, job, proc as u64, sub, &mut out);
-                    self.handle_server_out(now, server, &mut out, &mut jobs);
-                }
-                Ev::DevComplete { server, kind } => {
-                    out.clear();
-                    self.servers[server].on_dev_complete(now, kind, &mut out);
-                    if draining && !self.servers[server].quiescent() {
-                        // Appends into the same output; ordering matches
-                        // the completion actions followed by the flush's.
-                        self.servers[server].writeback_tick(now, true, &mut out);
+                    if self.down[server] {
+                        // The message reached a dead endpoint; the
+                        // client's timeout recovers it.
+                        jobs.remove(&job);
+                        self.fstats.dropped_messages += 1;
+                    } else {
+                        let exec_at = self.servers[server].cpu_admit(now);
+                        let epoch = self.srv_epoch[server];
+                        self.sim
+                            .post_at(exec_at, Ev::SubExec { server, job, epoch });
                     }
-                    self.handle_server_out(now, server, &mut out, &mut jobs);
                 }
-                Ev::DevRecheck { server, kind, gen } => {
-                    out.clear();
-                    self.servers[server].on_dev_recheck(now, kind, gen, &mut out);
-                    self.handle_server_out(now, server, &mut out, &mut jobs);
+                Ev::SubExec { server, job, epoch } => {
+                    if epoch != self.srv_epoch[server] {
+                        // Admitted by a process instance that has since
+                        // crashed.
+                        jobs.remove(&job);
+                        self.fstats.stale_completions += 1;
+                    } else {
+                        let (sub, proc) = {
+                            let pj = jobs.get_mut(&job).expect("executing unknown job");
+                            (pj.sub.take().expect("job executed twice"), pj.proc)
+                        };
+                        out.clear();
+                        self.servers[server].exec_subreq(now, job, proc as u64, sub, &mut out);
+                        self.handle_server_out(now, server, &mut out, &mut jobs);
+                    }
                 }
-                Ev::Reply { proc, parent } => {
-                    let done = {
-                        let p = parents.get_mut(&parent).expect("reply for unknown parent");
-                        p.pending -= 1;
-                        p.pending == 0
-                    };
-                    if done {
-                        let p = parents.remove(&parent).expect("checked above");
-                        let wait = now - p.issued_at;
-                        io_time += wait;
-                        latency_ms.record(wait.as_millis_f64());
-                        latency_hist_ms.record(wait.as_millis_f64().round() as u64);
-                        debug_assert_eq!(p.proc, proc);
-                        if use_barrier && barrier_mask[proc] {
-                            proc_state[proc] = ProcState::AtBarrier;
-                            self.maybe_release_barrier(&mut proc_state, &barrier_mask, now);
-                        } else {
-                            self.sim.post_now(Ev::Wake { proc });
+                Ev::DevComplete {
+                    server,
+                    kind,
+                    epoch,
+                } => {
+                    if epoch != self.dev_epoch[server][dev_idx(kind)] {
+                        self.fstats.stale_completions += 1;
+                    } else {
+                        out.clear();
+                        self.servers[server].on_dev_complete(now, kind, &mut out);
+                        if draining && !self.servers[server].quiescent() {
+                            // Appends into the same output; ordering matches
+                            // the completion actions followed by the flush's.
+                            self.servers[server].writeback_tick(now, true, &mut out);
+                        }
+                        self.handle_server_out(now, server, &mut out, &mut jobs);
+                    }
+                }
+                Ev::DevRecheck {
+                    server,
+                    kind,
+                    gen,
+                    epoch,
+                } => {
+                    if epoch != self.dev_epoch[server][dev_idx(kind)] {
+                        self.fstats.stale_completions += 1;
+                    } else {
+                        out.clear();
+                        self.servers[server].on_dev_recheck(now, kind, gen, &mut out);
+                        self.handle_server_out(now, server, &mut out, &mut jobs);
+                    }
+                }
+                Ev::Reply {
+                    proc,
+                    parent,
+                    sub_idx,
+                } => {
+                    let mut duplicate = false;
+                    if faults {
+                        match parents.get_mut(&parent) {
+                            None => duplicate = true,
+                            Some(p) => {
+                                let st = &mut p.subs[sub_idx as usize];
+                                if st.done {
+                                    duplicate = true;
+                                } else {
+                                    st.done = true;
+                                    if let Some(id) = st.timeout.take() {
+                                        self.sim.cancel(id);
+                                    }
+                                }
+                            }
+                        }
+                        if duplicate {
+                            self.fstats.duplicate_replies += 1;
+                        }
+                    }
+                    if !duplicate {
+                        let done = {
+                            let p = parents.get_mut(&parent).expect("reply for unknown parent");
+                            p.pending -= 1;
+                            p.pending == 0
+                        };
+                        if done {
+                            let p = parents.remove(&parent).expect("checked above");
+                            let wait = now - p.issued_at;
+                            io_time += wait;
+                            latency_ms.record(wait.as_millis_f64());
+                            latency_hist_ms.record(wait.as_millis_f64().round() as u64);
+                            debug_assert_eq!(p.proc, proc);
+                            if use_barrier && barrier_mask[proc] {
+                                proc_state[proc] = ProcState::AtBarrier;
+                                self.maybe_release_barrier(&mut proc_state, &barrier_mask, now);
+                            } else {
+                                self.sim.post_now(Ev::Wake { proc });
+                            }
+                        }
+                    }
+                }
+                Ev::Fault(fault) => {
+                    self.apply_fault(now, fault, &mut jobs, &mut lost_jobs, draining);
+                }
+                Ev::SubTimeout { parent, sub_idx } => {
+                    // A fired timer whose sub completed in the same
+                    // instant was already cancelled; the defensive check
+                    // keeps leftover timers from a previous run harmless.
+                    if let Some(p) = parents.get_mut(&parent) {
+                        let proc = p.proc;
+                        let st = &mut p.subs[sub_idx as usize];
+                        if !st.done {
+                            st.timeout = None;
+                            self.fstats.timeouts += 1;
+                            if st.attempt >= retry.max_retries {
+                                // Give up: surface an error completion so
+                                // the application makes progress.
+                                self.fstats.failed_subs += 1;
+                                self.sim.post_now(Ev::Reply {
+                                    proc,
+                                    parent,
+                                    sub_idx,
+                                });
+                            } else {
+                                st.attempt += 1;
+                                self.fstats.retries += 1;
+                                let sub = st.sub.clone();
+                                let wait =
+                                    retry.timeout.mul_f64(retry.backoff.powi(st.attempt as i32));
+                                st.timeout =
+                                    Some(self.sim.schedule_at(
+                                        now + wait,
+                                        Ev::SubTimeout { parent, sub_idx },
+                                    ));
+                                let job = self.next_job;
+                                self.next_job += 1;
+                                let arrive = client_links[proc].send(now, sub.request_bytes());
+                                let server = sub.server;
+                                let reply_bytes = sub.reply_bytes();
+                                jobs.insert(
+                                    job,
+                                    PendingJob {
+                                        sub: Some(sub),
+                                        reply_bytes,
+                                        proc,
+                                        parent,
+                                        server,
+                                        sub_idx,
+                                    },
+                                );
+                                self.post_sub_arrival(now, arrive, server, job, &mut jobs);
+                            }
                         }
                     }
                 }
                 Ev::Report { server } => {
-                    let t = self.servers[server].policy().report_t();
-                    let arrive = self.server_links[server].send(now, 128);
-                    self.sim.post_at(arrive, Ev::ReportArrive { server, t });
+                    // A crashed server cannot report; a degraded one
+                    // (lost SSD) stays silent so the MDS keeps its slot
+                    // zeroed and fragments stop being steered at it.
+                    if !self.down[server] && !self.servers[server].policy().is_degraded() {
+                        let t = self.servers[server].policy().report_t();
+                        let arrive = self.server_links[server].send(now, 128);
+                        self.sim.post_at(arrive, Ev::ReportArrive { server, t });
+                    }
                     if active > 0 {
                         self.sim
                             .post_in(self.cfg.report_interval, Ev::Report { server });
@@ -580,23 +1089,29 @@ impl Cluster {
                     }
                 }
                 Ev::Broadcast { server, table } => {
-                    self.servers[server].policy_mut().receive_broadcast(&table);
+                    if !self.down[server] {
+                        self.servers[server].policy_mut().receive_broadcast(&table);
+                    }
                 }
                 Ev::WritebackTick { server } => {
-                    out.clear();
-                    self.servers[server].writeback_tick(now, false, &mut out);
-                    debug_assert!(out.done_jobs.is_empty());
-                    self.handle_server_out(now, server, &mut out, &mut jobs);
+                    if !self.down[server] {
+                        out.clear();
+                        self.servers[server].writeback_tick(now, false, &mut out);
+                        debug_assert!(out.done_jobs.is_empty());
+                        self.handle_server_out(now, server, &mut out, &mut jobs);
+                    }
                     if active > 0 {
                         self.sim
                             .post_in(self.cfg.writeback_interval, Ev::WritebackTick { server });
                     }
                 }
                 Ev::DrainTick { server } => {
-                    out.clear();
-                    self.servers[server].writeback_tick(now, true, &mut out);
-                    debug_assert!(out.done_jobs.is_empty());
-                    self.handle_server_out(now, server, &mut out, &mut jobs);
+                    if !self.down[server] {
+                        out.clear();
+                        self.servers[server].writeback_tick(now, true, &mut out);
+                        debug_assert!(out.done_jobs.is_empty());
+                        self.handle_server_out(now, server, &mut out, &mut jobs);
+                    }
                 }
             }
 
@@ -616,6 +1131,21 @@ impl Cluster {
         let end = self.sim.now();
         let events_dispatched = self.sim.dispatched() - dispatched_before;
         TOTAL_EVENTS.fetch_add(events_dispatched, Ordering::Relaxed);
+        for s in 0..self.cfg.n_servers {
+            // Close degradation windows still open at run end (a lost
+            // SSD degrades the server for the rest of its life).
+            if self.degraded_depth[s] > 0 {
+                self.fstats.degraded += end - self.degraded_since[s];
+                self.degraded_since[s] = end;
+            }
+        }
+        if !self.fstats.is_zero() {
+            TOTAL_RETRIES.fetch_add(self.fstats.retries, Ordering::Relaxed);
+            TOTAL_TIMEOUTS.fetch_add(self.fstats.timeouts, Ordering::Relaxed);
+            TOTAL_DROPPED_MSGS.fetch_add(self.fstats.dropped_messages, Ordering::Relaxed);
+            TOTAL_DIRTY_LOST.fetch_add(self.fstats.dirty_bytes_lost, Ordering::Relaxed);
+            TOTAL_DEGRADED_NS.fetch_add(self.fstats.degraded.as_nanos(), Ordering::Relaxed);
+        }
         RunStats {
             elapsed: end - start,
             client_elapsed: client_done_at - start,
@@ -644,6 +1174,7 @@ impl Cluster {
                     }
                 })
                 .collect(),
+            faults: self.fstats,
         }
     }
 
@@ -922,6 +1453,109 @@ mod tests {
         // populates; the remaining 3 repeats hit on both servers.
         let hits: u64 = stats.servers.iter().map(|s| s.ra_hits).sum();
         assert_eq!(hits, 6, "repeats must hit the page cache");
+    }
+
+    #[test]
+    fn faultless_plan_is_byte_identical_to_no_plan() {
+        let run = |armed: bool| {
+            let mut c = small_cluster(4);
+            if armed {
+                // Retry-only plans inject nothing and must arm nothing.
+                let plan = FaultPlan::parse("retry timeout=10ms max=3").unwrap();
+                c.set_fault_plan(&plan);
+            }
+            c.preallocate(FileHandle(1), 8 << 20);
+            let mut w = seq(IoDir::Read, 4, 65536, 8);
+            let s = c.run(&mut w);
+            assert!(s.faults.is_zero());
+            (s.elapsed, s.events_dispatched, s.bytes, s.requests)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn crash_and_restart_mid_run_completes_via_retries() {
+        let mut c = small_cluster(2);
+        let plan = FaultPlan::parse(
+            "retry timeout=5ms backoff=2 max=12\ncrash server=1 at=2ms restart=20ms",
+        )
+        .unwrap();
+        c.set_fault_plan(&plan);
+        c.preallocate(FileHandle(1), 8 << 20);
+        let mut w = seq(IoDir::Read, 2, 65536, 16);
+        let stats = c.run(&mut w);
+        assert_eq!(stats.requests, 32);
+        // Every request completed exactly once despite the crash.
+        assert_eq!(stats.latency_hist_ms.total(), stats.requests);
+        assert_eq!(stats.faults.crashes, 1);
+        assert_eq!(stats.faults.restarts, 1);
+        assert!(stats.faults.timeouts > 0, "crash must cost timeouts");
+        assert!(stats.faults.retries > 0, "retries must recover the run");
+        assert!(stats.faults.degraded > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fail_slow_window_slows_the_run() {
+        let elapsed = |plan: Option<&str>| {
+            let mut c = small_cluster(2);
+            if let Some(text) = plan {
+                c.set_fault_plan(&FaultPlan::parse(text).unwrap());
+            }
+            c.preallocate(FileHandle(1), 8 << 20);
+            let mut w = seq(IoDir::Read, 2, 65536, 16);
+            c.run(&mut w)
+        };
+        let healthy = elapsed(None);
+        let slowed = elapsed(Some(
+            "fail-slow server=0 dev=primary from=0ms until=60s factor=20",
+        ));
+        assert_eq!(slowed.faults.slow_windows, 1);
+        assert!(slowed.faults.degraded > SimDuration::ZERO);
+        assert!(
+            slowed.elapsed > healthy.elapsed,
+            "a 20x slower disk must lengthen the run: {:?} vs {:?}",
+            slowed.elapsed,
+            healthy.elapsed
+        );
+    }
+
+    #[test]
+    fn net_impairments_are_recovered_by_retries() {
+        let mut c = small_cluster(2);
+        let plan = FaultPlan::parse(
+            "retry timeout=5ms backoff=2 max=20\nnet from=0ms until=60s drop=0.2 dup=0.1",
+        )
+        .unwrap();
+        c.set_fault_plan(&plan);
+        c.preallocate(FileHandle(1), 8 << 20);
+        let mut w = seq(IoDir::Read, 2, 65536, 16);
+        let stats = c.run(&mut w);
+        assert_eq!(stats.requests, 32);
+        assert_eq!(stats.latency_hist_ms.total(), stats.requests);
+        assert!(stats.faults.dropped_messages > 0);
+        assert!(stats.faults.duplicated_messages > 0);
+        assert!(stats.faults.retries > 0);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let run = || {
+            let mut c = small_cluster(2);
+            let plan = FaultPlan::parse(
+                "retry timeout=5ms backoff=2 max=12\n\
+                 crash server=1 at=2ms restart=20ms\n\
+                 net from=0ms until=60s drop=0.1 delay=0.1 delay-by=2ms dup=0.05",
+            )
+            .unwrap();
+            c.set_fault_plan(&plan);
+            c.preallocate(FileHandle(1), 8 << 20);
+            let mut w = seq(IoDir::Read, 2, 65536, 16);
+            let s = c.run(&mut w);
+            (s.elapsed, s.events_dispatched, s.faults)
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(!a.2.is_zero());
     }
 
     #[test]

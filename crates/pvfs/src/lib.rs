@@ -53,9 +53,14 @@ pub mod proto;
 pub mod server;
 pub mod workload;
 
-pub use cluster::{total_events_dispatched, Cluster, ClusterConfig, RunStats, ServerRunStats};
+pub use cluster::{
+    total_events_dispatched, total_fault_counters, Cluster, ClusterConfig, FaultTotals, RunStats,
+    ServerRunStats,
+};
 pub use layout::Layout;
-pub use policy::{CachePolicy, CacheStats, EntryId, FlushId, FlushOp, Placement, StockPolicy};
+pub use policy::{
+    CachePolicy, CacheStats, EntryId, FlushId, FlushOp, Placement, RestartReport, StockPolicy,
+};
 pub use proto::{FileRequest, ReqClass, SubRequest};
 pub use server::{DataServer, DevKind, DiskSched, JobId, ServerConfig};
 pub use workload::{SequentialWorkload, WorkItem, Workload};

@@ -109,6 +109,22 @@ impl CacheStats {
     }
 }
 
+/// Outcome of replaying the on-SSD mapping-table backup after a server
+/// process restart: dirty entries survive (their bytes are durable in
+/// the SSD log), clean and pending entries are conservatively
+/// invalidated and re-fetched on demand.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestartReport {
+    /// Dirty entries replayed into the fresh mapping table.
+    pub dirty_entries_kept: u64,
+    /// Dirty bytes preserved across the restart.
+    pub dirty_bytes_kept: u64,
+    /// Clean entries dropped during replay.
+    pub clean_entries_dropped: u64,
+    /// Pending (not yet durable) entries discarded.
+    pub pending_entries_dropped: u64,
+}
+
 /// Decision-making interface of the server-side cache.
 pub trait CachePolicy: std::fmt::Debug {
     /// Routes an arriving sub-request. `disk_lbn` is the first device
@@ -145,6 +161,30 @@ pub trait CachePolicy: std::fmt::Debug {
 
     /// Counter snapshot.
     fn stats(&self) -> CacheStats;
+
+    /// The server process restarted with the SSD intact: replay the
+    /// on-SSD backup of the mapping table. Dirty entries survive, clean
+    /// and pending entries are invalidated. Cumulative counters carry
+    /// over (same run). Policies without persistent state need not
+    /// override this.
+    fn server_restart(&mut self, _now: SimTime) -> RestartReport {
+        RestartReport::default()
+    }
+
+    /// The SSD cache device died: the log and the mapping table are
+    /// gone. Returns the dirty bytes that were lost (the durability
+    /// cost); the policy must degrade to the primary-device-only path
+    /// from here on.
+    fn ssd_lost(&mut self, _now: SimTime) -> u64 {
+        0
+    }
+
+    /// True once `ssd_lost` has degraded this policy to the
+    /// primary-device-only path (the MDS then stops broadcasting this
+    /// server's T value).
+    fn is_degraded(&self) -> bool {
+        false
+    }
 }
 
 /// The stock system: no SSD cache, everything served at the disk.

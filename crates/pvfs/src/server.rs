@@ -13,7 +13,7 @@
 //! Besides client jobs, groups are used for post-read cache admissions
 //! and the two phases of writeback (SSD read → disk write).
 
-use crate::policy::{CachePolicy, EntryId, FlushId, FlushOp, Placement};
+use crate::policy::{CachePolicy, EntryId, FlushId, FlushOp, Placement, RestartReport};
 use crate::proto::SubRequest;
 use ibridge_des::{SimDuration, SimTime};
 use ibridge_device::{bytes_to_sectors, DiskModel, DiskProfile, IoDir, SsdModel, SsdProfile};
@@ -201,6 +201,9 @@ struct GroupSlot {
     gen: u32,
     pending: u32,
     kind: GroupKind,
+    /// Which device the group's segments run on — needed to retire
+    /// cache-bound groups when the SSD device is lost.
+    dev: DevKind,
 }
 
 /// Packs a slab slot and its generation into a block-request tag.
@@ -258,34 +261,47 @@ pub struct DataServer {
     ra: HashMap<FileHandle, ReadAhead>,
     ra_hits: u64,
     ra_bytes: u64,
+    /// The cache SSD died (fault injection); restarts must not
+    /// resurrect it.
+    cache_lost: bool,
+}
+
+/// Builds the primary block device described by `cfg`.
+fn make_primary(cfg: &ServerConfig) -> BlockDevice {
+    if cfg.primary_is_ssd {
+        BlockDevice::new(
+            StorageDev::Ssd(SsdModel::new(cfg.ssd.clone())),
+            AnySched::Noop(Noop::default()),
+        )
+    } else {
+        let sched = match cfg.disk_sched {
+            DiskSched::Cfq => AnySched::Cfq(Cfq::new(cfg.cfq.clone())),
+            DiskSched::Deadline => AnySched::Deadline(Deadline::new(cfg.cfq.max_merge_sectors)),
+            DiskSched::Noop => AnySched::Noop(Noop::new(cfg.cfq.max_merge_sectors)),
+        };
+        BlockDevice::with_ncq(
+            StorageDev::Disk(DiskModel::new(cfg.disk.clone())),
+            sched,
+            cfg.ncq_depth,
+        )
+    }
+}
+
+/// Builds the cache block device described by `cfg`, if configured.
+fn make_cache(cfg: &ServerConfig) -> Option<BlockDevice> {
+    cfg.with_cache_dev.then(|| {
+        BlockDevice::new(
+            StorageDev::Ssd(SsdModel::new(cfg.ssd.clone())),
+            AnySched::Noop(Noop::default()),
+        )
+    })
 }
 
 impl DataServer {
     /// Creates a server with the given policy.
     pub fn new(id: usize, cfg: ServerConfig, policy: Box<dyn CachePolicy>) -> Self {
-        let primary = if cfg.primary_is_ssd {
-            BlockDevice::new(
-                StorageDev::Ssd(SsdModel::new(cfg.ssd.clone())),
-                AnySched::Noop(Noop::default()),
-            )
-        } else {
-            let sched = match cfg.disk_sched {
-                DiskSched::Cfq => AnySched::Cfq(Cfq::new(cfg.cfq.clone())),
-                DiskSched::Deadline => AnySched::Deadline(Deadline::new(cfg.cfq.max_merge_sectors)),
-                DiskSched::Noop => AnySched::Noop(Noop::new(cfg.cfq.max_merge_sectors)),
-            };
-            BlockDevice::with_ncq(
-                StorageDev::Disk(DiskModel::new(cfg.disk.clone())),
-                sched,
-                cfg.ncq_depth,
-            )
-        };
-        let cache = cfg.with_cache_dev.then(|| {
-            BlockDevice::new(
-                StorageDev::Ssd(SsdModel::new(cfg.ssd.clone())),
-                AnySched::Noop(Noop::default()),
-            )
-        });
+        let primary = make_primary(&cfg);
+        let cache = make_cache(&cfg);
         let fs_capacity = if cfg.primary_is_ssd {
             cfg.ssd.capacity_sectors
         } else {
@@ -308,6 +324,7 @@ impl DataServer {
             ra: HashMap::new(),
             ra_hits: 0,
             ra_bytes: 0,
+            cache_lost: false,
         }
     }
 
@@ -422,6 +439,7 @@ impl DataServer {
                     gen: 0,
                     pending: 0,
                     kind,
+                    dev,
                 });
                 (self.group_slots.len() - 1) as u32
             }
@@ -429,6 +447,7 @@ impl DataServer {
         let gs = &mut self.group_slots[slot as usize];
         gs.kind = kind;
         gs.pending = parts.len() as u32;
+        gs.dev = dev;
         let handle = pack_group(slot, gs.gen);
         self.live_groups += 1;
         for &SegSpec {
@@ -774,6 +793,92 @@ impl DataServer {
             let id = op.id;
             let prev = self.flushes.insert(id, op);
             assert!(prev.is_none(), "duplicate flush id {id}");
+        }
+    }
+
+    /// Fault injection: the server process dies at `now`. Every piece
+    /// of volatile state — in-flight jobs, completion groups, flush
+    /// bookkeeping, queued and in-flight device I/O, the page cache —
+    /// is lost; the devices are rebuilt cold. The policy is *not*
+    /// touched here: its durable (on-SSD) state is replayed by
+    /// [`DataServer::restart`] when the process comes back. The caller
+    /// must discard any scheduled device events for this server (their
+    /// completions now refer to hardware queues that no longer exist).
+    pub fn crash(&mut self, _now: SimTime) {
+        self.jobs.clear();
+        self.flushes.clear();
+        self.group_slots.clear();
+        self.free_groups.clear();
+        self.live_groups = 0;
+        self.ra.clear();
+        self.cpu_free = SimTime::ZERO;
+        self.primary = make_primary(&self.cfg);
+        self.cache = if self.cache_lost {
+            None
+        } else {
+            make_cache(&self.cfg)
+        };
+    }
+
+    /// Fault injection: the crashed process comes back up and replays
+    /// the on-SSD mapping-table backup (clean entries invalidated,
+    /// dirty entries preserved — see [`CachePolicy::server_restart`]).
+    pub fn restart(&mut self, now: SimTime) -> RestartReport {
+        self.policy.server_restart(now)
+    }
+
+    /// Fault injection: the SSD cache device fails permanently. All
+    /// in-flight cache I/O dies; jobs that were being served from the
+    /// SSD are appended to `lost_jobs` so the cluster can drop its
+    /// bookkeeping (clients recover them by timeout + retry against
+    /// the now-degraded, disk-only server). Returns the dirty bytes
+    /// destroyed with the device — the durability cost of buffering
+    /// writes in the cache.
+    pub fn lose_cache_dev(&mut self, now: SimTime, lost_jobs: &mut Vec<JobId>) -> u64 {
+        if self.cache.take().is_none() {
+            return 0;
+        }
+        self.cache_lost = true;
+        for slot in 0..self.group_slots.len() {
+            let gs = &mut self.group_slots[slot];
+            if gs.pending == 0 || gs.dev != DevKind::Cache {
+                continue;
+            }
+            // Retire the group: the generation bump invalidates any
+            // completion already scheduled for its segments.
+            gs.pending = 0;
+            gs.gen = gs.gen.wrapping_add(1);
+            let kind = gs.kind;
+            self.free_groups.push(slot as u32);
+            self.live_groups -= 1;
+            match kind {
+                GroupKind::Job(job) => {
+                    self.jobs.remove(&job);
+                    lost_jobs.push(job);
+                }
+                // The admission's entry dies with the policy state below.
+                GroupKind::Admission(_) => {}
+                GroupKind::FlushRead(flush) => {
+                    self.flushes.remove(&flush);
+                }
+                // Flush writes run on the primary device.
+                GroupKind::FlushWrite(_) => unreachable!("flush write on cache device"),
+            }
+        }
+        self.policy.ssd_lost(now)
+    }
+
+    /// Fault injection: sets (or clears, `f = 1.0`) the fail-slow
+    /// service-time multiplier on one device. A missing cache device is
+    /// ignored.
+    pub fn set_slow_factor(&mut self, dev: DevKind, f: f64) {
+        match dev {
+            DevKind::Primary => self.primary.set_slow_factor(f),
+            DevKind::Cache => {
+                if let Some(c) = &mut self.cache {
+                    c.set_slow_factor(f);
+                }
+            }
         }
     }
 

@@ -1,0 +1,189 @@
+//! A checkpoint/restart workload: alternating compute phases and
+//! N-to-1 strided checkpoint bursts.
+//!
+//! Checkpointing is the canonical I/O pattern that failure studies
+//! exercise: every process periodically dumps its state into a shared
+//! checkpoint file, rank-interleaved, with record sizes set by the
+//! application's data structures rather than the file system's stripe
+//! unit — so almost every record is unaligned and splits into fragments
+//! at the servers. Epochs overwrite the same offsets, which keeps a
+//! recurring population of dirty data in the SSD log; that is exactly
+//! the data at risk when a fault plan kills a cache device, making this
+//! the probe workload for the `faults` experiment family.
+
+use ibridge_des::SimDuration;
+use ibridge_device::IoDir;
+use ibridge_localfs::FileHandle;
+use ibridge_pvfs::{FileRequest, WorkItem, Workload};
+
+/// Periodic compute + rank-strided checkpoint writes.
+///
+/// ```
+/// use ibridge_workloads::CheckpointWorkload;
+/// use ibridge_localfs::FileHandle;
+///
+/// let w = CheckpointWorkload::scaled(FileHandle(1), 4);
+/// assert!(w.record % (64 * 1024) != 0, "records are unaligned");
+/// assert!(w.span_bytes() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CheckpointWorkload {
+    /// Shared checkpoint file.
+    pub file: FileHandle,
+    /// Process count.
+    pub procs: usize,
+    /// Checkpoint record size in bytes (deliberately not a multiple of
+    /// the stripe unit in the defaults).
+    pub record: u64,
+    /// Number of checkpoint epochs.
+    pub epochs: u64,
+    /// Per-process compute time before each checkpoint burst.
+    pub compute: SimDuration,
+    records_per_epoch: u64,
+}
+
+impl CheckpointWorkload {
+    /// Builds a run where each process writes `bytes_per_epoch` (rounded
+    /// down to whole records, at least one) per epoch.
+    pub fn new(
+        file: FileHandle,
+        procs: usize,
+        bytes_per_epoch: u64,
+        record: u64,
+        epochs: u64,
+        compute: SimDuration,
+    ) -> Self {
+        assert!(procs > 0 && record > 0 && epochs > 0);
+        CheckpointWorkload {
+            file,
+            procs,
+            record,
+            epochs,
+            compute,
+            records_per_epoch: (bytes_per_epoch / record).max(1),
+        }
+    }
+
+    /// A modest default shape: 1 MB per process per epoch in 60 KB
+    /// records (unaligned against the 64 KB stripe unit), 4 epochs,
+    /// 25 ms of compute between bursts.
+    pub fn scaled(file: FileHandle, procs: usize) -> Self {
+        CheckpointWorkload::new(
+            file,
+            procs,
+            1 << 20,
+            60 * 1024,
+            4,
+            SimDuration::from_millis(25),
+        )
+    }
+
+    /// Records each process writes per epoch.
+    pub fn records_per_epoch(&self) -> u64 {
+        self.records_per_epoch
+    }
+
+    /// The logical file span touched (for preallocation). Epochs
+    /// overwrite the same offsets, so the span is one epoch's worth.
+    pub fn span_bytes(&self) -> u64 {
+        self.records_per_epoch * self.procs as u64 * self.record
+    }
+
+    /// Total client bytes moved over the whole run.
+    pub fn total_bytes(&self) -> u64 {
+        self.span_bytes() * self.epochs
+    }
+}
+
+impl Workload for CheckpointWorkload {
+    fn procs(&self) -> usize {
+        self.procs
+    }
+
+    fn next(&mut self, proc: usize, iter: u64) -> Option<WorkItem> {
+        let epoch = iter / self.records_per_epoch;
+        if epoch >= self.epochs {
+            return None;
+        }
+        let k = iter % self.records_per_epoch;
+        // Rank-interleaved records: proc p owns every procs-th record.
+        let offset = (k * self.procs as u64 + proc as u64) * self.record;
+        Some(WorkItem {
+            req: FileRequest {
+                dir: IoDir::Write,
+                file: self.file,
+                offset,
+                len: self.record,
+            },
+            think: if k == 0 {
+                self.compute
+            } else {
+                SimDuration::ZERO
+            },
+        })
+    }
+
+    fn barrier(&self) -> bool {
+        // Checkpoints are taken at global synchronisation points.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn offsets_are_disjoint_within_an_epoch_and_repeat_across_epochs() {
+        let mut w =
+            CheckpointWorkload::new(FileHandle(1), 4, 1 << 20, 60 * 1024, 3, SimDuration::ZERO);
+        let rpe = w.records_per_epoch();
+        let mut first_epoch = HashSet::new();
+        for proc in 0..4 {
+            for k in 0..rpe {
+                let item = w.next(proc, k).expect("in range");
+                assert!(item.req.dir.is_write());
+                assert!(item.req.offset + item.req.len <= w.span_bytes());
+                assert!(first_epoch.insert(item.req.offset), "overlap within epoch");
+            }
+        }
+        // Epoch 2 rewrites exactly the same offsets.
+        for proc in 0..4 {
+            for k in 0..rpe {
+                let item = w.next(proc, rpe + k).expect("in range");
+                assert!(first_epoch.contains(&item.req.offset));
+            }
+        }
+    }
+
+    #[test]
+    fn records_are_unaligned_to_the_stripe_unit() {
+        let w = CheckpointWorkload::scaled(FileHandle(1), 4);
+        assert_ne!(w.record % (64 * 1024), 0);
+    }
+
+    #[test]
+    fn compute_precedes_each_burst_and_run_terminates() {
+        let mut w = CheckpointWorkload::new(
+            FileHandle(1),
+            2,
+            256 * 1024,
+            60 * 1024,
+            2,
+            SimDuration::from_millis(9),
+        );
+        let rpe = w.records_per_epoch();
+        assert_eq!(w.next(0, 0).unwrap().think, SimDuration::from_millis(9));
+        assert_eq!(w.next(0, 1).unwrap().think, SimDuration::ZERO);
+        assert_eq!(w.next(0, rpe).unwrap().think, SimDuration::from_millis(9));
+        assert!(w.next(0, 2 * rpe).is_none());
+        assert_eq!(w.total_bytes(), 2 * w.span_bytes());
+    }
+
+    #[test]
+    fn tiny_bytes_per_epoch_still_writes_one_record() {
+        let w = CheckpointWorkload::new(FileHandle(1), 2, 1, 4096, 1, SimDuration::ZERO);
+        assert_eq!(w.records_per_epoch(), 1);
+    }
+}

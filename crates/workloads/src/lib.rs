@@ -11,6 +11,9 @@
 //! * [`btio`] — the NAS BTIO macro-benchmark (§III.D): alternating
 //!   compute phases and very small strided writes whose size shrinks as
 //!   the process count grows.
+//! * [`checkpoint`] — periodic compute + N-to-1 rank-strided unaligned
+//!   checkpoint bursts; the probe workload for the fault-injection
+//!   experiments (recurring dirty data in the SSD log).
 //! * [`traces`] — synthetic ALEGRA/CTH/S3D traces matching the Table I
 //!   request mix, a text trace format, and a single-process replayer
 //!   (§III.E).
@@ -20,6 +23,7 @@
 //!   files (the heterogeneous experiment of Fig. 12).
 
 pub mod btio;
+pub mod checkpoint;
 pub mod classify;
 pub mod collective;
 pub mod combine;
@@ -29,6 +33,7 @@ pub mod sieving;
 pub mod traces;
 
 pub use btio::Btio;
+pub use checkpoint::CheckpointWorkload;
 pub use classify::{classify, Classification};
 pub use collective::CollectiveBuffering;
 pub use combine::CombinedWorkload;

@@ -20,6 +20,14 @@ echo "== expt --jobs parallel output identity"
 ./target/release/expt --jobs 4 all >/tmp/ibridge_ci_j4.txt 2>/dev/null
 cmp /tmp/ibridge_ci_j1.txt /tmp/ibridge_ci_j4.txt
 
+echo "== fault-matrix smoke (fixed seed; gates on determinism only)"
+./target/release/expt --seed 7 --fault-plan chaos faults \
+  >/tmp/ibridge_ci_faults_j1.txt 2>/dev/null
+./target/release/expt --seed 7 --jobs 8 --fault-plan chaos faults \
+  >/tmp/ibridge_ci_faults_j8.txt 2>/dev/null
+cmp /tmp/ibridge_ci_faults_j1.txt /tmp/ibridge_ci_faults_j8.txt
+cmp /tmp/ibridge_ci_faults_j1.txt goldens/faults_smoke.txt
+
 echo "== perf-smoke (counting allocator; gates on determinism only)"
 cargo build --release -p ibridge-bench --features count-allocs
 ./target/release/calbench >/tmp/ibridge_ci_calbench.txt

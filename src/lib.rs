@@ -10,6 +10,7 @@
 //! | [`iosched`] | CFQ/Noop/Deadline schedulers, merging, blktrace-style tracing |
 //! | [`localfs`] | Ext2-style allocator mapping datafile offsets to disk sectors |
 //! | [`net`] | cluster interconnect model |
+//! | [`faults`] | schedule-driven fault injection: crashes, SSD loss, fail-slow, network faults |
 //! | [`pvfs`] | PVFS2-style striped parallel file system and cluster simulation |
 //! | [`core`] | **the iBridge scheme**: Eqs. 1–3, SSD log, mapping table, partitioning |
 //! | [`workloads`] | mpi-io-test, ior-mpi-io, BTIO, ALEGRA/CTH/S3D traces |
@@ -37,6 +38,7 @@
 pub use ibridge_core as core;
 pub use ibridge_des as des;
 pub use ibridge_device as device;
+pub use ibridge_faults as faults;
 pub use ibridge_iosched as iosched;
 pub use ibridge_localfs as localfs;
 pub use ibridge_net as net;
@@ -51,13 +53,14 @@ pub mod prelude {
     };
     pub use ibridge_des::{SimDuration, SimTime};
     pub use ibridge_device::{DiskProfile, IoDir, SsdProfile};
+    pub use ibridge_faults::{FaultPlan, FaultStats, RetryConfig};
     pub use ibridge_localfs::FileHandle;
     pub use ibridge_pvfs::{
         Cluster, ClusterConfig, FileRequest, Layout, ReqClass, RunStats, ServerConfig, StockPolicy,
         SubRequest, WorkItem, Workload,
     };
     pub use ibridge_workloads::{
-        classify, AppProfile, Btio, CombinedWorkload, IorMpiIo, MpiIoTest, Trace, TraceRecord,
-        TraceReplay,
+        classify, AppProfile, Btio, CheckpointWorkload, CombinedWorkload, IorMpiIo, MpiIoTest,
+        Trace, TraceRecord, TraceReplay,
     };
 }

@@ -1,0 +1,245 @@
+//! Property-based tests of the fault-injection & recovery subsystem.
+//!
+//! Three invariants back the failure model (see `crates/faults`):
+//!
+//! 1. **Exactly-once completion** — whatever the network and servers do
+//!    (drops, duplicates, crashes, retries), every application request
+//!    completes exactly once at the client; a retried sub-request is
+//!    never double-applied to a parent.
+//! 2. **No resurrection** — replaying the on-SSD mapping-table backup
+//!    after a restart never brings back an entry the restart
+//!    invalidated (clean or in-flight admissions).
+//! 3. **Faultless inertness** — a plan that injects nothing (e.g. only
+//!    a `retry` line) is byte-identical to running with no plan at all.
+
+use ibridge_repro::core::{IBridgeConfig, IBridgePolicy};
+use ibridge_repro::prelude::*;
+use ibridge_repro::pvfs::{CachePolicy, Placement};
+use ibridge_repro::workloads::CheckpointWorkload;
+use proptest::prelude::*;
+
+const KB: u64 = 1024;
+const MB: u64 = 1 << 20;
+
+// ---------------------------------------------------------------------
+// Cluster-level properties.
+// ---------------------------------------------------------------------
+
+/// A small unaligned checkpoint run on a 4-server iBridge cluster.
+fn faulty_run(seed: u64, plan: &FaultPlan) -> RunStats {
+    let cfg = ClusterConfig {
+        n_servers: 4,
+        seed,
+        ..Default::default()
+    };
+    let mut cluster = ibridge_cluster(cfg, 64 << 20);
+    let file = FileHandle(1);
+    let mut w = CheckpointWorkload::new(file, 4, 128 * KB, 24 * KB, 2, SimDuration::from_millis(5));
+    cluster.preallocate(file, w.span_bytes() + MB);
+    cluster.set_fault_plan(plan);
+    cluster.run(&mut w)
+}
+
+proptest! {
+    /// Exactly-once: under a randomized crash schedule plus message
+    /// drops and duplications, every parent request completes exactly
+    /// once (the latency histogram records one sample per request), and
+    /// no request is lost as long as retries are not exhausted.
+    #[test]
+    fn no_sub_request_is_double_applied(
+        seed in 0u64..1000,
+        crash_at_ms in 1u64..12,
+        restart_ms in 5u64..25,
+        drop_pct in 0u32..25,
+        dup_pct in 0u32..20,
+    ) {
+        let text = format!(
+            "retry timeout=4ms backoff=2 max=14\n\
+             crash server=0 at={crash_at_ms}ms restart={restart_ms}ms\n\
+             net from=0ms until=60ms drop=0.{drop_pct:02} dup=0.{dup_pct:02}\n"
+        );
+        let plan = FaultPlan::parse(&text).expect("generated plan parses");
+        let stats = faulty_run(seed, &plan);
+        // One completion per request — duplicates and retries collapse.
+        prop_assert_eq!(stats.latency_hist_ms.total(), stats.requests);
+        // Generous retry budget: nothing may be abandoned.
+        prop_assert_eq!(stats.faults.failed_subs, 0);
+        prop_assert_eq!(stats.faults.crashes, 1);
+        prop_assert_eq!(stats.faults.restarts, 1);
+    }
+
+    /// Inertness: arming a faultless plan (retry policy only, nothing
+    /// scheduled, no impairments) leaves the simulation byte-identical
+    /// to running with no plan at all.
+    #[test]
+    fn faultless_plan_is_identical_to_no_plan(seed in 0u64..1000) {
+        let plan = FaultPlan::parse("retry timeout=9ms backoff=3 max=2\n").unwrap();
+        prop_assert!(plan.is_faultless());
+        let with = faulty_run(seed, &plan);
+        let without = faulty_run(seed, &FaultPlan::default());
+        prop_assert_eq!(
+            (with.elapsed, with.events_dispatched, with.bytes, with.requests),
+            (
+                without.elapsed,
+                without.events_dispatched,
+                without.bytes,
+                without.requests
+            )
+        );
+        prop_assert!(with.faults.is_zero());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Policy-level properties: mapping-table replay after restart.
+// ---------------------------------------------------------------------
+
+fn policy() -> IBridgePolicy {
+    IBridgePolicy::new(IBridgeConfig::with_capacity(0, 64 << 20))
+}
+
+fn frag(dir: IoDir, offset: u64, len: u64) -> SubRequest {
+    SubRequest {
+        dir,
+        file: FileHandle(1),
+        server: 0,
+        offset,
+        len,
+        class: ReqClass::Fragment { siblings: vec![1] },
+    }
+}
+
+fn bulk(dir: IoDir, offset: u64, len: u64) -> SubRequest {
+    SubRequest {
+        dir,
+        file: FileHandle(1),
+        server: 0,
+        offset,
+        len,
+        class: ReqClass::Bulk,
+    }
+}
+
+/// Warms the disk-time model (so fragment returns are positive) and
+/// creates one dirty entry per `dirty` offset (redirected writes) plus
+/// one clean entry per `clean` offset (completed read admissions).
+fn seed_entries(p: &mut IBridgePolicy, dirty: &[u64], clean: &[u64]) {
+    p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+    for &off in dirty {
+        let pl = p.place(SimTime::ZERO, &frag(IoDir::Write, off, KB), 900_000_000);
+        assert!(matches!(pl, Placement::Ssd { .. }), "write must redirect");
+    }
+    for &off in clean {
+        let sub = frag(IoDir::Read, off, KB);
+        let pl = p.place(SimTime::ZERO, &sub, 900_000_000);
+        assert_eq!(
+            pl,
+            Placement::Disk {
+                admit_after_read: true
+            }
+        );
+        let (entry, _) = p.read_admission(SimTime::ZERO, &sub).expect("admits");
+        p.admission_complete(SimTime::ZERO, entry);
+    }
+}
+
+proptest! {
+    /// Replay keeps exactly the dirty entries and drops the clean ones;
+    /// after the restart, reads of dropped ranges miss (go to disk) and
+    /// reads of dirty ranges still hit the SSD. A second restart finds
+    /// nothing new to drop — invalidated entries stay invalidated.
+    #[test]
+    fn replay_never_resurrects_invalidated_entries(
+        n_dirty in 1usize..6,
+        n_clean in 1usize..6,
+    ) {
+        let mut p = policy();
+        let dirty: Vec<u64> = (0..n_dirty as u64).map(|i| (i + 1) * MB).collect();
+        let clean: Vec<u64> = (0..n_clean as u64).map(|i| (i + 100) * MB).collect();
+        seed_entries(&mut p, &dirty, &clean);
+
+        let r1 = p.server_restart(SimTime::ZERO);
+        prop_assert_eq!(r1.dirty_entries_kept, n_dirty as u64);
+        prop_assert_eq!(r1.dirty_bytes_kept, n_dirty as u64 * KB);
+        prop_assert_eq!(r1.clean_entries_dropped, n_clean as u64);
+        prop_assert_eq!(p.dirty_bytes(), n_dirty as u64 * KB);
+
+        // Dirty data survives the crash (it was durable on the SSD)...
+        for &off in &dirty {
+            let pl = p.place(SimTime::ZERO, &frag(IoDir::Read, off, KB), 900_000_000);
+            prop_assert!(matches!(pl, Placement::Ssd { .. }), "dirty entry lost");
+        }
+        // ...while invalidated clean entries must NOT be resurrected.
+        for &off in &clean {
+            let pl = p.place(SimTime::ZERO, &frag(IoDir::Read, off, KB), 900_000_000);
+            prop_assert!(
+                matches!(pl, Placement::Disk { .. }),
+                "invalidated entry resurrected at offset {off}"
+            );
+        }
+
+        // A second replay is a fixed point: nothing new is dropped and
+        // the dirty set is unchanged.
+        let r2 = p.server_restart(SimTime::ZERO);
+        prop_assert_eq!(r2.clean_entries_dropped, 0);
+        prop_assert_eq!(r2.pending_entries_dropped, 0);
+        prop_assert_eq!(r2.dirty_entries_kept, r1.dirty_entries_kept);
+        prop_assert_eq!(r2.dirty_bytes_kept, r1.dirty_bytes_kept);
+    }
+}
+
+/// In-flight (pending) admissions were never durable: a crash while the
+/// SSD write is outstanding drops them, and they cannot be read after
+/// the restart.
+#[test]
+fn pending_admissions_do_not_survive_restart() {
+    let mut p = policy();
+    seed_entries(&mut p, &[MB], &[]);
+    let sub = frag(IoDir::Read, 8 * MB, KB);
+    let pl = p.place(SimTime::ZERO, &sub, 900_000_000);
+    assert_eq!(
+        pl,
+        Placement::Disk {
+            admit_after_read: true
+        }
+    );
+    p.read_admission(SimTime::ZERO, &sub).expect("admits");
+    // Crash strikes before `admission_complete`.
+    let r = p.server_restart(SimTime::ZERO);
+    assert_eq!(r.pending_entries_dropped, 1);
+    assert_eq!(r.dirty_entries_kept, 1);
+    let pl = p.place(SimTime::ZERO, &sub, 900_000_000);
+    assert!(matches!(pl, Placement::Disk { .. }));
+}
+
+/// Losing the SSD device is worse than a crash: dirty bytes are gone
+/// (reported as the durability cost), the cache is disabled, and the
+/// policy degrades to disk-only service.
+#[test]
+fn ssd_loss_degrades_to_disk_only() {
+    let mut p = policy();
+    seed_entries(&mut p, &[MB, 2 * MB], &[100 * MB]);
+    assert!(!p.is_degraded());
+    let lost = p.ssd_lost(SimTime::ZERO);
+    assert_eq!(lost, 2 * KB, "both dirty entries were unflushed");
+    assert!(p.is_degraded());
+    assert_eq!(p.dirty_bytes(), 0);
+    // Every path now goes to the disk: no hits, no redirects, no
+    // admissions.
+    let pl = p.place(SimTime::ZERO, &frag(IoDir::Write, MB, KB), 900_000_000);
+    assert_eq!(
+        pl,
+        Placement::Disk {
+            admit_after_read: false
+        }
+    );
+    let sub = frag(IoDir::Read, 100 * MB, KB);
+    let pl = p.place(SimTime::ZERO, &sub, 900_000_000);
+    assert_eq!(
+        pl,
+        Placement::Disk {
+            admit_after_read: false
+        }
+    );
+    assert!(p.read_admission(SimTime::ZERO, &sub).is_none());
+}
