@@ -64,6 +64,18 @@ fn main() {
                     .unwrap_or_else(|| die("--fault-plan needs a builtin name or a file path"));
                 scale.fault_plan = Some(load_fault_plan(v));
             }
+            "--audit" => {
+                // The auditor is read-only, so output is byte-identical
+                // with or without this flag; CI runs the fault matrix
+                // with it on to catch invariant violations for free.
+                scale.audit_interval = Some(ibridge_des::SimDuration::from_millis(5));
+            }
+            "--list-fault-plans" => {
+                for (name, what) in ibridge_faults::BUILTIN_PLANS {
+                    println!("{name:10} {what}");
+                }
+                return;
+            }
             "--list" => {
                 for e in experiments::all() {
                     println!("{:8} {}", e.name, e.what);
@@ -74,9 +86,12 @@ fn main() {
                 println!(
                     "usage: expt [--full] [--seed N] [--jobs N] \
                      [--bench-report PATH] [--fault-plan NAME|FILE] \
-                     [--list] <experiment|all>...\n\
+                     [--audit] [--list] [--list-fault-plans] \
+                     <experiment|all>...\n\
                      fault plans: builtin names are {}; anything else is \
-                     read as a plan file (see crates/faults)",
+                     read as a plan file (see crates/faults). \
+                     --audit runs the online invariant auditor every 5ms \
+                     of virtual time (read-only; output is unchanged)",
                     ibridge_faults::BUILTIN_NAMES.join(", ")
                 );
                 return;
@@ -240,12 +255,16 @@ fn write_bench_report(
     let fault_counters = format!(
         ",\n  \"fault_counters\": {{\"retries\": {}, \"timeouts\": {}, \
          \"dropped_messages\": {}, \"dirty_bytes_lost\": {}, \
-         \"degraded_s\": {:.3}}}",
+         \"degraded_s\": {:.3}, \"fsck_scanned\": {}, \
+         \"fsck_quarantined\": {}, \"audits\": {}}}",
         fc.retries,
         fc.timeouts,
         fc.dropped_messages,
         fc.dirty_bytes_lost,
         fc.degraded_ns as f64 / 1e9,
+        fc.fsck_records_scanned,
+        fc.fsck_records_quarantined,
+        fc.audits,
     );
     let json = format!(
         "{{\n  \"jobs\": {jobs},\n  \"host_cpus\": {host_cpus},\n  \

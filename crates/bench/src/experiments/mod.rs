@@ -18,6 +18,7 @@ pub mod fig3;
 pub mod fig4_5;
 pub mod fig6_7;
 pub mod fig8;
+pub mod recovery;
 pub mod summary;
 pub mod tables;
 
@@ -133,6 +134,12 @@ pub fn all() -> Vec<Experiment> {
             what: "Fault injection: crash, SSD loss, fail-slow, network faults \
                    vs the faultless baseline (beyond the paper)",
             run: faults::run,
+        },
+        Experiment {
+            name: "recovery",
+            what: "Crash recovery: log corruption plans vs the recovery fsck, \
+                   plus a segment-parallel backup scan (beyond the paper)",
+            run: recovery::run,
         },
         Experiment {
             name: "summary",

@@ -69,6 +69,10 @@ pub struct Scale {
     /// `faults` experiment adds a row for it next to the builtin plans.
     /// Leaked to `'static` by the CLI so `Scale` stays `Copy`.
     pub fault_plan: Option<&'static ibridge_faults::FaultPlan>,
+    /// Online invariant-auditor cadence (`expt --audit`), forwarded to
+    /// every cluster the experiments build. The auditor is read-only, so
+    /// experiment output is byte-identical with it on or off.
+    pub audit_interval: Option<ibridge_des::SimDuration>,
 }
 
 impl Scale {
@@ -82,6 +86,7 @@ impl Scale {
             page_cache: 512 << 10,
             seed: 42,
             fault_plan: None,
+            audit_interval: None,
         }
     }
 
@@ -95,6 +100,7 @@ impl Scale {
             page_cache: 8 << 20,
             seed: 42,
             fault_plan: None,
+            audit_interval: None,
         }
     }
 }
@@ -109,6 +115,7 @@ pub fn build(system: System, n_servers: usize, scale: &Scale) -> Cluster {
     let cfg = ClusterConfig {
         n_servers,
         seed: scale.seed,
+        audit_interval: scale.audit_interval,
         server: ServerConfig {
             ra_budget: scale.page_cache,
             ..Default::default()
@@ -133,6 +140,7 @@ pub fn build_ibridge_with(
     let cfg = ClusterConfig {
         n_servers,
         seed: scale.seed,
+        audit_interval: scale.audit_interval,
         threshold,
         flag_fragments: true,
         server: ServerConfig {

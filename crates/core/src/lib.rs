@@ -39,12 +39,14 @@ pub mod log;
 pub mod model;
 pub mod partition;
 pub mod policy;
+pub mod record;
 pub mod table;
 
 pub use log::{AppendError, CircularLog};
 pub use model::{fragment_return, DiskTimeModel};
 pub use partition::PartitionMode;
-pub use policy::{IBridgeConfig, IBridgePolicy, PersistentState};
+pub use policy::{FsckReport, IBridgeConfig, IBridgePolicy, PersistentState};
+pub use record::{LogRecord, RecordVerdict, SealedRecord};
 pub use table::{Entry, EntryType, MappingTable};
 
 use ibridge_pvfs::{Cluster, ClusterConfig, ServerConfig};

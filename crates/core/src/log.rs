@@ -187,9 +187,53 @@ impl CircularLog {
         Ok((extents, casualties))
     }
 
+    /// Appends `data_sectors` of payload plus `header_sectors` for the
+    /// entry's mapping-table backup record in one sequential allocation.
+    /// The returned extents cover the **data only** — the header rides
+    /// at the tail of the same append (its write cost is part of the
+    /// same sequential burst), but it is not addressable cached data.
+    pub fn append_with_header(
+        &mut self,
+        data_sectors: u64,
+        header_sectors: u64,
+        entry: EntryId,
+    ) -> Result<(ExtentList, Vec<EntryId>), AppendError> {
+        let (mut extents, casualties) = self.append(data_sectors + header_sectors, entry)?;
+        let mut left = header_sectors;
+        while left > 0 {
+            let last = extents
+                .as_mut_slice()
+                .last_mut()
+                .expect("append returned extents");
+            if last.sectors > left {
+                last.sectors -= left;
+                left = 0;
+            } else {
+                left -= last.sectors;
+                extents.pop();
+            }
+        }
+        Ok((extents, casualties))
+    }
+
     /// Number of live resident sectors (diagnostics).
     pub fn resident_sectors(&self) -> u64 {
         self.residents.values().map(|r| r.sectors).sum()
+    }
+
+    /// Iterates live regions as `(entry, sectors)` pairs (auditing).
+    pub fn resident_extents(&self) -> impl Iterator<Item = (EntryId, u64)> + '_ {
+        self.residents.values().map(|r| (r.entry, r.sectors))
+    }
+
+    /// True when the entry's region is pinned against overwrite.
+    pub fn is_protected(&self, entry: EntryId) -> bool {
+        self.protected.contains(&entry)
+    }
+
+    /// Iterates the protected entry ids (auditing).
+    pub fn protected_ids(&self) -> impl Iterator<Item = EntryId> + '_ {
+        self.protected.iter().copied()
     }
 
     /// Re-registers an entry at explicit extents (crash recovery from
@@ -330,6 +374,35 @@ mod tests {
         log.unprotect(1);
         let (_, evicted) = log.append(8, 3).unwrap();
         assert_eq!(evicted, vec![1]);
+    }
+
+    #[test]
+    fn append_with_header_charges_but_hides_the_header() {
+        let mut log = CircularLog::new(100);
+        let (data, _) = log.append_with_header(4, 1, 1).unwrap();
+        assert_eq!(data, ExtentList::one(Extent { lbn: 0, sectors: 4 }));
+        // The head moved past the header sector too.
+        assert_eq!(log.head(), 5);
+        assert_eq!(log.resident_sectors(), 5);
+    }
+
+    #[test]
+    fn append_with_header_trims_across_a_wrap() {
+        let mut log = CircularLog::new(100);
+        log.append(98, 1).unwrap();
+        log.evict(1);
+        // 1 data sector lands at 98; the 2-sector header spans the wrap
+        // ([99,100) + [0,1)) and is trimmed entirely from the extents.
+        let (data, _) = log.append_with_header(1, 2, 2).unwrap();
+        assert_eq!(
+            data,
+            ExtentList::one(Extent {
+                lbn: 98,
+                sectors: 1
+            })
+        );
+        assert_eq!(log.head(), 1);
+        assert_eq!(log.resident_sectors(), 3);
     }
 
     #[test]

@@ -24,13 +24,14 @@
 use crate::log::{AppendError, CircularLog};
 use crate::model::{fragment_return, DiskTimeModel};
 use crate::partition::PartitionMode;
+use crate::record::{self, LogRecord, RecordVerdict, SealedRecord};
 use crate::table::{EntryType, MappingTable};
 use ibridge_des::SimTime;
 use ibridge_device::{bytes_to_sectors, DiskProfile, Lbn};
 use ibridge_localfs::ExtentList;
 use ibridge_pvfs::{
-    CachePolicy, CacheStats, EntryId, FlushId, FlushOp, Placement, ReqClass, RestartReport,
-    SubRequest,
+    CachePolicy, CacheStats, EntryId, FlushId, FlushOp, LogCorruption, Placement, ReqClass,
+    RestartReport, SubRequest,
 };
 use std::collections::HashMap;
 
@@ -49,8 +50,6 @@ pub struct IBridgeConfig {
     /// scheme). When false the cache is read-only: only post-read
     /// admissions populate it (ablation knob).
     pub redirect_writes: bool,
-    /// Sectors appended per entry for the on-SSD mapping-table backup.
-    pub meta_sectors: u64,
     /// Disk parameters for the Eq. (1) model.
     pub disk: DiskProfile,
 }
@@ -65,7 +64,6 @@ impl IBridgeConfig {
             partition: PartitionMode::Dynamic,
             eq3: true,
             redirect_writes: true,
-            meta_sectors: 1,
             disk: DiskProfile::hp_mm0500(),
         }
     }
@@ -98,6 +96,31 @@ pub struct IBridgePolicy {
     /// Set when the SSD device died: the policy runs disk-only from
     /// then on and the MDS drops this server from its broadcasts.
     degraded: bool,
+    /// Sequence number of the next backup record appended to the log.
+    next_log_seq: u64,
+    /// Corruption scheduled against the on-SSD backup; applied to the
+    /// backup image when the next restart's recovery fsck scans it.
+    planned_damage: Vec<PlannedDamage>,
+}
+
+/// One scheduled hit against the on-SSD backup, keyed by the victim
+/// record's log sequence number.
+#[derive(Debug, Clone, Copy)]
+enum PlannedDamage {
+    /// The record is truncated mid-write.
+    Tear { seq: u64 },
+    /// One bit of the record flips silently.
+    FlipBit { seq: u64, bit: u64 },
+}
+
+/// `splitmix64` step — a tiny, dependency-free generator for placing
+/// bit-rot hits deterministically from a plan-supplied seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl IBridgePolicy {
@@ -116,6 +139,8 @@ impl IBridgePolicy {
             next_flush: 0,
             overlap_scratch: Vec::new(),
             degraded: false,
+            next_log_seq: 0,
+            planned_damage: Vec::new(),
             cfg,
         }
     }
@@ -173,40 +198,35 @@ impl IBridgePolicy {
         }
     }
 
-    /// Reserves log space for `len` bytes (+ mapping-table backup) under
-    /// a fresh entry id. Returns the id and the data extents.
-    fn reserve(&mut self, typ: EntryType, len: u64) -> Option<(EntryId, ExtentList)> {
+    /// Sectors the on-SSD backup record costs per appended entry. The
+    /// record format pins records of up to two extents (all a circular
+    /// append can produce) within one sector.
+    fn record_sectors() -> u64 {
+        record::header_sectors(2)
+    }
+
+    /// Reserves log space for `len` bytes plus the entry's backup
+    /// record under a fresh entry id. Returns the id, the record's log
+    /// sequence number and the data extents.
+    fn reserve(&mut self, typ: EntryType, len: u64) -> Option<(EntryId, u64, ExtentList)> {
         if !self.make_room(typ, len) {
             return None;
         }
         let id = self.table.next_id();
         let data_sectors = bytes_to_sectors(len);
-        match self.log.append(data_sectors + self.cfg.meta_sectors, id) {
-            Ok((mut extents, casualties)) => {
+        match self
+            .log
+            .append_with_header(data_sectors, Self::record_sectors(), id)
+        {
+            Ok((extents, casualties)) => {
                 for c in casualties {
                     if self.table.remove(c).is_some() {
                         self.stats.evictions += 1;
                     }
                 }
-                // Trim the trailing mapping-table-backup sectors off the
-                // last extent for addressing purposes (they are written
-                // as part of the same sequential append, so their cost
-                // is already included in the extents handed to the SSD).
-                let mut meta_left = self.cfg.meta_sectors;
-                while meta_left > 0 {
-                    let last = extents
-                        .as_mut_slice()
-                        .last_mut()
-                        .expect("append returned extents");
-                    if last.sectors > meta_left {
-                        last.sectors -= meta_left;
-                        meta_left = 0;
-                    } else {
-                        meta_left -= last.sectors;
-                        extents.pop();
-                    }
-                }
-                Some((id, extents))
+                let seq = self.next_log_seq;
+                self.next_log_seq += 1;
+                Some((id, seq, extents))
             }
             Err(AppendError::TooLarge | AppendError::BlockedByDirty) => None,
         }
@@ -230,8 +250,9 @@ impl IBridgePolicy {
     }
 }
 
-/// Durable cache state, as reconstructed from the on-SSD mapping-table
-/// backup after a server restart.
+/// Durable cache state, as written to the on-SSD mapping-table backup:
+/// one sealed, checksummed record per non-pending entry, in log
+/// sequence order, plus the log geometry.
 ///
 /// The paper: "To ensure reliability, the dirty entries of the mapping
 /// table are immediately updated on the SSD with the write requests to
@@ -241,64 +262,229 @@ impl IBridgePolicy {
 /// not.
 #[derive(Debug, Clone)]
 pub struct PersistentState {
-    entries: Vec<crate::table::Entry>,
+    records: Vec<SealedRecord>,
     log_head: Lbn,
     log_capacity_sectors: u64,
+    next_seq: u64,
+}
+
+impl PersistentState {
+    /// The sealed backup records, in log order.
+    pub fn records(&self) -> &[SealedRecord] {
+        &self.records
+    }
+
+    /// Mutable access to the records — fault injection and tests
+    /// corrupt the on-media image through this.
+    pub fn records_mut(&mut self) -> &mut Vec<SealedRecord> {
+        &mut self.records
+    }
+}
+
+/// Counters of one recovery-fsck pass over the on-SSD backup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Records scanned (every record in the backup).
+    pub records_scanned: u64,
+    /// Records that verified and were replayed (or deliberately
+    /// dropped as clean during a restart).
+    pub records_intact: u64,
+    /// Records truncated mid-write (crash tore them).
+    pub records_torn: u64,
+    /// Full-length records failing their CRC or structure checks.
+    pub records_corrupt: u64,
+    /// Intact records rejected for breaking sequence continuity.
+    pub seq_breaks: u64,
+    /// Total records quarantined (torn + corrupt + sequence breaks +
+    /// structurally inconsistent with the log geometry).
+    pub records_quarantined: u64,
+    /// Clean entries deliberately invalidated (restart semantics).
+    pub clean_entries_dropped: u64,
+    /// Dirty entries replayed.
+    pub dirty_entries_kept: u64,
+    /// Bytes of the replayed dirty entries.
+    pub dirty_bytes_kept: u64,
 }
 
 impl IBridgePolicy {
-    /// Snapshots the durable cache state (what the on-SSD backup holds).
+    /// Snapshots the durable cache state (what the on-SSD backup holds):
+    /// every non-pending entry sealed into its checksummed record, in
+    /// append order.
     pub fn snapshot(&self) -> PersistentState {
-        let mut entries: Vec<crate::table::Entry> = self
-            .table
-            .entries()
-            .filter(|e| !e.pending) // in-flight admissions are not durable
-            .cloned()
+        let mut durable: Vec<&crate::table::Entry> =
+            self.table.entries().filter(|e| !e.pending).collect();
+        // The table iterates in hash order; the on-media log is in
+        // append order, which recovery also replays (rebuilding LRU
+        // positions deterministically).
+        durable.sort_by_key(|e| e.log_seq);
+        let records = durable
+            .iter()
+            .map(|e| {
+                LogRecord {
+                    seq: e.log_seq,
+                    entry: e.id,
+                    file: e.file,
+                    offset: e.offset,
+                    len: e.len,
+                    typ: e.typ,
+                    ret: e.ret,
+                    dirty: e.dirty,
+                    extents: e.extents.clone(),
+                }
+                .seal()
+            })
             .collect();
-        // The table iterates in hash order; recovery replays this list in
-        // order (rebuilding LRU positions), so fix a canonical order.
-        entries.sort_by_key(|e| e.id);
         PersistentState {
-            entries,
+            records,
             log_head: self.log.head(),
             log_capacity_sectors: self.log.capacity(),
+            next_seq: self.next_log_seq,
         }
     }
 
-    /// Rebuilds a policy from a durable snapshot (server restart with a
-    /// warm SSD). Flush state is conservatively reset: dirty entries are
-    /// re-queued for writeback.
-    pub fn recover(cfg: IBridgeConfig, state: &PersistentState) -> Self {
+    /// Structural sanity of a decoded record against the log geometry:
+    /// a genuine record describes a non-empty byte range whose extents
+    /// cover exactly its data sectors and sit inside the log.
+    fn record_is_placeable(rec: &LogRecord, capacity_sectors: u64) -> bool {
+        rec.len > 0
+            && !rec.extents.is_empty()
+            && rec.extents.iter().all(|e| e.end() <= capacity_sectors)
+            && rec.extents.iter().map(|e| e.sectors).sum::<u64>() == bytes_to_sectors(rec.len)
+    }
+
+    /// Rebuilds a policy from a durable snapshot via a recovery fsck:
+    /// verify every record's CRC, check sequence continuity, replay what
+    /// is provably consistent and quarantine the rest. With
+    /// `keep_clean = false` (restart semantics) intact clean entries are
+    /// deliberately invalidated instead of replayed — their home-disk
+    /// copies are authoritative.
+    pub fn recover_with_report(
+        cfg: IBridgeConfig,
+        state: &PersistentState,
+        keep_clean: bool,
+    ) -> (Self, FsckReport) {
         let mut p = IBridgePolicy::new(cfg);
         assert_eq!(
             p.log.capacity(),
             state.log_capacity_sectors,
             "recovering onto a different SSD partition size"
         );
-        for e in &state.entries {
+        let mut rep = FsckReport::default();
+        // The verify pass is pure per record; callers that scan large
+        // backups offline fan `record::verify_segment` out over
+        // segments (pFSCK-style) — in-simulation restarts scan the
+        // (small) backup serially with identical verdicts.
+        let verdicts = record::verify_segment(&state.records);
+        let mut last_seq: Option<u64> = None;
+        for verdict in verdicts {
+            rep.records_scanned += 1;
+            let rec = match verdict {
+                RecordVerdict::Intact(rec) => rec,
+                RecordVerdict::Torn => {
+                    rep.records_torn += 1;
+                    rep.records_quarantined += 1;
+                    continue;
+                }
+                RecordVerdict::Corrupt => {
+                    rep.records_corrupt += 1;
+                    rep.records_quarantined += 1;
+                    continue;
+                }
+            };
+            // Sequence continuity: strictly increasing, below the
+            // append cursor the backup itself claims.
+            if last_seq.is_some_and(|s| rec.seq <= s) || rec.seq >= state.next_seq {
+                rep.seq_breaks += 1;
+                rep.records_quarantined += 1;
+                continue;
+            }
+            last_seq = Some(rec.seq);
+            if !Self::record_is_placeable(&rec, state.log_capacity_sectors)
+                || p.table.has_overlap(rec.file, rec.offset, rec.len)
+            {
+                rep.records_quarantined += 1;
+                continue;
+            }
+            rep.records_intact += 1;
+            if !rec.dirty && !keep_clean {
+                rep.clean_entries_dropped += 1;
+                continue;
+            }
             let id = p.table.next_id();
-            let (_, casualties) = p
-                .log
-                .reserve_at(&e.extents, id)
-                .expect("snapshot extents must be disjoint");
-            debug_assert!(casualties.is_empty());
+            if p.log.reserve_at(&rec.extents, id).is_err() {
+                // Overlapping log residency — provably inconsistent.
+                rep.records_intact -= 1;
+                rep.records_quarantined += 1;
+                continue;
+            }
             p.table.insert(
                 id,
-                e.file,
-                e.offset,
-                e.len,
-                e.extents.clone(),
-                e.typ,
-                e.ret,
-                e.dirty,
+                rec.file,
+                rec.offset,
+                rec.len,
+                rec.extents.clone(),
+                rec.typ,
+                rec.ret,
+                rec.dirty,
                 false,
+                rec.seq,
             );
-            if e.dirty {
+            if rec.dirty {
                 p.log.protect(id);
+                rep.dirty_entries_kept += 1;
+                rep.dirty_bytes_kept += rec.len;
             }
         }
         p.log.set_head(state.log_head);
-        p
+        p.next_log_seq = state.next_seq;
+        (p, rep)
+    }
+
+    /// Rebuilds a policy from a durable snapshot (server restart with a
+    /// warm SSD). Flush state is conservatively reset: dirty entries are
+    /// re-queued for writeback.
+    pub fn recover(cfg: IBridgeConfig, state: &PersistentState) -> Self {
+        Self::recover_with_report(cfg, state, true).0
+    }
+
+    /// Cross-checks the policy's live state: the mapping table's own
+    /// invariants, every entry's data sectors resident in the log, the
+    /// protected (pinned) set agreeing exactly with the dirty entries,
+    /// and no log residency for entries the table no longer knows.
+    pub fn audit(&self) -> Result<(), String> {
+        self.table.audit()?;
+        let mut resident: HashMap<EntryId, u64> = HashMap::new();
+        for (id, sectors) in self.log.resident_extents() {
+            *resident.entry(id).or_default() += sectors;
+        }
+        for e in self.table.entries() {
+            let need: u64 = e.extents.iter().map(|x| x.sectors).sum();
+            let have = resident.get(&e.id).copied().unwrap_or(0);
+            if have < need {
+                return Err(format!(
+                    "entry {} needs {need} data sectors but the log holds {have}",
+                    e.id
+                ));
+            }
+            if e.dirty && !self.log.is_protected(e.id) {
+                return Err(format!("dirty entry {} is not pinned in the log", e.id));
+            }
+        }
+        for id in self.log.protected_ids() {
+            match self.table.get(id) {
+                None => return Err(format!("log pins entry {id} unknown to the table")),
+                Some(e) if !e.dirty => {
+                    return Err(format!("log pins clean entry {id}"));
+                }
+                Some(_) => {}
+            }
+        }
+        for (id, _) in self.log.resident_extents() {
+            if self.table.get(id).is_none() {
+                return Err(format!("log holds residency for unknown entry {id}"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -352,7 +538,7 @@ impl CachePolicy for IBridgePolicy {
             if let (Some(typ), true) = (candidate_class, self.cfg.redirect_writes) {
                 let ret = self.return_of(sub, disk_lbn);
                 if ret > 0.0 {
-                    if let Some((id, extents)) = self.reserve(typ, sub.len) {
+                    if let Some((id, seq, extents)) = self.reserve(typ, sub.len) {
                         self.table.insert(
                             id,
                             sub.file,
@@ -363,13 +549,14 @@ impl CachePolicy for IBridgePolicy {
                             ret,
                             true,  // dirty
                             false, // servable immediately
+                            seq,
                         );
                         self.log.protect(id); // dirty data must survive
                         self.model.serve_ssd();
                         self.stats.redirected_writes += 1;
                         self.stats.bytes_ssd += sub.len;
                         self.stats.appended_bytes += (bytes_to_sectors(sub.len)
-                            + self.cfg.meta_sectors)
+                            + Self::record_sectors())
                             * ibridge_localfs::SECTOR_SIZE;
                         return Placement::Ssd { extents };
                     }
@@ -396,7 +583,7 @@ impl CachePolicy for IBridgePolicy {
             return None;
         }
         match self.reserve(typ, sub.len) {
-            Some((id, extents)) => {
+            Some((id, seq, extents)) => {
                 self.table.insert(
                     id,
                     sub.file,
@@ -407,13 +594,14 @@ impl CachePolicy for IBridgePolicy {
                     ret,
                     false, // clean: disk already has the data
                     true,  // pending until the SSD write completes
+                    seq,
                 );
                 self.stats.admissions += 1;
                 match typ {
                     EntryType::Fragment => self.stats.fragment_admissions += 1,
                     EntryType::Random => self.stats.random_admissions += 1,
                 }
-                self.stats.appended_bytes += (bytes_to_sectors(sub.len) + self.cfg.meta_sectors)
+                self.stats.appended_bytes += (bytes_to_sectors(sub.len) + Self::record_sectors())
                     * ibridge_localfs::SECTOR_SIZE;
                 Some((id, extents))
             }
@@ -482,31 +670,52 @@ impl CachePolicy for IBridgePolicy {
 
     fn server_restart(&mut self, _now: SimTime) -> RestartReport {
         if !self.enabled() {
+            self.planned_damage.clear();
             return RestartReport::default();
         }
         // What the on-SSD backup holds (pending admissions were never
-        // durable), minus the clean entries: their home-disk copies are
-        // authoritative, so replay conservatively invalidates them
-        // rather than trusting a table whose process just died.
+        // durable). Scheduled corruption lands on the backup image
+        // before the fsck sees it — exactly what the recovery scan
+        // exists to catch.
         let pending_dropped = self.table.entries().filter(|e| e.pending).count() as u64;
         let mut state = self.snapshot();
-        let clean_dropped = state.entries.iter().filter(|e| !e.dirty).count() as u64;
-        state.entries.retain(|e| e.dirty);
+        for damage in std::mem::take(&mut self.planned_damage) {
+            match damage {
+                PlannedDamage::Tear { seq } => {
+                    if let Some(r) = state.records.iter_mut().find(|r| r.seq == seq) {
+                        r.tear();
+                    }
+                }
+                PlannedDamage::FlipBit { seq, bit } => {
+                    if let Some(r) = state.records.iter_mut().find(|r| r.seq == seq) {
+                        r.flip_bit(bit);
+                    }
+                }
+            }
+        }
+        // Dirty entries are all durable (redirected writes are never
+        // pending), so whatever the fsck fails to bring back was lost
+        // to corruption — the durability cost.
+        let dirty_durable = self.table.dirty_bytes();
+        let (mut fresh, fsck) = IBridgePolicy::recover_with_report(self.cfg.clone(), &state, false);
         let report = RestartReport {
-            dirty_entries_kept: state.entries.len() as u64,
-            dirty_bytes_kept: state.entries.iter().map(|e| e.len).sum(),
-            clean_entries_dropped: clean_dropped,
+            dirty_entries_kept: fsck.dirty_entries_kept,
+            dirty_bytes_kept: fsck.dirty_bytes_kept,
+            clean_entries_dropped: fsck.clean_entries_dropped,
             pending_entries_dropped: pending_dropped,
+            records_scanned: fsck.records_scanned,
+            records_quarantined: fsck.records_quarantined,
+            dirty_bytes_lost: dirty_durable - fsck.dirty_bytes_kept,
         };
         // Cumulative counters describe the run, not the process: carry
         // them across the restart.
-        let stats = self.stats;
-        *self = IBridgePolicy::recover(self.cfg.clone(), &state);
-        self.stats = stats;
+        fresh.stats = self.stats;
+        *self = fresh;
         report
     }
 
     fn ssd_lost(&mut self, _now: SimTime) -> u64 {
+        self.planned_damage.clear();
         if !self.enabled() {
             self.degraded = true;
             return 0;
@@ -525,6 +734,52 @@ impl CachePolicy for IBridgePolicy {
 
     fn is_degraded(&self) -> bool {
         self.degraded
+    }
+
+    fn inject_corruption(&mut self, _now: SimTime, corruption: LogCorruption) -> u64 {
+        if !self.enabled() {
+            return 0;
+        }
+        // Victims are picked eagerly at fault time so the damage is a
+        // deterministic function of (state, corruption) regardless of
+        // when — or whether — a later restart scans the log.
+        let mut seqs: Vec<u64> = self
+            .table
+            .entries()
+            .filter(|e| !e.pending)
+            .map(|e| e.log_seq)
+            .collect();
+        seqs.sort_unstable();
+        match corruption {
+            LogCorruption::TornWrite { records } => {
+                let k = (records as usize).min(seqs.len());
+                for &seq in seqs.iter().rev().take(k) {
+                    self.planned_damage.push(PlannedDamage::Tear { seq });
+                }
+                k as u64
+            }
+            LogCorruption::BitRot { sectors, seed } => {
+                if seqs.is_empty() {
+                    return 0;
+                }
+                let mut state = seed;
+                let mut hit = std::collections::BTreeSet::new();
+                for _ in 0..sectors {
+                    let idx = (splitmix64(&mut state) % seqs.len() as u64) as usize;
+                    let bit = splitmix64(&mut state);
+                    hit.insert(seqs[idx]);
+                    self.planned_damage.push(PlannedDamage::FlipBit {
+                        seq: seqs[idx],
+                        bit,
+                    });
+                }
+                hit.len() as u64
+            }
+        }
+    }
+
+    fn audit(&self) -> Result<(), String> {
+        IBridgePolicy::audit(self)
     }
 }
 
@@ -895,6 +1150,159 @@ mod tests {
             r.place(SimTime::ZERO, &frag(IoDir::Read, 1 << 20, KB), 900_000_000),
             Placement::Ssd { .. }
         ));
+    }
+
+    #[test]
+    fn fsck_quarantines_torn_and_corrupt_records() {
+        let mut p = policy();
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        for i in 0..4u64 {
+            p.place(
+                SimTime::ZERO,
+                &frag(IoDir::Write, (i + 1) << 20, KB),
+                900_000_000,
+            );
+        }
+        let mut state = p.snapshot();
+        assert_eq!(state.records().len(), 4);
+        // Tear the newest record, rot an older one.
+        state.records_mut()[3].tear();
+        state.records_mut()[1].flip_bit(123);
+        let (r, fsck) = IBridgePolicy::recover_with_report(
+            IBridgeConfig::with_capacity(0, 64 << 20),
+            &state,
+            true,
+        );
+        assert_eq!(fsck.records_scanned, 4);
+        assert_eq!(fsck.records_torn, 1);
+        assert_eq!(fsck.records_corrupt, 1);
+        assert_eq!(fsck.records_quarantined, 2);
+        assert_eq!(fsck.dirty_entries_kept, 2);
+        assert_eq!(r.dirty_bytes(), 2 * KB);
+        r.audit().expect("recovered policy is consistent");
+        // The quarantined ranges are not resurrected.
+        let mut r = r;
+        for gone in [4u64 << 20, 2 << 20] {
+            let pl = r.place(SimTime::ZERO, &frag(IoDir::Read, gone, KB), 900_000_000);
+            assert!(matches!(pl, Placement::Disk { .. }), "resurrected {gone}");
+        }
+        // The intact ranges still hit.
+        for kept in [1u64 << 20, 3 << 20] {
+            let pl = r.place(SimTime::ZERO, &frag(IoDir::Read, kept, KB), 900_000_000);
+            assert!(matches!(pl, Placement::Ssd { .. }), "lost intact {kept}");
+        }
+    }
+
+    #[test]
+    fn fsck_rejects_sequence_regressions() {
+        let mut p = policy();
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        p.place(SimTime::ZERO, &frag(IoDir::Write, 1 << 20, KB), 900_000_000);
+        p.place(SimTime::ZERO, &frag(IoDir::Write, 2 << 20, KB), 900_000_000);
+        let mut state = p.snapshot();
+        // Replay an out-of-order copy of the first record after the
+        // second — a stale duplicate a real log could surface.
+        let dup = state.records()[0].clone();
+        state.records_mut().push(dup);
+        let (_, fsck) = IBridgePolicy::recover_with_report(
+            IBridgeConfig::with_capacity(0, 64 << 20),
+            &state,
+            true,
+        );
+        assert_eq!(fsck.seq_breaks, 1);
+        assert_eq!(fsck.records_quarantined, 1);
+        assert_eq!(fsck.dirty_entries_kept, 2);
+    }
+
+    #[test]
+    fn torn_write_injection_loses_only_the_newest_records() {
+        let mut p = policy();
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        for i in 0..3u64 {
+            p.place(
+                SimTime::ZERO,
+                &frag(IoDir::Write, (i + 1) << 20, KB),
+                900_000_000,
+            );
+        }
+        let hit = CachePolicy::inject_corruption(
+            &mut p,
+            SimTime::ZERO,
+            LogCorruption::TornWrite { records: 2 },
+        );
+        assert_eq!(hit, 2);
+        let r = p.server_restart(SimTime::ZERO);
+        assert_eq!(r.records_scanned, 3);
+        assert_eq!(r.records_quarantined, 2);
+        assert_eq!(r.dirty_entries_kept, 1);
+        assert_eq!(r.dirty_bytes_lost, 2 * KB);
+        p.audit().expect("post-restart state is consistent");
+        // The oldest write survived; the two newest are gone.
+        assert!(matches!(
+            p.place(SimTime::ZERO, &frag(IoDir::Read, 1 << 20, KB), 900_000_000),
+            Placement::Ssd { .. }
+        ));
+        for gone in [2u64 << 20, 3 << 20] {
+            assert!(matches!(
+                p.place(SimTime::ZERO, &frag(IoDir::Read, gone, KB), 900_000_000),
+                Placement::Disk { .. }
+            ));
+        }
+        // Damage does not linger: a second restart loses nothing more.
+        let r2 = p.server_restart(SimTime::ZERO);
+        assert_eq!(r2.records_quarantined, 0);
+        assert_eq!(r2.dirty_bytes_lost, 0);
+    }
+
+    #[test]
+    fn bit_rot_injection_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut p = policy();
+            p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+            for i in 0..6u64 {
+                p.place(
+                    SimTime::ZERO,
+                    &frag(IoDir::Write, (i + 1) << 20, KB),
+                    900_000_000,
+                );
+            }
+            CachePolicy::inject_corruption(
+                &mut p,
+                SimTime::ZERO,
+                LogCorruption::BitRot { sectors: 3, seed },
+            );
+            let r = p.server_restart(SimTime::ZERO);
+            p.audit().expect("post-restart state is consistent");
+            (r.records_quarantined, r.dirty_bytes_lost)
+        };
+        assert_eq!(run(7), run(7));
+        let (quarantined, lost) = run(7);
+        assert!(quarantined >= 1, "bit rot must corrupt something");
+        assert_eq!(lost, quarantined * KB);
+    }
+
+    #[test]
+    fn audit_passes_through_normal_operation() {
+        let mut p = policy();
+        p.audit().expect("fresh policy");
+        p.place(SimTime::ZERO, &bulk(IoDir::Write, 0, 64 * KB), 0);
+        p.place(SimTime::ZERO, &frag(IoDir::Write, 1 << 20, KB), 900_000_000);
+        let sub = frag(IoDir::Read, 2 << 20, KB);
+        p.place(SimTime::ZERO, &sub, 900_000_000);
+        let (entry, _) = p.read_admission(SimTime::ZERO, &sub).unwrap();
+        p.audit().expect("with pending admission");
+        p.admission_complete(SimTime::ZERO, entry);
+        p.audit().expect("after activation");
+        let ops = p.flush_batch(SimTime::ZERO, u64::MAX);
+        p.audit().expect("mid-flush");
+        for op in ops {
+            p.flush_complete(SimTime::ZERO, op.id);
+        }
+        p.audit().expect("after flush");
+        p.server_restart(SimTime::ZERO);
+        p.audit().expect("after restart");
+        p.ssd_lost(SimTime::ZERO);
+        p.audit().expect("after ssd loss");
     }
 
     #[test]

@@ -52,6 +52,9 @@ pub struct Entry {
     pub flushing: bool,
     /// The admission write has not completed yet (not servable).
     pub pending: bool,
+    /// Sequence number of the entry's log append, carried in its
+    /// on-SSD backup record (recovery checks these for continuity).
+    pub log_seq: u64,
     lru_seq: u64,
 }
 
@@ -217,6 +220,7 @@ impl MappingTable {
         ret: f64,
         dirty: bool,
         pending: bool,
+        log_seq: u64,
     ) {
         assert!(len > 0, "empty entry");
         assert!(
@@ -235,6 +239,7 @@ impl MappingTable {
             dirty,
             flushing: false,
             pending,
+            log_seq,
             lru_seq: self.next_seq,
         };
         index(&mut self.evictable, &mut self.dirty_lru, &entry);
@@ -407,6 +412,106 @@ impl MappingTable {
     pub fn entries(&self) -> impl Iterator<Item = &Entry> {
         self.entries.values()
     }
+
+    /// Cross-checks every derived structure against the entry map: the
+    /// per-class usage and dirty-byte accounting, the `by_range` index,
+    /// and the LRU eligibility sets (each entry in exactly the set its
+    /// flags call for, and no stale keys left behind). Used by the
+    /// online invariant auditor; returns a diagnostic on the first
+    /// violation found.
+    pub fn audit(&self) -> Result<(), String> {
+        let mut usage = [ClassUsage::default(); 2];
+        let mut dirty_bytes = 0u64;
+        let mut want_evictable = [0usize; 2];
+        let mut want_dirty_lru = [0usize; 2];
+        for (&id, e) in &self.entries {
+            if id != e.id {
+                return Err(format!("entry keyed {id} carries id {}", e.id));
+            }
+            let u = &mut usage[e.typ.idx()];
+            u.bytes += e.len;
+            u.entries += 1;
+            u.ret_sum += e.ret;
+            if e.dirty {
+                dirty_bytes += e.len;
+            }
+            if self
+                .by_range
+                .get(&e.file)
+                .and_then(|m| m.get(&e.offset))
+                .copied()
+                != Some(id)
+            {
+                return Err(format!(
+                    "entry {id} ({:?} @{}) missing from the by_range index",
+                    e.file, e.offset
+                ));
+            }
+            let key = (e.lru_seq, id);
+            let i = e.typ.idx();
+            let (want_ev, want_dl) = if e.flushing || e.pending {
+                (false, false)
+            } else if e.dirty {
+                (false, true)
+            } else {
+                (true, false)
+            };
+            if self.evictable[i].contains(&key) != want_ev
+                || self.dirty_lru[i].contains(&key) != want_dl
+            {
+                return Err(format!(
+                    "entry {id} (dirty={} flushing={} pending={}) misfiled in the LRU sets",
+                    e.dirty, e.flushing, e.pending
+                ));
+            }
+            want_evictable[i] += usize::from(want_ev);
+            want_dirty_lru[i] += usize::from(want_dl);
+        }
+        for i in 0..2 {
+            if self.evictable[i].len() != want_evictable[i] {
+                return Err(format!(
+                    "class {i} evictable set holds {} keys, expected {}",
+                    self.evictable[i].len(),
+                    want_evictable[i]
+                ));
+            }
+            if self.dirty_lru[i].len() != want_dirty_lru[i] {
+                return Err(format!(
+                    "class {i} dirty set holds {} keys, expected {}",
+                    self.dirty_lru[i].len(),
+                    want_dirty_lru[i]
+                ));
+            }
+            if usage[i].bytes != self.usage[i].bytes || usage[i].entries != self.usage[i].entries {
+                return Err(format!(
+                    "class {i} usage accounting drifted: recomputed {:?}, stored {:?}",
+                    usage[i], self.usage[i]
+                ));
+            }
+            // `ret_sum` is maintained incrementally; allow rounding slack.
+            let drift = (usage[i].ret_sum - self.usage[i].ret_sum).abs();
+            if drift > 1e-9 * usage[i].ret_sum.abs().max(1.0) {
+                return Err(format!(
+                    "class {i} ret_sum drifted by {drift} (recomputed {}, stored {})",
+                    usage[i].ret_sum, self.usage[i].ret_sum
+                ));
+            }
+        }
+        if dirty_bytes != self.dirty_bytes {
+            return Err(format!(
+                "dirty-byte accounting drifted: recomputed {dirty_bytes}, stored {}",
+                self.dirty_bytes
+            ));
+        }
+        let indexed: usize = self.by_range.values().map(|m| m.len()).sum();
+        if indexed != self.entries.len() {
+            return Err(format!(
+                "by_range indexes {indexed} offsets for {} entries",
+                self.entries.len()
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -434,6 +539,7 @@ mod tests {
                 0.001,
                 dirty,
                 false,
+                id,
             );
         }
         t
@@ -463,6 +569,7 @@ mod tests {
             0.0,
             false,
             true,
+            0,
         );
         assert!(t.lookup_covering(F, 0, 4096).is_none());
         t.activate(id);
@@ -497,6 +604,7 @@ mod tests {
             0.0,
             false,
             false,
+            0,
         );
     }
 
@@ -589,6 +697,7 @@ mod tests {
             dirty: false,
             flushing: false,
             pending: false,
+            log_seq: 0,
             lru_seq: 0,
         };
         // Full range.
@@ -623,6 +732,52 @@ mod tests {
     }
 
     #[test]
+    fn audit_accepts_every_lifecycle_state() {
+        let mut t = table_with(&[
+            (0, 1000, EntryType::Fragment, true),
+            (2000, 1000, EntryType::Random, false),
+        ]);
+        t.audit().expect("fresh table is consistent");
+        let pending = t.next_id();
+        t.insert(
+            pending,
+            F,
+            8000,
+            512,
+            ext(100, 1),
+            EntryType::Fragment,
+            0.001,
+            false,
+            true,
+            pending,
+        );
+        t.audit().expect("pending entry is consistent");
+        t.set_flushing(0, true);
+        t.audit().expect("flushing entry is consistent");
+        t.mark_clean(0);
+        t.activate(pending);
+        t.touch(1);
+        t.remove(1);
+        t.audit().expect("post-lifecycle table is consistent");
+    }
+
+    #[test]
+    fn audit_catches_accounting_drift() {
+        let mut t = table_with(&[(0, 1000, EntryType::Fragment, true)]);
+        t.dirty_bytes += 1; // simulate a lost update
+        let err = t.audit().unwrap_err();
+        assert!(err.contains("dirty-byte accounting"), "got: {err}");
+    }
+
+    #[test]
+    fn audit_catches_stale_lru_keys() {
+        let mut t = table_with(&[(0, 1000, EntryType::Random, false)]);
+        // A stale key with no matching entry state.
+        t.evictable[EntryType::Random.idx()].insert((999, 999));
+        assert!(t.audit().is_err());
+    }
+
+    #[test]
     fn avg_ret_per_class() {
         let mut t = MappingTable::new();
         let a = t.next_id();
@@ -636,6 +791,7 @@ mod tests {
             0.002,
             false,
             false,
+            0,
         );
         let b = t.next_id();
         t.insert(
@@ -648,6 +804,7 @@ mod tests {
             0.004,
             false,
             false,
+            1,
         );
         assert!((t.usage(EntryType::Fragment).avg_ret() - 0.003).abs() < 1e-12);
         assert_eq!(t.usage(EntryType::Random).avg_ret(), 0.0);

@@ -52,6 +52,30 @@ pub enum TimedFault {
         /// Which device recovers.
         dev: FaultDev,
     },
+    /// Tear the newest mapping-table backup records mid-write. Compiled
+    /// immediately before the `Crash` it accompanies, so the records are
+    /// truncated on media before the restart's recovery fsck runs.
+    TornWrite {
+        /// Victim server.
+        server: usize,
+        /// How many of the newest backup records are torn.
+        records: u32,
+    },
+    /// Silently flip bits in resident backup-log records. Surfaces only
+    /// at the next restart's recovery fsck.
+    BitRot {
+        /// Victim server.
+        server: usize,
+        /// Number of corrupting hits.
+        sectors: u32,
+        /// Placement seed, drawn from the injector RNG at compile time.
+        seed: u64,
+    },
+    /// The metadata server dies: T-value reports and broadcasts stall,
+    /// data servers keep serving with last-known T values.
+    MdsCrash,
+    /// The metadata server recovers; reporting resumes.
+    MdsRestart,
 }
 
 /// Fault-injection and recovery counters for one run, reported next to
@@ -92,6 +116,21 @@ pub struct FaultStats {
     pub clean_entries_dropped: u64,
     /// Pending (not yet durable) entries discarded during restart.
     pub pending_entries_dropped: u64,
+    /// Torn-write corruptions executed against backup logs.
+    pub torn_writes: u64,
+    /// Backup records hit by bit-rot corruption.
+    pub rotted_records: u64,
+    /// Metadata-server crashes executed.
+    pub mds_crashes: u64,
+    /// Metadata-server restarts executed.
+    pub mds_restarts: u64,
+    /// T-value reports dropped because the MDS was down.
+    pub stalled_broadcasts: u64,
+    /// Backup records scanned by restart recovery fscks.
+    pub fsck_records_scanned: u64,
+    /// Backup records quarantined (torn, checksum-failed, or
+    /// sequence-broken) by restart recovery fscks.
+    pub fsck_records_quarantined: u64,
     /// Total time servers spent degraded (summed across servers).
     pub degraded: SimDuration,
 }
@@ -126,6 +165,10 @@ impl FaultInjector {
     pub fn new(plan: &FaultPlan, seed: u64) -> Self {
         let mut timeline = Vec::new();
         let mut windows = Vec::new();
+        // Constructed before compiling so bit-rot specs can draw their
+        // placement seeds in plan order. Plans without bit-rot draw
+        // nothing here, preserving every existing plan's history.
+        let mut rng = stream_rng(seed, streams::FAULTS);
         for spec in &plan.specs {
             match spec.clone() {
                 FaultSpec::ServerCrash {
@@ -159,6 +202,37 @@ impl FaultInjector {
                 FaultSpec::NetFault { from, until, imp } => {
                     windows.push((from, until, imp.clone()));
                 }
+                FaultSpec::TornWrite {
+                    server,
+                    at,
+                    restart_after,
+                    records,
+                } => {
+                    // TornWrite precedes Crash at the same instant; the
+                    // stable sort below keeps that push order.
+                    timeline.push((at, TimedFault::TornWrite { server, records }));
+                    timeline.push((at, TimedFault::Crash { server }));
+                    timeline.push((at + restart_after, TimedFault::Restart { server }));
+                }
+                FaultSpec::BitRot {
+                    server,
+                    at,
+                    sectors,
+                } => {
+                    let rot_seed: u64 = rng.gen();
+                    timeline.push((
+                        at,
+                        TimedFault::BitRot {
+                            server,
+                            sectors,
+                            seed: rot_seed,
+                        },
+                    ));
+                }
+                FaultSpec::MdsCrash { at, restart_after } => {
+                    timeline.push((at, TimedFault::MdsCrash));
+                    timeline.push((at + restart_after, TimedFault::MdsRestart));
+                }
             }
         }
         // Stable by time: simultaneous faults fire in plan order.
@@ -167,7 +241,7 @@ impl FaultInjector {
             timeline,
             armed: false,
             windows,
-            rng: stream_rng(seed, streams::FAULTS),
+            rng,
             retry: plan.retry_config(),
         }
     }
@@ -251,6 +325,59 @@ mod tests {
             ]
         );
         assert!(inj.arm().is_empty(), "second arm must hand out nothing");
+    }
+
+    #[test]
+    fn torn_write_compiles_to_tear_then_crash_then_restart() {
+        let p = plan(
+            "torn-write server=1 at=120ms restart=60ms records=2\n\
+             mds-crash at=80ms restart=100ms\n",
+        );
+        let mut inj = FaultInjector::new(&p, 7);
+        let tl: Vec<_> = inj.arm().to_vec();
+        assert_eq!(
+            tl,
+            vec![
+                (SimDuration::from_millis(80), TimedFault::MdsCrash),
+                (
+                    SimDuration::from_millis(120),
+                    TimedFault::TornWrite {
+                        server: 1,
+                        records: 2
+                    }
+                ),
+                (
+                    SimDuration::from_millis(120),
+                    TimedFault::Crash { server: 1 }
+                ),
+                // Both recover at 180ms; the torn-write spec comes first
+                // in the plan, so the stable sort keeps its Restart first.
+                (
+                    SimDuration::from_millis(180),
+                    TimedFault::Restart { server: 1 }
+                ),
+                (SimDuration::from_millis(180), TimedFault::MdsRestart),
+            ]
+        );
+    }
+
+    #[test]
+    fn bit_rot_seed_is_deterministic_per_experiment_seed() {
+        let p = plan("bit-rot server=0 at=100ms sectors=3\n");
+        let tl_a: Vec<_> = FaultInjector::new(&p, 42).arm().to_vec();
+        let tl_b: Vec<_> = FaultInjector::new(&p, 42).arm().to_vec();
+        assert_eq!(tl_a, tl_b, "same seed must place the rot identically");
+        let tl_c: Vec<_> = FaultInjector::new(&p, 43).arm().to_vec();
+        assert_ne!(tl_a, tl_c, "different seed must draw a different rot seed");
+        match tl_a[0].1 {
+            TimedFault::BitRot {
+                server, sectors, ..
+            } => {
+                assert_eq!(server, 0);
+                assert_eq!(sectors, 3);
+            }
+            ref other => panic!("expected BitRot, got {other:?}"),
+        }
     }
 
     #[test]

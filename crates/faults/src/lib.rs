@@ -34,4 +34,6 @@ mod injector;
 mod plan;
 
 pub use injector::{FaultInjector, FaultStats, TimedFault};
-pub use plan::{builtin, FaultDev, FaultPlan, FaultSpec, PlanError, RetryConfig, BUILTIN_NAMES};
+pub use plan::{
+    builtin, FaultDev, FaultPlan, FaultSpec, PlanError, RetryConfig, BUILTIN_NAMES, BUILTIN_PLANS,
+};

@@ -11,6 +11,9 @@
 //! ssd-loss server=0 at=100ms
 //! fail-slow server=2 dev=primary from=80ms until=300ms factor=6
 //! net from=50ms until=350ms drop=0.03 delay=0.05 delay-by=2ms dup=0.02
+//! torn-write server=1 at=150ms restart=60ms records=2
+//! bit-rot server=0 at=100ms sectors=3
+//! mds-crash at=80ms restart=120ms
 //! ```
 //!
 //! Each directive is `name key=value ...`; blank lines and `#` comments
@@ -90,6 +93,40 @@ pub enum FaultSpec {
         /// Per-message impairment probabilities.
         imp: Impairment,
     },
+    /// Like `crash`, but the crash tears the most recent `records`
+    /// mapping-table backup records mid-write (they are truncated on
+    /// media), so the restart's recovery fsck must quarantine them.
+    TornWrite {
+        /// Victim server index.
+        server: usize,
+        /// Crash instant.
+        at: SimDuration,
+        /// Downtime before the process restarts.
+        restart_after: SimDuration,
+        /// How many of the newest backup records are torn.
+        records: u32,
+    },
+    /// Silent bit corruption of `sectors` resident backup records at
+    /// `at`. The damage surfaces only when a later restart's recovery
+    /// fsck scans the log — pair with a `crash` to observe it.
+    BitRot {
+        /// Victim server index.
+        server: usize,
+        /// Corruption instant.
+        at: SimDuration,
+        /// Number of corrupting hits (one bit flip each).
+        sectors: u32,
+    },
+    /// The metadata server dies at `at` and restarts `restart_after`
+    /// later. Data servers keep serving, but T-value broadcasts stall:
+    /// clients and servers degrade to last-known T values until the MDS
+    /// is back.
+    MdsCrash {
+        /// Crash instant.
+        at: SimDuration,
+        /// Downtime before the MDS restarts.
+        restart_after: SimDuration,
+    },
 }
 
 /// Client-side timeout/retry policy used while a plan is armed.
@@ -111,6 +148,15 @@ impl Default for RetryConfig {
             backoff: 2.0,
             max_retries: 10,
         }
+    }
+}
+
+impl RetryConfig {
+    /// The timeout to wait before declaring attempt number `attempt`
+    /// (0-based) failed: `timeout * backoff^attempt`. The last attempt
+    /// the client makes is number `max_retries`.
+    pub fn backoff_delay(&self, attempt: u32) -> SimDuration {
+        self.timeout.mul_f64(self.backoff.powi(attempt as i32))
     }
 }
 
@@ -171,11 +217,18 @@ impl FaultPlan {
             let directive = words.next().expect("non-empty line has a first word");
             if !matches!(
                 directive,
-                "retry" | "crash" | "ssd-loss" | "fail-slow" | "net"
+                "retry"
+                    | "crash"
+                    | "ssd-loss"
+                    | "fail-slow"
+                    | "net"
+                    | "torn-write"
+                    | "bit-rot"
+                    | "mds-crash"
             ) {
                 return Err(err(format!(
                     "unknown directive '{directive}' (expected one of: retry, crash, \
-                     ssd-loss, fail-slow, net)"
+                     ssd-loss, fail-slow, net, torn-write, bit-rot, mds-crash)"
                 )));
             }
             let mut args = Args::new(words.collect(), line, idx + 1)?;
@@ -240,6 +293,43 @@ impl FaultPlan {
                         return Err(err("delay > 0 requires delay-by=<duration>".into()));
                     }
                     plan.specs.push(FaultSpec::NetFault { from, until, imp });
+                }
+                "torn-write" => {
+                    let restart_after = args.duration("restart")?;
+                    if restart_after == SimDuration::ZERO {
+                        return Err(err("restart must be > 0".into()));
+                    }
+                    let records = args.int_or("records", 1)?;
+                    if records == 0 {
+                        return Err(err("records must be > 0".into()));
+                    }
+                    plan.specs.push(FaultSpec::TornWrite {
+                        server: args.int("server")? as usize,
+                        at: args.duration("at")?,
+                        restart_after,
+                        records: records as u32,
+                    });
+                }
+                "bit-rot" => {
+                    let sectors = args.int_or("sectors", 1)?;
+                    if sectors == 0 {
+                        return Err(err("sectors must be > 0".into()));
+                    }
+                    plan.specs.push(FaultSpec::BitRot {
+                        server: args.int("server")? as usize,
+                        at: args.duration("at")?,
+                        sectors: sectors as u32,
+                    });
+                }
+                "mds-crash" => {
+                    let restart_after = args.duration("restart")?;
+                    if restart_after == SimDuration::ZERO {
+                        return Err(err("restart must be > 0".into()));
+                    }
+                    plan.specs.push(FaultSpec::MdsCrash {
+                        at: args.duration("at")?,
+                        restart_after,
+                    });
                 }
                 _ => unreachable!("directive validated above"),
             }
@@ -441,12 +531,70 @@ pub fn builtin(name: &str) -> Option<&'static str> {
              fail-slow server=2 dev=primary from=60ms until=260ms factor=4\n\
              net from=30ms until=350ms drop=0.03 delay=0.06 delay-by=2ms dup=0.02\n"
         }
+        "torn-write" => {
+            // The crash lands before the first 100 ms writeback pass,
+            // so the torn records are still dirty — the plan
+            // demonstrates a real durability cost, not just quarantine.
+            "retry timeout=60ms backoff=2 max=10\n\
+             torn-write server=1 at=90ms restart=80ms records=2\n"
+        }
+        "bit-rot" => {
+            "retry timeout=60ms backoff=2 max=10\n\
+             bit-rot server=0 at=100ms sectors=3\n\
+             crash server=0 at=140ms restart=60ms\n"
+        }
+        "mds-crash" => "mds-crash at=80ms restart=120ms\n",
         _ => return None,
     })
 }
 
 /// Names accepted by [`builtin`], for error messages.
-pub const BUILTIN_NAMES: &[&str] = &["none", "crash", "ssd-loss", "fail-slow", "net", "chaos"];
+pub const BUILTIN_NAMES: &[&str] = &[
+    "none",
+    "crash",
+    "ssd-loss",
+    "fail-slow",
+    "net",
+    "chaos",
+    "torn-write",
+    "bit-rot",
+    "mds-crash",
+];
+
+/// Built-in plan names with one-line descriptions, in [`BUILTIN_NAMES`]
+/// order — the table behind `expt --list-fault-plans`.
+pub const BUILTIN_PLANS: &[(&str, &str)] = &[
+    (
+        "none",
+        "no faults; byte-identical to running without a plan",
+    ),
+    ("crash", "server 1 dies at 120ms and restarts 80ms later"),
+    ("ssd-loss", "server 0 loses its SSD cache device at 100ms"),
+    (
+        "fail-slow",
+        "server 2's primary device runs 6x slower from 80ms to 320ms",
+    ),
+    (
+        "net",
+        "data-plane messages dropped/delayed/duplicated from 40ms to 400ms",
+    ),
+    (
+        "chaos",
+        "crash + ssd-loss + fail-slow + net, all in one run",
+    ),
+    (
+        "torn-write",
+        "server 1 crashes at 90ms tearing its 2 newest backup records",
+    ),
+    (
+        "bit-rot",
+        "3 bit flips in server 0's backup log at 100ms, surfaced by a crash at 140ms",
+    ),
+    (
+        "mds-crash",
+        "metadata server down from 80ms to 200ms; T-value broadcasts stall",
+    ),
+];
 
 #[cfg(test)]
 mod tests {
@@ -537,6 +685,160 @@ mod tests {
             assert_eq!(plan.is_faultless(), *name == "none");
         }
         assert!(builtin("nope").is_none());
+    }
+
+    #[test]
+    fn builtin_plans_table_matches_builtin_names() {
+        assert_eq!(BUILTIN_PLANS.len(), BUILTIN_NAMES.len());
+        for ((listed, desc), name) in BUILTIN_PLANS.iter().zip(BUILTIN_NAMES) {
+            assert_eq!(listed, name, "BUILTIN_PLANS order must match BUILTIN_NAMES");
+            assert!(!desc.is_empty());
+        }
+    }
+
+    #[test]
+    fn parses_corruption_and_mds_directives() {
+        let plan = FaultPlan::parse(
+            "torn-write server=1 at=150ms restart=60ms records=2\n\
+             bit-rot server=0 at=100ms\n\
+             mds-crash at=80ms restart=120ms\n",
+        )
+        .expect("plan must parse");
+        assert_eq!(
+            plan.specs[0],
+            FaultSpec::TornWrite {
+                server: 1,
+                at: SimDuration::from_millis(150),
+                restart_after: SimDuration::from_millis(60),
+                records: 2,
+            }
+        );
+        // `records`/`sectors` default to 1 when omitted.
+        assert_eq!(
+            plan.specs[1],
+            FaultSpec::BitRot {
+                server: 0,
+                at: SimDuration::from_millis(100),
+                sectors: 1,
+            }
+        );
+        assert_eq!(
+            plan.specs[2],
+            FaultSpec::MdsCrash {
+                at: SimDuration::from_millis(80),
+                restart_after: SimDuration::from_millis(120),
+            }
+        );
+    }
+
+    #[test]
+    fn backoff_delay_sequence_is_exact() {
+        let retry = RetryConfig {
+            timeout: SimDuration::from_millis(50),
+            backoff: 2.0,
+            max_retries: 4,
+        };
+        // timeout * 2^attempt: 50, 100, 200, 400, 800 ms — and the run
+        // stops at attempt == max_retries, so the largest delay any
+        // sub-request ever waits is backoff_delay(max_retries).
+        let expect = [50u64, 100, 200, 400, 800];
+        for (attempt, ms) in expect.iter().enumerate() {
+            assert_eq!(
+                retry.backoff_delay(attempt as u32),
+                SimDuration::from_millis(*ms),
+                "attempt {attempt}"
+            );
+        }
+        assert_eq!(
+            retry.backoff_delay(retry.max_retries),
+            SimDuration::from_millis(800)
+        );
+    }
+
+    #[test]
+    fn backoff_delay_handles_fractional_factors_and_defaults() {
+        let retry = RetryConfig {
+            timeout: SimDuration::from_millis(100),
+            backoff: 1.5,
+            max_retries: 3,
+        };
+        assert_eq!(retry.backoff_delay(0), SimDuration::from_millis(100));
+        assert_eq!(retry.backoff_delay(1), SimDuration::from_millis(150));
+        assert_eq!(retry.backoff_delay(2), SimDuration::from_millis(225));
+        // backoff=1 never grows.
+        let flat = RetryConfig {
+            backoff: 1.0,
+            ..RetryConfig::default()
+        };
+        for attempt in 0..8 {
+            assert_eq!(flat.backoff_delay(attempt), flat.timeout);
+        }
+        // The default config's sequence doubles from 1 s.
+        let d = RetryConfig::default();
+        assert_eq!(d.backoff_delay(0), SimDuration::from_millis(1000));
+        assert_eq!(d.backoff_delay(3), SimDuration::from_millis(8000));
+    }
+
+    #[test]
+    fn every_malformed_line_class_yields_a_quoted_error() {
+        // One representative per malformed-line class. Each must produce
+        // a PlanError (never a panic) whose Display quotes the offending
+        // line and carries its 1-based number.
+        let cases: &[(&str, &str)] = &[
+            ("boom now", "unknown directive"),
+            ("crash server=1 at=120ms", "missing required key"),
+            ("crash server at=1ms restart=1ms", "expected key=value"),
+            ("crash server= at=1ms restart=1ms", "empty value"),
+            ("crash server=x at=1ms restart=1ms", "non-negative integer"),
+            ("crash server=1 at=120 restart=60ms", "unit"),
+            ("crash server=1 at=-5ms restart=60ms", "non-negative"),
+            ("crash server=1 at=1ms restart=0ms", "restart must be > 0"),
+            ("ssd-loss server=0 at=1ms color=red", "unknown key 'color'"),
+            (
+                "fail-slow server=0 dev=tape from=1ms until=2ms factor=2",
+                "'primary' or 'cache'",
+            ),
+            (
+                "fail-slow server=0 dev=cache from=5ms until=5ms factor=2",
+                "must be after",
+            ),
+            (
+                "fail-slow server=0 dev=cache from=1ms until=2ms factor=0.5",
+                "must be in",
+            ),
+            ("net from=1ms until=2ms drop=1.5", "probability"),
+            (
+                "net from=1ms until=2ms drop=0.6 delay=0.5 delay-by=1ms",
+                "must not exceed 1",
+            ),
+            ("net from=1ms until=2ms delay=0.5", "requires delay-by"),
+            ("retry timeout=abc", "unit"),
+            ("retry timeout=xxms", "duration like"),
+            ("retry timeout=100ms backoff=0.5", "must be in"),
+            (
+                "torn-write server=1 at=1ms restart=0ms",
+                "restart must be > 0",
+            ),
+            (
+                "torn-write server=1 at=1ms restart=5ms records=0",
+                "records must be > 0",
+            ),
+            ("bit-rot server=0 at=1ms sectors=0", "sectors must be > 0"),
+            ("mds-crash at=1ms restart=0ms", "restart must be > 0"),
+            ("mds-crash at=1ms", "missing required key 'restart'"),
+        ];
+        for (line, want) in cases {
+            let text = format!("# leading comment\n{line}\n");
+            let e = FaultPlan::parse(&text).expect_err(&format!("`{line}` must fail to parse"));
+            assert_eq!(e.line_no, 2, "`{line}`");
+            assert_eq!(e.line, *line);
+            let msg = e.to_string();
+            assert!(msg.contains(want), "`{line}`: expected '{want}' in '{msg}'");
+            assert!(
+                msg.contains(&format!("`{line}`")),
+                "error must quote the line verbatim: {msg}"
+            );
+        }
     }
 
     #[test]

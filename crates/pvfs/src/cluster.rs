@@ -13,7 +13,7 @@
 //! the same effect across repeated production runs).
 
 use crate::layout::Layout;
-use crate::policy::{CachePolicy, CacheStats};
+use crate::policy::{CachePolicy, CacheStats, LogCorruption};
 use crate::proto::{FileRequest, SubRequest};
 use crate::server::{DataServer, DevKind, JobId, ServerConfig, ServerOut};
 use crate::workload::Workload;
@@ -46,10 +46,17 @@ static TOTAL_TIMEOUTS: AtomicU64 = AtomicU64::new(0);
 static TOTAL_DROPPED_MSGS: AtomicU64 = AtomicU64::new(0);
 static TOTAL_DIRTY_LOST: AtomicU64 = AtomicU64::new(0);
 static TOTAL_DEGRADED_NS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_FSCK_SCANNED: AtomicU64 = AtomicU64::new(0);
+static TOTAL_FSCK_QUARANTINED: AtomicU64 = AtomicU64::new(0);
+/// Auditor passes are counted even on faultless runs (the auditor is a
+/// verification knob, not a fault), so this lives outside the
+/// `is_zero`-gated flush below.
+static TOTAL_AUDITS: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide fault/recovery totals, aggregated once per run across all
 /// threads (the harness's `--bench-report` pulls these next to the cache
-/// counters). All zero unless a fault plan was armed.
+/// counters). All zero unless a fault plan was armed — except `audits`,
+/// which counts invariant-auditor passes on any run with auditing on.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultTotals {
     /// Sub-request retransmissions.
@@ -62,6 +69,12 @@ pub struct FaultTotals {
     pub dirty_bytes_lost: u64,
     /// Summed per-server degraded time, nanoseconds.
     pub degraded_ns: u64,
+    /// Backup records scanned by restart recovery fscks.
+    pub fsck_records_scanned: u64,
+    /// Backup records quarantined by restart recovery fscks.
+    pub fsck_records_quarantined: u64,
+    /// Online invariant-auditor passes completed.
+    pub audits: u64,
 }
 
 /// Snapshot of the process-wide fault counters (monotone; updated once
@@ -73,6 +86,9 @@ pub fn total_fault_counters() -> FaultTotals {
         dropped_messages: TOTAL_DROPPED_MSGS.load(Ordering::Relaxed),
         dirty_bytes_lost: TOTAL_DIRTY_LOST.load(Ordering::Relaxed),
         degraded_ns: TOTAL_DEGRADED_NS.load(Ordering::Relaxed),
+        fsck_records_scanned: TOTAL_FSCK_SCANNED.load(Ordering::Relaxed),
+        fsck_records_quarantined: TOTAL_FSCK_QUARANTINED.load(Ordering::Relaxed),
+        audits: TOTAL_AUDITS.load(Ordering::Relaxed),
     }
 }
 
@@ -102,6 +118,15 @@ pub struct ClusterConfig {
     pub client_jitter: SimDuration,
     /// Experiment seed (jitter and any stochastic workload draws).
     pub seed: u64,
+    /// Virtual-time cadence of the online invariant auditor: every
+    /// elapsed interval the cluster cross-checks each live server's
+    /// policy invariants and the process-epoch monotonicity, aborting
+    /// with a structured diagnostic on the first violation. `None`
+    /// disables auditing. The auditor is synchronous and read-only — it
+    /// posts no events and draws no randomness, so an audited run is
+    /// byte-identical to an unaudited one. Requires the `audit` cargo
+    /// feature (on by default); without it the knob is ignored.
+    pub audit_interval: Option<SimDuration>,
 }
 
 impl Default for ClusterConfig {
@@ -117,6 +142,7 @@ impl Default for ClusterConfig {
             writeback_interval: SimDuration::from_millis(100),
             client_jitter: SimDuration::from_millis(10),
             seed: 42,
+            audit_interval: None,
         }
     }
 }
@@ -252,6 +278,21 @@ fn clamp_fault(f: TimedFault, n: usize) -> TimedFault {
             server: server % n,
             dev,
         },
+        TimedFault::TornWrite { server, records } => TimedFault::TornWrite {
+            server: server % n,
+            records,
+        },
+        TimedFault::BitRot {
+            server,
+            sectors,
+            seed,
+        } => TimedFault::BitRot {
+            server: server % n,
+            sectors,
+            seed,
+        },
+        TimedFault::MdsCrash => TimedFault::MdsCrash,
+        TimedFault::MdsRestart => TimedFault::MdsRestart,
     }
 }
 
@@ -389,6 +430,9 @@ pub struct Cluster {
     run_start: SimTime,
     /// Per-server: process currently crashed.
     down: Vec<bool>,
+    /// Metadata server currently crashed: T-value reports are dropped
+    /// and broadcasts stall until its restart.
+    mds_down: bool,
     /// Per-server process epoch (bumped on crash).
     srv_epoch: Vec<u32>,
     /// Per-server device epochs, `[primary, cache]` (crash bumps both,
@@ -437,6 +481,7 @@ impl Cluster {
             fstats: FaultStats::default(),
             run_start: SimTime::ZERO,
             down: vec![false; cfg.n_servers],
+            mds_down: false,
             srv_epoch: vec![0; cfg.n_servers],
             dev_epoch: vec![[0, 0]; cfg.n_servers],
             degraded_depth: vec![0; cfg.n_servers],
@@ -674,6 +719,9 @@ impl Cluster {
                     let report = self.servers[server].restart(now);
                     self.fstats.clean_entries_dropped += report.clean_entries_dropped;
                     self.fstats.pending_entries_dropped += report.pending_entries_dropped;
+                    self.fstats.fsck_records_scanned += report.records_scanned;
+                    self.fstats.fsck_records_quarantined += report.records_quarantined;
+                    self.fstats.dirty_bytes_lost += report.dirty_bytes_lost;
                     self.degrade_end(server, now);
                     if draining {
                         // Replayed dirty entries must still be written
@@ -709,6 +757,38 @@ impl Cluster {
             TimedFault::SlowEnd { server, dev } => {
                 self.servers[server].set_slow_factor(devkind(dev), 1.0);
                 self.degrade_end(server, now);
+            }
+            TimedFault::TornWrite { server, records } => {
+                // Fires immediately before its Crash (same instant, plan
+                // order): the records are torn on media before the
+                // restart's recovery fsck ever sees them.
+                if !self.down[server] {
+                    self.servers[server].corrupt_cache(now, LogCorruption::TornWrite { records });
+                    self.fstats.torn_writes += 1;
+                }
+            }
+            TimedFault::BitRot {
+                server,
+                sectors,
+                seed,
+            } => {
+                if !self.down[server] {
+                    let hit = self.servers[server]
+                        .corrupt_cache(now, LogCorruption::BitRot { sectors, seed });
+                    self.fstats.rotted_records += hit;
+                }
+            }
+            TimedFault::MdsCrash => {
+                if !self.mds_down {
+                    self.mds_down = true;
+                    self.fstats.mds_crashes += 1;
+                }
+            }
+            TimedFault::MdsRestart => {
+                if self.mds_down {
+                    self.mds_down = false;
+                    self.fstats.mds_restarts += 1;
+                }
             }
         }
     }
@@ -781,6 +861,17 @@ impl Cluster {
         let mut out = ServerOut::default();
         let use_barrier = workload.barrier();
         let barrier_mask: Vec<bool> = (0..n_procs).map(|p| workload.in_barrier(p)).collect();
+
+        // Online invariant auditor: piggybacked synchronously on event
+        // dispatch (never posts events, never draws randomness), so the
+        // calendar — and therefore every observable output — is
+        // byte-identical with auditing on or off.
+        #[cfg(feature = "audit")]
+        let mut next_audit = self.cfg.audit_interval.map(|iv| start + iv);
+        #[cfg(feature = "audit")]
+        let mut audit_epochs: Vec<u32> = self.srv_epoch.clone();
+        #[cfg(feature = "audit")]
+        let mut audits = 0u64;
 
         for proc in 0..n_procs {
             self.sim.post_now(Ev::Wake { proc });
@@ -1074,18 +1165,25 @@ impl Cluster {
                     }
                 }
                 Ev::ReportArrive { server, t } => {
-                    self.mds_table[server] = t;
-                    // One shared snapshot for the whole broadcast fan-out.
-                    let table: Arc<[f64]> = Arc::from(self.mds_table.as_slice());
-                    for dest in 0..self.cfg.n_servers {
-                        let arrive = self.mds_link.send(now, 64 * self.cfg.n_servers as u64);
-                        self.sim.post_at(
-                            arrive,
-                            Ev::Broadcast {
-                                server: dest,
-                                table: Arc::clone(&table),
-                            },
-                        );
+                    if self.mds_down {
+                        // The MDS is down: the report is lost and no
+                        // broadcast goes out. Servers keep serving with
+                        // their last-known T values until the restart.
+                        self.fstats.stalled_broadcasts += 1;
+                    } else {
+                        self.mds_table[server] = t;
+                        // One shared snapshot for the whole broadcast fan-out.
+                        let table: Arc<[f64]> = Arc::from(self.mds_table.as_slice());
+                        for dest in 0..self.cfg.n_servers {
+                            let arrive = self.mds_link.send(now, 64 * self.cfg.n_servers as u64);
+                            self.sim.post_at(
+                                arrive,
+                                Ev::Broadcast {
+                                    server: dest,
+                                    table: Arc::clone(&table),
+                                },
+                            );
+                        }
                     }
                 }
                 Ev::Broadcast { server, table } => {
@@ -1115,6 +1213,19 @@ impl Cluster {
                 }
             }
 
+            #[cfg(feature = "audit")]
+            if let Some(due) = next_audit {
+                if now >= due {
+                    self.audit_now(now, &mut audit_epochs);
+                    audits += 1;
+                    let iv = self
+                        .cfg
+                        .audit_interval
+                        .expect("auditor armed with interval");
+                    next_audit = Some(now + iv);
+                }
+            }
+
             if active == 0 {
                 if !draining {
                     draining = true;
@@ -1126,6 +1237,15 @@ impl Cluster {
                     break;
                 }
             }
+        }
+
+        // A final audit closes the run: recovered state must be sound
+        // at quiescence, not just at the last cadence tick.
+        #[cfg(feature = "audit")]
+        if self.cfg.audit_interval.is_some() {
+            self.audit_now(self.sim.now(), &mut audit_epochs);
+            audits += 1;
+            TOTAL_AUDITS.fetch_add(audits, Ordering::Relaxed);
         }
 
         let end = self.sim.now();
@@ -1145,6 +1265,9 @@ impl Cluster {
             TOTAL_DROPPED_MSGS.fetch_add(self.fstats.dropped_messages, Ordering::Relaxed);
             TOTAL_DIRTY_LOST.fetch_add(self.fstats.dirty_bytes_lost, Ordering::Relaxed);
             TOTAL_DEGRADED_NS.fetch_add(self.fstats.degraded.as_nanos(), Ordering::Relaxed);
+            TOTAL_FSCK_SCANNED.fetch_add(self.fstats.fsck_records_scanned, Ordering::Relaxed);
+            TOTAL_FSCK_QUARANTINED
+                .fetch_add(self.fstats.fsck_records_quarantined, Ordering::Relaxed);
         }
         RunStats {
             elapsed: end - start,
@@ -1175,6 +1298,39 @@ impl Cluster {
                 })
                 .collect(),
             faults: self.fstats,
+        }
+    }
+
+    /// One pass of the online invariant auditor: cross-checks every live
+    /// server's policy invariants (partition accounting, mapping-table
+    /// index/LRU agreement, log residency — see `CachePolicy::audit`)
+    /// and the monotonicity of process epochs since the previous pass.
+    /// Aborts the simulation with a structured diagnostic on the first
+    /// violation; a passing audit leaves no trace.
+    #[cfg(feature = "audit")]
+    fn audit_now(&self, now: SimTime, last_epochs: &mut [u32]) {
+        for (s, srv) in self.servers.iter().enumerate() {
+            if self.down[s] {
+                continue;
+            }
+            if let Err(why) = srv.policy().audit() {
+                panic!(
+                    "invariant audit failed: time={:?} server={} down={} epoch={}: {}",
+                    now, s, self.down[s], self.srv_epoch[s], why
+                );
+            }
+        }
+        for (s, prev) in last_epochs.iter_mut().enumerate() {
+            assert!(
+                self.srv_epoch[s] >= *prev,
+                "invariant audit failed: time={:?} server={}: process epoch moved \
+                 backwards ({} -> {})",
+                now,
+                s,
+                *prev,
+                self.srv_epoch[s],
+            );
+            *prev = self.srv_epoch[s];
         }
     }
 

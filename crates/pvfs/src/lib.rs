@@ -59,7 +59,8 @@ pub use cluster::{
 };
 pub use layout::Layout;
 pub use policy::{
-    CachePolicy, CacheStats, EntryId, FlushId, FlushOp, Placement, RestartReport, StockPolicy,
+    CachePolicy, CacheStats, EntryId, FlushId, FlushOp, LogCorruption, Placement, RestartReport,
+    StockPolicy,
 };
 pub use proto::{FileRequest, ReqClass, SubRequest};
 pub use server::{DataServer, DevKind, DiskSched, JobId, ServerConfig};

@@ -109,10 +109,11 @@ impl CacheStats {
     }
 }
 
-/// Outcome of replaying the on-SSD mapping-table backup after a server
-/// process restart: dirty entries survive (their bytes are durable in
-/// the SSD log), clean and pending entries are conservatively
-/// invalidated and re-fetched on demand.
+/// Outcome of recovering the on-SSD mapping-table backup after a server
+/// process restart: the recovery fsck scans every backup record,
+/// verifies checksums and sequence continuity, quarantines what fails,
+/// keeps intact dirty entries (their bytes are durable in the SSD log),
+/// and conservatively invalidates clean and pending entries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RestartReport {
     /// Dirty entries replayed into the fresh mapping table.
@@ -123,6 +124,35 @@ pub struct RestartReport {
     pub clean_entries_dropped: u64,
     /// Pending (not yet durable) entries discarded.
     pub pending_entries_dropped: u64,
+    /// Backup records scanned by the recovery fsck.
+    pub records_scanned: u64,
+    /// Records quarantined (torn, checksum-failed, or sequence-broken);
+    /// their entries are invalidated rather than replayed.
+    pub records_quarantined: u64,
+    /// Dirty bytes lost to quarantined records — the durability cost of
+    /// the corruption, analogous to `ssd_lost`'s return value.
+    pub dirty_bytes_lost: u64,
+}
+
+/// Planned corruption of the on-SSD cache log, injected at the device
+/// layer by a fault plan. Silent until the next restart's recovery
+/// fsck scans the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogCorruption {
+    /// A crash tears the most recent `records` backup records mid-write
+    /// (they are truncated on media).
+    TornWrite {
+        /// How many of the newest records are torn.
+        records: u32,
+    },
+    /// Seeded silent bit corruption of resident log sectors; each hit
+    /// flips one bit in a resident record.
+    BitRot {
+        /// Number of corrupting hits.
+        sectors: u32,
+        /// Seed for the deterministic placement of the hits.
+        seed: u64,
+    },
 }
 
 /// Decision-making interface of the server-side cache.
@@ -184,6 +214,23 @@ pub trait CachePolicy: std::fmt::Debug {
     /// server's T value).
     fn is_degraded(&self) -> bool {
         false
+    }
+
+    /// Schedules corruption of the policy's on-SSD backup log. The
+    /// damage is silent — it surfaces only when the next restart's
+    /// recovery fsck scans the log. Returns the number of backup
+    /// records affected. Policies without persistent state have nothing
+    /// to corrupt.
+    fn inject_corruption(&mut self, _now: SimTime, _corruption: LogCorruption) -> u64 {
+        0
+    }
+
+    /// Cross-checks the policy's internal invariants (accounting,
+    /// indexes, log residency). Returns a diagnostic describing the
+    /// first violation found. Called by the online invariant auditor;
+    /// must not mutate any state.
+    fn audit(&self) -> Result<(), String> {
+        Ok(())
     }
 }
 

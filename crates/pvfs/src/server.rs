@@ -13,7 +13,9 @@
 //! Besides client jobs, groups are used for post-read cache admissions
 //! and the two phases of writeback (SSD read → disk write).
 
-use crate::policy::{CachePolicy, EntryId, FlushId, FlushOp, Placement, RestartReport};
+use crate::policy::{
+    CachePolicy, EntryId, FlushId, FlushOp, LogCorruption, Placement, RestartReport,
+};
 use crate::proto::SubRequest;
 use ibridge_des::{SimDuration, SimTime};
 use ibridge_device::{bytes_to_sectors, DiskModel, DiskProfile, IoDir, SsdModel, SsdProfile};
@@ -825,6 +827,17 @@ impl DataServer {
     /// dirty entries preserved — see [`CachePolicy::server_restart`]).
     pub fn restart(&mut self, now: SimTime) -> RestartReport {
         self.policy.server_restart(now)
+    }
+
+    /// Fault injection: silently corrupts the on-SSD mapping-table
+    /// backup log. Nothing observable happens until the next restart's
+    /// recovery fsck scans the log. Returns the number of backup
+    /// records affected (0 with no cache device to corrupt).
+    pub fn corrupt_cache(&mut self, now: SimTime, corruption: LogCorruption) -> u64 {
+        if self.cache.is_none() {
+            return 0;
+        }
+        self.policy.inject_corruption(now, corruption)
     }
 
     /// Fault injection: the SSD cache device fails permanently. All

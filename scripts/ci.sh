@@ -20,13 +20,21 @@ echo "== expt --jobs parallel output identity"
 ./target/release/expt --jobs 4 all >/tmp/ibridge_ci_j4.txt 2>/dev/null
 cmp /tmp/ibridge_ci_j1.txt /tmp/ibridge_ci_j4.txt
 
-echo "== fault-matrix smoke (fixed seed; gates on determinism only)"
-./target/release/expt --seed 7 --fault-plan chaos faults \
+echo "== fault-matrix smoke (fixed seed; auditor armed; determinism only)"
+./target/release/expt --seed 7 --audit --fault-plan chaos faults \
   >/tmp/ibridge_ci_faults_j1.txt 2>/dev/null
-./target/release/expt --seed 7 --jobs 8 --fault-plan chaos faults \
+./target/release/expt --seed 7 --jobs 8 --audit --fault-plan chaos faults \
   >/tmp/ibridge_ci_faults_j8.txt 2>/dev/null
 cmp /tmp/ibridge_ci_faults_j1.txt /tmp/ibridge_ci_faults_j8.txt
 cmp /tmp/ibridge_ci_faults_j1.txt goldens/faults_smoke.txt
+
+echo "== corruption-matrix smoke (torn-write/bit-rot recovery; auditor armed)"
+./target/release/expt --seed 7 --audit recovery \
+  >/tmp/ibridge_ci_recovery_j1.txt 2>/dev/null
+./target/release/expt --seed 7 --jobs 8 --audit recovery \
+  >/tmp/ibridge_ci_recovery_j8.txt 2>/dev/null
+cmp /tmp/ibridge_ci_recovery_j1.txt /tmp/ibridge_ci_recovery_j8.txt
+cmp /tmp/ibridge_ci_recovery_j1.txt goldens/recovery_smoke.txt
 
 echo "== perf-smoke (counting allocator; gates on determinism only)"
 cargo build --release -p ibridge-bench --features count-allocs

@@ -11,10 +11,17 @@
 //!    invalidated (clean or in-flight admissions).
 //! 3. **Faultless inertness** — a plan that injects nothing (e.g. only
 //!    a `retry` line) is byte-identical to running with no plan at all.
+//! 4. **Crash-consistent recovery** — for randomized crash points under
+//!    torn-write/bit-rot corruption, the recovery fsck never resurrects
+//!    a corrupted or invalidated entry, never loses an intact dirty
+//!    entry, and the online invariant auditor passes after every
+//!    restart (every cluster run here has the auditor armed).
+//! 5. **Auditor inertness** — the auditor is read-only: a faultless run
+//!    with it enabled is byte-identical to one without it.
 
 use ibridge_repro::core::{IBridgeConfig, IBridgePolicy};
 use ibridge_repro::prelude::*;
-use ibridge_repro::pvfs::{CachePolicy, Placement};
+use ibridge_repro::pvfs::{CachePolicy, LogCorruption, Placement};
 use ibridge_repro::workloads::CheckpointWorkload;
 use proptest::prelude::*;
 
@@ -25,11 +32,18 @@ const MB: u64 = 1 << 20;
 // Cluster-level properties.
 // ---------------------------------------------------------------------
 
-/// A small unaligned checkpoint run on a 4-server iBridge cluster.
+/// A small unaligned checkpoint run on a 4-server iBridge cluster, with
+/// the online invariant auditor armed (any violation panics the run).
 fn faulty_run(seed: u64, plan: &FaultPlan) -> RunStats {
+    audited_run(seed, plan, Some(SimDuration::from_millis(3)))
+}
+
+/// Same run with an explicit auditor cadence (`None` disables it).
+fn audited_run(seed: u64, plan: &FaultPlan, audit: Option<SimDuration>) -> RunStats {
     let cfg = ClusterConfig {
         n_servers: 4,
         seed,
+        audit_interval: audit,
         ..Default::default()
     };
     let mut cluster = ibridge_cluster(cfg, 64 << 20);
@@ -88,6 +102,108 @@ proptest! {
         );
         prop_assert!(with.faults.is_zero());
     }
+
+    /// Auditor inertness: the online invariant auditor is read-only, so
+    /// a faultless run with it armed is byte-identical to one without.
+    #[test]
+    fn audited_run_is_identical_to_unaudited(seed in 0u64..1000) {
+        let plan = FaultPlan::default();
+        let with = audited_run(seed, &plan, Some(SimDuration::from_millis(2)));
+        let without = audited_run(seed, &plan, None);
+        prop_assert_eq!(
+            (with.elapsed, with.events_dispatched, with.bytes, with.requests),
+            (
+                without.elapsed,
+                without.events_dispatched,
+                without.bytes,
+                without.requests
+            )
+        );
+    }
+
+    /// Crash-consistent recovery under randomized corruption: whatever
+    /// crash point and damage a torn-write or bit-rot plan picks, every
+    /// request still completes exactly once, the recovery fsck
+    /// quarantines no more than it scans, and the armed auditor passes
+    /// after every restart (a violation would panic the run).
+    #[test]
+    fn corrupted_restart_recovers_consistently(
+        seed in 0u64..400,
+        crash_at_ms in 5u64..60,
+        restart_ms in 5u64..30,
+        records in 1u32..4,
+        sectors in 1u32..6,
+        bit_rot in any::<bool>(),
+    ) {
+        let text = if bit_rot {
+            format!(
+                "retry timeout=4ms backoff=2 max=14\n\
+                 bit-rot server=0 at={}ms sectors={sectors}\n\
+                 crash server=0 at={crash_at_ms}ms restart={restart_ms}ms\n",
+                crash_at_ms.saturating_sub(2).max(1),
+            )
+        } else {
+            format!(
+                "retry timeout=4ms backoff=2 max=14\n\
+                 torn-write server=0 at={crash_at_ms}ms restart={restart_ms}ms \
+                 records={records}\n"
+            )
+        };
+        let plan = FaultPlan::parse(&text).expect("generated plan parses");
+        let stats = faulty_run(seed, &plan);
+        // Exactly-once completion survives the corrupted restart.
+        prop_assert_eq!(stats.latency_hist_ms.total(), stats.requests);
+        prop_assert_eq!(stats.faults.failed_subs, 0);
+        prop_assert_eq!(stats.faults.crashes, 1);
+        prop_assert_eq!(stats.faults.restarts, 1);
+        // The fsck scanned the backup and never quarantined more than
+        // it scanned; lost dirty bytes require a quarantined record.
+        prop_assert!(
+            stats.faults.fsck_records_quarantined <= stats.faults.fsck_records_scanned
+        );
+        if stats.faults.dirty_bytes_lost > 0 {
+            prop_assert!(stats.faults.fsck_records_quarantined > 0);
+        }
+    }
+}
+
+/// MDS downtime stalls T-value broadcasts without losing data: servers
+/// and clients keep working on last-known T values, every byte still
+/// moves, and reporting resumes after the MDS restart.
+#[test]
+fn mds_crash_degrades_to_stale_t_values() {
+    let plan = FaultPlan::parse("mds-crash at=10ms restart=25ms\n").unwrap();
+    let run = |plan: &FaultPlan| {
+        let cfg = ClusterConfig {
+            n_servers: 4,
+            seed: 11,
+            audit_interval: Some(SimDuration::from_millis(3)),
+            report_interval: SimDuration::from_millis(5),
+            ..Default::default()
+        };
+        let mut cluster = ibridge_cluster(cfg, 64 << 20);
+        let file = FileHandle(1);
+        let mut w =
+            CheckpointWorkload::new(file, 4, 128 * KB, 24 * KB, 2, SimDuration::from_millis(5));
+        cluster.preallocate(file, w.span_bytes() + MB);
+        cluster.set_fault_plan(plan);
+        cluster.run(&mut w)
+    };
+    let faulty = run(&plan);
+    let healthy = run(&FaultPlan::default());
+    // Reports sent during the 15 ms of downtime were dropped...
+    assert_eq!(faulty.faults.mds_crashes, 1);
+    assert_eq!(faulty.faults.mds_restarts, 1);
+    assert!(
+        faulty.faults.stalled_broadcasts > 0,
+        "downtime must overlap at least one T-report"
+    );
+    // ...but no data or requests were lost: clients degraded to their
+    // last-known T values and kept going.
+    assert_eq!(faulty.bytes, healthy.bytes);
+    assert_eq!(faulty.requests, healthy.requests);
+    assert_eq!(faulty.latency_hist_ms.total(), faulty.requests);
+    assert_eq!(faulty.faults.failed_subs, 0);
 }
 
 // ---------------------------------------------------------------------
@@ -185,6 +301,130 @@ proptest! {
         prop_assert_eq!(r2.pending_entries_dropped, 0);
         prop_assert_eq!(r2.dirty_entries_kept, r1.dirty_entries_kept);
         prop_assert_eq!(r2.dirty_bytes_kept, r1.dirty_bytes_kept);
+    }
+}
+
+proptest! {
+    /// Torn-write recovery, randomized: tearing the `k` newest backup
+    /// records loses exactly the `k` newest entries (clean ones first —
+    /// they were being invalidated anyway) and nothing else. Intact
+    /// dirty entries all survive, lost and invalidated ranges are never
+    /// resurrected, the auditor passes after the restart, and a second
+    /// restart finds nothing more to lose.
+    #[test]
+    fn torn_write_recovery_is_exact(
+        n_dirty in 1usize..6,
+        n_clean in 0usize..5,
+        k in 1u32..9,
+    ) {
+        let mut p = policy();
+        let dirty: Vec<u64> = (0..n_dirty as u64).map(|i| (i + 1) * MB).collect();
+        let clean: Vec<u64> = (0..n_clean as u64).map(|i| (i + 100) * MB).collect();
+        seed_entries(&mut p, &dirty, &clean);
+
+        let total = n_dirty + n_clean;
+        let hit = CachePolicy::inject_corruption(
+            &mut p,
+            SimTime::ZERO,
+            LogCorruption::TornWrite { records: k },
+        );
+        prop_assert_eq!(hit, (k as usize).min(total) as u64);
+
+        // Entries were appended dirty-first, so seqs run dirty then
+        // clean; tearing the k newest records reaches the dirty set
+        // only after consuming every clean record.
+        let lost_dirty = (k as usize).saturating_sub(n_clean).min(n_dirty);
+        let r = p.server_restart(SimTime::ZERO);
+        prop_assert_eq!(r.records_scanned, total as u64);
+        prop_assert_eq!(r.records_quarantined, hit);
+        prop_assert_eq!(r.dirty_entries_kept, (n_dirty - lost_dirty) as u64);
+        prop_assert_eq!(r.dirty_bytes_lost, lost_dirty as u64 * KB);
+        prop_assert_eq!(
+            r.dirty_bytes_kept + r.dirty_bytes_lost,
+            n_dirty as u64 * KB,
+            "every dirty byte is either kept or accounted lost"
+        );
+        p.audit().expect("post-restart state is consistent");
+
+        // Intact dirty entries (the oldest) all survive...
+        for &off in &dirty[..n_dirty - lost_dirty] {
+            let pl = p.place(SimTime::ZERO, &frag(IoDir::Read, off, KB), 900_000_000);
+            prop_assert!(matches!(pl, Placement::Ssd { .. }), "intact dirty entry lost");
+        }
+        // ...while torn dirty and invalidated clean ranges stay gone.
+        for &off in dirty[n_dirty - lost_dirty..].iter().chain(&clean) {
+            let pl = p.place(SimTime::ZERO, &frag(IoDir::Read, off, KB), 900_000_000);
+            prop_assert!(
+                matches!(pl, Placement::Disk { .. }),
+                "quarantined or invalidated entry resurrected at {off}"
+            );
+        }
+
+        // The damage does not linger: a second restart loses nothing.
+        let r2 = p.server_restart(SimTime::ZERO);
+        prop_assert_eq!(r2.records_quarantined, 0);
+        prop_assert_eq!(r2.dirty_bytes_lost, 0);
+        prop_assert_eq!(r2.dirty_entries_kept, r.dirty_entries_kept);
+        p.audit().expect("second restart is consistent");
+    }
+
+    /// Bit-rot recovery, randomized: every corrupted record is
+    /// quarantined, every untouched dirty entry survives, dirty bytes
+    /// are fully accounted as kept-or-lost, nothing quarantined is
+    /// resurrected, and the auditor passes after every restart.
+    #[test]
+    fn bit_rot_recovery_never_resurrects_or_loses_intact(
+        n_dirty in 1usize..6,
+        n_clean in 0usize..5,
+        sectors in 1u32..8,
+        rot_seed in any::<u64>(),
+    ) {
+        let mut p = policy();
+        let dirty: Vec<u64> = (0..n_dirty as u64).map(|i| (i + 1) * MB).collect();
+        let clean: Vec<u64> = (0..n_clean as u64).map(|i| (i + 100) * MB).collect();
+        seed_entries(&mut p, &dirty, &clean);
+
+        let hit = CachePolicy::inject_corruption(
+            &mut p,
+            SimTime::ZERO,
+            LogCorruption::BitRot { sectors, seed: rot_seed },
+        );
+        prop_assert!(hit <= (n_dirty + n_clean) as u64);
+
+        let r = p.server_restart(SimTime::ZERO);
+        prop_assert_eq!(r.records_scanned, (n_dirty + n_clean) as u64);
+        prop_assert_eq!(r.records_quarantined, hit, "every rotted record quarantined");
+        prop_assert_eq!(
+            r.dirty_bytes_kept + r.dirty_bytes_lost,
+            n_dirty as u64 * KB,
+            "every dirty byte is either kept or accounted lost"
+        );
+        p.audit().expect("post-restart state is consistent");
+
+        // Each dirty range either survived intact or was lost to a
+        // quarantined record — and the counts must agree exactly.
+        let mut served = 0u64;
+        for &off in &dirty {
+            let pl = p.place(SimTime::ZERO, &frag(IoDir::Read, off, KB), 900_000_000);
+            if matches!(pl, Placement::Ssd { .. }) {
+                served += 1;
+            }
+        }
+        prop_assert_eq!(served, r.dirty_entries_kept);
+        // Invalidated clean entries are never resurrected, rotted or not.
+        for &off in &clean {
+            let pl = p.place(SimTime::ZERO, &frag(IoDir::Read, off, KB), 900_000_000);
+            prop_assert!(
+                matches!(pl, Placement::Disk { .. }),
+                "invalidated entry resurrected at {off}"
+            );
+        }
+
+        // A second restart is a fixed point.
+        let r2 = p.server_restart(SimTime::ZERO);
+        prop_assert_eq!(r2.records_quarantined, 0);
+        prop_assert_eq!(r2.dirty_bytes_lost, 0);
+        p.audit().expect("second restart is consistent");
     }
 }
 

@@ -130,7 +130,7 @@ proptest! {
                 ibridge_repro::localfs::ExtentList::one(
                     ibridge_repro::localfs::Extent { lbn: id * 512, sectors: len.div_ceil(512) },
                 ),
-                EntryType::Random, 0.001, dirty, false,
+                EntryType::Random, 0.001, dirty, false, id,
             );
             inserted.push((offset, len));
         }
@@ -171,7 +171,7 @@ proptest! {
         let mut t = MappingTable::new();
         let file = ibridge_repro::localfs::FileHandle(9);
         let id = t.next_id();
-        t.insert(id, file, 0, len, extents.clone(), EntryType::Random, 0.0, false, false);
+        t.insert(id, file, 0, len, extents.clone(), EntryType::Random, 0.0, false, false, 0);
         let e = t.lookup_covering(file, 0, len).expect("just inserted");
 
         // Sub-range slice, deliberately not sector-aligned.
@@ -214,7 +214,7 @@ proptest! {
             ibridge_repro::localfs::ExtentList::one(
                 ibridge_repro::localfs::Extent { lbn: 0, sectors: len.div_ceil(512) },
             ),
-            EntryType::Fragment, 0.0, false, false,
+            EntryType::Fragment, 0.0, false, false, 0,
         );
         // Adjacent on either side: no overlap (ranges are half-open).
         let left_start = offset.saturating_sub(probe_len).min(offset - 1);
@@ -305,8 +305,14 @@ proptest! {
                 })
             }
         }
+        // The online invariant auditor is armed: any accounting or
+        // index drift panics the run instead of passing silently.
         let mut c = ibridge_cluster(
-            ClusterConfig { seed, ..Default::default() },
+            ClusterConfig {
+                seed,
+                audit_interval: Some(SimDuration::from_millis(2)),
+                ..Default::default()
+            },
             10 << 30,
         );
         let expect: u64 = sizes.iter().sum::<u64>() * 2;
