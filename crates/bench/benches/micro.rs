@@ -158,11 +158,13 @@ fn cache_structures(c: &mut Criterion) {
                     vec![Extent {
                         lbn: i * 8,
                         sectors: 8,
-                    }],
+                    }]
+                    .into(),
                     EntryType::Fragment,
                     0.001,
                     false,
                     false,
+                    i,
                 );
             }
             let mut hits = 0;

@@ -7,6 +7,8 @@
 //! expt --seed 7 table3     # different seed
 //! expt --jobs 4 all        # worker-pool size (output is identical)
 //! expt --bench-report B.json all   # also write a self-benchmark report
+//! expt --metrics summary   # phase/class/server latency tables
+//! expt --trace-out T.json summary  # Chrome trace-event JSON
 //! expt --list              # what exists
 //! ```
 //!
@@ -31,6 +33,8 @@ fn main() {
     let mut scale = Scale::quick();
     let mut selected: Vec<String> = Vec::new();
     let mut bench_report: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut show_metrics = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -57,6 +61,15 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| die("--bench-report needs a path"));
                 bench_report = Some(v.clone());
+            }
+            "--trace-out" => {
+                let v = it.next().unwrap_or_else(|| die("--trace-out needs a path"));
+                trace_out = Some(v.clone());
+                ibridge_obs::set_tracing(true);
+            }
+            "--metrics" => {
+                show_metrics = true;
+                ibridge_obs::set_metrics(true);
             }
             "--fault-plan" => {
                 let v = it
@@ -85,13 +98,19 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: expt [--full] [--seed N] [--jobs N] \
-                     [--bench-report PATH] [--fault-plan NAME|FILE] \
+                     [--bench-report PATH] [--metrics] [--trace-out PATH] \
+                     [--fault-plan NAME|FILE] \
                      [--audit] [--list] [--list-fault-plans] \
                      <experiment|all>...\n\
                      fault plans: builtin names are {}; anything else is \
                      read as a plan file (see crates/faults). \
                      --audit runs the online invariant auditor every 5ms \
-                     of virtual time (read-only; output is unchanged)",
+                     of virtual time (read-only; output is unchanged). \
+                     --metrics prints virtual-time latency tables after the \
+                     experiment blocks; --trace-out writes a Chrome \
+                     trace-event JSON of every request's span tree (load \
+                     in chrome://tracing or Perfetto). Both are \
+                     deterministic: byte-identical at any --jobs level",
                     ibridge_faults::BUILTIN_NAMES.join(", ")
                 );
                 return;
@@ -139,6 +158,23 @@ fn main() {
     for (e, (out, _)) in chosen.iter().zip(&results) {
         print!("### {} — {}\n\n{out}", e.name, e.what);
     }
+    // Observability flags go off before any `--bench-report` rerun so the
+    // `--jobs 1` baseline runs the same configuration as the parallel
+    // pass and does not double-count samples into the snapshot.
+    let metrics_snap = if show_metrics {
+        ibridge_obs::set_metrics(false);
+        Some(ibridge_obs::metrics::snapshot())
+    } else {
+        None
+    };
+    if let Some(reg) = &metrics_snap {
+        let rendered = ibridge_bench::obs_report::render(reg);
+        if rendered.is_empty() {
+            println!("(metrics: nothing recorded — obs feature compiled out)\n");
+        } else {
+            print!("{rendered}");
+        }
+    }
     eprintln!(
         "[{} experiment(s) in {:.1}s wall, {} sim events, {:.0} events/s, jobs={}]",
         chosen.len(),
@@ -148,8 +184,27 @@ fn main() {
         jobs,
     );
 
+    if let Some(path) = &trace_out {
+        ibridge_obs::set_tracing(false);
+        let trace = ibridge_obs::trace::take_chunks();
+        let json = trace.to_chrome_json();
+        if let Err(e) = std::fs::write(path, &json) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("[trace: {} span(s) -> {path}]", trace.span_count());
+    }
+
     if let Some(path) = bench_report {
-        write_bench_report(&path, &scale, jobs, &chosen, &results, wall, events);
+        write_bench_report(
+            &path,
+            &scale,
+            jobs,
+            &chosen,
+            &results,
+            wall,
+            events,
+            metrics_snap.as_ref(),
+        );
     }
 }
 
@@ -164,6 +219,7 @@ fn write_bench_report(
     par_results: &[(String, f64)],
     par_wall: f64,
     events: u64,
+    obs_metrics: Option<&ibridge_obs::metrics::Registry>,
 ) {
     eprintln!("[bench-report: rerunning at --jobs 1 for the baseline]");
     runpar::set_jobs(1);
@@ -266,6 +322,10 @@ fn write_bench_report(
         fc.fsck_records_quarantined,
         fc.audits,
     );
+    let obs_fragment = match obs_metrics {
+        Some(reg) => format!(",\n{}", ibridge_bench::obs_report::json_fragment(reg)),
+        None => String::new(),
+    };
     let json = format!(
         "{{\n  \"jobs\": {jobs},\n  \"host_cpus\": {host_cpus},\n  \
          \"seed\": {},\n  \"experiments\": [{per}\n  ],\n  \
@@ -273,7 +333,7 @@ fn write_bench_report(
          \"speedup_vs_jobs1\": {:.3},\n  \"events_dispatched\": {events},\n  \
          \"events_per_sec\": {:.0},\n  \
          \"output_identical_to_jobs1\": {identical}{alloc_summary}\
-         {fault_counters}{note}\n}}\n",
+         {fault_counters}{obs_fragment}{note}\n}}\n",
         scale.seed,
         seq_wall / par_wall.max(1e-9),
         events as f64 / par_wall.max(1e-9),

@@ -13,6 +13,7 @@
 
 pub mod alloc_count;
 pub mod experiments;
+pub mod obs_report;
 pub mod runpar;
 pub mod table;
 

@@ -106,9 +106,27 @@ where
     T: Send,
     R: Send,
 {
+    // Observability: every fan-out — parallel or sequential — claims one
+    // fork point, and each task runs inside its own scope so spans land
+    // in per-task buffers labelled by submission index, never by thread.
+    // Task-scope exit is also the deterministic flush point for worker
+    // metrics (scoped join does not order TLS destructors). One atomic
+    // load when observability is off.
+    let fork = ibridge_obs::active().then(ibridge_obs::trace::fork_point);
+    let run_task = |i: usize, input: T| match &fork {
+        Some(fp) => {
+            let _scope = ibridge_obs::trace::enter_task(fp, i as u32);
+            f(input)
+        }
+        None => f(input),
+    };
     let workers = workers.min(inputs.len());
     if workers <= 1 {
-        return inputs.into_iter().map(f).collect();
+        return inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| run_task(i, t))
+            .collect();
     }
     // Shared work list and per-slot result cells. A Mutex per cell is
     // uncontended (each is touched by exactly one worker at a time) and
@@ -117,13 +135,13 @@ where
     let items: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    let f = &f;
+    let run_task = &run_task;
     std::thread::scope(|scope| {
         let worker = || loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             let Some(item) = items.get(i) else { break };
             let input = item.lock().unwrap().take().expect("job taken twice");
-            let r = f(input);
+            let r = run_task(i, input);
             *results[i].lock().unwrap() = Some(r);
         };
         for _ in 1..workers {

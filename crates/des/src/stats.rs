@@ -231,6 +231,139 @@ impl Histogram {
     }
 }
 
+/// Fixed-bucket power-of-two histogram for latency-style integer samples.
+///
+/// Bucket `k` (for `k >= 1`) counts values `v` with `2^(k-1) < v <= 2^k`;
+/// bucket 0 counts `v <= 1`. Recording is integer math on a fixed
+/// `[u64; 64]` array, so the histogram never allocates and two histograms
+/// merge by adding counters — merge order cannot change the result, which
+/// is what keeps metrics aggregated from parallel workers deterministic.
+/// Quantiles return the upper bound of the bucket holding the requested
+/// rank (clamped to the exact maximum), and `max` is tracked exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct Log2Hist {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Log2Hist {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        Log2Hist {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Index of the bucket that `v` falls into. The top bucket absorbs
+    /// everything above `2^62` (its bound saturates to `u64::MAX`).
+    pub fn bucket_index(v: u64) -> usize {
+        if v <= 1 {
+            0
+        } else {
+            (64 - (v - 1).leading_zeros() as usize).min(63)
+        }
+    }
+
+    /// Upper bound of bucket `k` (inclusive).
+    pub fn bucket_bound(k: usize) -> u64 {
+        if k >= 63 {
+            u64::MAX
+        } else {
+            1u64 << k
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact largest sample, or `None` before the first sample.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, or `None` before the first sample.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Count in bucket `k` (for tests and renderers).
+    pub fn bucket_count(&self, k: usize) -> u64 {
+        self.buckets[k]
+    }
+
+    /// Upper bound of the bucket holding the sample of rank `ceil(q·n)`,
+    /// clamped to the exact maximum so `quantile(1.0) == max`. Returns
+    /// `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil().max(1.0) as u64).min(self.count);
+        let mut acc = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(Self::bucket_bound(k).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// 95th percentile (bucket upper bound).
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one. Pure counter addition:
+    /// associative and commutative, so any merge order yields the same
+    /// histogram.
+    pub fn merge(&mut self, other: &Log2Hist) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Log2Hist::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,5 +467,82 @@ mod tests {
         let r = h.rebinned(10);
         assert_eq!(r.count(0), 2);
         assert_eq!(r.count(10), 1);
+    }
+
+    #[test]
+    fn log2_bucket_boundaries() {
+        // Bucket 0 holds 0 and 1; bucket k holds (2^(k-1), 2^k].
+        assert_eq!(Log2Hist::bucket_index(0), 0);
+        assert_eq!(Log2Hist::bucket_index(1), 0);
+        assert_eq!(Log2Hist::bucket_index(2), 1);
+        assert_eq!(Log2Hist::bucket_index(3), 2);
+        assert_eq!(Log2Hist::bucket_index(4), 2);
+        assert_eq!(Log2Hist::bucket_index(5), 3);
+        for k in 1..63usize {
+            let bound = 1u64 << k;
+            assert_eq!(Log2Hist::bucket_index(bound), k, "2^{k} belongs to {k}");
+            assert_eq!(Log2Hist::bucket_index(bound + 1), k + 1);
+        }
+        assert_eq!(Log2Hist::bucket_index(u64::MAX), 63);
+        assert_eq!(Log2Hist::bucket_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn log2_quantiles_return_bucket_bounds() {
+        let mut h = Log2Hist::new();
+        assert_eq!(h.quantile(0.5), None);
+        // 90 samples in bucket 10 (values <= 1024), 10 in bucket 12.
+        for _ in 0..90 {
+            h.record(1000);
+        }
+        for _ in 0..10 {
+            h.record(3000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), Some(1024));
+        assert_eq!(h.quantile(0.90), Some(1024));
+        assert_eq!(h.p95(), Some(3000)); // bound 4096 clamped to exact max
+        assert_eq!(h.quantile(1.0), Some(3000));
+        assert_eq!(h.max(), Some(3000));
+    }
+
+    #[test]
+    fn log2_exact_max_and_mean() {
+        let mut h = Log2Hist::new();
+        h.record(7);
+        h.record(9);
+        assert_eq!(h.max(), Some(9));
+        assert_eq!(h.mean(), Some(8.0));
+        assert_eq!(h.sum(), 16);
+    }
+
+    #[test]
+    fn log2_merge_is_order_independent() {
+        let samples = [3u64, 1, 900, 77, 1 << 40, 12, 0, 5_000_000];
+        let mut whole = Log2Hist::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        let mut left = Log2Hist::new();
+        let mut right = Log2Hist::new();
+        for (i, &s) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                left.record(s)
+            } else {
+                right.record(s)
+            }
+        }
+        let mut ab = left;
+        ab.merge(&right);
+        let mut ba = right;
+        ba.merge(&left);
+        for m in [&ab, &ba] {
+            assert_eq!(m.count(), whole.count());
+            assert_eq!(m.sum(), whole.sum());
+            assert_eq!(m.max(), whole.max());
+            for k in 0..64 {
+                assert_eq!(m.bucket_count(k), whole.bucket_count(k));
+            }
+        }
     }
 }

@@ -172,6 +172,10 @@ pub struct BlockDevice {
     recheck_gen: u64,
     scheduled_recheck: Option<(SimTime, u64)>,
     stats: DevStats,
+    /// Observability labels: trace node / lane this device reports under
+    /// (see `ibridge_obs::trace`). Zero until the owner labels it.
+    obs_node: u16,
+    obs_lane: u16,
 }
 
 impl BlockDevice {
@@ -196,7 +200,16 @@ impl BlockDevice {
             recheck_gen: 0,
             scheduled_recheck: None,
             stats: DevStats::default(),
+            obs_node: 0,
+            obs_lane: 0,
         }
+    }
+
+    /// Labels the device for observability output: spans it records are
+    /// attributed to this trace node and lane.
+    pub fn set_obs_label(&mut self, node: u16, lane: u16) {
+        self.obs_node = node;
+        self.obs_lane = lane;
     }
 
     /// The dispatch tracer (blktrace equivalent).
@@ -295,8 +308,21 @@ impl BlockDevice {
             StorageDev::Ssd(_) => 0,
         };
         let req = self.ncq.swap_remove(pick);
-        self.tracer.record(now, &req);
+        // The positional share of the service time has to be read before
+        // `service()` moves the head; only worth it when observing.
+        #[cfg(feature = "obs")]
+        let seek = if ibridge_obs::active() {
+            match &self.storage {
+                StorageDev::Disk(d) => Some(d.positional_cost(now, &req.op())),
+                StorageDev::Ssd(_) => None,
+            }
+        } else {
+            None
+        };
+        self.tracer.record(now, req.dir, req.sectors, req.submitted);
         let dur = self.storage.service(now, &req);
+        #[cfg(feature = "obs")]
+        self.observe_dispatch(now, &req, dur, seek);
         let finish = now + dur;
         self.stats.busy += dur;
         self.stats.requests += 1;
@@ -307,6 +333,74 @@ impl BlockDevice {
         }
         self.inflight = Some((req, finish));
         Some(finish)
+    }
+
+    /// Records queue/service/seek observability for one dispatch.
+    #[cfg(feature = "obs")]
+    fn observe_dispatch(
+        &self,
+        now: SimTime,
+        req: &BlockRequest,
+        dur: SimDuration,
+        seek: Option<SimDuration>,
+    ) {
+        use ibridge_obs::metrics::{self, Phase};
+        if !ibridge_obs::active() {
+            return;
+        }
+        let ssd = matches!(self.storage, StorageDev::Ssd(_));
+        let queue_ns = (now - req.submitted).as_nanos();
+        let dur_ns = dur.as_nanos();
+        let seek_ns = seek.map(|s| s.as_nanos().min(dur_ns));
+        if ibridge_obs::metrics_on() {
+            metrics::record_phase(
+                if ssd {
+                    Phase::SchedQueueSsd
+                } else {
+                    Phase::SchedQueueHdd
+                },
+                queue_ns,
+            );
+            metrics::record_phase(
+                if ssd {
+                    Phase::DevServiceSsd
+                } else {
+                    Phase::DevServiceHdd
+                },
+                dur_ns,
+            );
+            if let Some(s) = seek_ns {
+                metrics::record_phase(Phase::DevSeekHdd, s);
+                metrics::record_phase(Phase::DevTransferHdd, dur_ns - s);
+            }
+        }
+        if ibridge_obs::tracing_on() {
+            // Merged requests carry several job tags; the first one is
+            // the deterministic correlation id.
+            let id = req.tags.first().copied().unwrap_or(0);
+            ibridge_obs::trace::record(ibridge_obs::Span {
+                ts_ns: req.submitted.as_nanos(),
+                dur_ns: queue_ns,
+                node: self.obs_node,
+                lane: self.obs_lane,
+                name: if ssd {
+                    "sched:queue:ssd"
+                } else {
+                    "sched:queue:hdd"
+                },
+                id,
+                aux: req.sectors,
+            });
+            ibridge_obs::trace::record(ibridge_obs::Span {
+                ts_ns: now.as_nanos(),
+                dur_ns,
+                node: self.obs_node,
+                lane: self.obs_lane,
+                name: if ssd { "dev:ssd" } else { "dev:hdd" },
+                id,
+                aux: seek_ns.unwrap_or(0),
+            });
+        }
     }
 
     fn kick(&mut self, now: SimTime) -> ActionList {

@@ -13,8 +13,9 @@
 //! * Front/back **request merging** with a maximum request size, which is
 //!   what turns well-aligned sub-request streams into the large 128- and
 //!   256-sector dispatches of Fig. 2(c).
-//! * [`trace::DispatchTracer`] — a `blktrace` equivalent recording the
-//!   size distribution of dispatched requests (Figs. 2(c–e) and 5).
+//! * [`DispatchTracer`] — a `blktrace` equivalent recording the size
+//!   distribution of dispatched requests (Figs. 2(c–e) and 5); the
+//!   implementation lives in `ibridge-obs` and is re-exported here.
 //! * [`device::BlockDevice`] — glue binding a scheduler to a device model
 //!   and exposing an event-driven interface to the cluster simulation.
 
@@ -22,13 +23,12 @@ pub mod cfq;
 pub mod deadline;
 pub mod device;
 pub mod noop;
-pub mod trace;
 
 pub use cfq::{Cfq, CfqConfig};
 pub use deadline::Deadline;
 pub use device::{Action, ActionList, BlockDevice, DevStats, StorageDev};
+pub use ibridge_obs::DispatchTracer;
 pub use noop::Noop;
-pub use trace::DispatchTracer;
 
 use ibridge_des::SimTime;
 use ibridge_device::{DevOp, IoDir, Lbn};

@@ -153,7 +153,14 @@ impl Link {
         self.busy_until = done;
         self.bytes_sent += bytes;
         self.messages += 1;
-        done + self.cfg.latency
+        let arrival = done + self.cfg.latency;
+        // Queue-for-NIC + transmit + propagation, per message.
+        #[cfg(feature = "obs")]
+        ibridge_obs::metrics::record_phase(
+            ibridge_obs::metrics::Phase::NetTx,
+            (arrival - now).as_nanos(),
+        );
+        arrival
     }
 
     /// Total bytes pushed through the link.

@@ -3,9 +3,11 @@
 //! The paper uses `blktrace` to record the sizes of requests dispatched
 //! to the device and plots their distribution in sector units (Figs.
 //! 2(c–e) and 5). [`DispatchTracer`] records the same signal from the
-//! simulated block layer, plus queueing-latency statistics.
+//! simulated block layer, plus queueing-latency statistics. It lives in
+//! the observability crate so the block layer, the experiment harness
+//! and the metrics renderers share one implementation;
+//! `ibridge-iosched` re-exports it under its old path.
 
-use crate::BlockRequest;
 use ibridge_des::stats::{Histogram, MeanTracker};
 use ibridge_des::SimTime;
 use ibridge_device::IoDir;
@@ -24,14 +26,15 @@ impl DispatchTracer {
         DispatchTracer::default()
     }
 
-    /// Records the dispatch of `req` at time `now`.
-    pub fn record(&mut self, now: SimTime, req: &BlockRequest) {
-        match req.dir {
-            IoDir::Read => self.reads.record(req.sectors),
-            IoDir::Write => self.writes.record(req.sectors),
+    /// Records the dispatch at `now` of a request of `sectors` sectors in
+    /// direction `dir` that entered the scheduler queue at `submitted`.
+    pub fn record(&mut self, now: SimTime, dir: IoDir, sectors: u64, submitted: SimTime) {
+        match dir {
+            IoDir::Read => self.reads.record(sectors),
+            IoDir::Write => self.writes.record(sectors),
         }
         self.queue_latency_ms
-            .record((now - req.submitted).as_millis_f64());
+            .record((now - submitted).as_millis_f64());
     }
 
     /// Size histogram of dispatched reads, keyed by sectors.
@@ -72,17 +75,13 @@ mod tests {
     use super::*;
     use ibridge_des::SimDuration;
 
-    fn req(dir: IoDir, sectors: u64, submitted: SimTime) -> BlockRequest {
-        BlockRequest::new(dir, 0, sectors, 1, submitted, 0)
-    }
-
     #[test]
     fn records_by_direction() {
         let mut t = DispatchTracer::new();
         let now = SimTime::from_millis(1);
-        t.record(now, &req(IoDir::Read, 128, SimTime::ZERO));
-        t.record(now, &req(IoDir::Read, 128, SimTime::ZERO));
-        t.record(now, &req(IoDir::Write, 256, SimTime::ZERO));
+        t.record(now, IoDir::Read, 128, SimTime::ZERO);
+        t.record(now, IoDir::Read, 128, SimTime::ZERO);
+        t.record(now, IoDir::Write, 256, SimTime::ZERO);
         assert_eq!(t.reads().count(128), 2);
         assert_eq!(t.writes().count(256), 1);
         assert_eq!(t.combined().total(), 3);
@@ -94,14 +93,14 @@ mod tests {
         let mut t = DispatchTracer::new();
         let submitted = SimTime::from_millis(10);
         let dispatched = submitted + SimDuration::from_millis(4);
-        t.record(dispatched, &req(IoDir::Read, 8, submitted));
+        t.record(dispatched, IoDir::Read, 8, submitted);
         assert!((t.mean_queue_latency_ms().unwrap() - 4.0).abs() < 1e-9);
     }
 
     #[test]
     fn reset_clears_everything() {
         let mut t = DispatchTracer::new();
-        t.record(SimTime::from_millis(1), &req(IoDir::Read, 8, SimTime::ZERO));
+        t.record(SimTime::from_millis(1), IoDir::Read, 8, SimTime::ZERO);
         t.reset();
         assert_eq!(t.total(), 0);
         assert_eq!(t.mean_queue_latency_ms(), None);

@@ -244,6 +244,100 @@ enum ProcState {
     Done,
 }
 
+// Observability hooks. Each is one relaxed atomic load when the
+// corresponding collector is off; none touches the calendar or the RNG.
+
+/// Client → server request hop: `NetRequest` metric + `net:req` span.
+#[cfg(feature = "obs")]
+fn obs_net_req(
+    now: SimTime,
+    arrive: SimTime,
+    proc: usize,
+    parent: u64,
+    sub_idx: u32,
+    server: usize,
+) {
+    use ibridge_obs::{metrics, trace};
+    let d = (arrive - now).as_nanos();
+    metrics::record_phase(metrics::Phase::NetRequest, d);
+    if ibridge_obs::tracing_on() {
+        trace::record(trace::Span {
+            ts_ns: now.as_nanos(),
+            dur_ns: d,
+            node: trace::CLIENT_NODE,
+            lane: proc as u16,
+            name: "net:req",
+            id: trace::span_id(parent, sub_idx),
+            aux: server as u64,
+        });
+    }
+}
+
+/// Server CPU admission queue: `SrvQueue` metric + `srv:queue` span.
+#[cfg(feature = "obs")]
+fn obs_srv_queue(now: SimTime, exec_at: SimTime, server: usize, job: JobId) {
+    use ibridge_obs::{metrics, trace};
+    let d = (exec_at - now).as_nanos();
+    metrics::record_phase(metrics::Phase::SrvQueue, d);
+    if ibridge_obs::tracing_on() {
+        trace::record(trace::Span {
+            ts_ns: now.as_nanos(),
+            dur_ns: d,
+            node: trace::server_node(server),
+            lane: 0,
+            name: "srv:queue",
+            id: job,
+            aux: 0,
+        });
+    }
+}
+
+/// Server → client reply hop: `NetReply` metric + `net:reply` span.
+#[cfg(feature = "obs")]
+fn obs_net_reply(
+    now: SimTime,
+    arrive: SimTime,
+    server: usize,
+    parent: u64,
+    sub_idx: u32,
+    reply_bytes: u64,
+) {
+    use ibridge_obs::{metrics, trace};
+    let d = (arrive - now).as_nanos();
+    metrics::record_phase(metrics::Phase::NetReply, d);
+    if ibridge_obs::tracing_on() {
+        trace::record(trace::Span {
+            ts_ns: now.as_nanos(),
+            dur_ns: d,
+            node: trace::server_node(server),
+            lane: 0,
+            name: "net:reply",
+            id: trace::span_id(parent, sub_idx),
+            aux: reply_bytes,
+        });
+    }
+}
+
+/// Whole client request, issue → last sub-reply: `Request` metric +
+/// `request` span.
+#[cfg(feature = "obs")]
+fn obs_request_done(issued_at: SimTime, wait: SimDuration, proc: usize, parent: u64) {
+    use ibridge_obs::{metrics, trace};
+    let d = wait.as_nanos();
+    metrics::record_phase(metrics::Phase::Request, d);
+    if ibridge_obs::tracing_on() {
+        trace::record(trace::Span {
+            ts_ns: issued_at.as_nanos(),
+            dur_ns: d,
+            node: trace::CLIENT_NODE,
+            lane: proc as u16,
+            name: "request",
+            id: parent,
+            aux: 0,
+        });
+    }
+}
+
 fn dev_idx(kind: DevKind) -> usize {
     match kind {
         DevKind::Primary => 0,
@@ -572,6 +666,8 @@ impl Cluster {
             let pj = jobs.remove(&job).expect("done job unknown to cluster");
             let arrive = self.server_links[server].send(now, pj.reply_bytes);
             let (proc, parent, sub_idx) = (pj.proc, pj.parent, pj.sub_idx);
+            #[cfg(feature = "obs")]
+            obs_net_reply(now, arrive, server, parent, sub_idx, pj.reply_bytes);
             match self.net_decision(now) {
                 NetDecision::Deliver => {
                     self.sim.post_at(
@@ -838,6 +934,19 @@ impl Cluster {
             s.prepare_run();
         }
 
+        // Observability. Recording is read-only with respect to the
+        // simulation — it posts no events and draws no randomness — so a
+        // traced run is byte-identical to an untraced one. The device
+        // snapshot anchors this run's measured-vs-predicted T_i deltas.
+        #[cfg(feature = "obs")]
+        ibridge_obs::trace::run_begin();
+        #[cfg(feature = "obs")]
+        let obs_dev0: Vec<ibridge_iosched::DevStats> = if ibridge_obs::metrics_on() {
+            self.servers.iter().map(|s| s.primary().stats()).collect()
+        } else {
+            Vec::new()
+        };
+
         let mut client_links: Vec<Link> = (0..n_procs)
             .map(|_| Link::new(self.cfg.link.clone()))
             .collect();
@@ -953,6 +1062,8 @@ impl Cluster {
                         let server = sub.server;
                         let reply_bytes = sub.reply_bytes();
                         let sub_idx = idx as u32;
+                        #[cfg(feature = "obs")]
+                        obs_net_req(now, arrive, proc, parent, sub_idx, server);
                         if faults {
                             let tid = self.sim.schedule_at(
                                 now + retry.timeout,
@@ -996,6 +1107,8 @@ impl Cluster {
                         self.fstats.dropped_messages += 1;
                     } else {
                         let exec_at = self.servers[server].cpu_admit(now);
+                        #[cfg(feature = "obs")]
+                        obs_srv_queue(now, exec_at, server, job);
                         let epoch = self.srv_epoch[server];
                         self.sim
                             .post_at(exec_at, Ev::SubExec { server, job, epoch });
@@ -1083,6 +1196,8 @@ impl Cluster {
                         if done {
                             let p = parents.remove(&parent).expect("checked above");
                             let wait = now - p.issued_at;
+                            #[cfg(feature = "obs")]
+                            obs_request_done(p.issued_at, wait, proc, parent);
                             io_time += wait;
                             latency_ms.record(wait.as_millis_f64());
                             latency_hist_ms.record(wait.as_millis_f64().round() as u64);
@@ -1134,6 +1249,8 @@ impl Cluster {
                                 let arrive = client_links[proc].send(now, sub.request_bytes());
                                 let server = sub.server;
                                 let reply_bytes = sub.reply_bytes();
+                                #[cfg(feature = "obs")]
+                                obs_net_req(now, arrive, proc, parent, sub_idx, server);
                                 jobs.insert(
                                     job,
                                     PendingJob {
@@ -1259,6 +1376,29 @@ impl Cluster {
                 self.degraded_since[s] = end;
             }
         }
+        // Measured-vs-predicted T_i: the policy's Eq. 1 model forecasts
+        // per-request disk busy time; compare it to this run's actual
+        // per-request busy delta on the primary device. Restarted servers
+        // get fresh devices mid-run, which would make the delta negative
+        // — those runs contribute no sample.
+        #[cfg(feature = "obs")]
+        if ibridge_obs::metrics_on() {
+            for (s, srv) in self.servers.iter().enumerate() {
+                let pred_s = srv.policy().report_t();
+                if pred_s <= 0.0 {
+                    continue;
+                }
+                let st = srv.primary().stats();
+                let d0 = &obs_dev0[s];
+                if st.requests <= d0.requests || st.busy < d0.busy {
+                    continue;
+                }
+                let meas = (st.busy.as_nanos() - d0.busy.as_nanos()) / (st.requests - d0.requests);
+                let pred = (pred_s * 1e9).round() as u64;
+                ibridge_obs::metrics::record_ti(s as u16, pred, meas);
+            }
+        }
+
         if !self.fstats.is_zero() {
             TOTAL_RETRIES.fetch_add(self.fstats.retries, Ordering::Relaxed);
             TOTAL_TIMEOUTS.fetch_add(self.fstats.timeouts, Ordering::Relaxed);

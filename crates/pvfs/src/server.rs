@@ -175,6 +175,10 @@ struct JobState {
     sub: SubRequest,
     admit: bool,
     served_at_disk: bool,
+    /// When the sub-request entered device submission (for the
+    /// observability job span/latency).
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    started: SimTime,
 }
 
 /// One device segment of a group.
@@ -309,7 +313,7 @@ impl DataServer {
         } else {
             cfg.disk.capacity_sectors
         };
-        DataServer {
+        let mut srv = DataServer {
             id,
             primary,
             cache,
@@ -327,6 +331,18 @@ impl DataServer {
             ra_hits: 0,
             ra_bytes: 0,
             cache_lost: false,
+        };
+        srv.obs_label_devices();
+        srv
+    }
+
+    /// Labels this server's devices for observability output: trace node
+    /// = server id + 1, lane 1 = primary device, lane 2 = cache device.
+    fn obs_label_devices(&mut self) {
+        let node = (self.id as u16).saturating_add(1);
+        self.primary.set_obs_label(node, 1);
+        if let Some(c) = self.cache.as_mut() {
+            c.set_obs_label(node, 2);
         }
     }
 
@@ -620,6 +636,7 @@ impl DataServer {
                         sub,
                         admit: admit_after_read,
                         served_at_disk: true,
+                        started: now,
                     },
                 );
                 self.submit_mixed_group(
@@ -642,6 +659,7 @@ impl DataServer {
                         sub,
                         admit: false,
                         served_at_disk: false,
+                        started: now,
                     },
                 );
                 self.submit_group(
@@ -655,6 +673,50 @@ impl DataServer {
                     out,
                 );
             }
+        }
+    }
+
+    /// Records the completed job for observability: per-class and
+    /// per-server latency metrics plus a `srv:job:*` span on the serving
+    /// device's lane. Read-only; one atomic load when collection is off.
+    #[cfg(feature = "obs")]
+    fn observe_job_done(&self, now: SimTime, st: &JobState, job: JobId) {
+        use crate::proto::ReqClass;
+        use ibridge_obs::metrics::{self, Phase, SubClass};
+        if !ibridge_obs::active() {
+            return;
+        }
+        let d = (now - st.started).as_nanos();
+        if ibridge_obs::metrics_on() {
+            let class = match st.sub.class {
+                ReqClass::Fragment { .. } => SubClass::Fragment,
+                ReqClass::Random => SubClass::Random,
+                ReqClass::Bulk => SubClass::Bulk,
+            };
+            metrics::record_phase(
+                if st.served_at_disk {
+                    Phase::SrvJobDisk
+                } else {
+                    Phase::SrvJobSsd
+                },
+                d,
+            );
+            metrics::record_sub(self.id as u16, class, st.served_at_disk, d, st.sub.len);
+        }
+        if ibridge_obs::tracing_on() {
+            ibridge_obs::trace::record(ibridge_obs::Span {
+                ts_ns: st.started.as_nanos(),
+                dur_ns: d,
+                node: ibridge_obs::trace::server_node(self.id),
+                lane: if st.served_at_disk { 1 } else { 2 },
+                name: if st.served_at_disk {
+                    "srv:job:disk"
+                } else {
+                    "srv:job:ssd"
+                },
+                id: job,
+                aux: st.sub.len,
+            });
         }
     }
 
@@ -676,6 +738,8 @@ impl DataServer {
                         );
                     }
                 }
+                #[cfg(feature = "obs")]
+                self.observe_job_done(now, &st, job);
                 out.done_jobs.push(job);
             }
             GroupKind::Admission(entry) => {
@@ -820,6 +884,7 @@ impl DataServer {
         } else {
             make_cache(&self.cfg)
         };
+        self.obs_label_devices();
     }
 
     /// Fault injection: the crashed process comes back up and replays

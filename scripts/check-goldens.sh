@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates every golden into a temp dir and unified-diffs it against
+# the committed goldens/. Any drift prints as a diff and fails the
+# script — if the change is intended, run scripts/update-goldens.sh and
+# commit the result.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+OUT="$tmp" ./scripts/update-goldens.sh >/dev/null
+
+status=0
+for f in goldens/*; do
+  name="$(basename "$f")"
+  if [ ! -e "$tmp/$name" ]; then
+    echo "golden $name is committed but no longer generated" >&2
+    status=1
+  elif ! diff -u "$f" "$tmp/$name"; then
+    status=1
+  fi
+done
+for f in "$tmp"/*; do
+  name="$(basename "$f")"
+  if [ ! -e "goldens/$name" ]; then
+    echo "generated golden $name is not committed (run scripts/update-goldens.sh)" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "goldens OK"
+fi
+exit "$status"

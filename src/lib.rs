@@ -7,9 +7,10 @@
 //! |---|---|
 //! | [`des`] | discrete-event simulation kernel (virtual time, calendar, stats) |
 //! | [`device`] | HDD and SSD service-time models (Table II devices) |
-//! | [`iosched`] | CFQ/Noop/Deadline schedulers, merging, blktrace-style tracing |
+//! | [`iosched`] | CFQ/Noop/Deadline schedulers, request merging, NCQ |
 //! | [`localfs`] | Ext2-style allocator mapping datafile offsets to disk sectors |
 //! | [`net`] | cluster interconnect model |
+//! | [`obs`] | virtual-time observability: span tracer + latency metrics |
 //! | [`faults`] | schedule-driven fault injection: crashes, SSD loss, fail-slow, network faults |
 //! | [`pvfs`] | PVFS2-style striped parallel file system and cluster simulation |
 //! | [`core`] | **the iBridge scheme**: Eqs. 1–3, SSD log, mapping table, partitioning |
@@ -42,6 +43,7 @@ pub use ibridge_faults as faults;
 pub use ibridge_iosched as iosched;
 pub use ibridge_localfs as localfs;
 pub use ibridge_net as net;
+pub use ibridge_obs as obs;
 pub use ibridge_pvfs as pvfs;
 pub use ibridge_workloads as workloads;
 
