@@ -39,9 +39,16 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => {
+                // Only the data-size knobs change; seed/shards/fault
+                // flags given earlier on the command line survive.
+                let full = Scale::full();
                 scale = Scale {
-                    seed: scale.seed,
-                    ..Scale::full()
+                    stream_bytes: full.stream_bytes,
+                    btio_bytes: full.btio_bytes,
+                    trace_requests: full.trace_requests,
+                    ssd_capacity: full.ssd_capacity,
+                    page_cache: full.page_cache,
+                    ..scale
                 };
             }
             "--seed" => {
@@ -55,6 +62,16 @@ fn main() {
                     die("--jobs must be at least 1");
                 }
                 runpar::set_jobs(n);
+            }
+            "--shards" => {
+                let v = it.next().unwrap_or_else(|| die("--shards needs a value"));
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| die("--shards needs an integer"));
+                if n == 0 {
+                    die("--shards must be at least 1");
+                }
+                scale.shards = n;
             }
             "--bench-report" => {
                 let v = it
@@ -97,13 +114,16 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: expt [--full] [--seed N] [--jobs N] \
+                    "usage: expt [--full] [--seed N] [--jobs N] [--shards N] \
                      [--bench-report PATH] [--metrics] [--trace-out PATH] \
                      [--fault-plan NAME|FILE] \
                      [--audit] [--list] [--list-fault-plans] \
                      <experiment|all>...\n\
                      fault plans: builtin names are {}; anything else is \
                      read as a plan file (see crates/faults). \
+                     --shards splits each simulated cluster's data servers \
+                     into N logical processes with their own event \
+                     calendars; output is byte-identical at any N. \
                      --audit runs the online invariant auditor every 5ms \
                      of virtual time (read-only; output is unchanged). \
                      --metrics prints virtual-time latency tables after the \
@@ -264,23 +284,31 @@ fn write_bench_report(
             per.push(',');
         }
         let s = &seq[i];
+        // Event counts are deterministic, so the jobs-1 rerun's count also
+        // describes the parallel pass and events/sec is meaningful at both
+        // jobs levels. `table1`/`table2` dispatch no simulator events at
+        // all; rate and per-event figures are `null` there rather than a
+        // fiction divided by 1.
         per.push_str(&format!(
             "\n    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"wall_s_jobs1\": {:.3}, \
-             \"events\": {}, \"events_per_sec_jobs1\": {:.0}",
+             \"events\": {}, \"events_per_sec\": {}, \"events_per_sec_jobs1\": {}",
             e.name,
             par_results[i].1,
             s.wall,
             s.events,
-            s.events as f64 / s.wall.max(1e-9),
+            per_event_rate(s.events, par_results[i].1),
+            per_event_rate(s.events, s.wall),
         ));
         if alloc_count::enabled() {
+            let per_event = if s.events == 0 {
+                "null".to_string()
+            } else {
+                format!("{:.3}", s.allocs as f64 / s.events as f64)
+            };
             per.push_str(&format!(
                 ", \"allocs\": {}, \"alloc_bytes\": {}, \"peak_bytes\": {}, \
-                 \"allocs_per_event\": {:.3}",
-                s.allocs,
-                s.alloc_bytes,
-                s.peak_bytes,
-                s.allocs as f64 / (s.events.max(1)) as f64,
+                 \"allocs_per_event\": {per_event}",
+                s.allocs, s.alloc_bytes, s.peak_bytes,
             ));
         }
         per.push('}');
@@ -299,10 +327,14 @@ fn write_bench_report(
     let alloc_summary = if alloc_count::enabled() {
         let allocs: u64 = seq.iter().map(|s| s.allocs).sum();
         let ev: u64 = seq.iter().map(|s| s.events).sum();
+        let per_event = if ev == 0 {
+            "null".to_string()
+        } else {
+            format!("{:.3}", allocs as f64 / ev as f64)
+        };
         format!(
             ",\n  \"counting_allocator\": true,\n  \"allocs_jobs1\": {allocs},\n  \
-             \"allocs_per_event_jobs1\": {:.3}",
-            allocs as f64 / (ev.max(1)) as f64
+             \"allocs_per_event_jobs1\": {per_event}"
         )
     } else {
         ",\n  \"counting_allocator\": false".to_string()
@@ -328,13 +360,14 @@ fn write_bench_report(
     };
     let json = format!(
         "{{\n  \"jobs\": {jobs},\n  \"host_cpus\": {host_cpus},\n  \
-         \"seed\": {},\n  \"experiments\": [{per}\n  ],\n  \
+         \"seed\": {},\n  \"shards\": {},\n  \"experiments\": [{per}\n  ],\n  \
          \"wall_s\": {par_wall:.3},\n  \"wall_s_jobs1\": {seq_wall:.3},\n  \
          \"speedup_vs_jobs1\": {:.3},\n  \"events_dispatched\": {events},\n  \
          \"events_per_sec\": {:.0},\n  \
          \"output_identical_to_jobs1\": {identical}{alloc_summary}\
          {fault_counters}{obs_fragment}{note}\n}}\n",
         scale.seed,
+        scale.shards,
         seq_wall / par_wall.max(1e-9),
         events as f64 / par_wall.max(1e-9),
     );
@@ -347,6 +380,16 @@ fn write_bench_report(
     );
     if !identical {
         die("output at --jobs N differs from --jobs 1 (determinism bug)");
+    }
+}
+
+/// Events/sec as a JSON value: `null` for experiments that dispatch no
+/// simulator events (pure table renders), a rounded rate otherwise.
+fn per_event_rate(events: u64, wall_s: f64) -> String {
+    if events == 0 {
+        "null".to_string()
+    } else {
+        format!("{:.0}", events as f64 / wall_s.max(1e-9))
     }
 }
 

@@ -66,6 +66,11 @@ pub struct Scale {
     pub page_cache: u64,
     /// Experiment seed.
     pub seed: u64,
+    /// Data-server shards (logical processes) per cluster, forwarded to
+    /// every cluster the experiments build (`expt --shards`). Event
+    /// order is intrinsic to the simulated system, so experiment output
+    /// is byte-identical at any shard count.
+    pub shards: usize,
     /// A user-supplied fault plan (`expt --fault-plan ...`); the
     /// `faults` experiment adds a row for it next to the builtin plans.
     /// Leaked to `'static` by the CLI so `Scale` stays `Copy`.
@@ -86,6 +91,7 @@ impl Scale {
             ssd_capacity: 10 << 30,
             page_cache: 512 << 10,
             seed: 42,
+            shards: 1,
             fault_plan: None,
             audit_interval: None,
         }
@@ -100,6 +106,7 @@ impl Scale {
             ssd_capacity: 10 << 30,
             page_cache: 8 << 20,
             seed: 42,
+            shards: 1,
             fault_plan: None,
             audit_interval: None,
         }
@@ -116,6 +123,7 @@ pub fn build(system: System, n_servers: usize, scale: &Scale) -> Cluster {
     let cfg = ClusterConfig {
         n_servers,
         seed: scale.seed,
+        shards: scale.shards,
         audit_interval: scale.audit_interval,
         server: ServerConfig {
             ra_budget: scale.page_cache,
@@ -141,6 +149,7 @@ pub fn build_ibridge_with(
     let cfg = ClusterConfig {
         n_servers,
         seed: scale.seed,
+        shards: scale.shards,
         audit_interval: scale.audit_interval,
         threshold,
         flag_fragments: true,

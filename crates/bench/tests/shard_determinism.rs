@@ -1,0 +1,133 @@
+//! Sharding the cluster into logical processes must not change any
+//! simulated result. Event order under `ibridge_des::pdes` is keyed by
+//! `(time, source node, per-node sequence)` — intrinsic to the simulated
+//! system, not to the LP grouping — so `--shards N` may only change how
+//! the calendar is stored, never what it dispatches. These tests run the
+//! same job matrix at shard counts 1/2/8 (and across `--jobs` levels,
+//! and under cross-LP fault plans) and require *identical* outputs — not
+//! approximately equal.
+//!
+//! The fingerprint is the full `Debug` rendering of `RunStats`: Rust's
+//! `f64` Debug format is shortest-roundtrip, so two renderings are equal
+//! iff every float is bit-identical.
+
+use ibridge_bench::runpar::par_map_jobs;
+use ibridge_bench::{build, run_once, Scale, System, FILE_A};
+use ibridge_des::SimDuration;
+use ibridge_device::IoDir;
+use ibridge_faults::{builtin, FaultPlan};
+use ibridge_workloads::{CheckpointWorkload, MpiIoTest};
+
+const KB: u64 = 1024;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn scale_with(seed: u64, shards: usize) -> Scale {
+    Scale {
+        stream_bytes: 16 << 20,
+        seed,
+        shards,
+        ..Scale::quick()
+    }
+}
+
+/// One cell of the matrix: a full-stats fingerprint of a run at the
+/// given shard count. 8 servers so `--shards 8` really builds 8 LPs
+/// (4 would silently clamp).
+fn run_cell((seed, system, size, shards): (u64, System, u64, usize)) -> String {
+    let scale = scale_with(seed, shards);
+    let mut w = MpiIoTest::sized(IoDir::Write, FILE_A, 16, size, scale.stream_bytes);
+    let span = w.span_bytes();
+    let stats = run_once(system, 8, &scale, span, &mut w);
+    format!("{stats:?}")
+}
+
+fn matrix(shards: usize) -> Vec<(u64, System, u64, usize)> {
+    let mut jobs = Vec::new();
+    for seed in [42u64, 7, 1234] {
+        for system in [System::Stock, System::IBridge] {
+            for size in [64 * KB, 65 * KB] {
+                jobs.push((seed, system, size, shards));
+            }
+        }
+    }
+    jobs
+}
+
+#[test]
+fn multi_seed_stats_identical_across_shard_counts() {
+    let baseline: Vec<String> = matrix(1).into_iter().map(run_cell).collect();
+    for shards in [2, 8] {
+        let sharded: Vec<String> = matrix(shards).into_iter().map(run_cell).collect();
+        assert_eq!(
+            sharded, baseline,
+            "shards={shards} changed simulated results"
+        );
+    }
+}
+
+#[test]
+fn shard_identity_holds_at_any_jobs_level() {
+    // The full shards × seeds × systems matrix through the worker pool
+    // at two budgets: neither axis may perturb the other.
+    let all: Vec<(u64, System, u64, usize)> =
+        SHARD_COUNTS.iter().flat_map(|&s| matrix(s)).collect();
+    let seq = par_map_jobs(1, all.clone(), run_cell);
+    let par = par_map_jobs(8, all, run_cell);
+    assert_eq!(seq, par, "--jobs changed results on a sharded cluster");
+    // And within each jobs level, the shard axis itself must collapse:
+    // every shard count's block equals the shards=1 block.
+    let per_shards = seq.len() / SHARD_COUNTS.len();
+    for (i, &shards) in SHARD_COUNTS.iter().enumerate().skip(1) {
+        assert_eq!(
+            seq[i * per_shards..(i + 1) * per_shards],
+            seq[..per_shards],
+            "shards={shards} diverged from shards=1"
+        );
+    }
+}
+
+/// The fault probe from the `faults` experiment: a checkpoint workload
+/// long enough (hundreds of virtual milliseconds) that the builtin
+/// plans' fault windows land mid-run.
+fn fault_cell(plan_name: &str, seed: u64, shards: usize) -> String {
+    let plan = FaultPlan::parse(builtin(plan_name).expect("builtin")).expect("parses");
+    let scale = scale_with(seed, shards);
+    let mut cluster = build(System::IBridge, 4, &scale);
+    let mut w = CheckpointWorkload::new(
+        FILE_A,
+        4,
+        1 << 20,
+        60 * 1024,
+        4,
+        SimDuration::from_millis(25),
+    );
+    cluster.preallocate(FILE_A, w.span_bytes() + (1 << 20));
+    cluster.set_fault_plan(&plan);
+    let stats = cluster.run(&mut w);
+    assert!(
+        stats.faults.crashes > 0 || stats.faults.dropped_messages > 0,
+        "{plan_name}: no fault landed — probe too short to exercise \
+         cross-LP fault delivery"
+    );
+    format!("{stats:?}")
+}
+
+#[test]
+fn fault_plans_identical_across_shard_counts() {
+    // "crash" kills and restarts a server (crash teardown, drain kicks
+    // and restart recovery all cross the LP boundary); "net" drops,
+    // delays and duplicates messages on the client↔server links (every
+    // impairment draw rides a cross-LP hop). Both must be byte-stable.
+    for plan in ["crash", "net"] {
+        for seed in [42u64, 7] {
+            let baseline = fault_cell(plan, seed, 1);
+            for shards in [2, 8] {
+                assert_eq!(
+                    fault_cell(plan, seed, shards),
+                    baseline,
+                    "plan={plan} seed={seed} shards={shards} diverged"
+                );
+            }
+        }
+    }
+}

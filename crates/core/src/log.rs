@@ -54,8 +54,12 @@ pub struct CircularLog {
     head: Lbn,
     /// Live regions, keyed by start sector. Non-overlapping.
     residents: BTreeMap<Lbn, Resident>,
+    /// Regions owned by each entry (1 extent, or 2 when wrapped), so
+    /// eviction removes exactly its own regions instead of scanning the
+    /// whole resident map.
+    owned: ibridge_des::fxhash::FxHashMap<EntryId, ExtentList>,
     /// Entries whose regions must not be overwritten (dirty/in-flight).
-    protected: std::collections::HashSet<EntryId>,
+    protected: ibridge_des::fxhash::FxHashSet<EntryId>,
 }
 
 impl CircularLog {
@@ -66,8 +70,34 @@ impl CircularLog {
             capacity: capacity_sectors,
             head: 0,
             residents: BTreeMap::new(),
-            protected: std::collections::HashSet::new(),
+            owned: Default::default(),
+            protected: Default::default(),
         }
+    }
+
+    /// Drops every region owned by `entry` from the resident map.
+    fn drop_owned(&mut self, entry: EntryId) {
+        if let Some(extents) = self.owned.remove(&entry) {
+            for e in &extents {
+                let removed = self.residents.remove(&e.lbn);
+                debug_assert_eq!(
+                    removed,
+                    Some(Resident {
+                        sectors: e.sectors,
+                        entry
+                    })
+                );
+            }
+        }
+    }
+
+    /// Registers `start..start+sectors` as owned by `entry`.
+    fn claim(&mut self, start: Lbn, sectors: u64, entry: EntryId) {
+        self.residents.insert(start, Resident { sectors, entry });
+        self.owned.entry(entry).or_default().push(Extent {
+            lbn: start,
+            sectors,
+        });
     }
 
     /// Log capacity in sectors.
@@ -94,7 +124,7 @@ impl CircularLog {
     /// Removes an entry's residency (logical eviction). The space
     /// becomes stale and is reclaimed when the head next passes it.
     pub fn evict(&mut self, entry: EntryId) {
-        self.residents.retain(|_, r| r.entry != entry);
+        self.drop_owned(entry);
         self.protected.remove(&entry);
     }
 
@@ -171,17 +201,11 @@ impl CircularLog {
         // Evict the casualties entirely (their whole region goes stale —
         // a partially overwritten entry is useless).
         for id in &casualties {
-            self.residents.retain(|_, r| r.entry != *id);
+            self.drop_owned(*id);
         }
         // Claim the space.
         for e in &extents {
-            self.residents.insert(
-                e.lbn,
-                Resident {
-                    sectors: e.sectors,
-                    entry,
-                },
-            );
+            self.claim(e.lbn, e.sectors, entry);
         }
         self.head = (self.head + sectors) % self.capacity;
         Ok((extents, casualties))
@@ -251,13 +275,7 @@ impl CircularLog {
             }
         }
         for e in extents {
-            self.residents.insert(
-                e.lbn,
-                Resident {
-                    sectors: e.sectors,
-                    entry,
-                },
-            );
+            self.claim(e.lbn, e.sectors, entry);
         }
         Ok((extents.iter().copied().collect(), Vec::new()))
     }

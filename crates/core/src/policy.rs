@@ -26,6 +26,7 @@ use crate::model::{fragment_return, DiskTimeModel};
 use crate::partition::PartitionMode;
 use crate::record::{self, LogRecord, RecordVerdict, SealedRecord};
 use crate::table::{EntryType, MappingTable};
+use ibridge_des::fxhash::FxHashMap;
 use ibridge_des::SimTime;
 use ibridge_device::{bytes_to_sectors, DiskProfile, Lbn};
 use ibridge_localfs::ExtentList;
@@ -33,7 +34,6 @@ use ibridge_pvfs::{
     CachePolicy, CacheStats, EntryId, FlushId, FlushOp, LogCorruption, Placement, ReqClass,
     RestartReport, SubRequest,
 };
-use std::collections::HashMap;
 
 /// Configuration of one server's iBridge instance.
 #[derive(Debug, Clone)]
@@ -88,8 +88,8 @@ pub struct IBridgePolicy {
     stats: CacheStats,
     /// Return values remembered between `place` (decision) and
     /// `read_admission` (post-read insertion).
-    pending_admissions: HashMap<(u64, u64), f64>,
-    flush_to_entry: HashMap<FlushId, EntryId>,
+    pending_admissions: FxHashMap<(u64, u64), f64>,
+    flush_to_entry: FxHashMap<FlushId, EntryId>,
     next_flush: FlushId,
     /// Reused scratch for overlap invalidation (no per-write allocation).
     overlap_scratch: Vec<EntryId>,
@@ -134,8 +134,8 @@ impl IBridgePolicy {
             table: MappingTable::new(),
             t_table: Vec::new(),
             stats: CacheStats::default(),
-            pending_admissions: HashMap::new(),
-            flush_to_entry: HashMap::new(),
+            pending_admissions: FxHashMap::default(),
+            flush_to_entry: FxHashMap::default(),
             next_flush: 0,
             overlap_scratch: Vec::new(),
             degraded: false,
@@ -453,7 +453,7 @@ impl IBridgePolicy {
     /// and no log residency for entries the table no longer knows.
     pub fn audit(&self) -> Result<(), String> {
         self.table.audit()?;
-        let mut resident: HashMap<EntryId, u64> = HashMap::new();
+        let mut resident: FxHashMap<EntryId, u64> = FxHashMap::default();
         for (id, sectors) in self.log.resident_extents() {
             *resident.entry(id).or_default() += sectors;
         }

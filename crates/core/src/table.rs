@@ -8,8 +8,9 @@
 //! partitioning), dirtiness, and LRU position within its class.
 
 use crate::log::EntryId;
+use ibridge_des::fxhash::FxHashMap;
 use ibridge_localfs::{Extent, ExtentList, FileHandle};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which SSD partition an entry belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,10 +127,15 @@ impl ClassUsage {
 /// would have found.
 #[derive(Debug, Default)]
 pub struct MappingTable {
-    entries: HashMap<EntryId, Entry>,
-    by_range: HashMap<FileHandle, BTreeMap<u64, EntryId>>,
+    entries: FxHashMap<EntryId, Entry>,
+    by_range: FxHashMap<FileHandle, BTreeMap<u64, EntryId>>,
     evictable: [BTreeSet<(u64, EntryId)>; 2],
     dirty_lru: [BTreeSet<(u64, EntryId)>; 2],
+    /// Multiset of the lengths of the entries in each `dirty_lru` set
+    /// (len -> count). Its smallest key bounds what any remaining walk
+    /// candidate could contribute, letting `dirty_batch` stop scanning
+    /// the moment the byte budget drops below it.
+    dirty_len_hist: [BTreeMap<u64, u32>; 2],
     usage: [ClassUsage; 2],
     dirty_bytes: u64,
     next_id: EntryId,
@@ -140,12 +146,18 @@ pub struct MappingTable {
 fn unindex(
     evictable: &mut [BTreeSet<(u64, EntryId)>; 2],
     dirty_lru: &mut [BTreeSet<(u64, EntryId)>; 2],
+    dirty_len_hist: &mut [BTreeMap<u64, u32>; 2],
     e: &Entry,
 ) {
     let key = (e.lru_seq, e.id);
     let i = e.typ.idx();
-    if !evictable[i].remove(&key) {
-        dirty_lru[i].remove(&key);
+    if !evictable[i].remove(&key) && dirty_lru[i].remove(&key) {
+        match dirty_len_hist[i].get_mut(&e.len) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                dirty_len_hist[i].remove(&e.len);
+            }
+        }
     }
 }
 
@@ -153,6 +165,7 @@ fn unindex(
 fn index(
     evictable: &mut [BTreeSet<(u64, EntryId)>; 2],
     dirty_lru: &mut [BTreeSet<(u64, EntryId)>; 2],
+    dirty_len_hist: &mut [BTreeMap<u64, u32>; 2],
     e: &Entry,
 ) {
     if e.flushing || e.pending {
@@ -162,6 +175,7 @@ fn index(
     let i = e.typ.idx();
     if e.dirty {
         dirty_lru[i].insert(key);
+        *dirty_len_hist[i].entry(e.len).or_insert(0) += 1;
     } else {
         evictable[i].insert(key);
     }
@@ -223,7 +237,9 @@ impl MappingTable {
         log_seq: u64,
     ) {
         assert!(len > 0, "empty entry");
-        assert!(
+        // Call sites resolve overlaps before inserting; a range probe per
+        // insert is hot-path cost, so only check in debug builds.
+        debug_assert!(
             !self.has_overlap(file, offset, len),
             "inserting over an existing entry"
         );
@@ -242,7 +258,12 @@ impl MappingTable {
             log_seq,
             lru_seq: self.next_seq,
         };
-        index(&mut self.evictable, &mut self.dirty_lru, &entry);
+        index(
+            &mut self.evictable,
+            &mut self.dirty_lru,
+            &mut self.dirty_len_hist,
+            &entry,
+        );
         let u = &mut self.usage[typ.idx()];
         u.bytes += len;
         u.entries += 1;
@@ -258,7 +279,12 @@ impl MappingTable {
     /// Removes an entry, returning it.
     pub fn remove(&mut self, id: EntryId) -> Option<Entry> {
         let entry = self.entries.remove(&id)?;
-        unindex(&mut self.evictable, &mut self.dirty_lru, &entry);
+        unindex(
+            &mut self.evictable,
+            &mut self.dirty_lru,
+            &mut self.dirty_len_hist,
+            &entry,
+        );
         let u = &mut self.usage[entry.typ.idx()];
         u.bytes -= entry.len;
         u.entries -= 1;
@@ -283,9 +309,19 @@ impl MappingTable {
             return;
         };
         self.next_seq += 1;
-        unindex(&mut self.evictable, &mut self.dirty_lru, entry);
+        unindex(
+            &mut self.evictable,
+            &mut self.dirty_lru,
+            &mut self.dirty_len_hist,
+            entry,
+        );
         entry.lru_seq = self.next_seq;
-        index(&mut self.evictable, &mut self.dirty_lru, entry);
+        index(
+            &mut self.evictable,
+            &mut self.dirty_lru,
+            &mut self.dirty_len_hist,
+            entry,
+        );
     }
 
     /// Finds the single *servable* (non-pending) entry fully covering
@@ -360,8 +396,19 @@ impl MappingTable {
     pub fn dirty_batch(&self, max_bytes: u64) -> Vec<EntryId> {
         let mut picked: Vec<(FileHandle, u64, EntryId)> = Vec::new();
         let mut budget = max_bytes;
-        for dirty in &self.dirty_lru {
+        for (i, dirty) in self.dirty_lru.iter().enumerate() {
+            // Once the budget drops below the smallest dirty length of
+            // the class, no remaining candidate can be picked — stop
+            // instead of scanning the (possibly huge) LRU tail. The
+            // histogram minimum covers the whole set, so this prunes
+            // exactly the iterations whose `continue` branch would fire.
+            let Some((&min_len, _)) = self.dirty_len_hist[i].iter().next() else {
+                continue;
+            };
             for &(_, id) in dirty.iter() {
+                if budget < min_len {
+                    break;
+                }
                 let e = &self.entries[&id];
                 debug_assert!(e.dirty && !e.flushing && !e.pending);
                 if e.len > budget {
@@ -380,31 +427,61 @@ impl MappingTable {
     /// Sets the flushing flag.
     pub fn set_flushing(&mut self, id: EntryId, flushing: bool) {
         if let Some(e) = self.entries.get_mut(&id) {
-            unindex(&mut self.evictable, &mut self.dirty_lru, e);
+            unindex(
+                &mut self.evictable,
+                &mut self.dirty_lru,
+                &mut self.dirty_len_hist,
+                e,
+            );
             e.flushing = flushing;
-            index(&mut self.evictable, &mut self.dirty_lru, e);
+            index(
+                &mut self.evictable,
+                &mut self.dirty_lru,
+                &mut self.dirty_len_hist,
+                e,
+            );
         }
     }
 
     /// Marks an entry clean (writeback finished).
     pub fn mark_clean(&mut self, id: EntryId) {
         if let Some(e) = self.entries.get_mut(&id) {
-            unindex(&mut self.evictable, &mut self.dirty_lru, e);
+            unindex(
+                &mut self.evictable,
+                &mut self.dirty_lru,
+                &mut self.dirty_len_hist,
+                e,
+            );
             if e.dirty {
                 e.dirty = false;
                 self.dirty_bytes -= e.len;
             }
             e.flushing = false;
-            index(&mut self.evictable, &mut self.dirty_lru, e);
+            index(
+                &mut self.evictable,
+                &mut self.dirty_lru,
+                &mut self.dirty_len_hist,
+                e,
+            );
         }
     }
 
     /// Clears the pending flag (admission write finished).
     pub fn activate(&mut self, id: EntryId) {
         if let Some(e) = self.entries.get_mut(&id) {
-            unindex(&mut self.evictable, &mut self.dirty_lru, e);
+            unindex(
+                &mut self.evictable,
+                &mut self.dirty_lru,
+                &mut self.dirty_len_hist,
+                e,
+            );
             e.pending = false;
-            index(&mut self.evictable, &mut self.dirty_lru, e);
+            index(
+                &mut self.evictable,
+                &mut self.dirty_lru,
+                &mut self.dirty_len_hist,
+                e,
+            );
         }
     }
 
@@ -479,6 +556,13 @@ impl MappingTable {
                 return Err(format!(
                     "class {i} dirty set holds {} keys, expected {}",
                     self.dirty_lru[i].len(),
+                    want_dirty_lru[i]
+                ));
+            }
+            let hist_total: u64 = self.dirty_len_hist[i].values().map(|&n| n as u64).sum();
+            if hist_total != want_dirty_lru[i] as u64 {
+                return Err(format!(
+                    "class {i} dirty length histogram counts {hist_total} entries, expected {}",
                     want_dirty_lru[i]
                 ));
             }

@@ -27,6 +27,8 @@
 //! assert_eq!(t.as_nanos(), 1_000_000);
 //! ```
 
+pub mod fxhash;
+pub mod pdes;
 pub mod rng;
 pub mod stats;
 mod time;

@@ -1,0 +1,544 @@
+//! Conservative parallel-DES engine: the cluster sharded into logical
+//! processes (LPs), each owning its own slab calendar, synchronised by a
+//! time-window barrier and exchanging cross-LP events through
+//! deterministic per-(src, dst) ordered queues.
+//!
+//! # Model
+//!
+//! The simulated system is partitioned into *nodes* (a client
+//! coordinator, individual data servers); each node is statically
+//! assigned to one LP. Events execute on the LP that owns their
+//! destination node. An event whose source and destination share an LP
+//! goes straight onto that LP's calendar; an event that crosses LPs is a
+//! *fabric message* and is buffered in the per-(src-LP, dst-LP) queue
+//! until the next window barrier.
+//!
+//! The driver advances virtual time in windows of width equal to the
+//! **lookahead** — the minimum cross-LP event latency, in this codebase
+//! the network's per-message floor (`overhead + propagation latency`).
+//! Within a window `[T, T + L)` every LP's calendar is exhausted; at the
+//! barrier all queues are flushed into the destination calendars and the
+//! next window starts at the earliest pending event. Because a message
+//! sent at `s ≥ T` arrives at `s + L ≥ T + L`, no message can ever land
+//! inside a window that is already executing — the conservative-PDES
+//! safety condition, enforced by an assertion on every cross-LP post.
+//!
+//! # Determinism: intrinsic event order
+//!
+//! Events are ordered by `(timestamp, source node, per-node sequence)`.
+//! The sequence number is drawn from a counter owned by the *posting
+//! node*, never from a global insertion counter, so an event's position
+//! in the total order is an intrinsic property of the simulated system —
+//! independent of how nodes are grouped into LPs. The window driver pops
+//! the globally smallest key among all LP calendar heads, which makes
+//! the dispatch sequence *identical for every shard count*: one LP or
+//! sixteen, the same events fire in the same order at the same times.
+//! Everything downstream (RNG draws, fault decisions, floating-point
+//! accumulation order) is therefore shard-count-invariant by
+//! construction, which is what keeps experiment output byte-identical
+//! at any `--shards` value.
+//!
+//! The driver itself is sequential (the window merge is a K-way head
+//! scan), so LP state may be shared freely by the caller. The windows,
+//! queues and lookahead checks are exactly the machinery a threaded
+//! driver needs — each LP's window execution is independent once its
+//! inbox is flushed — so promoting LPs to worker threads is a driver
+//! change, not a model change.
+
+use crate::{EventId, SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::binary_heap::BinaryHeap;
+
+/// Sentinel slot for non-cancellable events (mirrors the serial
+/// calendar's fast path).
+const NO_SLOT: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    gen: u32,
+    cancelled: bool,
+}
+
+/// A calendar entry carrying its intrinsic order key.
+struct Keyed<E> {
+    at: SimTime,
+    /// `(source node) << 48 | (per-node sequence)`: the intrinsic
+    /// tie-break for events at the same instant. Comparing the packed
+    /// word compares `(node, seq)` lexicographically.
+    key: u64,
+    slot: u32,
+    event: E,
+}
+
+impl<E> PartialEq for Keyed<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.key == other.key
+    }
+}
+impl<E> Eq for Keyed<E> {}
+impl<E> PartialOrd for Keyed<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Keyed<E> {
+    // BinaryHeap is a max-heap; invert so the smallest (at, key) pops
+    // first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.key).cmp(&(self.at, self.key))
+    }
+}
+
+/// One LP: a slab calendar.
+struct Lp<E> {
+    queue: BinaryHeap<Keyed<E>>,
+}
+
+/// A buffered cross-LP message awaiting the window barrier.
+struct Msg<E> {
+    at: SimTime,
+    key: u64,
+    event: E,
+}
+
+const SEQ_BITS: u32 = 48;
+
+/// The sharded simulation. Same contract as [`crate::Simulation`] —
+/// virtual clock, typed events, cancellation — but every post names the
+/// *source* and *destination* node so the engine can route events to LP
+/// calendars and order them intrinsically.
+pub struct ShardedSimulation<E> {
+    lps: Vec<Lp<E>>,
+    /// Flattened `[src_lp * n_lps + dst_lp]` cross-LP queues.
+    queues: Vec<Vec<Msg<E>>>,
+    /// Node → owning LP.
+    node_lp: Vec<u32>,
+    /// Per-node post counters (the intrinsic sequence source).
+    node_seq: Vec<u64>,
+    lookahead: SimDuration,
+    /// Exclusive end of the current window. Events at or past it wait
+    /// for the next barrier.
+    window_end: SimTime,
+    now: SimTime,
+    dispatched: u64,
+    /// Engine-wide cancellation slab (cancellable events are always
+    /// LP-local, so one slab serves all calendars).
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    tombstones: usize,
+}
+
+impl<E> ShardedSimulation<E> {
+    /// Creates an engine with the given node → LP assignment and
+    /// lookahead (the minimum cross-LP event latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty map, a non-contiguous LP numbering, or a zero
+    /// lookahead (a zero-width window could never make progress).
+    pub fn new(node_lp: Vec<u32>, lookahead: SimDuration) -> Self {
+        assert!(!node_lp.is_empty(), "sharded simulation needs nodes");
+        assert!(node_lp.len() < (1 << 16), "node id space is 16 bits");
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "conservative windows need a positive lookahead"
+        );
+        let n_lps = (*node_lp.iter().max().unwrap() + 1) as usize;
+        assert!(
+            (0..n_lps as u32).all(|lp| node_lp.contains(&lp)),
+            "LP numbering must be contiguous from 0"
+        );
+        // One LP has no cross-LP traffic, so no barrier can ever be
+        // needed: a single never-ending window makes pop() a plain heap
+        // pop. The dispatch order is the same either way (it is keyed by
+        // node and per-node sequence, not by window).
+        let window_end = if n_lps == 1 {
+            SimTime::from_nanos(u64::MAX)
+        } else {
+            SimTime::ZERO
+        };
+        ShardedSimulation {
+            lps: (0..n_lps)
+                .map(|_| Lp {
+                    queue: BinaryHeap::new(),
+                })
+                .collect(),
+            queues: (0..n_lps * n_lps).map(|_| Vec::new()).collect(),
+            node_seq: vec![0; node_lp.len()],
+            node_lp,
+            lookahead,
+            window_end,
+            now: SimTime::ZERO,
+            dispatched: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            tombstones: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Number of logical processes.
+    pub fn n_lps(&self) -> usize {
+        self.lps.len()
+    }
+
+    /// The window width / minimum cross-LP latency.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Pending events across all calendars and barrier queues.
+    pub fn pending(&self) -> usize {
+        let heaps: usize = self.lps.iter().map(|l| l.queue.len()).sum();
+        let queued: usize = self.queues.iter().map(|q| q.len()).sum();
+        heaps + queued - self.tombstones
+    }
+
+    /// Draws the next intrinsic key for `src`.
+    #[inline]
+    fn alloc_key(&mut self, src: u16) -> u64 {
+        let seq = &mut self.node_seq[src as usize];
+        let key = ((src as u64) << SEQ_BITS) | *seq;
+        debug_assert!(*seq < (1 << SEQ_BITS), "per-node sequence exhausted");
+        *seq += 1;
+        key
+    }
+
+    #[inline]
+    fn route(&self, src: u16, dst: u16, at: SimTime) -> (usize, usize) {
+        let src_lp = self.node_lp[src as usize] as usize;
+        let dst_lp = self.node_lp[dst as usize] as usize;
+        if src_lp == dst_lp {
+            assert!(
+                at >= self.now,
+                "event scheduled in the past: at={at:?} now={:?}",
+                self.now
+            );
+        } else {
+            // The conservative safety condition: a cross-LP event must
+            // not land inside the window that is executing. `now + L`
+            // is always at or past the current window's end.
+            assert!(
+                at >= self.now + self.lookahead,
+                "cross-LP event violates lookahead: at={at:?} now={:?} lookahead={:?}",
+                self.now,
+                self.lookahead
+            );
+        }
+        (src_lp, dst_lp)
+    }
+
+    /// Posts `event` from node `src` onto node `dst` at absolute time
+    /// `at` (fire-and-forget). Same-LP posts only require `at >= now`;
+    /// cross-LP posts must respect the lookahead.
+    pub fn post_at(&mut self, src: u16, dst: u16, at: SimTime, event: E) {
+        let (src_lp, dst_lp) = self.route(src, dst, at);
+        let key = self.alloc_key(src);
+        if src_lp == dst_lp {
+            self.lps[dst_lp].queue.push(Keyed {
+                at,
+                key,
+                slot: NO_SLOT,
+                event,
+            });
+        } else {
+            self.queues[src_lp * self.lps.len() + dst_lp].push(Msg { at, key, event });
+        }
+    }
+
+    /// [`post_at`](Self::post_at) after a delay from now.
+    pub fn post_in(&mut self, src: u16, dst: u16, d: SimDuration, event: E) {
+        self.post_at(src, dst, self.now + d, event);
+    }
+
+    /// [`post_at`](Self::post_at) at the current instant (same-LP only
+    /// in practice — a cross-LP post at `now` violates the lookahead).
+    pub fn post_now(&mut self, src: u16, dst: u16, event: E) {
+        self.post_at(src, dst, self.now, event);
+    }
+
+    /// Cancellable post. Cancellation handles are only supported for
+    /// LP-local events (the one in-tree user is the client's
+    /// retransmission timer, which lives entirely on the coordinator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` live on different LPs.
+    pub fn schedule_at(&mut self, src: u16, dst: u16, at: SimTime, event: E) -> EventId {
+        let (src_lp, dst_lp) = self.route(src, dst, at);
+        assert_eq!(src_lp, dst_lp, "cancellable events must stay within one LP");
+        let key = self.alloc_key(src);
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = self.slots.len() as u32;
+                assert!(slot < NO_SLOT, "cancellation slab exhausted");
+                self.slots.push(Slot {
+                    gen: 0,
+                    cancelled: false,
+                });
+                slot
+            }
+        };
+        self.lps[dst_lp].queue.push(Keyed {
+            at,
+            key,
+            slot,
+            event,
+        });
+        EventId::pack(slot, self.slots[slot as usize].gen)
+    }
+
+    /// Cancels a previously scheduled event; no-op if it already fired
+    /// or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) {
+        if let Some(slot) = self.slots.get_mut(id.slot() as usize) {
+            if slot.gen == id.gen() && !slot.cancelled {
+                slot.cancelled = true;
+                self.tombstones += 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn retire_slot(&mut self, slot: u32) -> bool {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        let was_cancelled = std::mem::take(&mut s.cancelled);
+        self.free.push(slot);
+        if was_cancelled {
+            self.tombstones -= 1;
+        }
+        was_cancelled
+    }
+
+    /// Drops cancelled events off the head of LP `i`'s calendar, then
+    /// returns the head's `(at, key)`.
+    #[inline]
+    fn clean_head(&mut self, i: usize) -> Option<(SimTime, u64)> {
+        loop {
+            let (at, key, slot) = match self.lps[i].queue.peek() {
+                None => return None,
+                Some(h) => (h.at, h.key, h.slot),
+            };
+            if slot != NO_SLOT && self.slots[slot as usize].cancelled {
+                self.lps[i].queue.pop();
+                self.retire_slot(slot);
+                continue;
+            }
+            return Some((at, key));
+        }
+    }
+
+    /// Flushes every per-(src, dst) queue into the destination
+    /// calendars. Called only at window barriers; the lookahead check at
+    /// post time guarantees every buffered arrival is at or past the
+    /// window end, i.e. never in an already-executed window.
+    fn flush_queues(&mut self) {
+        let n = self.lps.len();
+        for src in 0..n {
+            for dst in 0..n {
+                let mut q = std::mem::take(&mut self.queues[src * n + dst]);
+                for m in q.drain(..) {
+                    debug_assert!(
+                        m.at >= self.window_end,
+                        "cross-LP message flushed into an executed window"
+                    );
+                    self.lps[dst].queue.push(Keyed {
+                        at: m.at,
+                        key: m.key,
+                        slot: NO_SLOT,
+                        event: m.event,
+                    });
+                }
+                // Hand the drained buffer back so its capacity is reused
+                // next window.
+                self.queues[src * n + dst] = q;
+            }
+        }
+    }
+
+    /// Pops the next event in global intrinsic order, advancing the
+    /// clock — and, at window barriers, the window. Returns `None` when
+    /// every calendar and queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            // K-way merge: smallest (at, key) among LP heads inside the
+            // current window.
+            let mut best: Option<(usize, SimTime, u64)> = None;
+            for i in 0..self.lps.len() {
+                if let Some((at, key)) = self.clean_head(i) {
+                    if at < self.window_end
+                        && best.is_none_or(|(_, bat, bkey)| (at, key) < (bat, bkey))
+                    {
+                        best = Some((i, at, key));
+                    }
+                }
+            }
+            if let Some((i, _, _)) = best {
+                let s = self.lps[i].queue.pop().expect("head vanished");
+                if s.slot != NO_SLOT {
+                    // clean_head already skipped cancelled entries.
+                    let was_cancelled = self.retire_slot(s.slot);
+                    debug_assert!(!was_cancelled);
+                }
+                debug_assert!(s.at >= self.now, "calendar yielded an event in the past");
+                self.now = s.at;
+                self.dispatched += 1;
+                return Some((s.at, s.event));
+            }
+
+            // Window exhausted: barrier. Deliver cross-LP traffic, then
+            // open the next window at the earliest pending event. Both
+            // the pending set and its minimum are shard-count-invariant,
+            // so the window sequence is too.
+            self.flush_queues();
+            let next = (0..self.lps.len())
+                .filter_map(|i| self.clean_head(i).map(|(at, _)| at))
+                .min();
+            match next {
+                None => return None,
+                Some(t) => {
+                    debug_assert!(t >= self.window_end, "window moved backwards");
+                    self.window_end = t + self.lookahead;
+                }
+            }
+        }
+    }
+
+    /// Timestamp of the next pending event without popping it (includes
+    /// events still buffered at the barrier).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let heads = (0..self.lps.len())
+            .filter_map(|i| self.clean_head(i).map(|(at, _)| at))
+            .min();
+        let queued = self
+            .queues
+            .iter()
+            .flat_map(|q| q.iter().map(|m| m.at))
+            .min();
+        match (heads, queued) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: SimDuration = SimDuration::from_micros(10);
+
+    fn at(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn same_lp_events_fire_in_time_then_intrinsic_order() {
+        // Two nodes on one LP: ties at the same instant break by
+        // (node, per-node seq), not insertion order.
+        let mut sim: ShardedSimulation<u32> = ShardedSimulation::new(vec![0, 0], L);
+        sim.post_at(1, 1, at(5), 10); // node 1, seq 0
+        sim.post_at(0, 0, at(5), 1); // node 0, seq 0
+        sim.post_at(0, 0, at(5), 2); // node 0, seq 1
+        sim.post_at(0, 0, at(3), 0);
+        let order: Vec<u32> = std::iter::from_fn(|| sim.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 10]);
+    }
+
+    #[test]
+    fn cross_lp_messages_cross_the_barrier() {
+        let mut sim: ShardedSimulation<&'static str> = ShardedSimulation::new(vec![0, 1], L);
+        sim.post_at(0, 0, at(1), "local");
+        sim.post_at(0, 1, at(12), "fabric");
+        let (t1, e1) = sim.pop().unwrap();
+        assert_eq!((t1, e1), (at(1), "local"));
+        let (t2, e2) = sim.pop().unwrap();
+        assert_eq!((t2, e2), (at(12), "fabric"));
+        assert!(sim.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "violates lookahead")]
+    fn cross_lp_post_inside_lookahead_panics() {
+        let mut sim: ShardedSimulation<()> = ShardedSimulation::new(vec![0, 1], L);
+        sim.post_at(0, 1, at(5), ());
+    }
+
+    #[test]
+    fn dispatch_order_is_identical_at_any_sharding() {
+        // Three server nodes fed by a coordinator, run under three
+        // different LP assignments; the dispatch sequence must match
+        // exactly. The script posts a reply for each request, always
+        // respecting the lookahead.
+        let runs: Vec<Vec<(u64, u32)>> = [
+            vec![0u32, 0, 0, 0], // everything on one LP
+            vec![0, 1, 1, 2],    // two server groups
+            vec![0, 1, 2, 3],    // one LP per server
+        ]
+        .into_iter()
+        .map(|map| {
+            let mut sim: ShardedSimulation<u32> = ShardedSimulation::new(map, L);
+            // Event code: server * 1000 + hop (0 = request, 1 = reply).
+            for s in 1..4u16 {
+                // Same instant on purpose: exercises the intrinsic tie-break.
+                sim.post_at(0, s, at(20), s as u32 * 1000);
+            }
+            let mut seen = Vec::new();
+            while let Some((t, e)) = sim.pop() {
+                seen.push(((t - SimTime::ZERO).as_nanos() / 1000, e));
+                if e % 1000 == 0 {
+                    // Server handles the request, replies to node 0.
+                    let server = (e / 1000) as u16;
+                    sim.post_in(server, 0, L, e + 1);
+                }
+            }
+            seen
+        })
+        .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+        assert_eq!(runs[0].len(), 6);
+    }
+
+    #[test]
+    fn cancellation_matches_serial_semantics() {
+        let mut sim: ShardedSimulation<u32> = ShardedSimulation::new(vec![0, 1], L);
+        let a = sim.schedule_at(0, 0, at(1), 1);
+        sim.schedule_at(0, 0, at(2), 2);
+        sim.cancel(a);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.pop().unwrap().1, 2);
+        assert!(sim.pop().is_none());
+        // Cancel after fire is a no-op.
+        sim.cancel(a);
+    }
+
+    #[test]
+    fn windows_jump_over_idle_gaps() {
+        let mut sim: ShardedSimulation<u32> = ShardedSimulation::new(vec![0, 1], L);
+        sim.post_at(0, 0, at(1), 1);
+        sim.post_at(0, 0, at(1_000_000), 2); // a second later
+        assert_eq!(sim.pop().unwrap().1, 1);
+        assert_eq!(sim.pop().unwrap().1, 2);
+        // Two events, two dispatches — no window-tick spinning between.
+        assert_eq!(sim.dispatched(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "within one LP")]
+    fn cross_lp_cancellable_is_rejected() {
+        let mut sim: ShardedSimulation<()> = ShardedSimulation::new(vec![0, 1], L);
+        sim.schedule_at(0, 1, at(100), ());
+    }
+}

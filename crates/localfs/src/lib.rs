@@ -22,7 +22,8 @@
 //! assert_eq!(total, 128); // 64 KiB = 128 sectors
 //! ```
 
-use std::collections::{BTreeMap, HashMap};
+use ibridge_des::fxhash::FxHashMap as HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Logical block (sector) number, duplicated from `ibridge-device` to
@@ -348,7 +349,7 @@ impl LocalFs {
             cfg,
             groups,
             free_lists,
-            files: HashMap::new(),
+            files: HashMap::default(),
             next_pref: 0,
             used_blocks: 0,
         }

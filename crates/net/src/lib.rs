@@ -58,6 +58,16 @@ impl LinkConfig {
     pub fn tx_time(&self, bytes: u64) -> SimDuration {
         self.overhead + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth)
     }
+
+    /// Lower bound on any message's send-to-arrival latency: even a
+    /// zero-byte message on an idle link pays the per-message overhead
+    /// plus propagation. This is the *lookahead* of the sharded
+    /// simulation engine — the width of its conservative time window —
+    /// since no event can cross between logical processes faster than
+    /// the fabric can carry a message.
+    pub fn lookahead(&self) -> SimDuration {
+        self.overhead + self.latency
+    }
 }
 
 /// What the network did to one message under fault injection.

@@ -17,15 +17,16 @@ use crate::policy::{CachePolicy, CacheStats, LogCorruption};
 use crate::proto::{FileRequest, SubRequest};
 use crate::server::{DataServer, DevKind, JobId, ServerConfig, ServerOut};
 use crate::workload::Workload;
+use ibridge_des::fxhash::FxHashMap as HashMap;
+use ibridge_des::pdes::ShardedSimulation;
 use ibridge_des::stats::{Histogram, MeanTracker};
-use ibridge_des::{EventId, SimDuration, SimTime, Simulation};
+use ibridge_des::{EventId, SimDuration, SimTime};
 use ibridge_faults::{FaultDev, FaultInjector, FaultPlan, FaultStats, TimedFault};
 use ibridge_iosched::{Action, DevStats};
 use ibridge_localfs::FileHandle;
 use ibridge_net::{Link, LinkConfig, NetDecision};
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -118,6 +119,13 @@ pub struct ClusterConfig {
     pub client_jitter: SimDuration,
     /// Experiment seed (jitter and any stochastic workload draws).
     pub seed: u64,
+    /// Number of data-server shards (logical processes). The servers
+    /// are split into this many contiguous groups, each owning its own
+    /// calendar; clients and the MDS form a coordinator LP. Event order
+    /// — and therefore every observable output — is byte-identical at
+    /// any shard count (see `ibridge_des::pdes`). Clamped to
+    /// `n_servers`.
+    pub shards: usize,
     /// Virtual-time cadence of the online invariant auditor: every
     /// elapsed interval the cluster cross-checks each live server's
     /// policy invariants and the process-epoch monotonicity, aborting
@@ -142,9 +150,18 @@ impl Default for ClusterConfig {
             writeback_interval: SimDuration::from_millis(100),
             client_jitter: SimDuration::from_millis(10),
             seed: 42,
+            shards: 1,
             audit_interval: None,
         }
     }
+}
+
+/// Node id of the client/MDS coordinator LP.
+const COORD: u16 = 0;
+
+/// Node id of data server `s` (the coordinator is node 0).
+fn srv_node(s: usize) -> u16 {
+    s as u16 + 1
 }
 
 #[derive(Debug)]
@@ -390,6 +407,22 @@ fn clamp_fault(f: TimedFault, n: usize) -> TimedFault {
     }
 }
 
+/// The data server a fault targets, or `None` for MDS faults — the
+/// static routing key that decides which LP's calendar a scheduled
+/// fault is seeded onto.
+fn fault_server(f: &TimedFault) -> Option<usize> {
+    match *f {
+        TimedFault::Crash { server }
+        | TimedFault::Restart { server }
+        | TimedFault::SsdLoss { server }
+        | TimedFault::SlowStart { server, .. }
+        | TimedFault::SlowEnd { server, .. }
+        | TimedFault::TornWrite { server, .. }
+        | TimedFault::BitRot { server, .. } => Some(server),
+        TimedFault::MdsCrash | TimedFault::MdsRestart => None,
+    }
+}
+
 /// Per-server statistics captured at the end of a run.
 #[derive(Debug, Clone)]
 pub struct ServerRunStats {
@@ -509,7 +542,7 @@ impl RunStats {
 /// The simulated cluster.
 pub struct Cluster {
     cfg: ClusterConfig,
-    sim: Simulation<Ev>,
+    sim: ShardedSimulation<Ev>,
     servers: Vec<DataServer>,
     server_links: Vec<Link>,
     mds_link: Link,
@@ -562,11 +595,27 @@ impl Cluster {
         let server_links = (0..cfg.n_servers)
             .map(|_| Link::new(cfg.link.clone()))
             .collect();
+        // LP map: coordinator (clients + MDS) is LP 0; the servers are
+        // split into `shards` contiguous groups, one LP each. The
+        // lookahead — the engine's window width — is the fabric's
+        // per-message latency floor, the fastest any event can cross
+        // between LPs. `shards: 1` means unsharded: everything on a
+        // single LP, where the engine skips the barrier machinery
+        // entirely. Event order is intrinsic, so the split changes no
+        // output either way.
+        let groups = cfg.shards.clamp(1, cfg.n_servers);
+        let node_lp: Vec<u32> = if groups == 1 {
+            vec![0; cfg.n_servers + 1]
+        } else {
+            std::iter::once(0)
+                .chain((0..cfg.n_servers).map(|s| 1 + (s * groups / cfg.n_servers) as u32))
+                .collect()
+        };
         Cluster {
             mds_link: Link::new(cfg.link.clone()),
             mds_table: vec![0.0; cfg.n_servers],
             jitter_rng: ibridge_des::rng::stream_rng(cfg.seed, ibridge_des::rng::streams::CLIENT),
-            sim: Simulation::new(),
+            sim: ShardedSimulation::new(node_lp, cfg.link.lookahead()),
             servers,
             server_links,
             next_job: 0,
@@ -636,11 +685,14 @@ impl Cluster {
         out: &mut ServerOut,
         jobs: &mut HashMap<JobId, PendingJob>,
     ) {
+        let node = srv_node(server);
         for (kind, action) in out.dev_actions.drain(..) {
             let epoch = self.dev_epoch[server][dev_idx(kind)];
             match action {
                 Action::CompleteAt(t) => {
                     self.sim.post_at(
+                        node,
+                        node,
                         t,
                         Ev::DevComplete {
                             server,
@@ -651,6 +703,8 @@ impl Cluster {
                 }
                 Action::RecheckAt(t, gen) => {
                     self.sim.post_at(
+                        node,
+                        node,
                         t,
                         Ev::DevRecheck {
                             server,
@@ -671,6 +725,8 @@ impl Cluster {
             match self.net_decision(now) {
                 NetDecision::Deliver => {
                     self.sim.post_at(
+                        node,
+                        COORD,
                         arrive,
                         Ev::Reply {
                             proc,
@@ -687,6 +743,8 @@ impl Cluster {
                 NetDecision::Delay(d) => {
                     self.fstats.delayed_messages += 1;
                     self.sim.post_at(
+                        node,
+                        COORD,
                         arrive + d,
                         Ev::Reply {
                             proc,
@@ -699,6 +757,8 @@ impl Cluster {
                     self.fstats.duplicated_messages += 1;
                     for _ in 0..2 {
                         self.sim.post_at(
+                            node,
+                            COORD,
                             arrive,
                             Ev::Reply {
                                 proc,
@@ -722,9 +782,11 @@ impl Cluster {
         job: JobId,
         jobs: &mut HashMap<JobId, PendingJob>,
     ) {
+        let node = srv_node(server);
         match self.net_decision(now) {
             NetDecision::Deliver => {
-                self.sim.post_at(arrive, Ev::SubArrive { server, job });
+                self.sim
+                    .post_at(COORD, node, arrive, Ev::SubArrive { server, job });
             }
             NetDecision::Drop => {
                 self.fstats.dropped_messages += 1;
@@ -732,11 +794,13 @@ impl Cluster {
             }
             NetDecision::Delay(d) => {
                 self.fstats.delayed_messages += 1;
-                self.sim.post_at(arrive + d, Ev::SubArrive { server, job });
+                self.sim
+                    .post_at(COORD, node, arrive + d, Ev::SubArrive { server, job });
             }
             NetDecision::Duplicate => {
                 self.fstats.duplicated_messages += 1;
-                self.sim.post_at(arrive, Ev::SubArrive { server, job });
+                self.sim
+                    .post_at(COORD, node, arrive, Ev::SubArrive { server, job });
                 // The copy travels as its own job so the server can hold
                 // both at once; the client deduplicates on reply.
                 let pj = &jobs[&job];
@@ -752,7 +816,7 @@ impl Cluster {
                 self.next_job += 1;
                 jobs.insert(job2, copy);
                 self.sim
-                    .post_at(arrive, Ev::SubArrive { server, job: job2 });
+                    .post_at(COORD, node, arrive, Ev::SubArrive { server, job: job2 });
             }
         }
     }
@@ -821,8 +885,10 @@ impl Cluster {
                     self.degrade_end(server, now);
                     if draining {
                         // Replayed dirty entries must still be written
-                        // back for the run to quiesce.
-                        self.sim.post_now(Ev::DrainTick { server });
+                        // back for the run to quiesce. The restart runs
+                        // on the server's own LP, so the kick is local.
+                        let node = srv_node(server);
+                        self.sim.post_now(node, node, Ev::DrainTick { server });
                     }
                 }
             }
@@ -917,8 +983,15 @@ impl Cluster {
             // re-run without re-arming does not re-inject old faults.
             let timeline: Vec<(SimDuration, TimedFault)> = inj.arm().to_vec();
             for (off, f) in timeline {
-                self.sim
-                    .post_at(start + off, Ev::Fault(clamp_fault(f, self.cfg.n_servers)));
+                // Each fault is seeded directly onto the calendar of the
+                // LP owning its target (static routing — fault targets
+                // are known when the plan is armed).
+                let f = clamp_fault(f, self.cfg.n_servers);
+                let node = match fault_server(&f) {
+                    Some(s) => srv_node(s),
+                    None => COORD,
+                };
+                self.sim.post_at(node, node, start + off, Ev::Fault(f));
             }
         }
         for s in 0..self.cfg.n_servers {
@@ -953,8 +1026,8 @@ impl Cluster {
         let mut proc_state = vec![ProcState::Running; n_procs];
         let mut proc_iter = vec![0u64; n_procs];
         let mut active = n_procs;
-        let mut jobs: HashMap<JobId, PendingJob> = HashMap::new();
-        let mut parents: HashMap<u64, ParentState> = HashMap::new();
+        let mut jobs: HashMap<JobId, PendingJob> = HashMap::default();
+        let mut parents: HashMap<u64, ParentState> = HashMap::default();
         let mut latency_ms = MeanTracker::new();
         let mut latency_hist_ms = Histogram::new();
         let mut io_time = SimDuration::ZERO;
@@ -968,6 +1041,9 @@ impl Cluster {
         // Reused across every calendar event: after warm-up the event
         // loop performs no allocation for server output handling.
         let mut out = ServerOut::default();
+        // Scratch for request decomposition, reused across every Issue.
+        let mut pieces_scratch: Vec<(usize, u64, u64)> = Vec::new();
+        let mut subs_scratch: Vec<crate::proto::SubRequest> = Vec::new();
         let use_barrier = workload.barrier();
         let barrier_mask: Vec<bool> = (0..n_procs).map(|p| workload.in_barrier(p)).collect();
 
@@ -983,14 +1059,19 @@ impl Cluster {
         let mut audits = 0u64;
 
         for proc in 0..n_procs {
-            self.sim.post_now(Ev::Wake { proc });
+            self.sim.post_now(COORD, COORD, Ev::Wake { proc });
         }
         if ibridge {
             for server in 0..self.cfg.n_servers {
+                let node = srv_node(server);
                 self.sim
-                    .post_in(self.cfg.report_interval, Ev::Report { server });
-                self.sim
-                    .post_in(self.cfg.writeback_interval, Ev::WritebackTick { server });
+                    .post_in(node, node, self.cfg.report_interval, Ev::Report { server });
+                self.sim.post_in(
+                    node,
+                    node,
+                    self.cfg.writeback_interval,
+                    Ev::WritebackTick { server },
+                );
             }
         }
 
@@ -1020,6 +1101,8 @@ impl Cluster {
                             let delay = item.think + jitter;
                             if delay > SimDuration::ZERO {
                                 self.sim.post_in(
+                                    COORD,
+                                    COORD,
                                     delay,
                                     Ev::Issue {
                                         proc,
@@ -1027,35 +1110,41 @@ impl Cluster {
                                     },
                                 );
                             } else {
-                                self.sim.post_now(Ev::Issue {
-                                    proc,
-                                    req: item.req,
-                                });
+                                self.sim.post_now(
+                                    COORD,
+                                    COORD,
+                                    Ev::Issue {
+                                        proc,
+                                        req: item.req,
+                                    },
+                                );
                             }
                         }
                     }
                 }
                 Ev::Issue { proc, req } => {
                     assert!(req.len > 0, "zero-length file request");
-                    let subs = layout.sub_requests(
+                    layout.sub_requests_into(
                         req.dir,
                         req.file,
                         req.offset,
                         req.len,
                         self.cfg.threshold,
                         ibridge,
+                        &mut pieces_scratch,
+                        &mut subs_scratch,
                     );
                     let parent = self.next_parent;
                     self.next_parent += 1;
                     requests += 1;
                     bytes += req.len;
                     proc_bytes[proc] += req.len;
-                    let pending = subs.len();
+                    let pending = subs_scratch.len();
                     let mut tracks: Vec<SubTrack> = Vec::new();
                     if faults {
                         tracks.reserve(pending);
                     }
-                    for (idx, sub) in subs.into_iter().enumerate() {
+                    for (idx, sub) in subs_scratch.drain(..).enumerate() {
                         let job = self.next_job;
                         self.next_job += 1;
                         let arrive = client_links[proc].send(now, sub.request_bytes());
@@ -1066,6 +1155,8 @@ impl Cluster {
                         obs_net_req(now, arrive, proc, parent, sub_idx, server);
                         if faults {
                             let tid = self.sim.schedule_at(
+                                COORD,
+                                COORD,
                                 now + retry.timeout,
                                 Ev::SubTimeout { parent, sub_idx },
                             );
@@ -1110,8 +1201,9 @@ impl Cluster {
                         #[cfg(feature = "obs")]
                         obs_srv_queue(now, exec_at, server, job);
                         let epoch = self.srv_epoch[server];
+                        let node = srv_node(server);
                         self.sim
-                            .post_at(exec_at, Ev::SubExec { server, job, epoch });
+                            .post_at(node, node, exec_at, Ev::SubExec { server, job, epoch });
                     }
                 }
                 Ev::SubExec { server, job, epoch } => {
@@ -1206,7 +1298,7 @@ impl Cluster {
                                 proc_state[proc] = ProcState::AtBarrier;
                                 self.maybe_release_barrier(&mut proc_state, &barrier_mask, now);
                             } else {
-                                self.sim.post_now(Ev::Wake { proc });
+                                self.sim.post_now(COORD, COORD, Ev::Wake { proc });
                             }
                         }
                     }
@@ -1228,22 +1320,27 @@ impl Cluster {
                                 // Give up: surface an error completion so
                                 // the application makes progress.
                                 self.fstats.failed_subs += 1;
-                                self.sim.post_now(Ev::Reply {
-                                    proc,
-                                    parent,
-                                    sub_idx,
-                                });
+                                self.sim.post_now(
+                                    COORD,
+                                    COORD,
+                                    Ev::Reply {
+                                        proc,
+                                        parent,
+                                        sub_idx,
+                                    },
+                                );
                             } else {
                                 st.attempt += 1;
                                 self.fstats.retries += 1;
                                 let sub = st.sub.clone();
                                 let wait =
                                     retry.timeout.mul_f64(retry.backoff.powi(st.attempt as i32));
-                                st.timeout =
-                                    Some(self.sim.schedule_at(
-                                        now + wait,
-                                        Ev::SubTimeout { parent, sub_idx },
-                                    ));
+                                st.timeout = Some(self.sim.schedule_at(
+                                    COORD,
+                                    COORD,
+                                    now + wait,
+                                    Ev::SubTimeout { parent, sub_idx },
+                                ));
                                 let job = self.next_job;
                                 self.next_job += 1;
                                 let arrive = client_links[proc].send(now, sub.request_bytes());
@@ -1271,14 +1368,20 @@ impl Cluster {
                     // A crashed server cannot report; a degraded one
                     // (lost SSD) stays silent so the MDS keeps its slot
                     // zeroed and fragments stop being steered at it.
+                    let node = srv_node(server);
                     if !self.down[server] && !self.servers[server].policy().is_degraded() {
                         let t = self.servers[server].policy().report_t();
                         let arrive = self.server_links[server].send(now, 128);
-                        self.sim.post_at(arrive, Ev::ReportArrive { server, t });
+                        self.sim
+                            .post_at(node, COORD, arrive, Ev::ReportArrive { server, t });
                     }
                     if active > 0 {
-                        self.sim
-                            .post_in(self.cfg.report_interval, Ev::Report { server });
+                        self.sim.post_in(
+                            node,
+                            node,
+                            self.cfg.report_interval,
+                            Ev::Report { server },
+                        );
                     }
                 }
                 Ev::ReportArrive { server, t } => {
@@ -1294,6 +1397,8 @@ impl Cluster {
                         for dest in 0..self.cfg.n_servers {
                             let arrive = self.mds_link.send(now, 64 * self.cfg.n_servers as u64);
                             self.sim.post_at(
+                                COORD,
+                                srv_node(dest),
                                 arrive,
                                 Ev::Broadcast {
                                     server: dest,
@@ -1316,8 +1421,13 @@ impl Cluster {
                         self.handle_server_out(now, server, &mut out, &mut jobs);
                     }
                     if active > 0 {
-                        self.sim
-                            .post_in(self.cfg.writeback_interval, Ev::WritebackTick { server });
+                        let node = srv_node(server);
+                        self.sim.post_in(
+                            node,
+                            node,
+                            self.cfg.writeback_interval,
+                            Ev::WritebackTick { server },
+                        );
                     }
                 }
                 Ev::DrainTick { server } => {
@@ -1346,8 +1456,18 @@ impl Cluster {
             if active == 0 {
                 if !draining {
                     draining = true;
+                    // End-of-run bookkeeping, not a simulated message: the
+                    // kick is attributed to each server itself (like fault
+                    // seeding) so it fires at `now` on any shard count —
+                    // a fabric hop here would shift the drain by the
+                    // network latency floor and leak into the start time
+                    // of a subsequent run on the same cluster (warm-cache
+                    // experiments). Safe under the exact merge: the key
+                    // `(now, server node, seq)` places it identically at
+                    // every shard count.
                     for server in 0..self.cfg.n_servers {
-                        self.sim.post_now(Ev::DrainTick { server });
+                        let node = srv_node(server);
+                        self.sim.post_now(node, node, Ev::DrainTick { server });
                     }
                 }
                 if self.servers.iter().all(|s| s.quiescent()) {
@@ -1492,7 +1612,7 @@ impl Cluster {
         for (proc, st) in proc_state.iter_mut().enumerate() {
             if *st == ProcState::AtBarrier {
                 *st = ProcState::Running;
-                self.sim.post_now(Ev::Wake { proc });
+                self.sim.post_now(COORD, COORD, Ev::Wake { proc });
             }
         }
     }

@@ -70,14 +70,23 @@ impl Layout {
     /// ordered by server index. Each element is
     /// `(server, local_offset, len)`.
     pub fn decompose(&self, offset: u64, len: u64) -> Vec<(usize, u64, u64)> {
+        let mut out = Vec::new();
+        self.decompose_into(offset, len, &mut out);
+        out
+    }
+
+    /// [`decompose`](Layout::decompose) into a caller-owned buffer
+    /// (cleared first), so per-request hot paths can reuse one
+    /// allocation across millions of requests.
+    pub fn decompose_into(&self, offset: u64, len: u64, out: &mut Vec<(usize, u64, u64)>) {
+        out.clear();
         if len == 0 {
-            return Vec::new();
+            return;
         }
         let su = self.stripe_unit;
         let n = self.n_servers as u64;
         let u0 = offset / su;
         let u1 = (offset + len - 1) / su;
-        let mut out = Vec::new();
         for s in 0..n {
             // First unit ≥ u0 owned by server s.
             let first = u0 + (s + n - u0 % n) % n;
@@ -96,7 +105,6 @@ impl Layout {
                 };
             out.push((s as usize, start_local, end_local - start_local));
         }
-        out
     }
 
     /// Builds classified sub-requests for a parent request, implementing
@@ -122,35 +130,65 @@ impl Layout {
         threshold: u64,
         flag_fragments: bool,
     ) -> Vec<SubRequest> {
-        let pieces = self.decompose(offset, len);
-        let servers: Vec<u32> = pieces.iter().map(|&(s, _, _)| s as u32).collect();
-        pieces
-            .iter()
-            .map(|&(server, local_offset, sub_len)| {
-                let class = if !flag_fragments {
-                    ReqClass::Bulk
-                } else if len < threshold {
-                    ReqClass::Random
-                } else if sub_len < threshold && pieces.len() > 1 {
-                    let siblings = servers
-                        .iter()
-                        .copied()
-                        .filter(|&s| s != server as u32)
-                        .collect();
-                    ReqClass::Fragment { siblings }
-                } else {
-                    ReqClass::Bulk
-                };
-                SubRequest {
-                    dir,
-                    file,
-                    server,
-                    offset: local_offset,
-                    len: sub_len,
-                    class,
-                }
-            })
-            .collect()
+        let mut pieces = Vec::new();
+        let mut out = Vec::new();
+        self.sub_requests_into(
+            dir,
+            file,
+            offset,
+            len,
+            threshold,
+            flag_fragments,
+            &mut pieces,
+            &mut out,
+        );
+        out
+    }
+
+    /// [`sub_requests`](Layout::sub_requests) into caller-owned buffers
+    /// (both cleared first). `pieces` is scratch for the decomposition;
+    /// `out` receives the classified sub-requests. Only an actual
+    /// fragment allocates (its sibling list) — the common single-piece
+    /// request builds no intermediate vectors at all.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sub_requests_into(
+        &self,
+        dir: IoDir,
+        file: FileHandle,
+        offset: u64,
+        len: u64,
+        threshold: u64,
+        flag_fragments: bool,
+        pieces: &mut Vec<(usize, u64, u64)>,
+        out: &mut Vec<SubRequest>,
+    ) {
+        self.decompose_into(offset, len, pieces);
+        out.clear();
+        out.reserve(pieces.len());
+        for &(server, local_offset, sub_len) in pieces.iter() {
+            let class = if !flag_fragments {
+                ReqClass::Bulk
+            } else if len < threshold {
+                ReqClass::Random
+            } else if sub_len < threshold && pieces.len() > 1 {
+                let siblings = pieces
+                    .iter()
+                    .map(|&(s, _, _)| s as u32)
+                    .filter(|&s| s != server as u32)
+                    .collect();
+                ReqClass::Fragment { siblings }
+            } else {
+                ReqClass::Bulk
+            };
+            out.push(SubRequest {
+                dir,
+                file,
+                server,
+                offset: local_offset,
+                len: sub_len,
+                class,
+            });
+        }
     }
 }
 

@@ -17,6 +17,7 @@ use crate::policy::{
     CachePolicy, EntryId, FlushId, FlushOp, LogCorruption, Placement, RestartReport,
 };
 use crate::proto::SubRequest;
+use ibridge_des::fxhash::FxHashMap as HashMap;
 use ibridge_des::{SimDuration, SimTime};
 use ibridge_device::{bytes_to_sectors, DiskModel, DiskProfile, IoDir, SsdModel, SsdProfile};
 use ibridge_iosched::{
@@ -24,7 +25,6 @@ use ibridge_iosched::{
     StorageDev, StreamId,
 };
 use ibridge_localfs::{Extent, FileHandle, FsConfig, LocalFs};
-use std::collections::HashMap;
 
 /// Identifies a client job (one sub-request being served).
 pub type JobId = u64;
@@ -321,13 +321,13 @@ impl DataServer {
             policy,
             cfg,
             cpu_free: SimTime::ZERO,
-            jobs: HashMap::new(),
+            jobs: HashMap::default(),
             group_slots: Vec::new(),
             free_groups: Vec::new(),
             live_groups: 0,
             seg_scratch: Vec::new(),
-            flushes: HashMap::new(),
-            ra: HashMap::new(),
+            flushes: HashMap::default(),
+            ra: HashMap::default(),
             ra_hits: 0,
             ra_bytes: 0,
             cache_lost: false,

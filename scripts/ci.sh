@@ -23,22 +23,31 @@ echo "== expt --jobs parallel output identity"
 ./target/release/expt --jobs 4 all >/tmp/ibridge_ci_j4.txt 2>/dev/null
 cmp /tmp/ibridge_ci_j1.txt /tmp/ibridge_ci_j4.txt
 
-echo "== fault-matrix jobs identity (fixed seed; auditor armed)"
-./target/release/expt --seed 7 --audit --fault-plan chaos faults \
-  >/tmp/ibridge_ci_faults_j1.txt 2>/dev/null
-./target/release/expt --seed 7 --jobs 8 --audit --fault-plan chaos faults \
-  >/tmp/ibridge_ci_faults_j8.txt 2>/dev/null
-cmp /tmp/ibridge_ci_faults_j1.txt /tmp/ibridge_ci_faults_j8.txt
-
-echo "== corruption-matrix jobs identity (torn-write/bit-rot recovery)"
-./target/release/expt --seed 7 --audit recovery \
-  >/tmp/ibridge_ci_recovery_j1.txt 2>/dev/null
-./target/release/expt --seed 7 --jobs 8 --audit recovery \
-  >/tmp/ibridge_ci_recovery_j8.txt 2>/dev/null
-cmp /tmp/ibridge_ci_recovery_j1.txt /tmp/ibridge_ci_recovery_j8.txt
+echo "== shard identity (fig3 --shards 1 vs --shards 4)"
+./target/release/expt --shards 1 fig3 >/tmp/ibridge_ci_s1.txt 2>/dev/null
+./target/release/expt --shards 4 --jobs 4 fig3 >/tmp/ibridge_ci_s4.txt 2>/dev/null
+cmp /tmp/ibridge_ci_s1.txt /tmp/ibridge_ci_s4.txt
 
 echo "== goldens (calbench, fault/recovery/perf smokes, obs metrics)"
 ./scripts/check-goldens.sh
+
+# The goldens step just regenerated the jobs-1 fault/recovery/perf
+# smokes and diffed them against goldens/, so the committed files ARE
+# the jobs-1 baseline — the jobs-8 reruns compare straight against
+# them instead of regenerating their own.
+echo "== fault-matrix jobs identity (fixed seed; auditor armed)"
+./target/release/expt --seed 7 --jobs 8 --audit --fault-plan chaos faults \
+  >/tmp/ibridge_ci_faults_j8.txt 2>/dev/null
+cmp goldens/faults_smoke.txt /tmp/ibridge_ci_faults_j8.txt
+
+echo "== corruption-matrix jobs identity (torn-write/bit-rot recovery)"
+./target/release/expt --seed 7 --jobs 8 --audit recovery \
+  >/tmp/ibridge_ci_recovery_j8.txt 2>/dev/null
+cmp goldens/recovery_smoke.txt /tmp/ibridge_ci_recovery_j8.txt
+
+echo "== perf-smoke shard identity (summary --shards 8 vs golden)"
+./target/release/expt --shards 8 summary >/tmp/ibridge_ci_perf_s8.txt 2>/dev/null
+cmp goldens/perf_smoke.txt /tmp/ibridge_ci_perf_s8.txt
 
 echo "== trace-export determinism (fork-path merge, any --jobs)"
 ./target/release/expt --seed 7 --jobs 1 --trace-out /tmp/ibridge_ci_trace_j1.json fig3 \
