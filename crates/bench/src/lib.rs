@@ -71,6 +71,12 @@ pub struct Scale {
     /// order is intrinsic to the simulated system, so experiment output
     /// is byte-identical at any shard count.
     pub shards: usize,
+    /// Executor threads for the intra-run PDES driver (`expt
+    /// --threads`), forwarded to every cluster the experiments build.
+    /// At 1 (or with a single LP) the serial reference driver runs;
+    /// above 1 ready LPs execute concurrently between deterministic
+    /// window barriers. Output is byte-identical at any thread count.
+    pub threads: usize,
     /// A user-supplied fault plan (`expt --fault-plan ...`); the
     /// `faults` experiment adds a row for it next to the builtin plans.
     /// Leaked to `'static` by the CLI so `Scale` stays `Copy`.
@@ -92,6 +98,7 @@ impl Scale {
             page_cache: 512 << 10,
             seed: 42,
             shards: 1,
+            threads: 1,
             fault_plan: None,
             audit_interval: None,
         }
@@ -107,6 +114,7 @@ impl Scale {
             page_cache: 8 << 20,
             seed: 42,
             shards: 1,
+            threads: 1,
             fault_plan: None,
             audit_interval: None,
         }
@@ -124,6 +132,7 @@ pub fn build(system: System, n_servers: usize, scale: &Scale) -> Cluster {
         n_servers,
         seed: scale.seed,
         shards: scale.shards,
+        threads: scale.threads,
         audit_interval: scale.audit_interval,
         server: ServerConfig {
             ra_budget: scale.page_cache,
@@ -150,6 +159,7 @@ pub fn build_ibridge_with(
         n_servers,
         seed: scale.seed,
         shards: scale.shards,
+        threads: scale.threads,
         audit_interval: scale.audit_interval,
         threshold,
         flag_fragments: true,

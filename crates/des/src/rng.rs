@@ -58,6 +58,12 @@ pub mod streams {
     pub const LOCALFS: u64 = 7;
     /// Fault-injection draws (network impairment outcomes).
     pub const FAULTS: u64 = 8;
+    /// Per-node network-impairment deciders: each simulated node draws
+    /// its outcomes from `stream_rng(derive_seed(seed, FAULTS_NET),
+    /// node)`, so the draw sequence is a function of (seed, node)
+    /// alone — independent of how nodes are sharded into logical
+    /// processes or interleaved across threads.
+    pub const FAULTS_NET: u64 = 9;
 }
 
 #[cfg(test)]

@@ -10,11 +10,12 @@
 //! each run owns its injector and draws in event order.
 
 use crate::plan::{FaultDev, FaultPlan, FaultSpec, RetryConfig};
-use ibridge_des::rng::{stream_rng, streams};
+use ibridge_des::rng::{derive_seed, stream_rng, streams};
 use ibridge_des::SimDuration;
 use ibridge_net::{Impairment, NetDecision};
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::sync::Arc;
 
 /// A discrete fault the cluster executes at a scheduled instant.
 /// `Restart` and `SlowEnd` are derived from their opening events when
@@ -146,6 +147,35 @@ impl FaultStats {
     pub fn is_zero(&self) -> bool {
         *self == FaultStats::default()
     }
+
+    /// Adds `other`'s counters into `self`. Purely additive, so folding
+    /// per-LP stats in LP order gives the same totals the old single
+    /// accumulator produced — merge order never shows.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.crashes += other.crashes;
+        self.restarts += other.restarts;
+        self.ssd_losses += other.ssd_losses;
+        self.slow_windows += other.slow_windows;
+        self.dropped_messages += other.dropped_messages;
+        self.delayed_messages += other.delayed_messages;
+        self.duplicated_messages += other.duplicated_messages;
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.failed_subs += other.failed_subs;
+        self.duplicate_replies += other.duplicate_replies;
+        self.stale_completions += other.stale_completions;
+        self.dirty_bytes_lost += other.dirty_bytes_lost;
+        self.clean_entries_dropped += other.clean_entries_dropped;
+        self.pending_entries_dropped += other.pending_entries_dropped;
+        self.torn_writes += other.torn_writes;
+        self.rotted_records += other.rotted_records;
+        self.mds_crashes += other.mds_crashes;
+        self.mds_restarts += other.mds_restarts;
+        self.stalled_broadcasts += other.stalled_broadcasts;
+        self.fsck_records_scanned += other.fsck_records_scanned;
+        self.fsck_records_quarantined += other.fsck_records_quarantined;
+        self.degraded += other.degraded;
+    }
 }
 
 /// Compiled, seeded fault schedule for one cluster.
@@ -153,9 +183,37 @@ impl FaultStats {
 pub struct FaultInjector {
     timeline: Vec<(SimDuration, TimedFault)>,
     armed: bool,
-    windows: Vec<(SimDuration, SimDuration, Impairment)>,
+    windows: Arc<[(SimDuration, SimDuration, Impairment)]>,
     rng: StdRng,
     retry: RetryConfig,
+}
+
+/// A per-node network-impairment decider: the same impairment windows
+/// as the owning [`FaultInjector`], but drawing outcomes from a stream
+/// seeded by `(experiment seed, node)`. Each simulated node owns one,
+/// so the outcome sequence for a node's traffic depends only on the
+/// order *that node* sends messages — invariant under sharding and
+/// threading, where the global interleaving of sends across nodes is
+/// not deterministic enough to share one RNG.
+#[derive(Debug)]
+pub struct NetDecider {
+    windows: Arc<[(SimDuration, SimDuration, Impairment)]>,
+    rng: StdRng,
+}
+
+impl NetDecider {
+    /// Decides the fate of a data-plane message this node sends at
+    /// `since_start` after the armed run began. Draws only inside an
+    /// impairment window; overlapping windows resolve in plan order.
+    pub fn decide(&mut self, since_start: SimDuration) -> NetDecision {
+        for (from, until, imp) in self.windows.iter() {
+            if since_start >= *from && since_start < *until {
+                let u: f64 = self.rng.gen();
+                return imp.decide(u);
+            }
+        }
+        NetDecision::Deliver
+    }
 }
 
 impl FaultInjector {
@@ -240,10 +298,23 @@ impl FaultInjector {
         FaultInjector {
             timeline,
             armed: false,
-            windows,
+            windows: windows.into(),
             rng,
             retry: plan.retry_config(),
         }
+    }
+
+    /// Builds the network decider for one node, or `None` when the plan
+    /// has no impairment windows (so faultless runs carry no decider
+    /// state at all).
+    pub fn net_decider(&self, seed: u64, node: u16) -> Option<NetDecider> {
+        if self.windows.is_empty() {
+            return None;
+        }
+        Some(NetDecider {
+            windows: Arc::clone(&self.windows),
+            rng: stream_rng(derive_seed(seed, streams::FAULTS_NET), node as u64),
+        })
     }
 
     /// The retry policy the cluster should run while this injector is
@@ -269,7 +340,7 @@ impl FaultInjector {
     /// randomness here. Overlapping windows: the first (plan order)
     /// containing window wins.
     pub fn decide(&mut self, since_start: SimDuration) -> NetDecision {
-        for (from, until, imp) in &self.windows {
+        for (from, until, imp) in self.windows.iter() {
             if since_start >= *from && since_start < *until {
                 let u: f64 = self.rng.gen();
                 return imp.decide(u);
@@ -415,6 +486,61 @@ mod tests {
         );
         assert_eq!(inj.decide(SimDuration::from_millis(10)), NetDecision::Drop);
         assert_eq!(inj.decide(SimDuration::from_millis(19)), NetDecision::Drop);
+    }
+
+    #[test]
+    fn net_deciders_are_per_node_deterministic_streams() {
+        let p = plan("net from=0ms until=100ms drop=0.5\n");
+        let inj = FaultInjector::new(&p, 42);
+        let decisions = |d: &mut NetDecider| -> Vec<NetDecision> {
+            (0..32)
+                .map(|i| d.decide(SimDuration::from_millis(i)))
+                .collect()
+        };
+        let mut a = inj.net_decider(42, 3).expect("windows present");
+        let mut b = inj.net_decider(42, 3).expect("windows present");
+        assert_eq!(
+            decisions(&mut a),
+            decisions(&mut b),
+            "same node, same stream"
+        );
+        let mut c = inj.net_decider(42, 4).expect("windows present");
+        assert_ne!(
+            decisions(&mut a),
+            decisions(&mut c),
+            "nodes must not share draws"
+        );
+        let faultless = plan("crash server=0 at=10ms restart=30ms\n");
+        assert!(
+            FaultInjector::new(&faultless, 42)
+                .net_decider(42, 0)
+                .is_none(),
+            "no impairment windows, no decider"
+        );
+    }
+
+    #[test]
+    fn absorb_sums_counters_additively() {
+        let mut a = FaultStats {
+            crashes: 1,
+            retries: 5,
+            degraded: SimDuration::from_millis(30),
+            ..FaultStats::default()
+        };
+        let b = FaultStats {
+            crashes: 2,
+            dropped_messages: 7,
+            degraded: SimDuration::from_millis(70),
+            ..FaultStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.crashes, 3);
+        assert_eq!(a.retries, 5);
+        assert_eq!(a.dropped_messages, 7);
+        assert_eq!(a.degraded, SimDuration::from_millis(100));
+        let mut z = FaultStats::default();
+        z.absorb(&FaultStats::default());
+        assert!(z.is_zero(), "absorbing zero leaves zero");
     }
 
     #[test]

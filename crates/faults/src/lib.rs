@@ -33,7 +33,7 @@
 mod injector;
 mod plan;
 
-pub use injector::{FaultInjector, FaultStats, TimedFault};
+pub use injector::{FaultInjector, FaultStats, NetDecider, TimedFault};
 pub use plan::{
     builtin, FaultDev, FaultPlan, FaultSpec, PlanError, RetryConfig, BUILTIN_NAMES, BUILTIN_PLANS,
 };

@@ -11,6 +11,31 @@
 //! allocations and cache contents persist, which is how the harness
 //! warms the iBridge cache before read experiments (the paper relies on
 //! the same effect across repeated production runs).
+//!
+//! # Threading model
+//!
+//! The cluster's state is partitioned along logical-process boundaries
+//! so ready LPs can execute concurrently on the parallel-DES worker
+//! pool (`ClusterConfig::threads`):
+//!
+//! * the **coordinator LP** owns the clients and the metadata server —
+//!   the workload, per-process bookkeeping, the in-flight parent table,
+//!   the retry protocol and the MDS T-value table ([`CoordPersist`] is
+//!   its cross-run state);
+//! * each **server shard LP** owns a contiguous group of data servers —
+//!   their devices, policies, links, crash/epoch state and in-flight
+//!   job table (a [`ShardPersist`] of [`ServerCell`]s).
+//!
+//! No LP ever touches another LP's state: every interaction crosses the
+//! fabric as an event posted at least one lookahead in the future
+//! (requests carry their [`PendingJob`] in the message; SSD loss steers
+//! the MDS off via [`Ev::SteerOff`]; the end-of-run drain is kicked by
+//! cross-LP `DrainTick`s). Probabilistic network impairments draw from
+//! per-node RNG streams ([`ibridge_faults::NetDecider`]), so the dice
+//! rolled by one LP are independent of any other LP's schedule. Event
+//! keys are intrinsic `(time, source node, per-node sequence)`, so every
+//! stat, trace and golden is byte-identical at any `shards`/`threads`
+//! combination.
 
 use crate::layout::Layout;
 use crate::policy::{CachePolicy, CacheStats, LogCorruption};
@@ -18,10 +43,12 @@ use crate::proto::{FileRequest, SubRequest};
 use crate::server::{DataServer, DevKind, JobId, ServerConfig, ServerOut};
 use crate::workload::Workload;
 use ibridge_des::fxhash::FxHashMap as HashMap;
-use ibridge_des::pdes::ShardedSimulation;
+use ibridge_des::pdes::{LpPort, ShardedSimulation};
 use ibridge_des::stats::{Histogram, MeanTracker};
 use ibridge_des::{EventId, SimDuration, SimTime};
-use ibridge_faults::{FaultDev, FaultInjector, FaultPlan, FaultStats, TimedFault};
+use ibridge_faults::{
+    FaultDev, FaultInjector, FaultPlan, FaultStats, NetDecider, RetryConfig, TimedFault,
+};
 use ibridge_iosched::{Action, DevStats};
 use ibridge_localfs::FileHandle;
 use ibridge_net::{Link, LinkConfig, NetDecision};
@@ -40,6 +67,23 @@ static TOTAL_EVENTS: AtomicU64 = AtomicU64::new(0);
 /// poll from another thread).
 pub fn total_events_dispatched() -> u64 {
     TOTAL_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Synchronisation rounds executed by threaded runs (each round opens at
+/// the earliest pending event across LPs).
+static TOTAL_WINDOWS: AtomicU64 = AtomicU64::new(0);
+/// Rounds that needed a true multi-LP barrier; `windows - barriers`
+/// rounds were widened single-LP windows that skipped the barrier.
+static TOTAL_BARRIERS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide `(windows, barriers)` of every threaded run so far —
+/// zero until a run actually takes the threaded driver (`threads > 1`,
+/// more than one LP, tracing off). Monotone, updated once per run.
+pub fn total_window_counters() -> (u64, u64) {
+    (
+        TOTAL_WINDOWS.load(Ordering::Relaxed),
+        TOTAL_BARRIERS.load(Ordering::Relaxed),
+    )
 }
 
 static TOTAL_RETRIES: AtomicU64 = AtomicU64::new(0);
@@ -126,8 +170,17 @@ pub struct ClusterConfig {
     /// any shard count (see `ibridge_des::pdes`). Clamped to
     /// `n_servers`.
     pub shards: usize,
+    /// Worker threads of the intra-run parallel-DES driver. With more
+    /// than one thread and more than one LP (`shards > 1` builds the
+    /// coordinator plus server-group LPs), ready LPs execute
+    /// concurrently between deterministic window barriers; every output
+    /// is byte-identical at any thread count. `1` (the default) runs
+    /// the serial driver. Span tracing forces the serial driver — the
+    /// tracer's buffer merge is fork-path-based — while metrics stay
+    /// thread-safe either way.
+    pub threads: usize,
     /// Virtual-time cadence of the online invariant auditor: every
-    /// elapsed interval the cluster cross-checks each live server's
+    /// elapsed interval each shard cross-checks its live servers'
     /// policy invariants and the process-epoch monotonicity, aborting
     /// with a structured diagnostic on the first violation. `None`
     /// disables auditing. The auditor is synchronous and read-only — it
@@ -151,6 +204,7 @@ impl Default for ClusterConfig {
             client_jitter: SimDuration::from_millis(10),
             seed: 42,
             shards: 1,
+            threads: 1,
             audit_interval: None,
         }
     }
@@ -170,8 +224,14 @@ enum Ev {
     Wake { proc: usize },
     /// Think time elapsed; issue the request.
     Issue { proc: usize, req: FileRequest },
-    /// Sub-request message reached its server.
-    SubArrive { server: usize, job: JobId },
+    /// Sub-request message reached its server, carrying the cluster-side
+    /// job record with it — the job table is owned by the server's LP,
+    /// so the record travels in the message instead of being shared.
+    SubArrive {
+        server: usize,
+        job: JobId,
+        pj: Box<PendingJob>,
+    },
     /// Server CPU admitted the sub-request. `epoch` is the server's
     /// process epoch at admission: a crash bumps it, so executions queued
     /// by the dead process are discarded instead of acting on the
@@ -218,11 +278,16 @@ enum Ev {
     Broadcast { server: usize, table: Arc<[f64]> },
     /// Periodic writeback-daemon check.
     WritebackTick { server: usize },
-    /// End-of-run drain kick.
+    /// End-of-run drain kick, posted by the coordinator to every server
+    /// (and locally by a mid-drain restart).
     DrainTick { server: usize },
+    /// A server lost its SSD: the MDS zeroes that server's T slot so
+    /// fragments stop being steered at it. The table lives on the
+    /// coordinator LP, one lookahead away from the failing server.
+    SteerOff { server: usize },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct PendingJob {
     /// Taken (moved into the server) when the CPU admits the job; the
     /// reply size is precomputed so the reply path never needs it back.
@@ -232,6 +297,42 @@ struct PendingJob {
     parent: u64,
     server: usize,
     sub_idx: u32,
+}
+
+/// Recycling pool for the `Box<PendingJob>` riding every `SubArrive`
+/// message: without it each sub-request costs a heap allocation at the
+/// coordinator that the receiving shard immediately frees. The pool is
+/// thread-local so it needs no synchronisation under the threaded
+/// driver (each worker's pool self-balances; serial runs reach steady
+/// state after the first in-flight wave). Pool membership is invisible
+/// to the simulation — a recycled box is fully overwritten before
+/// reuse, so output is identical with or without pooling.
+const PJ_POOL_CAP: usize = 1024;
+thread_local! {
+    // The boxes themselves are the resource being recycled (they ride
+    // inside `Ev::SubArrive`), so `Vec<Box<_>>` is the point here.
+    #[allow(clippy::vec_box)]
+    static PJ_POOL: std::cell::RefCell<Vec<Box<PendingJob>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn pj_box(pj: PendingJob) -> Box<PendingJob> {
+    PJ_POOL.with(|p| match p.borrow_mut().pop() {
+        Some(mut b) => {
+            *b = pj;
+            b
+        }
+        None => Box::new(pj),
+    })
+}
+
+fn pj_recycle(b: Box<PendingJob>) {
+    PJ_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < PJ_POOL_CAP {
+            p.push(b);
+        }
+    });
 }
 
 /// Client-side in-flight record of one sub-request, kept only while a
@@ -539,37 +640,58 @@ impl RunStats {
     }
 }
 
+/// Cross-run state owned by the coordinator LP: the clients' RNG and id
+/// counters, and the metadata server.
+struct CoordPersist {
+    mds_link: Link,
+    mds_table: Vec<f64>,
+    /// Metadata server currently crashed: T-value reports are dropped
+    /// and broadcasts stall until its restart.
+    mds_down: bool,
+    jitter_rng: StdRng,
+    next_job: u64,
+    next_parent: u64,
+    /// Per-node network-impairment dice for client → server messages
+    /// (`None` when no plan with net windows is armed).
+    decider: Option<NetDecider>,
+}
+
+/// Cross-run state of one data server, owned by its shard LP.
+struct ServerCell {
+    server: DataServer,
+    /// Server → client reply link.
+    link: Link,
+    /// Process currently crashed.
+    down: bool,
+    /// Process epoch (bumped on crash).
+    srv_epoch: u32,
+    /// Device epochs, `[primary, cache]` (crash bumps both, SSD loss
+    /// bumps only the cache slot).
+    dev_epoch: [u32; 2],
+    /// Count of overlapping degradation causes (down, slow window, lost
+    /// SSD); time with depth > 0 accrues to [`FaultStats::degraded`].
+    degraded_depth: u32,
+    degraded_since: SimTime,
+    /// Per-node network-impairment dice for this server's replies.
+    decider: Option<NetDecider>,
+}
+
+/// One shard: a contiguous group of data servers sharing an LP.
+struct ShardPersist {
+    /// Global id of the first server in `cells`.
+    lo: usize,
+    cells: Vec<ServerCell>,
+}
+
 /// The simulated cluster.
 pub struct Cluster {
     cfg: ClusterConfig,
     sim: ShardedSimulation<Ev>,
-    servers: Vec<DataServer>,
-    server_links: Vec<Link>,
-    mds_link: Link,
-    mds_table: Vec<f64>,
-    jitter_rng: StdRng,
-    next_job: u64,
-    next_parent: u64,
+    coord: CoordPersist,
+    shards: Vec<ShardPersist>,
     /// Armed fault schedule; `None` keeps every fault path inert so an
     /// unarmed cluster is byte-identical to one that never saw a plan.
     injector: Option<FaultInjector>,
-    fstats: FaultStats,
-    run_start: SimTime,
-    /// Per-server: process currently crashed.
-    down: Vec<bool>,
-    /// Metadata server currently crashed: T-value reports are dropped
-    /// and broadcasts stall until its restart.
-    mds_down: bool,
-    /// Per-server process epoch (bumped on crash).
-    srv_epoch: Vec<u32>,
-    /// Per-server device epochs, `[primary, cache]` (crash bumps both,
-    /// SSD loss bumps only the cache slot).
-    dev_epoch: Vec<[u32; 2]>,
-    /// Per-server count of overlapping degradation causes (down, slow
-    /// window, lost SSD); time with depth > 0 accrues to
-    /// [`FaultStats::degraded`].
-    degraded_depth: Vec<u32>,
-    degraded_since: Vec<SimTime>,
 }
 
 impl Cluster {
@@ -589,12 +711,6 @@ impl Cluster {
         make_policy: impl Fn(usize) -> Box<dyn CachePolicy>,
     ) -> Self {
         assert!(cfg.n_servers > 0, "cluster needs at least one server");
-        let servers = (0..cfg.n_servers)
-            .map(|i| DataServer::new(i, make_server(i), make_policy(i)))
-            .collect();
-        let server_links = (0..cfg.n_servers)
-            .map(|_| Link::new(cfg.link.clone()))
-            .collect();
         // LP map: coordinator (clients + MDS) is LP 0; the servers are
         // split into `shards` contiguous groups, one LP each. The
         // lookahead — the engine's window width — is the fabric's
@@ -611,24 +727,47 @@ impl Cluster {
                 .chain((0..cfg.n_servers).map(|s| 1 + (s * groups / cfg.n_servers) as u32))
                 .collect()
         };
+        let mut shards: Vec<ShardPersist> = (0..groups)
+            .map(|_| ShardPersist {
+                lo: 0,
+                cells: Vec::new(),
+            })
+            .collect();
+        for s in 0..cfg.n_servers {
+            // Same contiguous split as `node_lp`; floor division is
+            // surjective for `groups <= n_servers`, so no group is empty.
+            let g = s * groups / cfg.n_servers;
+            let sh = &mut shards[g];
+            if sh.cells.is_empty() {
+                sh.lo = s;
+            }
+            sh.cells.push(ServerCell {
+                server: DataServer::new(s, make_server(s), make_policy(s)),
+                link: Link::new(cfg.link.clone()),
+                down: false,
+                srv_epoch: 0,
+                dev_epoch: [0, 0],
+                degraded_depth: 0,
+                degraded_since: SimTime::ZERO,
+                decider: None,
+            });
+        }
         Cluster {
-            mds_link: Link::new(cfg.link.clone()),
-            mds_table: vec![0.0; cfg.n_servers],
-            jitter_rng: ibridge_des::rng::stream_rng(cfg.seed, ibridge_des::rng::streams::CLIENT),
+            coord: CoordPersist {
+                mds_link: Link::new(cfg.link.clone()),
+                mds_table: vec![0.0; cfg.n_servers],
+                mds_down: false,
+                jitter_rng: ibridge_des::rng::stream_rng(
+                    cfg.seed,
+                    ibridge_des::rng::streams::CLIENT,
+                ),
+                next_job: 0,
+                next_parent: 0,
+                decider: None,
+            },
             sim: ShardedSimulation::new(node_lp, cfg.link.lookahead()),
-            servers,
-            server_links,
-            next_job: 0,
-            next_parent: 0,
+            shards,
             injector: None,
-            fstats: FaultStats::default(),
-            run_start: SimTime::ZERO,
-            down: vec![false; cfg.n_servers],
-            mds_down: false,
-            srv_epoch: vec![0; cfg.n_servers],
-            dev_epoch: vec![[0, 0]; cfg.n_servers],
-            degraded_depth: vec![0; cfg.n_servers],
-            degraded_since: vec![SimTime::ZERO; cfg.n_servers],
             cfg,
         }
     }
@@ -638,8 +777,22 @@ impl Cluster {
     /// plan's timeout/retry protocol. A faultless plan arms nothing at
     /// all — the run is byte-identical to one on a cluster that never
     /// saw a plan. Server ids in the plan are taken modulo `n_servers`.
+    ///
+    /// Each node gets its own impairment-decision RNG stream, so the
+    /// dice one LP rolls are independent of every other LP's schedule —
+    /// the property that keeps faulty runs byte-identical at any
+    /// `shards`/`threads` combination.
     pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
         self.injector = (!plan.is_faultless()).then(|| FaultInjector::new(plan, self.cfg.seed));
+        let seed = self.cfg.seed;
+        let inj = self.injector.as_ref();
+        self.coord.decider = inj.and_then(|inj| inj.net_decider(seed, COORD));
+        for sh in &mut self.shards {
+            let lo = sh.lo;
+            for (i, cell) in sh.cells.iter_mut().enumerate() {
+                cell.decider = inj.and_then(|inj| inj.net_decider(seed, srv_node(lo + i)));
+            }
+        }
     }
 
     /// The striping layout used for all files.
@@ -654,302 +807,26 @@ impl Cluster {
 
     /// Direct server access (inspection in tests/harness).
     pub fn server(&self, i: usize) -> &DataServer {
-        &self.servers[i]
+        let g = i * self.shards.len() / self.cfg.n_servers;
+        let sh = &self.shards[g];
+        &sh.cells[i - sh.lo].server
     }
 
     /// Preallocates a striped file of `logical_bytes` across the servers
     /// (the experiment data sets exist before measurement, as in the
     /// paper's setup).
     pub fn preallocate(&mut self, file: FileHandle, logical_bytes: u64) {
-        let layout = self.layout();
+        let layout = Layout::new(self.cfg.stripe_unit, self.cfg.n_servers);
         let su = layout.stripe_unit;
         let units = logical_bytes.div_ceil(su);
-        for (s, server) in self.servers.iter_mut().enumerate() {
-            // Units owned by server s among 0..units.
-            let owned = units / layout.n_servers as u64
-                + u64::from(units % layout.n_servers as u64 > s as u64);
-            if owned > 0 {
-                server.preallocate(file, owned * su);
-            }
-        }
-    }
-
-    /// Posts a server's accumulated output onto the calendar, draining
-    /// `out` in place so the caller can reuse its capacity. Event order
-    /// (device actions first, then replies in completion order) is part
-    /// of the determinism contract: ties on the calendar break FIFO.
-    fn handle_server_out(
-        &mut self,
-        now: SimTime,
-        server: usize,
-        out: &mut ServerOut,
-        jobs: &mut HashMap<JobId, PendingJob>,
-    ) {
-        let node = srv_node(server);
-        for (kind, action) in out.dev_actions.drain(..) {
-            let epoch = self.dev_epoch[server][dev_idx(kind)];
-            match action {
-                Action::CompleteAt(t) => {
-                    self.sim.post_at(
-                        node,
-                        node,
-                        t,
-                        Ev::DevComplete {
-                            server,
-                            kind,
-                            epoch,
-                        },
-                    );
-                }
-                Action::RecheckAt(t, gen) => {
-                    self.sim.post_at(
-                        node,
-                        node,
-                        t,
-                        Ev::DevRecheck {
-                            server,
-                            kind,
-                            gen,
-                            epoch,
-                        },
-                    );
-                }
-            }
-        }
-        for job in out.done_jobs.drain(..) {
-            let pj = jobs.remove(&job).expect("done job unknown to cluster");
-            let arrive = self.server_links[server].send(now, pj.reply_bytes);
-            let (proc, parent, sub_idx) = (pj.proc, pj.parent, pj.sub_idx);
-            #[cfg(feature = "obs")]
-            obs_net_reply(now, arrive, server, parent, sub_idx, pj.reply_bytes);
-            match self.net_decision(now) {
-                NetDecision::Deliver => {
-                    self.sim.post_at(
-                        node,
-                        COORD,
-                        arrive,
-                        Ev::Reply {
-                            proc,
-                            parent,
-                            sub_idx,
-                        },
-                    );
-                }
-                NetDecision::Drop => {
-                    // The client's timeout retransmits; the server will
-                    // serve the retry again.
-                    self.fstats.dropped_messages += 1;
-                }
-                NetDecision::Delay(d) => {
-                    self.fstats.delayed_messages += 1;
-                    self.sim.post_at(
-                        node,
-                        COORD,
-                        arrive + d,
-                        Ev::Reply {
-                            proc,
-                            parent,
-                            sub_idx,
-                        },
-                    );
-                }
-                NetDecision::Duplicate => {
-                    self.fstats.duplicated_messages += 1;
-                    for _ in 0..2 {
-                        self.sim.post_at(
-                            node,
-                            COORD,
-                            arrive,
-                            Ev::Reply {
-                                proc,
-                                parent,
-                                sub_idx,
-                            },
-                        );
-                    }
-                }
-            }
-        }
-    }
-
-    /// Routes one client→server sub-request message through the armed
-    /// network impairments (a straight delivery when no plan is armed).
-    fn post_sub_arrival(
-        &mut self,
-        now: SimTime,
-        arrive: SimTime,
-        server: usize,
-        job: JobId,
-        jobs: &mut HashMap<JobId, PendingJob>,
-    ) {
-        let node = srv_node(server);
-        match self.net_decision(now) {
-            NetDecision::Deliver => {
-                self.sim
-                    .post_at(COORD, node, arrive, Ev::SubArrive { server, job });
-            }
-            NetDecision::Drop => {
-                self.fstats.dropped_messages += 1;
-                jobs.remove(&job);
-            }
-            NetDecision::Delay(d) => {
-                self.fstats.delayed_messages += 1;
-                self.sim
-                    .post_at(COORD, node, arrive + d, Ev::SubArrive { server, job });
-            }
-            NetDecision::Duplicate => {
-                self.fstats.duplicated_messages += 1;
-                self.sim
-                    .post_at(COORD, node, arrive, Ev::SubArrive { server, job });
-                // The copy travels as its own job so the server can hold
-                // both at once; the client deduplicates on reply.
-                let pj = &jobs[&job];
-                let copy = PendingJob {
-                    sub: pj.sub.clone(),
-                    reply_bytes: pj.reply_bytes,
-                    proc: pj.proc,
-                    parent: pj.parent,
-                    server: pj.server,
-                    sub_idx: pj.sub_idx,
-                };
-                let job2 = self.next_job;
-                self.next_job += 1;
-                jobs.insert(job2, copy);
-                self.sim
-                    .post_at(COORD, node, arrive, Ev::SubArrive { server, job: job2 });
-            }
-        }
-    }
-
-    fn net_decision(&mut self, now: SimTime) -> NetDecision {
-        match self.injector.as_mut() {
-            Some(inj) => inj.decide(now - self.run_start),
-            None => NetDecision::Deliver,
-        }
-    }
-
-    fn degrade_start(&mut self, server: usize, now: SimTime) {
-        if self.degraded_depth[server] == 0 {
-            self.degraded_since[server] = now;
-        }
-        self.degraded_depth[server] += 1;
-    }
-
-    fn degrade_end(&mut self, server: usize, now: SimTime) {
-        // Depth 0 means the matching start fired in a run that was never
-        // armed (leftover calendar event) — nothing to close.
-        if self.degraded_depth[server] == 0 {
-            return;
-        }
-        self.degraded_depth[server] -= 1;
-        if self.degraded_depth[server] == 0 {
-            self.fstats.degraded += now - self.degraded_since[server];
-        }
-    }
-
-    /// Applies one scheduled fault. `jobs`/`lost_jobs` are the run's
-    /// in-flight tables; `draining` tells a restart to kick the drain.
-    fn apply_fault(
-        &mut self,
-        now: SimTime,
-        fault: TimedFault,
-        jobs: &mut HashMap<JobId, PendingJob>,
-        lost_jobs: &mut Vec<JobId>,
-        draining: bool,
-    ) {
-        match fault {
-            TimedFault::Crash { server } => {
-                if !self.down[server] {
-                    self.down[server] = true;
-                    self.fstats.crashes += 1;
-                    self.srv_epoch[server] = self.srv_epoch[server].wrapping_add(1);
-                    self.dev_epoch[server][0] = self.dev_epoch[server][0].wrapping_add(1);
-                    self.dev_epoch[server][1] = self.dev_epoch[server][1].wrapping_add(1);
-                    // Sub-requests in the dead process's custody vanish
-                    // with it; the clients' timeouts recover them.
-                    jobs.retain(|_, pj| !(pj.server == server && pj.sub.is_none()));
-                    self.servers[server].crash(now);
-                    self.degrade_start(server, now);
-                }
-            }
-            TimedFault::Restart { server } => {
-                if self.down[server] {
-                    self.down[server] = false;
-                    self.fstats.restarts += 1;
-                    let report = self.servers[server].restart(now);
-                    self.fstats.clean_entries_dropped += report.clean_entries_dropped;
-                    self.fstats.pending_entries_dropped += report.pending_entries_dropped;
-                    self.fstats.fsck_records_scanned += report.records_scanned;
-                    self.fstats.fsck_records_quarantined += report.records_quarantined;
-                    self.fstats.dirty_bytes_lost += report.dirty_bytes_lost;
-                    self.degrade_end(server, now);
-                    if draining {
-                        // Replayed dirty entries must still be written
-                        // back for the run to quiesce. The restart runs
-                        // on the server's own LP, so the kick is local.
-                        let node = srv_node(server);
-                        self.sim.post_now(node, node, Ev::DrainTick { server });
-                    }
-                }
-            }
-            TimedFault::SsdLoss { server } => {
-                if self.servers[server].cache().is_some() {
-                    self.fstats.ssd_losses += 1;
-                    self.dev_epoch[server][1] = self.dev_epoch[server][1].wrapping_add(1);
-                    lost_jobs.clear();
-                    let lost = self.servers[server].lose_cache_dev(now, lost_jobs);
-                    self.fstats.dirty_bytes_lost += lost;
-                    for job in lost_jobs.drain(..) {
-                        jobs.remove(&job);
-                    }
-                    // The MDS stops steering fragments at this server.
-                    self.mds_table[server] = 0.0;
-                    self.degrade_start(server, now);
-                }
-            }
-            TimedFault::SlowStart {
-                server,
-                dev,
-                factor,
-            } => {
-                self.fstats.slow_windows += 1;
-                self.servers[server].set_slow_factor(devkind(dev), factor);
-                self.degrade_start(server, now);
-            }
-            TimedFault::SlowEnd { server, dev } => {
-                self.servers[server].set_slow_factor(devkind(dev), 1.0);
-                self.degrade_end(server, now);
-            }
-            TimedFault::TornWrite { server, records } => {
-                // Fires immediately before its Crash (same instant, plan
-                // order): the records are torn on media before the
-                // restart's recovery fsck ever sees them.
-                if !self.down[server] {
-                    self.servers[server].corrupt_cache(now, LogCorruption::TornWrite { records });
-                    self.fstats.torn_writes += 1;
-                }
-            }
-            TimedFault::BitRot {
-                server,
-                sectors,
-                seed,
-            } => {
-                if !self.down[server] {
-                    let hit = self.servers[server]
-                        .corrupt_cache(now, LogCorruption::BitRot { sectors, seed });
-                    self.fstats.rotted_records += hit;
-                }
-            }
-            TimedFault::MdsCrash => {
-                if !self.mds_down {
-                    self.mds_down = true;
-                    self.fstats.mds_crashes += 1;
-                }
-            }
-            TimedFault::MdsRestart => {
-                if self.mds_down {
-                    self.mds_down = false;
-                    self.fstats.mds_restarts += 1;
+        for sh in &mut self.shards {
+            for (i, cell) in sh.cells.iter_mut().enumerate() {
+                let s = sh.lo + i;
+                // Units owned by server s among 0..units.
+                let owned = units / layout.n_servers as u64
+                    + u64::from(units % layout.n_servers as u64 > s as u64);
+                if owned > 0 {
+                    cell.server.preallocate(file, owned * su);
                 }
             }
         }
@@ -960,9 +837,17 @@ impl Cluster {
     ///
     /// State (file allocations, cache contents, device head positions)
     /// persists across calls, enabling warm-cache measurements.
+    ///
+    /// The run executes on the serial driver, or — when
+    /// `ClusterConfig::threads > 1`, the cluster has more than one LP
+    /// and span tracing is off — on the scoped worker pool with
+    /// deterministic window barriers. Output is byte-identical either
+    /// way.
     pub fn run(&mut self, workload: &mut dyn Workload) -> RunStats {
         let n_procs = workload.procs();
         assert!(n_procs > 0, "workload has no processes");
+        let n_servers = self.cfg.n_servers;
+        let groups = self.shards.len();
         let start = self.sim.now();
         let dispatched_before = self.sim.dispatched();
         let layout = self.layout();
@@ -970,14 +855,18 @@ impl Cluster {
 
         // Fault machinery. Everything below is inert when no plan is
         // armed: no extra events, no RNG draws, identical event order.
-        self.run_start = start;
-        self.fstats = FaultStats::default();
         let faults = self.injector.is_some();
         let retry = self
             .injector
             .as_ref()
             .map(|inj| inj.retry().clone())
             .unwrap_or_default();
+        let mut coord_fault_ids: Vec<EventId> = Vec::new();
+        let mut shard_fault_ids: Vec<Vec<Vec<EventId>>> = self
+            .shards
+            .iter()
+            .map(|sh| vec![Vec::new(); sh.cells.len()])
+            .collect();
         if let Some(inj) = self.injector.as_mut() {
             // `arm` hands the timeline out exactly once, so a cluster
             // re-run without re-arming does not re-inject old faults.
@@ -985,26 +874,35 @@ impl Cluster {
             for (off, f) in timeline {
                 // Each fault is seeded directly onto the calendar of the
                 // LP owning its target (static routing — fault targets
-                // are known when the plan is armed).
-                let f = clamp_fault(f, self.cfg.n_servers);
-                let node = match fault_server(&f) {
-                    Some(s) => srv_node(s),
-                    None => COORD,
-                };
-                self.sim.post_at(node, node, start + off, Ev::Fault(f));
+                // are known when the plan is armed). Cancellable: the
+                // run drains the calendar to empty, so faults pending
+                // past their target's quiescence are unscheduled.
+                let f = clamp_fault(f, n_servers);
+                match fault_server(&f) {
+                    Some(s) => {
+                        let node = srv_node(s);
+                        let id = self.sim.schedule_at(node, node, start + off, Ev::Fault(f));
+                        let g = s * groups / n_servers;
+                        shard_fault_ids[g][s - self.shards[g].lo].push(id);
+                    }
+                    None => {
+                        let id = self
+                            .sim
+                            .schedule_at(COORD, COORD, start + off, Ev::Fault(f));
+                        coord_fault_ids.push(id);
+                    }
+                }
             }
         }
-        for s in 0..self.cfg.n_servers {
-            // Degradation persisting from an earlier run (e.g. a lost
-            // SSD) accrues from this run's start.
-            if self.degraded_depth[s] > 0 {
-                self.degraded_since[s] = start;
+        for sh in &mut self.shards {
+            for cell in &mut sh.cells {
+                // Degradation persisting from an earlier run (e.g. a
+                // lost SSD) accrues from this run's start.
+                if cell.degraded_depth > 0 {
+                    cell.degraded_since = start;
+                }
+                cell.server.prepare_run();
             }
-        }
-        let mut lost_jobs: Vec<JobId> = Vec::new();
-
-        for s in &mut self.servers {
-            s.prepare_run();
         }
 
         // Observability. Recording is read-only with respect to the
@@ -1015,54 +913,26 @@ impl Cluster {
         ibridge_obs::trace::run_begin();
         #[cfg(feature = "obs")]
         let obs_dev0: Vec<ibridge_iosched::DevStats> = if ibridge_obs::metrics_on() {
-            self.servers.iter().map(|s| s.primary().stats()).collect()
+            self.shards
+                .iter()
+                .flat_map(|sh| sh.cells.iter())
+                .map(|c| c.server.primary().stats())
+                .collect()
         } else {
             Vec::new()
         };
 
-        let mut client_links: Vec<Link> = (0..n_procs)
+        let client_links: Vec<Link> = (0..n_procs)
             .map(|_| Link::new(self.cfg.link.clone()))
             .collect();
-        let mut proc_state = vec![ProcState::Running; n_procs];
-        let mut proc_iter = vec![0u64; n_procs];
-        let mut active = n_procs;
-        let mut jobs: HashMap<JobId, PendingJob> = HashMap::default();
-        let mut parents: HashMap<u64, ParentState> = HashMap::default();
-        let mut latency_ms = MeanTracker::new();
-        let mut latency_hist_ms = Histogram::new();
-        let mut io_time = SimDuration::ZERO;
-        let mut think_time = SimDuration::ZERO;
-        let mut bytes = 0u64;
-        let mut requests = 0u64;
-        let mut client_done_at = start;
-        let mut proc_bytes = vec![0u64; n_procs];
-        let mut proc_done = vec![SimDuration::ZERO; n_procs];
-        let mut draining = false;
-        // Reused across every calendar event: after warm-up the event
-        // loop performs no allocation for server output handling.
-        let mut out = ServerOut::default();
-        // Scratch for request decomposition, reused across every Issue.
-        let mut pieces_scratch: Vec<(usize, u64, u64)> = Vec::new();
-        let mut subs_scratch: Vec<crate::proto::SubRequest> = Vec::new();
         let use_barrier = workload.barrier();
         let barrier_mask: Vec<bool> = (0..n_procs).map(|p| workload.in_barrier(p)).collect();
-
-        // Online invariant auditor: piggybacked synchronously on event
-        // dispatch (never posts events, never draws randomness), so the
-        // calendar — and therefore every observable output — is
-        // byte-identical with auditing on or off.
-        #[cfg(feature = "audit")]
-        let mut next_audit = self.cfg.audit_interval.map(|iv| start + iv);
-        #[cfg(feature = "audit")]
-        let mut audit_epochs: Vec<u32> = self.srv_epoch.clone();
-        #[cfg(feature = "audit")]
-        let mut audits = 0u64;
 
         for proc in 0..n_procs {
             self.sim.post_now(COORD, COORD, Ev::Wake { proc });
         }
         if ibridge {
-            for server in 0..self.cfg.n_servers {
+            for server in 0..n_servers {
                 let node = srv_node(server);
                 self.sim
                     .post_in(node, node, self.cfg.report_interval, Ev::Report { server });
@@ -1075,427 +945,196 @@ impl Cluster {
             }
         }
 
-        while let Some((now, ev)) = self.sim.pop() {
-            match ev {
-                Ev::Wake { proc } => {
-                    debug_assert_eq!(proc_state[proc], ProcState::Running);
-                    match workload.next(proc, proc_iter[proc]) {
-                        None => {
-                            proc_state[proc] = ProcState::Done;
-                            proc_done[proc] = now - start;
-                            active -= 1;
-                            if active == 0 {
-                                client_done_at = now;
-                            } else if use_barrier {
-                                // A departing process may release the barrier.
-                                self.maybe_release_barrier(&mut proc_state, &barrier_mask, now);
-                            }
-                        }
-                        Some(item) => {
-                            proc_iter[proc] += 1;
-                            think_time += item.think;
-                            let jitter = match self.cfg.client_jitter.as_nanos() {
-                                0 => SimDuration::ZERO,
-                                max => SimDuration::from_nanos(self.jitter_rng.gen_range(0..max)),
-                            };
-                            let delay = item.think + jitter;
-                            if delay > SimDuration::ZERO {
-                                self.sim.post_in(
-                                    COORD,
-                                    COORD,
-                                    delay,
-                                    Ev::Issue {
-                                        proc,
-                                        req: item.req,
-                                    },
-                                );
-                            } else {
-                                self.sim.post_now(
-                                    COORD,
-                                    COORD,
-                                    Ev::Issue {
-                                        proc,
-                                        req: item.req,
-                                    },
-                                );
-                            }
-                        }
-                    }
-                }
-                Ev::Issue { proc, req } => {
-                    assert!(req.len > 0, "zero-length file request");
-                    layout.sub_requests_into(
-                        req.dir,
-                        req.file,
-                        req.offset,
-                        req.len,
-                        self.cfg.threshold,
-                        ibridge,
-                        &mut pieces_scratch,
-                        &mut subs_scratch,
-                    );
-                    let parent = self.next_parent;
-                    self.next_parent += 1;
-                    requests += 1;
-                    bytes += req.len;
-                    proc_bytes[proc] += req.len;
-                    let pending = subs_scratch.len();
-                    let mut tracks: Vec<SubTrack> = Vec::new();
-                    if faults {
-                        tracks.reserve(pending);
-                    }
-                    for (idx, sub) in subs_scratch.drain(..).enumerate() {
-                        let job = self.next_job;
-                        self.next_job += 1;
-                        let arrive = client_links[proc].send(now, sub.request_bytes());
-                        let server = sub.server;
-                        let reply_bytes = sub.reply_bytes();
-                        let sub_idx = idx as u32;
-                        #[cfg(feature = "obs")]
-                        obs_net_req(now, arrive, proc, parent, sub_idx, server);
-                        if faults {
-                            let tid = self.sim.schedule_at(
-                                COORD,
-                                COORD,
-                                now + retry.timeout,
-                                Ev::SubTimeout { parent, sub_idx },
-                            );
-                            tracks.push(SubTrack {
-                                sub: sub.clone(),
-                                attempt: 0,
-                                done: false,
-                                timeout: Some(tid),
-                            });
-                        }
-                        jobs.insert(
-                            job,
-                            PendingJob {
-                                sub: Some(sub),
-                                reply_bytes,
-                                proc,
-                                parent,
-                                server,
-                                sub_idx,
-                            },
-                        );
-                        self.post_sub_arrival(now, arrive, server, job, &mut jobs);
-                    }
-                    parents.insert(
-                        parent,
-                        ParentState {
-                            proc,
-                            pending,
-                            issued_at: now,
-                            subs: tracks,
-                        },
-                    );
-                }
-                Ev::SubArrive { server, job } => {
-                    if self.down[server] {
-                        // The message reached a dead endpoint; the
-                        // client's timeout recovers it.
-                        jobs.remove(&job);
-                        self.fstats.dropped_messages += 1;
-                    } else {
-                        let exec_at = self.servers[server].cpu_admit(now);
-                        #[cfg(feature = "obs")]
-                        obs_srv_queue(now, exec_at, server, job);
-                        let epoch = self.srv_epoch[server];
-                        let node = srv_node(server);
-                        self.sim
-                            .post_at(node, node, exec_at, Ev::SubExec { server, job, epoch });
-                    }
-                }
-                Ev::SubExec { server, job, epoch } => {
-                    if epoch != self.srv_epoch[server] {
-                        // Admitted by a process instance that has since
-                        // crashed.
-                        jobs.remove(&job);
-                        self.fstats.stale_completions += 1;
-                    } else {
-                        let (sub, proc) = {
-                            let pj = jobs.get_mut(&job).expect("executing unknown job");
-                            (pj.sub.take().expect("job executed twice"), pj.proc)
-                        };
-                        out.clear();
-                        self.servers[server].exec_subreq(now, job, proc as u64, sub, &mut out);
-                        self.handle_server_out(now, server, &mut out, &mut jobs);
-                    }
-                }
-                Ev::DevComplete {
-                    server,
-                    kind,
-                    epoch,
-                } => {
-                    if epoch != self.dev_epoch[server][dev_idx(kind)] {
-                        self.fstats.stale_completions += 1;
-                    } else {
-                        out.clear();
-                        self.servers[server].on_dev_complete(now, kind, &mut out);
-                        if draining && !self.servers[server].quiescent() {
-                            // Appends into the same output; ordering matches
-                            // the completion actions followed by the flush's.
-                            self.servers[server].writeback_tick(now, true, &mut out);
-                        }
-                        self.handle_server_out(now, server, &mut out, &mut jobs);
-                    }
-                }
-                Ev::DevRecheck {
-                    server,
-                    kind,
-                    gen,
-                    epoch,
-                } => {
-                    if epoch != self.dev_epoch[server][dev_idx(kind)] {
-                        self.fstats.stale_completions += 1;
-                    } else {
-                        out.clear();
-                        self.servers[server].on_dev_recheck(now, kind, gen, &mut out);
-                        self.handle_server_out(now, server, &mut out, &mut jobs);
-                    }
-                }
-                Ev::Reply {
-                    proc,
-                    parent,
-                    sub_idx,
-                } => {
-                    let mut duplicate = false;
-                    if faults {
-                        match parents.get_mut(&parent) {
-                            None => duplicate = true,
-                            Some(p) => {
-                                let st = &mut p.subs[sub_idx as usize];
-                                if st.done {
-                                    duplicate = true;
-                                } else {
-                                    st.done = true;
-                                    if let Some(id) = st.timeout.take() {
-                                        self.sim.cancel(id);
-                                    }
-                                }
-                            }
-                        }
-                        if duplicate {
-                            self.fstats.duplicate_replies += 1;
-                        }
-                    }
-                    if !duplicate {
-                        let done = {
-                            let p = parents.get_mut(&parent).expect("reply for unknown parent");
-                            p.pending -= 1;
-                            p.pending == 0
-                        };
-                        if done {
-                            let p = parents.remove(&parent).expect("checked above");
-                            let wait = now - p.issued_at;
-                            #[cfg(feature = "obs")]
-                            obs_request_done(p.issued_at, wait, proc, parent);
-                            io_time += wait;
-                            latency_ms.record(wait.as_millis_f64());
-                            latency_hist_ms.record(wait.as_millis_f64().round() as u64);
-                            debug_assert_eq!(p.proc, proc);
-                            if use_barrier && barrier_mask[proc] {
-                                proc_state[proc] = ProcState::AtBarrier;
-                                self.maybe_release_barrier(&mut proc_state, &barrier_mask, now);
-                            } else {
-                                self.sim.post_now(COORD, COORD, Ev::Wake { proc });
-                            }
-                        }
-                    }
-                }
-                Ev::Fault(fault) => {
-                    self.apply_fault(now, fault, &mut jobs, &mut lost_jobs, draining);
-                }
-                Ev::SubTimeout { parent, sub_idx } => {
-                    // A fired timer whose sub completed in the same
-                    // instant was already cancelled; the defensive check
-                    // keeps leftover timers from a previous run harmless.
-                    if let Some(p) = parents.get_mut(&parent) {
-                        let proc = p.proc;
-                        let st = &mut p.subs[sub_idx as usize];
-                        if !st.done {
-                            st.timeout = None;
-                            self.fstats.timeouts += 1;
-                            if st.attempt >= retry.max_retries {
-                                // Give up: surface an error completion so
-                                // the application makes progress.
-                                self.fstats.failed_subs += 1;
-                                self.sim.post_now(
-                                    COORD,
-                                    COORD,
-                                    Ev::Reply {
-                                        proc,
-                                        parent,
-                                        sub_idx,
-                                    },
-                                );
-                            } else {
-                                st.attempt += 1;
-                                self.fstats.retries += 1;
-                                let sub = st.sub.clone();
-                                let wait =
-                                    retry.timeout.mul_f64(retry.backoff.powi(st.attempt as i32));
-                                st.timeout = Some(self.sim.schedule_at(
-                                    COORD,
-                                    COORD,
-                                    now + wait,
-                                    Ev::SubTimeout { parent, sub_idx },
-                                ));
-                                let job = self.next_job;
-                                self.next_job += 1;
-                                let arrive = client_links[proc].send(now, sub.request_bytes());
-                                let server = sub.server;
-                                let reply_bytes = sub.reply_bytes();
-                                #[cfg(feature = "obs")]
-                                obs_net_req(now, arrive, proc, parent, sub_idx, server);
-                                jobs.insert(
-                                    job,
-                                    PendingJob {
-                                        sub: Some(sub),
-                                        reply_bytes,
-                                        proc,
-                                        parent,
-                                        server,
-                                        sub_idx,
-                                    },
-                                );
-                                self.post_sub_arrival(now, arrive, server, job, &mut jobs);
-                            }
-                        }
-                    }
-                }
-                Ev::Report { server } => {
-                    // A crashed server cannot report; a degraded one
-                    // (lost SSD) stays silent so the MDS keeps its slot
-                    // zeroed and fragments stop being steered at it.
-                    let node = srv_node(server);
-                    if !self.down[server] && !self.servers[server].policy().is_degraded() {
-                        let t = self.servers[server].policy().report_t();
-                        let arrive = self.server_links[server].send(now, 128);
-                        self.sim
-                            .post_at(node, COORD, arrive, Ev::ReportArrive { server, t });
-                    }
-                    if active > 0 {
-                        self.sim.post_in(
-                            node,
-                            node,
-                            self.cfg.report_interval,
-                            Ev::Report { server },
-                        );
-                    }
-                }
-                Ev::ReportArrive { server, t } => {
-                    if self.mds_down {
-                        // The MDS is down: the report is lost and no
-                        // broadcast goes out. Servers keep serving with
-                        // their last-known T values until the restart.
-                        self.fstats.stalled_broadcasts += 1;
-                    } else {
-                        self.mds_table[server] = t;
-                        // One shared snapshot for the whole broadcast fan-out.
-                        let table: Arc<[f64]> = Arc::from(self.mds_table.as_slice());
-                        for dest in 0..self.cfg.n_servers {
-                            let arrive = self.mds_link.send(now, 64 * self.cfg.n_servers as u64);
-                            self.sim.post_at(
-                                COORD,
-                                srv_node(dest),
-                                arrive,
-                                Ev::Broadcast {
-                                    server: dest,
-                                    table: Arc::clone(&table),
-                                },
-                            );
-                        }
-                    }
-                }
-                Ev::Broadcast { server, table } => {
-                    if !self.down[server] {
-                        self.servers[server].policy_mut().receive_broadcast(&table);
-                    }
-                }
-                Ev::WritebackTick { server } => {
-                    if !self.down[server] {
-                        out.clear();
-                        self.servers[server].writeback_tick(now, false, &mut out);
-                        debug_assert!(out.done_jobs.is_empty());
-                        self.handle_server_out(now, server, &mut out, &mut jobs);
-                    }
-                    if active > 0 {
-                        let node = srv_node(server);
-                        self.sim.post_in(
-                            node,
-                            node,
-                            self.cfg.writeback_interval,
-                            Ev::WritebackTick { server },
-                        );
-                    }
-                }
-                Ev::DrainTick { server } => {
-                    if !self.down[server] {
-                        out.clear();
-                        self.servers[server].writeback_tick(now, true, &mut out);
-                        debug_assert!(out.done_jobs.is_empty());
-                        self.handle_server_out(now, server, &mut out, &mut jobs);
-                    }
-                }
+        // Split the cluster into its per-LP states. From here on no
+        // code path touches state across an LP boundary: the handler
+        // closure sees exactly one LP's state per event.
+        let Cluster {
+            cfg,
+            sim,
+            coord,
+            shards,
+            ..
+        } = self;
+        let cfg: &ClusterConfig = cfg;
+        let shared = Shared {
+            cfg,
+            layout,
+            ibridge,
+            faults,
+            start,
+        };
+        let co = CoordLp {
+            p: coord,
+            workload,
+            retry,
+            client_links,
+            proc_state: vec![ProcState::Running; n_procs],
+            proc_iter: vec![0u64; n_procs],
+            active: n_procs,
+            parents: HashMap::default(),
+            latency_ms: MeanTracker::new(),
+            latency_hist_ms: Histogram::new(),
+            io_time: SimDuration::ZERO,
+            think_time: SimDuration::ZERO,
+            bytes: 0,
+            requests: 0,
+            client_done_at: start,
+            proc_bytes: vec![0u64; n_procs],
+            proc_done: vec![SimDuration::ZERO; n_procs],
+            use_barrier,
+            barrier_mask,
+            drain_kicked: false,
+            fault_ids: coord_fault_ids,
+            fstats: FaultStats::default(),
+            pieces_scratch: Vec::new(),
+            subs_scratch: Vec::new(),
+        };
+        fn mk_shard<'r>(
+            cfg: &ClusterConfig,
+            start: SimTime,
+            p: &'r mut ShardPersist,
+            fault_ids: Vec<Vec<EventId>>,
+        ) -> ShardLp<'r> {
+            #[cfg(not(feature = "audit"))]
+            let _ = cfg;
+            let n_cells = p.cells.len();
+            ShardLp {
+                #[cfg(feature = "audit")]
+                next_audit: cfg.audit_interval.map(|iv| start + iv),
+                #[cfg(feature = "audit")]
+                audit_epochs: p.cells.iter().map(|c| c.srv_epoch).collect(),
+                #[cfg(feature = "audit")]
+                audits: 0,
+                jobs: HashMap::default(),
+                out: ServerOut::default(),
+                fstats: FaultStats::default(),
+                draining: false,
+                was_quiescent: false,
+                quiesced_at: start,
+                fault_ids,
+                cell_was_q: vec![false; n_cells],
+                lost_jobs: Vec::new(),
+                p,
             }
+        }
+        let single = sim.n_lps() == 1;
+        let mut fault_buckets = shard_fault_ids.into_iter();
+        let mut states: Vec<LpState<'_>> =
+            Vec::with_capacity(if single { 1 } else { 1 + shards.len() });
+        if single {
+            let sh = shards.first_mut().expect("at least one shard");
+            states.push(LpState {
+                coord: Some(co),
+                shard: Some(mk_shard(
+                    cfg,
+                    start,
+                    sh,
+                    fault_buckets.next().expect("bucket"),
+                )),
+            });
+        } else {
+            states.push(LpState {
+                coord: Some(co),
+                shard: None,
+            });
+            for sh in shards.iter_mut() {
+                states.push(LpState {
+                    coord: None,
+                    shard: Some(mk_shard(
+                        cfg,
+                        start,
+                        sh,
+                        fault_buckets.next().expect("bucket"),
+                    )),
+                });
+            }
+        }
 
-            #[cfg(feature = "audit")]
-            if let Some(due) = next_audit {
-                if now >= due {
-                    self.audit_now(now, &mut audit_epochs);
-                    audits += 1;
-                    let iv = self
-                        .cfg
-                        .audit_interval
-                        .expect("auditor armed with interval");
-                    next_audit = Some(now + iv);
-                }
+        let handler = |port: &mut LpPort<'_, Ev>, st: &mut LpState<'_>, now: SimTime, ev: Ev| {
+            dispatch(&shared, port, st, now, ev);
+        };
+        // Span tracing forces the serial driver: the tracer's task
+        // buffers merge along the engine's fork path, which only the
+        // serial driver maintains. Metrics merge on scoped-thread exit
+        // and are safe under either driver.
+        #[cfg(feature = "obs")]
+        let tracing = ibridge_obs::tracing_on();
+        #[cfg(not(feature = "obs"))]
+        let tracing = false;
+        let threads = cfg.threads.max(1);
+        let report = if threads > 1 && sim.n_lps() > 1 && !tracing {
+            Some(sim.run_threaded(&mut states, threads, handler))
+        } else {
+            sim.run_serial(&mut states, handler);
+            None
+        };
+        if let Some(rep) = &report {
+            TOTAL_WINDOWS.fetch_add(rep.windows, Ordering::Relaxed);
+            TOTAL_BARRIERS.fetch_add(rep.barriers, Ordering::Relaxed);
+            #[cfg(feature = "obs")]
+            if ibridge_obs::metrics_on() {
+                ibridge_obs::metrics::record_pdes(
+                    rep.windows,
+                    rep.barriers,
+                    &rep.lp_events,
+                    &rep.lp_wall_ns,
+                );
             }
+        }
 
-            if active == 0 {
-                if !draining {
-                    draining = true;
-                    // End-of-run bookkeeping, not a simulated message: the
-                    // kick is attributed to each server itself (like fault
-                    // seeding) so it fires at `now` on any shard count —
-                    // a fabric hop here would shift the drain by the
-                    // network latency floor and leak into the start time
-                    // of a subsequent run on the same cluster (warm-cache
-                    // experiments). Safe under the exact merge: the key
-                    // `(now, server node, seq)` places it identically at
-                    // every shard count.
-                    for server in 0..self.cfg.n_servers {
-                        let node = srv_node(server);
-                        self.sim.post_now(node, node, Ev::DrainTick { server });
-                    }
-                }
-                if self.servers.iter().all(|s| s.quiescent()) {
-                    break;
-                }
-            }
+        let mut states = states.into_iter();
+        let first = states.next().expect("coordinator LP state");
+        let (co, mut shs): (CoordLp, Vec<ShardLp>) = if single {
+            (
+                first.coord.expect("coordinator state"),
+                vec![first.shard.expect("shard state")],
+            )
+        } else {
+            (
+                first.coord.expect("coordinator state"),
+                states.map(|st| st.shard.expect("shard state")).collect(),
+            )
+        };
+
+        // The calendar ran to empty; trailing impaired messages
+        // (delayed or duplicated replies) may dispatch after the last
+        // meaningful work, so the run's end is bookkept: the last
+        // client completion and each shard's drain quiescence.
+        let mut end = co.client_done_at;
+        for s in &shs {
+            end = end.max(s.quiesced_at);
         }
 
         // A final audit closes the run: recovered state must be sound
         // at quiescence, not just at the last cadence tick.
         #[cfg(feature = "audit")]
-        if self.cfg.audit_interval.is_some() {
-            self.audit_now(self.sim.now(), &mut audit_epochs);
-            audits += 1;
+        if cfg.audit_interval.is_some() {
+            let mut audits: u64 = 1;
+            for s in &mut shs {
+                shard_audit(s, end);
+                audits += s.audits;
+            }
             TOTAL_AUDITS.fetch_add(audits, Ordering::Relaxed);
         }
 
-        let end = self.sim.now();
-        let events_dispatched = self.sim.dispatched() - dispatched_before;
+        let events_dispatched = sim.dispatched() - dispatched_before;
         TOTAL_EVENTS.fetch_add(events_dispatched, Ordering::Relaxed);
-        for s in 0..self.cfg.n_servers {
-            // Close degradation windows still open at run end (a lost
-            // SSD degrades the server for the rest of its life).
-            if self.degraded_depth[s] > 0 {
-                self.fstats.degraded += end - self.degraded_since[s];
-                self.degraded_since[s] = end;
+
+        let mut fstats = co.fstats;
+        for s in &shs {
+            fstats.absorb(&s.fstats);
+        }
+        for s in &mut shs {
+            for cell in &mut s.p.cells {
+                // Close degradation windows still open at run end (a
+                // lost SSD degrades the server for the rest of its life).
+                if cell.degraded_depth > 0 {
+                    fstats.degraded += end - cell.degraded_since;
+                    cell.degraded_since = end;
+                }
             }
         }
+
         // Measured-vs-predicted T_i: the policy's Eq. 1 model forecasts
         // per-request disk busy time; compare it to this run's actual
         // per-request busy delta on the primary device. Restarted servers
@@ -1503,48 +1142,49 @@ impl Cluster {
         // — those runs contribute no sample.
         #[cfg(feature = "obs")]
         if ibridge_obs::metrics_on() {
-            for (s, srv) in self.servers.iter().enumerate() {
-                let pred_s = srv.policy().report_t();
-                if pred_s <= 0.0 {
-                    continue;
+            let mut s_id = 0usize;
+            for sh in &shs {
+                for cell in &sh.p.cells {
+                    let pred_s = cell.server.policy().report_t();
+                    let st = cell.server.primary().stats();
+                    let d0 = &obs_dev0[s_id];
+                    if pred_s > 0.0 && st.requests > d0.requests && st.busy >= d0.busy {
+                        let meas =
+                            (st.busy.as_nanos() - d0.busy.as_nanos()) / (st.requests - d0.requests);
+                        let pred = (pred_s * 1e9).round() as u64;
+                        ibridge_obs::metrics::record_ti(s_id as u16, pred, meas);
+                    }
+                    s_id += 1;
                 }
-                let st = srv.primary().stats();
-                let d0 = &obs_dev0[s];
-                if st.requests <= d0.requests || st.busy < d0.busy {
-                    continue;
-                }
-                let meas = (st.busy.as_nanos() - d0.busy.as_nanos()) / (st.requests - d0.requests);
-                let pred = (pred_s * 1e9).round() as u64;
-                ibridge_obs::metrics::record_ti(s as u16, pred, meas);
             }
         }
 
-        if !self.fstats.is_zero() {
-            TOTAL_RETRIES.fetch_add(self.fstats.retries, Ordering::Relaxed);
-            TOTAL_TIMEOUTS.fetch_add(self.fstats.timeouts, Ordering::Relaxed);
-            TOTAL_DROPPED_MSGS.fetch_add(self.fstats.dropped_messages, Ordering::Relaxed);
-            TOTAL_DIRTY_LOST.fetch_add(self.fstats.dirty_bytes_lost, Ordering::Relaxed);
-            TOTAL_DEGRADED_NS.fetch_add(self.fstats.degraded.as_nanos(), Ordering::Relaxed);
-            TOTAL_FSCK_SCANNED.fetch_add(self.fstats.fsck_records_scanned, Ordering::Relaxed);
-            TOTAL_FSCK_QUARANTINED
-                .fetch_add(self.fstats.fsck_records_quarantined, Ordering::Relaxed);
+        if !fstats.is_zero() {
+            TOTAL_RETRIES.fetch_add(fstats.retries, Ordering::Relaxed);
+            TOTAL_TIMEOUTS.fetch_add(fstats.timeouts, Ordering::Relaxed);
+            TOTAL_DROPPED_MSGS.fetch_add(fstats.dropped_messages, Ordering::Relaxed);
+            TOTAL_DIRTY_LOST.fetch_add(fstats.dirty_bytes_lost, Ordering::Relaxed);
+            TOTAL_DEGRADED_NS.fetch_add(fstats.degraded.as_nanos(), Ordering::Relaxed);
+            TOTAL_FSCK_SCANNED.fetch_add(fstats.fsck_records_scanned, Ordering::Relaxed);
+            TOTAL_FSCK_QUARANTINED.fetch_add(fstats.fsck_records_quarantined, Ordering::Relaxed);
         }
         RunStats {
             elapsed: end - start,
-            client_elapsed: client_done_at - start,
-            bytes,
-            requests,
-            latency_ms,
-            latency_hist_ms,
-            io_time,
-            think_time,
+            client_elapsed: co.client_done_at - start,
+            bytes: co.bytes,
+            requests: co.requests,
+            latency_ms: co.latency_ms,
+            latency_hist_ms: co.latency_hist_ms,
+            io_time: co.io_time,
+            think_time: co.think_time,
             events_dispatched,
-            proc_bytes,
-            proc_done,
-            servers: self
-                .servers
+            proc_bytes: co.proc_bytes,
+            proc_done: co.proc_done,
+            servers: shs
                 .iter()
-                .map(|s| {
+                .flat_map(|sh| sh.p.cells.iter())
+                .map(|cell| {
+                    let s = &cell.server;
                     let (ra_hits, ra_bytes) = s.readahead_hits();
                     ServerRunStats {
                         primary: s.primary().stats(),
@@ -1557,64 +1197,981 @@ impl Cluster {
                     }
                 })
                 .collect(),
-            faults: self.fstats,
+            faults: fstats,
         }
     }
+}
 
-    /// One pass of the online invariant auditor: cross-checks every live
-    /// server's policy invariants (partition accounting, mapping-table
-    /// index/LRU agreement, log residency — see `CachePolicy::audit`)
-    /// and the monotonicity of process epochs since the previous pass.
-    /// Aborts the simulation with a structured diagnostic on the first
-    /// violation; a passing audit leaves no trace.
+/// Read-only run parameters shared by every LP's handler (captured by
+/// reference in the `Fn + Sync` dispatch closure).
+struct Shared<'c> {
+    cfg: &'c ClusterConfig,
+    layout: Layout,
+    ibridge: bool,
+    /// A plan is armed: track sub-requests for timeout/retry/dedup.
+    faults: bool,
+    /// This run's start time (net-impairment windows are relative to it).
+    start: SimTime,
+}
+
+/// Per-run state of the coordinator LP (clients + MDS).
+struct CoordLp<'r> {
+    p: &'r mut CoordPersist,
+    workload: &'r mut dyn Workload,
+    retry: RetryConfig,
+    client_links: Vec<Link>,
+    proc_state: Vec<ProcState>,
+    proc_iter: Vec<u64>,
+    active: usize,
+    parents: HashMap<u64, ParentState>,
+    latency_ms: MeanTracker,
+    latency_hist_ms: Histogram,
+    io_time: SimDuration,
+    think_time: SimDuration,
+    bytes: u64,
+    requests: u64,
+    client_done_at: SimTime,
+    proc_bytes: Vec<u64>,
+    proc_done: Vec<SimDuration>,
+    use_barrier: bool,
+    barrier_mask: Vec<bool>,
+    drain_kicked: bool,
+    /// Pending scheduled MDS faults, cancelled at the drain kick so the
+    /// calendar can run to empty.
+    fault_ids: Vec<EventId>,
+    fstats: FaultStats,
+    /// Scratch for request decomposition, reused across every Issue:
+    /// after warm-up the client path performs no allocation.
+    pieces_scratch: Vec<(usize, u64, u64)>,
+    subs_scratch: Vec<SubRequest>,
+}
+
+/// Per-run state of one server-shard LP.
+struct ShardLp<'r> {
+    p: &'r mut ShardPersist,
+    /// In-flight jobs of this shard's servers (records arrive inside
+    /// `SubArrive` messages).
+    jobs: HashMap<JobId, PendingJob>,
+    /// Reused across every calendar event: after warm-up the event loop
+    /// performs no allocation for server output handling.
+    out: ServerOut,
+    fstats: FaultStats,
+    /// The end-of-run drain reached this shard.
+    draining: bool,
+    /// All cells quiescent at the last event (transition detector for
+    /// `quiesced_at`).
+    was_quiescent: bool,
+    /// When this shard last became quiescent during the drain.
+    quiesced_at: SimTime,
+    /// Pending scheduled faults per cell, cancelled when that server
+    /// reaches quiescence during the drain. Bucketed per cell — not per
+    /// shard — because a server's quiescence transition happens at the
+    /// same virtual time at any shard count, keeping the cancellation
+    /// set (and so the dispatched-event count) shard-invariant.
+    fault_ids: Vec<Vec<EventId>>,
+    cell_was_q: Vec<bool>,
+    lost_jobs: Vec<JobId>,
     #[cfg(feature = "audit")]
-    fn audit_now(&self, now: SimTime, last_epochs: &mut [u32]) {
-        for (s, srv) in self.servers.iter().enumerate() {
-            if self.down[s] {
-                continue;
+    next_audit: Option<SimTime>,
+    #[cfg(feature = "audit")]
+    audit_epochs: Vec<u32>,
+    #[cfg(feature = "audit")]
+    audits: u64,
+}
+
+/// One LP's state: the coordinator part, the shard part, or — when the
+/// whole cluster shares a single LP (`shards: 1`) — both.
+struct LpState<'r> {
+    coord: Option<CoordLp<'r>>,
+    shard: Option<ShardLp<'r>>,
+}
+
+/// Routes one event to the owning side of its LP's state. Static: the
+/// event type alone decides coordinator vs shard, so the split is the
+/// same on a single shared LP as on many.
+fn dispatch(sh: &Shared, port: &mut LpPort<'_, Ev>, st: &mut LpState<'_>, now: SimTime, ev: Ev) {
+    match ev {
+        Ev::Wake { .. }
+        | Ev::Issue { .. }
+        | Ev::Reply { .. }
+        | Ev::SubTimeout { .. }
+        | Ev::ReportArrive { .. }
+        | Ev::SteerOff { .. } => {
+            let co = st.coord.as_mut().expect("coordinator event on server LP");
+            coord_event(sh, port, co, now, ev);
+        }
+        Ev::Fault(ref f) if fault_server(f).is_none() => {
+            let co = st.coord.as_mut().expect("coordinator event on server LP");
+            coord_event(sh, port, co, now, ev);
+        }
+        _ => {
+            let lp = st.shard.as_mut().expect("server event on coordinator LP");
+            shard_event(sh, port, lp, now, ev);
+            shard_tail(sh, port, lp, now);
+        }
+    }
+}
+
+/// Handles one client/MDS event on the coordinator LP.
+fn coord_event(sh: &Shared, port: &mut LpPort<'_, Ev>, co: &mut CoordLp, now: SimTime, ev: Ev) {
+    match ev {
+        Ev::Wake { proc } => {
+            debug_assert_eq!(co.proc_state[proc], ProcState::Running);
+            match co.workload.next(proc, co.proc_iter[proc]) {
+                None => {
+                    co.proc_state[proc] = ProcState::Done;
+                    co.proc_done[proc] = now - sh.start;
+                    co.active -= 1;
+                    if co.active == 0 {
+                        co.client_done_at = now;
+                        if !co.drain_kicked {
+                            co.drain_kicked = true;
+                            // Kick the end-of-run drain. The kick crosses
+                            // the fabric like any other message — one
+                            // lookahead ahead — so it lands identically
+                            // at every shard/thread count. Scheduled MDS
+                            // faults can no longer matter; cancel them so
+                            // the calendar drains to empty.
+                            let l = port.lookahead();
+                            for server in 0..sh.cfg.n_servers {
+                                port.post_at(
+                                    COORD,
+                                    srv_node(server),
+                                    now + l,
+                                    Ev::DrainTick { server },
+                                );
+                            }
+                            for id in co.fault_ids.drain(..) {
+                                port.cancel(id);
+                            }
+                        }
+                    } else if co.use_barrier {
+                        // A departing process may release the barrier.
+                        maybe_release_barrier(port, &mut co.proc_state, &co.barrier_mask);
+                    }
+                }
+                Some(item) => {
+                    co.proc_iter[proc] += 1;
+                    co.think_time += item.think;
+                    let jitter = match sh.cfg.client_jitter.as_nanos() {
+                        0 => SimDuration::ZERO,
+                        max => SimDuration::from_nanos(co.p.jitter_rng.gen_range(0..max)),
+                    };
+                    let delay = item.think + jitter;
+                    if delay > SimDuration::ZERO {
+                        port.post_in(
+                            COORD,
+                            COORD,
+                            delay,
+                            Ev::Issue {
+                                proc,
+                                req: item.req,
+                            },
+                        );
+                    } else {
+                        port.post_now(
+                            COORD,
+                            COORD,
+                            Ev::Issue {
+                                proc,
+                                req: item.req,
+                            },
+                        );
+                    }
+                }
             }
-            if let Err(why) = srv.policy().audit() {
-                panic!(
-                    "invariant audit failed: time={:?} server={} down={} epoch={}: {}",
-                    now, s, self.down[s], self.srv_epoch[s], why
+        }
+        Ev::Issue { proc, req } => {
+            assert!(req.len > 0, "zero-length file request");
+            let mut pieces = std::mem::take(&mut co.pieces_scratch);
+            let mut subs = std::mem::take(&mut co.subs_scratch);
+            sh.layout.sub_requests_into(
+                req.dir,
+                req.file,
+                req.offset,
+                req.len,
+                sh.cfg.threshold,
+                sh.ibridge,
+                &mut pieces,
+                &mut subs,
+            );
+            let parent = co.p.next_parent;
+            co.p.next_parent += 1;
+            co.requests += 1;
+            co.bytes += req.len;
+            co.proc_bytes[proc] += req.len;
+            let pending = subs.len();
+            let mut tracks: Vec<SubTrack> = Vec::new();
+            if sh.faults {
+                tracks.reserve(pending);
+            }
+            for (idx, sub) in subs.drain(..).enumerate() {
+                let arrive = co.client_links[proc].send(now, sub.request_bytes());
+                let server = sub.server;
+                let reply_bytes = sub.reply_bytes();
+                let sub_idx = idx as u32;
+                #[cfg(feature = "obs")]
+                obs_net_req(now, arrive, proc, parent, sub_idx, server);
+                if sh.faults {
+                    let tid = port.schedule_at(
+                        COORD,
+                        COORD,
+                        now + co.retry.timeout,
+                        Ev::SubTimeout { parent, sub_idx },
+                    );
+                    tracks.push(SubTrack {
+                        sub: sub.clone(),
+                        attempt: 0,
+                        done: false,
+                        timeout: Some(tid),
+                    });
+                }
+                post_sub_arrival(
+                    sh,
+                    port,
+                    co,
+                    now,
+                    arrive,
+                    sub,
+                    reply_bytes,
+                    proc,
+                    parent,
+                    sub_idx,
+                );
+            }
+            co.pieces_scratch = pieces;
+            co.subs_scratch = subs;
+            co.parents.insert(
+                parent,
+                ParentState {
+                    proc,
+                    pending,
+                    issued_at: now,
+                    subs: tracks,
+                },
+            );
+        }
+        Ev::Reply {
+            proc,
+            parent,
+            sub_idx,
+        } => {
+            let mut duplicate = false;
+            if sh.faults {
+                match co.parents.get_mut(&parent) {
+                    None => duplicate = true,
+                    Some(p) => {
+                        let st = &mut p.subs[sub_idx as usize];
+                        if st.done {
+                            duplicate = true;
+                        } else {
+                            st.done = true;
+                            if let Some(id) = st.timeout.take() {
+                                port.cancel(id);
+                            }
+                        }
+                    }
+                }
+                if duplicate {
+                    co.fstats.duplicate_replies += 1;
+                }
+            }
+            if !duplicate {
+                let done = {
+                    let p = co
+                        .parents
+                        .get_mut(&parent)
+                        .expect("reply for unknown parent");
+                    p.pending -= 1;
+                    p.pending == 0
+                };
+                if done {
+                    let p = co.parents.remove(&parent).expect("checked above");
+                    let wait = now - p.issued_at;
+                    #[cfg(feature = "obs")]
+                    obs_request_done(p.issued_at, wait, proc, parent);
+                    co.io_time += wait;
+                    co.latency_ms.record(wait.as_millis_f64());
+                    co.latency_hist_ms
+                        .record(wait.as_millis_f64().round() as u64);
+                    debug_assert_eq!(p.proc, proc);
+                    if co.use_barrier && co.barrier_mask[proc] {
+                        co.proc_state[proc] = ProcState::AtBarrier;
+                        maybe_release_barrier(port, &mut co.proc_state, &co.barrier_mask);
+                    } else {
+                        port.post_now(COORD, COORD, Ev::Wake { proc });
+                    }
+                }
+            }
+        }
+        Ev::SubTimeout { parent, sub_idx } => {
+            // A fired timer whose sub completed in the same
+            // instant was already cancelled; the defensive check
+            // keeps leftover timers from a previous run harmless.
+            let mut resend: Option<SubRequest> = None;
+            let mut rproc = 0usize;
+            if let Some(p) = co.parents.get_mut(&parent) {
+                let proc = p.proc;
+                let st = &mut p.subs[sub_idx as usize];
+                if !st.done {
+                    st.timeout = None;
+                    co.fstats.timeouts += 1;
+                    if st.attempt >= co.retry.max_retries {
+                        // Give up: surface an error completion so
+                        // the application makes progress.
+                        co.fstats.failed_subs += 1;
+                        port.post_now(
+                            COORD,
+                            COORD,
+                            Ev::Reply {
+                                proc,
+                                parent,
+                                sub_idx,
+                            },
+                        );
+                    } else {
+                        st.attempt += 1;
+                        co.fstats.retries += 1;
+                        let wait = co
+                            .retry
+                            .timeout
+                            .mul_f64(co.retry.backoff.powi(st.attempt as i32));
+                        st.timeout = Some(port.schedule_at(
+                            COORD,
+                            COORD,
+                            now + wait,
+                            Ev::SubTimeout { parent, sub_idx },
+                        ));
+                        resend = Some(st.sub.clone());
+                        rproc = proc;
+                    }
+                }
+            }
+            if let Some(sub) = resend {
+                let arrive = co.client_links[rproc].send(now, sub.request_bytes());
+                let server = sub.server;
+                let reply_bytes = sub.reply_bytes();
+                #[cfg(feature = "obs")]
+                obs_net_req(now, arrive, rproc, parent, sub_idx, server);
+                post_sub_arrival(
+                    sh,
+                    port,
+                    co,
+                    now,
+                    arrive,
+                    sub,
+                    reply_bytes,
+                    rproc,
+                    parent,
+                    sub_idx,
                 );
             }
         }
-        for (s, prev) in last_epochs.iter_mut().enumerate() {
-            assert!(
-                self.srv_epoch[s] >= *prev,
-                "invariant audit failed: time={:?} server={}: process epoch moved \
-                 backwards ({} -> {})",
-                now,
-                s,
-                *prev,
-                self.srv_epoch[s],
-            );
-            *prev = self.srv_epoch[s];
-        }
-    }
-
-    fn maybe_release_barrier(
-        &mut self,
-        proc_state: &mut [ProcState],
-        barrier_mask: &[bool],
-        now: SimTime,
-    ) {
-        let _ = now;
-        // Release when no barrier participant is still running.
-        let blocked = proc_state
-            .iter()
-            .zip(barrier_mask)
-            .any(|(&s, &m)| m && s == ProcState::Running);
-        if blocked {
-            return;
-        }
-        for (proc, st) in proc_state.iter_mut().enumerate() {
-            if *st == ProcState::AtBarrier {
-                *st = ProcState::Running;
-                self.sim.post_now(COORD, COORD, Ev::Wake { proc });
+        Ev::ReportArrive { server, t } => {
+            if co.p.mds_down {
+                // The MDS is down: the report is lost and no
+                // broadcast goes out. Servers keep serving with
+                // their last-known T values until the restart.
+                co.fstats.stalled_broadcasts += 1;
+            } else {
+                co.p.mds_table[server] = t;
+                // One shared snapshot for the whole broadcast fan-out.
+                let table: Arc<[f64]> = Arc::from(co.p.mds_table.as_slice());
+                for dest in 0..sh.cfg.n_servers {
+                    let arrive = co.p.mds_link.send(now, 64 * sh.cfg.n_servers as u64);
+                    port.post_at(
+                        COORD,
+                        srv_node(dest),
+                        arrive,
+                        Ev::Broadcast {
+                            server: dest,
+                            table: Arc::clone(&table),
+                        },
+                    );
+                }
             }
         }
+        Ev::SteerOff { server } => {
+            // The MDS stops steering fragments at a server that lost
+            // its SSD.
+            co.p.mds_table[server] = 0.0;
+        }
+        Ev::Fault(fault) => match fault {
+            TimedFault::MdsCrash => {
+                if !co.p.mds_down {
+                    co.p.mds_down = true;
+                    co.fstats.mds_crashes += 1;
+                }
+            }
+            TimedFault::MdsRestart => {
+                if co.p.mds_down {
+                    co.p.mds_down = false;
+                    co.fstats.mds_restarts += 1;
+                }
+            }
+            _ => unreachable!("server fault routed to the coordinator"),
+        },
+        _ => unreachable!("server event routed to the coordinator"),
+    }
+}
+
+/// Handles one data-server event on its shard LP.
+fn shard_event(sh: &Shared, port: &mut LpPort<'_, Ev>, lp: &mut ShardLp, now: SimTime, ev: Ev) {
+    match ev {
+        Ev::SubArrive {
+            server,
+            job,
+            mut pj,
+        } => {
+            let ci = server - lp.p.lo;
+            if lp.p.cells[ci].down {
+                // The message reached a dead endpoint; the
+                // client's timeout recovers it.
+                lp.fstats.dropped_messages += 1;
+                pj_recycle(pj);
+            } else {
+                let exec_at = lp.p.cells[ci].server.cpu_admit(now);
+                #[cfg(feature = "obs")]
+                obs_srv_queue(now, exec_at, server, job);
+                let epoch = lp.p.cells[ci].srv_epoch;
+                let pjv = std::mem::take(&mut *pj);
+                pj_recycle(pj);
+                lp.jobs.insert(job, pjv);
+                let node = srv_node(server);
+                port.post_at(node, node, exec_at, Ev::SubExec { server, job, epoch });
+            }
+        }
+        Ev::SubExec { server, job, epoch } => {
+            let ci = server - lp.p.lo;
+            if epoch != lp.p.cells[ci].srv_epoch {
+                // Admitted by a process instance that has since
+                // crashed.
+                lp.jobs.remove(&job);
+                lp.fstats.stale_completions += 1;
+            } else {
+                let (sub, proc) = {
+                    let pj = lp.jobs.get_mut(&job).expect("executing unknown job");
+                    (pj.sub.take().expect("job executed twice"), pj.proc)
+                };
+                let mut out = std::mem::take(&mut lp.out);
+                out.clear();
+                lp.p.cells[ci]
+                    .server
+                    .exec_subreq(now, job, proc as u64, sub, &mut out);
+                shard_server_out(sh, port, lp, now, server, &mut out);
+                lp.out = out;
+            }
+        }
+        Ev::DevComplete {
+            server,
+            kind,
+            epoch,
+        } => {
+            let ci = server - lp.p.lo;
+            if epoch != lp.p.cells[ci].dev_epoch[dev_idx(kind)] {
+                lp.fstats.stale_completions += 1;
+            } else {
+                let mut out = std::mem::take(&mut lp.out);
+                out.clear();
+                lp.p.cells[ci].server.on_dev_complete(now, kind, &mut out);
+                if lp.draining && !lp.p.cells[ci].server.quiescent() {
+                    // Appends into the same output; ordering matches
+                    // the completion actions followed by the flush's.
+                    lp.p.cells[ci].server.writeback_tick(now, true, &mut out);
+                }
+                shard_server_out(sh, port, lp, now, server, &mut out);
+                lp.out = out;
+            }
+        }
+        Ev::DevRecheck {
+            server,
+            kind,
+            gen,
+            epoch,
+        } => {
+            let ci = server - lp.p.lo;
+            if epoch != lp.p.cells[ci].dev_epoch[dev_idx(kind)] {
+                lp.fstats.stale_completions += 1;
+            } else {
+                let mut out = std::mem::take(&mut lp.out);
+                out.clear();
+                lp.p.cells[ci]
+                    .server
+                    .on_dev_recheck(now, kind, gen, &mut out);
+                shard_server_out(sh, port, lp, now, server, &mut out);
+                lp.out = out;
+            }
+        }
+        Ev::Fault(fault) => {
+            apply_shard_fault(port, lp, now, fault);
+        }
+        Ev::Report { server } => {
+            // A crashed server cannot report; a degraded one
+            // (lost SSD) stays silent so the MDS keeps its slot
+            // zeroed and fragments stop being steered at it.
+            let ci = server - lp.p.lo;
+            let node = srv_node(server);
+            {
+                let cell = &mut lp.p.cells[ci];
+                if !cell.down && !cell.server.policy().is_degraded() {
+                    let t = cell.server.policy().report_t();
+                    let arrive = cell.link.send(now, 128);
+                    port.post_at(node, COORD, arrive, Ev::ReportArrive { server, t });
+                }
+            }
+            if !lp.draining {
+                port.post_in(node, node, sh.cfg.report_interval, Ev::Report { server });
+            }
+        }
+        Ev::Broadcast { server, table } => {
+            let ci = server - lp.p.lo;
+            let cell = &mut lp.p.cells[ci];
+            if !cell.down {
+                cell.server.policy_mut().receive_broadcast(&table);
+            }
+        }
+        Ev::WritebackTick { server } => {
+            let ci = server - lp.p.lo;
+            if !lp.p.cells[ci].down {
+                let mut out = std::mem::take(&mut lp.out);
+                out.clear();
+                lp.p.cells[ci].server.writeback_tick(now, false, &mut out);
+                debug_assert!(out.done_jobs.is_empty());
+                shard_server_out(sh, port, lp, now, server, &mut out);
+                lp.out = out;
+            }
+            if !lp.draining {
+                let node = srv_node(server);
+                port.post_in(
+                    node,
+                    node,
+                    sh.cfg.writeback_interval,
+                    Ev::WritebackTick { server },
+                );
+            }
+        }
+        Ev::DrainTick { server } => {
+            lp.draining = true;
+            let ci = server - lp.p.lo;
+            if !lp.p.cells[ci].down {
+                let mut out = std::mem::take(&mut lp.out);
+                out.clear();
+                lp.p.cells[ci].server.writeback_tick(now, true, &mut out);
+                debug_assert!(out.done_jobs.is_empty());
+                shard_server_out(sh, port, lp, now, server, &mut out);
+                lp.out = out;
+            }
+        }
+        _ => unreachable!("coordinator event routed to a server shard"),
+    }
+}
+
+/// Post-event bookkeeping of a shard: the audit cadence and the drain
+/// quiescence detector. Runs after every shard event, so a state change
+/// is observed at the event that caused it — the same virtual time at
+/// any shard count.
+fn shard_tail(sh: &Shared, port: &mut LpPort<'_, Ev>, lp: &mut ShardLp, now: SimTime) {
+    // Online invariant auditor: piggybacked synchronously on event
+    // dispatch (never posts events, never draws randomness), so the
+    // calendar — and therefore every observable output — is
+    // byte-identical with auditing on or off.
+    #[cfg(feature = "audit")]
+    if let Some(due) = lp.next_audit {
+        if now >= due {
+            shard_audit(lp, now);
+            lp.audits += 1;
+            let iv = sh.cfg.audit_interval.expect("auditor armed with interval");
+            lp.next_audit = Some(now + iv);
+        }
+    }
+    #[cfg(not(feature = "audit"))]
+    let _ = sh;
+    if lp.draining {
+        let mut all_q = true;
+        for ci in 0..lp.p.cells.len() {
+            let q = lp.p.cells[ci].server.quiescent();
+            if q && !lp.cell_was_q[ci] {
+                // This server just went quiescent: faults still
+                // scheduled against it can no longer affect the run;
+                // unschedule them so the calendar drains to empty.
+                for id in lp.fault_ids[ci].drain(..) {
+                    port.cancel(id);
+                }
+            }
+            lp.cell_was_q[ci] = q;
+            all_q &= q;
+        }
+        if all_q && !lp.was_quiescent {
+            lp.quiesced_at = now;
+        }
+        lp.was_quiescent = all_q;
+    }
+}
+
+/// Routes one client→server sub-request message through the armed
+/// network impairments (a straight delivery when no plan is armed). The
+/// job record travels inside the message; its id is allocated here so
+/// the id sequence is identical at any shard/thread count.
+#[allow(clippy::too_many_arguments)]
+fn post_sub_arrival(
+    sh: &Shared,
+    port: &mut LpPort<'_, Ev>,
+    co: &mut CoordLp,
+    now: SimTime,
+    arrive: SimTime,
+    sub: SubRequest,
+    reply_bytes: u64,
+    proc: usize,
+    parent: u64,
+    sub_idx: u32,
+) {
+    let server = sub.server;
+    let node = srv_node(server);
+    let job = co.p.next_job;
+    co.p.next_job += 1;
+    let pj = pj_box(PendingJob {
+        sub: Some(sub),
+        reply_bytes,
+        proc,
+        parent,
+        server,
+        sub_idx,
+    });
+    match net_decision(&mut co.p.decider, now - sh.start) {
+        NetDecision::Deliver => {
+            port.post_at(COORD, node, arrive, Ev::SubArrive { server, job, pj });
+        }
+        NetDecision::Drop => {
+            // The client's timeout retransmits; the record dies with
+            // the message, so the server never learns the job id.
+            co.fstats.dropped_messages += 1;
+            pj_recycle(pj);
+        }
+        NetDecision::Delay(d) => {
+            co.fstats.delayed_messages += 1;
+            port.post_at(COORD, node, arrive + d, Ev::SubArrive { server, job, pj });
+        }
+        NetDecision::Duplicate => {
+            co.fstats.duplicated_messages += 1;
+            // The copy travels as its own job so the server can hold
+            // both at once; the client deduplicates on reply.
+            let copy = pj_box(PendingJob {
+                sub: pj.sub.clone(),
+                reply_bytes: pj.reply_bytes,
+                proc: pj.proc,
+                parent: pj.parent,
+                server: pj.server,
+                sub_idx: pj.sub_idx,
+            });
+            port.post_at(COORD, node, arrive, Ev::SubArrive { server, job, pj });
+            let job2 = co.p.next_job;
+            co.p.next_job += 1;
+            port.post_at(
+                COORD,
+                node,
+                arrive,
+                Ev::SubArrive {
+                    server,
+                    job: job2,
+                    pj: copy,
+                },
+            );
+        }
+    }
+}
+
+/// Posts a server's accumulated output onto the calendar, draining
+/// `out` in place so the caller can reuse its capacity. Event order
+/// (device actions first, then replies in completion order) is part
+/// of the determinism contract: ties on the calendar break by the
+/// poster's sequence numbers.
+fn shard_server_out(
+    sh: &Shared,
+    port: &mut LpPort<'_, Ev>,
+    lp: &mut ShardLp,
+    now: SimTime,
+    server: usize,
+    out: &mut ServerOut,
+) {
+    let ci = server - lp.p.lo;
+    let node = srv_node(server);
+    for (kind, action) in out.dev_actions.drain(..) {
+        let epoch = lp.p.cells[ci].dev_epoch[dev_idx(kind)];
+        match action {
+            Action::CompleteAt(t) => {
+                port.post_at(
+                    node,
+                    node,
+                    t,
+                    Ev::DevComplete {
+                        server,
+                        kind,
+                        epoch,
+                    },
+                );
+            }
+            Action::RecheckAt(t, gen) => {
+                port.post_at(
+                    node,
+                    node,
+                    t,
+                    Ev::DevRecheck {
+                        server,
+                        kind,
+                        gen,
+                        epoch,
+                    },
+                );
+            }
+        }
+    }
+    for job in out.done_jobs.drain(..) {
+        let pj = lp.jobs.remove(&job).expect("done job unknown to cluster");
+        let arrive = lp.p.cells[ci].link.send(now, pj.reply_bytes);
+        let (proc, parent, sub_idx) = (pj.proc, pj.parent, pj.sub_idx);
+        #[cfg(feature = "obs")]
+        obs_net_reply(now, arrive, server, parent, sub_idx, pj.reply_bytes);
+        match net_decision(&mut lp.p.cells[ci].decider, now - sh.start) {
+            NetDecision::Deliver => {
+                port.post_at(
+                    node,
+                    COORD,
+                    arrive,
+                    Ev::Reply {
+                        proc,
+                        parent,
+                        sub_idx,
+                    },
+                );
+            }
+            NetDecision::Drop => {
+                // The client's timeout retransmits; the server will
+                // serve the retry again.
+                lp.fstats.dropped_messages += 1;
+            }
+            NetDecision::Delay(d) => {
+                lp.fstats.delayed_messages += 1;
+                port.post_at(
+                    node,
+                    COORD,
+                    arrive + d,
+                    Ev::Reply {
+                        proc,
+                        parent,
+                        sub_idx,
+                    },
+                );
+            }
+            NetDecision::Duplicate => {
+                lp.fstats.duplicated_messages += 1;
+                for _ in 0..2 {
+                    port.post_at(
+                        node,
+                        COORD,
+                        arrive,
+                        Ev::Reply {
+                            proc,
+                            parent,
+                            sub_idx,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn net_decision(decider: &mut Option<NetDecider>, since_start: SimDuration) -> NetDecision {
+    match decider.as_mut() {
+        Some(d) => d.decide(since_start),
+        None => NetDecision::Deliver,
+    }
+}
+
+fn degrade_start(cell: &mut ServerCell, now: SimTime) {
+    if cell.degraded_depth == 0 {
+        cell.degraded_since = now;
+    }
+    cell.degraded_depth += 1;
+}
+
+fn degrade_end(fstats: &mut FaultStats, cell: &mut ServerCell, now: SimTime) {
+    // Depth 0 means the matching start fired in a run that was never
+    // armed (leftover calendar event) — nothing to close.
+    if cell.degraded_depth == 0 {
+        return;
+    }
+    cell.degraded_depth -= 1;
+    if cell.degraded_depth == 0 {
+        fstats.degraded += now - cell.degraded_since;
+    }
+}
+
+/// Applies one scheduled data-server fault on its shard LP.
+fn apply_shard_fault(port: &mut LpPort<'_, Ev>, lp: &mut ShardLp, now: SimTime, fault: TimedFault) {
+    match fault {
+        TimedFault::Crash { server } => {
+            let ci = server - lp.p.lo;
+            let cell = &mut lp.p.cells[ci];
+            if !cell.down {
+                cell.down = true;
+                lp.fstats.crashes += 1;
+                cell.srv_epoch = cell.srv_epoch.wrapping_add(1);
+                cell.dev_epoch[0] = cell.dev_epoch[0].wrapping_add(1);
+                cell.dev_epoch[1] = cell.dev_epoch[1].wrapping_add(1);
+                cell.server.crash(now);
+                degrade_start(cell, now);
+                // Sub-requests in the dead process's custody vanish
+                // with it; the clients' timeouts recover them.
+                lp.jobs
+                    .retain(|_, pj| !(pj.server == server && pj.sub.is_none()));
+            }
+        }
+        TimedFault::Restart { server } => {
+            let ci = server - lp.p.lo;
+            let cell = &mut lp.p.cells[ci];
+            if cell.down {
+                cell.down = false;
+                lp.fstats.restarts += 1;
+                let report = cell.server.restart(now);
+                lp.fstats.clean_entries_dropped += report.clean_entries_dropped;
+                lp.fstats.pending_entries_dropped += report.pending_entries_dropped;
+                lp.fstats.fsck_records_scanned += report.records_scanned;
+                lp.fstats.fsck_records_quarantined += report.records_quarantined;
+                lp.fstats.dirty_bytes_lost += report.dirty_bytes_lost;
+                degrade_end(&mut lp.fstats, &mut lp.p.cells[ci], now);
+                if lp.draining {
+                    // Replayed dirty entries must still be written
+                    // back for the run to quiesce. The restart runs
+                    // on the server's own LP, so the kick is local.
+                    let node = srv_node(server);
+                    port.post_now(node, node, Ev::DrainTick { server });
+                }
+            }
+        }
+        TimedFault::SsdLoss { server } => {
+            let ci = server - lp.p.lo;
+            if lp.p.cells[ci].server.cache().is_some() {
+                lp.fstats.ssd_losses += 1;
+                lp.p.cells[ci].dev_epoch[1] = lp.p.cells[ci].dev_epoch[1].wrapping_add(1);
+                let mut lost_jobs = std::mem::take(&mut lp.lost_jobs);
+                lost_jobs.clear();
+                let lost = lp.p.cells[ci].server.lose_cache_dev(now, &mut lost_jobs);
+                lp.fstats.dirty_bytes_lost += lost;
+                for job in lost_jobs.drain(..) {
+                    lp.jobs.remove(&job);
+                }
+                lp.lost_jobs = lost_jobs;
+                // Tell the MDS to stop steering fragments at this
+                // server; its table lives on the coordinator LP, one
+                // lookahead away.
+                let node = srv_node(server);
+                port.post_at(node, COORD, now + port.lookahead(), Ev::SteerOff { server });
+                degrade_start(&mut lp.p.cells[ci], now);
+            }
+        }
+        TimedFault::SlowStart {
+            server,
+            dev,
+            factor,
+        } => {
+            let ci = server - lp.p.lo;
+            lp.fstats.slow_windows += 1;
+            lp.p.cells[ci].server.set_slow_factor(devkind(dev), factor);
+            degrade_start(&mut lp.p.cells[ci], now);
+        }
+        TimedFault::SlowEnd { server, dev } => {
+            let ci = server - lp.p.lo;
+            lp.p.cells[ci].server.set_slow_factor(devkind(dev), 1.0);
+            degrade_end(&mut lp.fstats, &mut lp.p.cells[ci], now);
+        }
+        TimedFault::TornWrite { server, records } => {
+            // Fires immediately before its Crash (same instant, plan
+            // order): the records are torn on media before the
+            // restart's recovery fsck ever sees them.
+            let ci = server - lp.p.lo;
+            if !lp.p.cells[ci].down {
+                lp.p.cells[ci]
+                    .server
+                    .corrupt_cache(now, LogCorruption::TornWrite { records });
+                lp.fstats.torn_writes += 1;
+            }
+        }
+        TimedFault::BitRot {
+            server,
+            sectors,
+            seed,
+        } => {
+            let ci = server - lp.p.lo;
+            if !lp.p.cells[ci].down {
+                let hit = lp.p.cells[ci]
+                    .server
+                    .corrupt_cache(now, LogCorruption::BitRot { sectors, seed });
+                lp.fstats.rotted_records += hit;
+            }
+        }
+        TimedFault::MdsCrash | TimedFault::MdsRestart => {
+            unreachable!("MDS fault routed to a server shard")
+        }
+    }
+}
+
+fn maybe_release_barrier(
+    port: &mut LpPort<'_, Ev>,
+    proc_state: &mut [ProcState],
+    barrier_mask: &[bool],
+) {
+    // Release when no barrier participant is still running.
+    let blocked = proc_state
+        .iter()
+        .zip(barrier_mask)
+        .any(|(&s, &m)| m && s == ProcState::Running);
+    if blocked {
+        return;
+    }
+    for (proc, st) in proc_state.iter_mut().enumerate() {
+        if *st == ProcState::AtBarrier {
+            *st = ProcState::Running;
+            port.post_now(COORD, COORD, Ev::Wake { proc });
+        }
+    }
+}
+
+/// One pass of the online invariant auditor over a shard: cross-checks
+/// every live server's policy invariants (partition accounting,
+/// mapping-table index/LRU agreement, log residency — see
+/// `CachePolicy::audit`) and the monotonicity of process epochs since
+/// the previous pass. Aborts the simulation with a structured
+/// diagnostic on the first violation; a passing audit leaves no trace.
+#[cfg(feature = "audit")]
+fn shard_audit(lp: &mut ShardLp, now: SimTime) {
+    for (i, cell) in lp.p.cells.iter().enumerate() {
+        if cell.down {
+            continue;
+        }
+        if let Err(why) = cell.server.policy().audit() {
+            panic!(
+                "invariant audit failed: time={:?} server={} down={} epoch={}: {}",
+                now,
+                lp.p.lo + i,
+                cell.down,
+                cell.srv_epoch,
+                why
+            );
+        }
+    }
+    for (i, prev) in lp.audit_epochs.iter_mut().enumerate() {
+        let cur = lp.p.cells[i].srv_epoch;
+        assert!(
+            cur >= *prev,
+            "invariant audit failed: time={:?} server={}: process epoch moved \
+             backwards ({} -> {})",
+            now,
+            lp.p.lo + i,
+            *prev,
+            cur,
+        );
+        *prev = cur;
     }
 }
 
@@ -1985,6 +2542,66 @@ mod tests {
         // All dispatches are at least one sector and at most the merge cap.
         for (k, _) in h.iter() {
             assert!((1..=256).contains(&k));
+        }
+    }
+
+    #[test]
+    fn threaded_runs_match_serial_at_any_shard_and_thread_count() {
+        let run = |shards: usize, threads: usize| {
+            let cfg = ClusterConfig {
+                n_servers: 8,
+                shards,
+                threads,
+                ..Default::default()
+            };
+            let mut c = Cluster::new(cfg, |_| Box::new(StockPolicy::new()));
+            c.preallocate(FileHandle(1), 16 << 20);
+            let mut w = seq(IoDir::Read, 4, 65 * 1024, 8);
+            let stats = c.run(&mut w);
+            format!("{stats:?}")
+        };
+        let reference = run(1, 1);
+        for &shards in &[1usize, 2, 4] {
+            for &threads in &[1usize, 2, 4] {
+                assert_eq!(
+                    run(shards, threads),
+                    reference,
+                    "shards={shards} threads={threads} diverged from serial"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_faulty_runs_match_single_threaded() {
+        let run = |shards: usize, threads: usize| {
+            let cfg = ClusterConfig {
+                n_servers: 4,
+                shards,
+                threads,
+                ..Default::default()
+            };
+            let mut c = Cluster::new(cfg, |_| Box::new(StockPolicy::new()));
+            let plan = FaultPlan::parse(
+                "retry timeout=5ms backoff=2 max=12\n\
+                 crash server=1 at=2ms restart=20ms\n\
+                 net from=0ms until=60s drop=0.1 delay=0.1 delay-by=2ms dup=0.05",
+            )
+            .unwrap();
+            c.set_fault_plan(&plan);
+            c.preallocate(FileHandle(1), 8 << 20);
+            let mut w = seq(IoDir::Read, 2, 65536, 16);
+            let s = c.run(&mut w);
+            (s.elapsed, s.events_dispatched, s.faults)
+        };
+        let reference = run(1, 1);
+        assert!(!reference.2.is_zero());
+        for &(shards, threads) in &[(2usize, 1usize), (2, 4), (4, 2)] {
+            assert_eq!(
+                run(shards, threads),
+                reference,
+                "shards={shards} threads={threads} diverged under faults"
+            );
         }
     }
 }

@@ -156,7 +156,11 @@ pub enum LogCorruption {
 }
 
 /// Decision-making interface of the server-side cache.
-pub trait CachePolicy: std::fmt::Debug {
+///
+/// `Send` because each server — and therefore its policy — lives on a
+/// logical process that may execute on any worker thread of the
+/// parallel-DES pool.
+pub trait CachePolicy: std::fmt::Debug + Send {
     /// Routes an arriving sub-request. `disk_lbn` is the first device
     /// sector the request would touch on the primary device — the λ of
     /// the paper's Eq. (1). The policy updates its disk-efficiency model

@@ -32,7 +32,11 @@ impl WorkItem {
 }
 
 /// A multi-process I/O program.
-pub trait Workload {
+///
+/// `Send` because the coordinator logical process that drives the
+/// workload may execute on any worker thread of the parallel-DES pool;
+/// implementations are plain data plus seeded RNG state.
+pub trait Workload: Send {
     /// Number of processes.
     fn procs(&self) -> usize;
 

@@ -28,6 +28,11 @@ echo "== shard identity (fig3 --shards 1 vs --shards 4)"
 ./target/release/expt --shards 4 --jobs 4 fig3 >/tmp/ibridge_ci_s4.txt 2>/dev/null
 cmp /tmp/ibridge_ci_s1.txt /tmp/ibridge_ci_s4.txt
 
+echo "== threaded shard identity (fig3 --shards 4 --threads 1 vs --threads 4)"
+./target/release/expt --shards 4 --threads 4 fig3 >/tmp/ibridge_ci_s4t4.txt 2>/dev/null
+cmp /tmp/ibridge_ci_s4.txt /tmp/ibridge_ci_s4t4.txt
+cmp /tmp/ibridge_ci_s1.txt /tmp/ibridge_ci_s4t4.txt
+
 echo "== goldens (calbench, fault/recovery/perf smokes, obs metrics)"
 ./scripts/check-goldens.sh
 
@@ -39,6 +44,11 @@ echo "== fault-matrix jobs identity (fixed seed; auditor armed)"
 ./target/release/expt --seed 7 --jobs 8 --audit --fault-plan chaos faults \
   >/tmp/ibridge_ci_faults_j8.txt 2>/dev/null
 cmp goldens/faults_smoke.txt /tmp/ibridge_ci_faults_j8.txt
+
+echo "== fault-matrix threaded identity (--shards 4 --threads 4 vs golden)"
+./target/release/expt --seed 7 --shards 4 --threads 4 --audit --fault-plan chaos faults \
+  >/tmp/ibridge_ci_faults_thr.txt 2>/dev/null
+cmp goldens/faults_smoke.txt /tmp/ibridge_ci_faults_thr.txt
 
 echo "== corruption-matrix jobs identity (torn-write/bit-rot recovery)"
 ./target/release/expt --seed 7 --jobs 8 --audit recovery \
