@@ -104,6 +104,18 @@ fn main() {
                     .unwrap_or_else(|| die("--fault-plan needs a builtin name or a file path"));
                 scale.fault_plan = Some(load_fault_plan(v));
             }
+            "--mds-replicas" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--mds-replicas needs a value"));
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| die("--mds-replicas needs an integer"));
+                if n == 0 {
+                    die("--mds-replicas must be at least 1");
+                }
+                scale.mds_replicas = n;
+            }
             "--audit" => {
                 // The auditor is read-only, so output is byte-identical
                 // with or without this flag; CI runs the fault matrix
@@ -125,7 +137,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: expt [--full] [--seed N] [--jobs N] [--shards N] \
-                     [--threads N] \
+                     [--threads N] [--mds-replicas N] \
                      [--bench-report PATH] [--metrics] [--trace-out PATH] \
                      [--fault-plan NAME|FILE] \
                      [--audit] [--list] [--list-fault-plans] \
@@ -140,6 +152,11 @@ fn main() {
                      with deterministic window barriers (needs --shards \
                      at least 2 to matter); output is byte-identical at \
                      any N. \
+                     --mds-replicas runs the metadata service as a \
+                     raft-style replicated group of N (default 1, the \
+                     single MDS); elections and failover are simulated \
+                     in virtual time and output stays byte-identical at \
+                     any shard/thread/jobs level. \
                      --audit runs the online invariant auditor every 5ms \
                      of virtual time (read-only; output is unchanged). \
                      --metrics prints virtual-time latency tables after the \
@@ -424,7 +441,9 @@ fn write_bench_report(
         ",\n  \"fault_counters\": {{\"retries\": {}, \"timeouts\": {}, \
          \"dropped_messages\": {}, \"dirty_bytes_lost\": {}, \
          \"degraded_s\": {:.3}, \"fsck_scanned\": {}, \
-         \"fsck_quarantined\": {}, \"audits\": {}}}",
+         \"fsck_quarantined\": {}, \"stale_t_decisions\": {}, \
+         \"mds_elections\": {}, \"mds_leader_changes\": {}, \
+         \"mds_failover_recovery_ticks\": {}, \"audits\": {}}}",
         fc.retries,
         fc.timeouts,
         fc.dropped_messages,
@@ -432,6 +451,10 @@ fn write_bench_report(
         fc.degraded_ns as f64 / 1e9,
         fc.fsck_records_scanned,
         fc.fsck_records_quarantined,
+        fc.stale_t_decisions,
+        fc.mds_elections,
+        fc.mds_leader_changes,
+        fc.mds_failover_recovery_ticks,
         fc.audits,
     );
     let obs_fragment = match obs_metrics {

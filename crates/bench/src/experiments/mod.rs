@@ -18,6 +18,7 @@ pub mod fig3;
 pub mod fig4_5;
 pub mod fig6_7;
 pub mod fig8;
+pub mod mds_ha;
 pub mod recovery;
 pub mod summary;
 pub mod tables;
@@ -134,6 +135,12 @@ pub fn all() -> Vec<Experiment> {
             what: "Fault injection: crash, SSD loss, fail-slow, network faults \
                    vs the faultless baseline (beyond the paper)",
             run: faults::run,
+        },
+        Experiment {
+            name: "mds-ha",
+            what: "MDS availability: single MDS vs replicated group under \
+                   crash, failover and partition plans (beyond the paper)",
+            run: mds_ha::run,
         },
         Experiment {
             name: "recovery",

@@ -85,6 +85,11 @@ pub struct Scale {
     /// every cluster the experiments build. The auditor is read-only, so
     /// experiment output is byte-identical with it on or off.
     pub audit_interval: Option<ibridge_des::SimDuration>,
+    /// Metadata-service replicas (`expt --mds-replicas`), forwarded to
+    /// every cluster the experiments build. 1 is the single MDS of the
+    /// paper's testbed; 3 or 5 run a raft-style replicated group whose
+    /// elections and failover are deterministic in virtual time.
+    pub mds_replicas: usize,
 }
 
 impl Scale {
@@ -101,6 +106,7 @@ impl Scale {
             threads: 1,
             fault_plan: None,
             audit_interval: None,
+            mds_replicas: 1,
         }
     }
 
@@ -117,6 +123,7 @@ impl Scale {
             threads: 1,
             fault_plan: None,
             audit_interval: None,
+            mds_replicas: 1,
         }
     }
 }
@@ -134,6 +141,7 @@ pub fn build(system: System, n_servers: usize, scale: &Scale) -> Cluster {
         shards: scale.shards,
         threads: scale.threads,
         audit_interval: scale.audit_interval,
+        mds_replicas: scale.mds_replicas,
         server: ServerConfig {
             ra_budget: scale.page_cache,
             ..Default::default()
@@ -161,6 +169,7 @@ pub fn build_ibridge_with(
         shards: scale.shards,
         threads: scale.threads,
         audit_interval: scale.audit_interval,
+        mds_replicas: scale.mds_replicas,
         threshold,
         flag_fragments: true,
         server: ServerConfig {

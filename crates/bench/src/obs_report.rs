@@ -167,6 +167,24 @@ pub fn render(reg: &Registry) -> String {
         ]);
         out.push_str(&t.block());
     }
+
+    // Replicated-MDS counters. Only appears when a run recorded MDS
+    // activity (replicated group or stale-T degradation), so existing
+    // golden-compared output is unchanged.
+    if !reg.mds.is_empty() {
+        let m = &reg.mds;
+        let mut t = Table::new("metrics: replicated mds", &["counter", "value"]);
+        t.row(&["elections".to_string(), m.elections.to_string()]);
+        t.row(&["leader-changes".to_string(), m.leader_changes.to_string()]);
+        t.row(&["recovery".to_string(), fmt_ns(m.recovery_ticks)]);
+        t.row(&[
+            "stale-T decisions".to_string(),
+            m.stale_t_decisions.to_string(),
+        ]);
+        t.row(&["proposals".to_string(), m.proposals.to_string()]);
+        t.row(&["commits".to_string(), m.commits.to_string()]);
+        out.push_str(&t.block());
+    }
     out
 }
 
@@ -232,6 +250,22 @@ pub fn json_fragment(reg: &Registry) -> String {
             p.barriers,
             join(&p.lp_events),
             join(&p.lp_wall_ns),
+        );
+    }
+    if !reg.mds.is_empty() {
+        let m = &reg.mds;
+        let _ = write!(
+            out,
+            ",\n    \"mds\": {{\"runs\": {}, \"elections\": {}, \"leader_changes\": {}, \
+             \"recovery_ticks\": {}, \"stale_t_decisions\": {}, \"proposals\": {}, \
+             \"commits\": {}}}",
+            m.runs,
+            m.elections,
+            m.leader_changes,
+            m.recovery_ticks,
+            m.stale_t_decisions,
+            m.proposals,
+            m.commits,
         );
     }
     out.push_str("\n  }");

@@ -125,6 +125,72 @@ fn fault_cell(plan_text: &str, seed: u64, shards: usize, threads: usize) -> Stri
     format!("{stats:?}")
 }
 
+/// The replicated-MDS probe: the `mds-ha` experiment's shape (4-server
+/// iBridge, 5 ms T-report cadence, 3-replica group) under a failover
+/// plan, so elections, log replication, leader-crash fencing and the
+/// broadcast fan-out all run while the matrix varies the driver knobs.
+fn mds_cell((plan_text, seed, shards, threads): (&str, u64, usize, usize)) -> String {
+    let plan = FaultPlan::parse(plan_text).expect("parses");
+    let scale = scale_with(seed, shards, threads);
+    let cfg = ibridge_pvfs::ClusterConfig {
+        n_servers: 4,
+        seed: scale.seed,
+        shards: scale.shards,
+        threads: scale.threads,
+        mds_replicas: 3,
+        report_interval: SimDuration::from_millis(5),
+        ..Default::default()
+    };
+    let mut cluster = ibridge_core::ibridge_cluster(cfg, scale.ssd_capacity);
+    let mut w = CheckpointWorkload::new(
+        FILE_A,
+        4,
+        1 << 20,
+        60 * 1024,
+        10,
+        SimDuration::from_millis(25),
+    );
+    cluster.preallocate(FILE_A, w.span_bytes() + (1 << 20));
+    cluster.set_fault_plan(&plan);
+    let stats = cluster.run(&mut w);
+    assert!(
+        stats.faults.mds_elections >= 2 && stats.faults.mds_crashes == 1,
+        "failover did not land — probe too short: {:?}",
+        stats.faults
+    );
+    format!("{stats:?}")
+}
+
+#[test]
+fn replicated_mds_identical_across_shard_thread_and_jobs_levels() {
+    let failover = builtin("mds-failover").expect("builtin");
+    let partition = builtin("mds-partition").expect("builtin");
+    for plan in [failover, partition] {
+        let baseline = mds_cell((plan, 42, 1, 1));
+        let mut cells = Vec::new();
+        for shards in [1usize, 4] {
+            for threads in [1usize, 4] {
+                cells.push((plan, 42u64, shards, threads));
+            }
+        }
+        // Across the shard × thread grid through the worker pool at two
+        // budgets: neither the PDES driver nor `--jobs` may perturb the
+        // replicated run.
+        let seq = par_map_jobs(1, cells.clone(), mds_cell);
+        let par = par_map_jobs(8, cells, mds_cell);
+        assert_eq!(
+            seq, par,
+            "--jobs changed a replicated-MDS run\nplan:\n{plan}"
+        );
+        for (i, cell) in seq.iter().enumerate() {
+            assert_eq!(
+                cell, &baseline,
+                "grid point {i} diverged from shards=1 threads=1\nplan:\n{plan}"
+            );
+        }
+    }
+}
+
 #[test]
 fn fault_plans_identical_across_shard_and_thread_counts() {
     // "crash" kills and restarts a server (crash teardown, drain kicks

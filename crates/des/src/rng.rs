@@ -64,6 +64,11 @@ pub mod streams {
     /// alone — independent of how nodes are sharded into logical
     /// processes or interleaved across threads.
     pub const FAULTS_NET: u64 = 9;
+    /// Replicated-MDS election timeouts: each replica draws from
+    /// `stream_rng(derive_seed(seed, MDS), replica)`, so election
+    /// outcomes are a function of (seed, replica) alone — byte-identical
+    /// at any `--shards`/`--threads`/`--jobs` combination.
+    pub const MDS: u64 = 10;
 }
 
 #[cfg(test)]

@@ -77,6 +77,18 @@ pub enum TimedFault {
     MdsCrash,
     /// The metadata server recovers; reporting resumes.
     MdsRestart,
+    /// The current MDS leader replica crashes. With a replicated group
+    /// the survivors elect a new leader; with one replica this is
+    /// [`TimedFault::MdsCrash`].
+    MdsLeaderCrash,
+    /// The crashed MDS replica rejoins, replaying the replicated log.
+    MdsLeaderRestart,
+    /// A partition isolates the MDS leader from its peers; the majority
+    /// side fences it and elects a new leader.
+    MdsPartitionStart,
+    /// The MDS partition heals; the stale ex-leader steps down on the
+    /// higher term it observes.
+    MdsPartitionHeal,
 }
 
 /// Fault-injection and recovery counters for one run, reported next to
@@ -127,6 +139,18 @@ pub struct FaultStats {
     pub mds_restarts: u64,
     /// T-value reports dropped because the MDS was down.
     pub stalled_broadcasts: u64,
+    /// Client scheduling decisions (request issues) taken while the MDS
+    /// was unreachable — i.e. taken on possibly-stale T values. This is
+    /// the observable cost of `mds-crash`-style degradation.
+    pub stale_t_decisions: u64,
+    /// MDS leader elections started (replicated-MDS runs only).
+    pub mds_elections: u64,
+    /// Times the client-visible MDS leader changed (includes the leader
+    /// becoming unreachable).
+    pub mds_leader_changes: u64,
+    /// Virtual-time nanoseconds the replicated MDS spent without a
+    /// client-visible leader — the failover recovery window.
+    pub mds_recovery_ticks: u64,
     /// Backup records scanned by restart recovery fscks.
     pub fsck_records_scanned: u64,
     /// Backup records quarantined (torn, checksum-failed, or
@@ -172,6 +196,10 @@ impl FaultStats {
         self.mds_crashes += other.mds_crashes;
         self.mds_restarts += other.mds_restarts;
         self.stalled_broadcasts += other.stalled_broadcasts;
+        self.stale_t_decisions += other.stale_t_decisions;
+        self.mds_elections += other.mds_elections;
+        self.mds_leader_changes += other.mds_leader_changes;
+        self.mds_recovery_ticks += other.mds_recovery_ticks;
         self.fsck_records_scanned += other.fsck_records_scanned;
         self.fsck_records_quarantined += other.fsck_records_quarantined;
         self.degraded += other.degraded;
@@ -290,6 +318,14 @@ impl FaultInjector {
                 FaultSpec::MdsCrash { at, restart_after } => {
                     timeline.push((at, TimedFault::MdsCrash));
                     timeline.push((at + restart_after, TimedFault::MdsRestart));
+                }
+                FaultSpec::MdsFailover { at, restart_after } => {
+                    timeline.push((at, TimedFault::MdsLeaderCrash));
+                    timeline.push((at + restart_after, TimedFault::MdsLeaderRestart));
+                }
+                FaultSpec::MdsPartition { at, heal_after } => {
+                    timeline.push((at, TimedFault::MdsPartitionStart));
+                    timeline.push((at + heal_after, TimedFault::MdsPartitionHeal));
                 }
             }
         }

@@ -14,6 +14,8 @@
 //! torn-write server=1 at=150ms restart=60ms records=2
 //! bit-rot server=0 at=100ms sectors=3
 //! mds-crash at=80ms restart=120ms
+//! mds-failover at=80ms restart=120ms
+//! mds-partition at=80ms heal=120ms
 //! ```
 //!
 //! Each directive is `name key=value ...`; blank lines and `#` comments
@@ -127,6 +129,28 @@ pub enum FaultSpec {
         /// Downtime before the MDS restarts.
         restart_after: SimDuration,
     },
+    /// The current MDS *leader* crashes at `at` and rejoins
+    /// `restart_after` later, replaying its replicated log. With
+    /// `--mds-replicas > 1` the surviving replicas elect a new leader
+    /// and metadata service continues; with a single replica this
+    /// degenerates to [`FaultSpec::MdsCrash`].
+    MdsFailover {
+        /// Crash instant.
+        at: SimDuration,
+        /// Downtime before the crashed replica rejoins.
+        restart_after: SimDuration,
+    },
+    /// A network partition isolates the MDS leader from its peers at
+    /// `at` and heals `heal_after` later. The majority side fences the
+    /// stale leader (it cannot commit without a quorum) and elects a
+    /// fresh one; with a single replica this degenerates to a crash
+    /// that heals instead of restarting.
+    MdsPartition {
+        /// Partition instant.
+        at: SimDuration,
+        /// Time until the partition heals.
+        heal_after: SimDuration,
+    },
 }
 
 /// Client-side timeout/retry policy used while a plan is armed.
@@ -225,10 +249,13 @@ impl FaultPlan {
                     | "torn-write"
                     | "bit-rot"
                     | "mds-crash"
+                    | "mds-failover"
+                    | "mds-partition"
             ) {
                 return Err(err(format!(
                     "unknown directive '{directive}' (expected one of: retry, crash, \
-                     ssd-loss, fail-slow, net, torn-write, bit-rot, mds-crash)"
+                     ssd-loss, fail-slow, net, torn-write, bit-rot, mds-crash, \
+                     mds-failover, mds-partition)"
                 )));
             }
             let mut args = Args::new(words.collect(), line, idx + 1)?;
@@ -329,6 +356,26 @@ impl FaultPlan {
                     plan.specs.push(FaultSpec::MdsCrash {
                         at: args.duration("at")?,
                         restart_after,
+                    });
+                }
+                "mds-failover" => {
+                    let restart_after = args.duration("restart")?;
+                    if restart_after == SimDuration::ZERO {
+                        return Err(err("restart must be > 0".into()));
+                    }
+                    plan.specs.push(FaultSpec::MdsFailover {
+                        at: args.duration("at")?,
+                        restart_after,
+                    });
+                }
+                "mds-partition" => {
+                    let heal_after = args.duration("heal")?;
+                    if heal_after == SimDuration::ZERO {
+                        return Err(err("heal must be > 0".into()));
+                    }
+                    plan.specs.push(FaultSpec::MdsPartition {
+                        at: args.duration("at")?,
+                        heal_after,
                     });
                 }
                 _ => unreachable!("directive validated above"),
@@ -544,6 +591,18 @@ pub fn builtin(name: &str) -> Option<&'static str> {
              crash server=0 at=140ms restart=60ms\n"
         }
         "mds-crash" => "mds-crash at=80ms restart=120ms\n",
+        "mds-failover" => {
+            // Kill the elected leader mid-run; with a replicated MDS the
+            // survivors re-elect within a few election timeouts and the
+            // crashed replica later rejoins by replaying the log.
+            "mds-failover at=80ms restart=120ms\n"
+        }
+        "mds-partition" => {
+            // Isolate the leader instead of killing it: the majority
+            // side fences it (no quorum, no commits) and elects afresh;
+            // the healed ex-leader steps down on the higher term.
+            "mds-partition at=80ms heal=120ms\n"
+        }
         _ => return None,
     })
 }
@@ -559,6 +618,8 @@ pub const BUILTIN_NAMES: &[&str] = &[
     "torn-write",
     "bit-rot",
     "mds-crash",
+    "mds-failover",
+    "mds-partition",
 ];
 
 /// Built-in plan names with one-line descriptions, in [`BUILTIN_NAMES`]
@@ -593,6 +654,14 @@ pub const BUILTIN_PLANS: &[(&str, &str)] = &[
     (
         "mds-crash",
         "metadata server down from 80ms to 200ms; T-value broadcasts stall",
+    ),
+    (
+        "mds-failover",
+        "MDS leader crashes at 80ms, rejoins at 200ms; replicas elect a new leader",
+    ),
+    (
+        "mds-partition",
+        "MDS leader partitioned from 80ms to 200ms; fenced, majority re-elects",
     ),
 ];
 
@@ -732,6 +801,29 @@ mod tests {
     }
 
     #[test]
+    fn parses_replicated_mds_directives() {
+        let plan = FaultPlan::parse(
+            "mds-failover at=80ms restart=120ms\n\
+             mds-partition at=90ms heal=60ms\n",
+        )
+        .expect("plan must parse");
+        assert_eq!(
+            plan.specs[0],
+            FaultSpec::MdsFailover {
+                at: SimDuration::from_millis(80),
+                restart_after: SimDuration::from_millis(120),
+            }
+        );
+        assert_eq!(
+            plan.specs[1],
+            FaultSpec::MdsPartition {
+                at: SimDuration::from_millis(90),
+                heal_after: SimDuration::from_millis(60),
+            }
+        );
+    }
+
+    #[test]
     fn backoff_delay_sequence_is_exact() {
         let retry = RetryConfig {
             timeout: SimDuration::from_millis(50),
@@ -826,6 +918,10 @@ mod tests {
             ("bit-rot server=0 at=1ms sectors=0", "sectors must be > 0"),
             ("mds-crash at=1ms restart=0ms", "restart must be > 0"),
             ("mds-crash at=1ms", "missing required key 'restart'"),
+            ("mds-failover at=1ms restart=0ms", "restart must be > 0"),
+            ("mds-failover at=1ms", "missing required key 'restart'"),
+            ("mds-partition at=1ms heal=0ms", "heal must be > 0"),
+            ("mds-partition at=1ms", "missing required key 'heal'"),
         ];
         for (line, want) in cases {
             let text = format!("# leading comment\n{line}\n");

@@ -199,6 +199,45 @@ impl PdesAgg {
     }
 }
 
+/// Replicated-metadata-service aggregates: election/failover counters
+/// plus the client-side degradation signal (`stale_t_decisions`). All
+/// counters are virtual-time deterministic and merge by addition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MdsAgg {
+    /// Runs that recorded MDS activity.
+    pub runs: u64,
+    /// Leader elections started.
+    pub elections: u64,
+    /// Client-visible leader changes.
+    pub leader_changes: u64,
+    /// Virtual-time ns spent without a client-visible leader.
+    pub recovery_ticks: u64,
+    /// Client scheduling decisions taken while the MDS was unreachable
+    /// (i.e. on possibly-stale T values).
+    pub stale_t_decisions: u64,
+    /// Metadata updates proposed to the replicated log.
+    pub proposals: u64,
+    /// Log entries committed at majority.
+    pub commits: u64,
+}
+
+impl MdsAgg {
+    fn merge(&mut self, o: &MdsAgg) {
+        self.runs += o.runs;
+        self.elections += o.elections;
+        self.leader_changes += o.leader_changes;
+        self.recovery_ticks += o.recovery_ticks;
+        self.stale_t_decisions += o.stale_t_decisions;
+        self.proposals += o.proposals;
+        self.commits += o.commits;
+    }
+
+    /// True if no run has recorded MDS activity.
+    pub fn is_empty(&self) -> bool {
+        self.runs == 0
+    }
+}
+
 fn merge_by_index(a: &mut Vec<u64>, b: &[u64]) {
     if a.len() < b.len() {
         a.resize(b.len(), 0);
@@ -221,6 +260,8 @@ pub struct Registry {
     pub servers: BTreeMap<u16, ServerAgg>,
     /// Threaded-PDES driver aggregates.
     pub pdes: PdesAgg,
+    /// Replicated-MDS aggregates.
+    pub mds: MdsAgg,
 }
 
 impl Registry {
@@ -232,6 +273,7 @@ impl Registry {
             class_bytes: [0; N_CLASSES],
             servers: BTreeMap::new(),
             pdes: PdesAgg::default(),
+            mds: MdsAgg::default(),
         }
     }
 
@@ -240,6 +282,7 @@ impl Registry {
         self.phases.iter().all(|h| h.count() == 0)
             && self.servers.is_empty()
             && self.pdes.is_empty()
+            && self.mds.is_empty()
     }
 
     /// Merges another registry into this one (pure addition).
@@ -257,6 +300,7 @@ impl Registry {
             self.servers.entry(s).or_default().merge(agg);
         }
         self.pdes.merge(&o.pdes);
+        self.mds.merge(&o.mds);
     }
 }
 
@@ -357,6 +401,15 @@ pub fn record_pdes(windows: u64, barriers: u64, lp_events: &[u64], lp_wall_ns: &
         merge_by_index(&mut r.pdes.lp_events, lp_events);
         merge_by_index(&mut r.pdes.lp_wall_ns, lp_wall_ns);
     });
+}
+
+/// Records one run's replicated-MDS counters. No-op unless metrics are
+/// on or every counter is zero (single-MDS healthy runs leave no trace).
+pub fn record_mds(agg: &MdsAgg) {
+    if !crate::metrics_on() || agg.is_empty() {
+        return;
+    }
+    with_local(|r| r.mds.merge(agg));
 }
 
 /// Merges the calling thread's local registry into the global one.

@@ -51,6 +51,9 @@ use ibridge_faults::{
 };
 use ibridge_iosched::{Action, DevStats};
 use ibridge_localfs::FileHandle;
+use ibridge_mds::{
+    Action as MdsAction, Entry as MdsEntry, MdsConfig, MdsGroup, MdsStats, Msg as MdsMsg,
+};
 use ibridge_net::{Link, LinkConfig, NetDecision};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -93,6 +96,10 @@ static TOTAL_DIRTY_LOST: AtomicU64 = AtomicU64::new(0);
 static TOTAL_DEGRADED_NS: AtomicU64 = AtomicU64::new(0);
 static TOTAL_FSCK_SCANNED: AtomicU64 = AtomicU64::new(0);
 static TOTAL_FSCK_QUARANTINED: AtomicU64 = AtomicU64::new(0);
+static TOTAL_STALE_T: AtomicU64 = AtomicU64::new(0);
+static TOTAL_MDS_ELECTIONS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_MDS_LEADER_CHANGES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_MDS_RECOVERY_NS: AtomicU64 = AtomicU64::new(0);
 /// Auditor passes are counted even on faultless runs (the auditor is a
 /// verification knob, not a fault), so this lives outside the
 /// `is_zero`-gated flush below.
@@ -118,6 +125,16 @@ pub struct FaultTotals {
     pub fsck_records_scanned: u64,
     /// Backup records quarantined by restart recovery fscks.
     pub fsck_records_quarantined: u64,
+    /// Client scheduling decisions taken while no metadata service was
+    /// reachable (stale-T degradation).
+    pub stale_t_decisions: u64,
+    /// Replicated-MDS leader elections started.
+    pub mds_elections: u64,
+    /// Client-visible MDS leader changes.
+    pub mds_leader_changes: u64,
+    /// Virtual-time nanoseconds the replicated MDS spent without a
+    /// client-visible leader (failover recovery windows).
+    pub mds_failover_recovery_ticks: u64,
     /// Online invariant-auditor passes completed.
     pub audits: u64,
 }
@@ -133,6 +150,10 @@ pub fn total_fault_counters() -> FaultTotals {
         degraded_ns: TOTAL_DEGRADED_NS.load(Ordering::Relaxed),
         fsck_records_scanned: TOTAL_FSCK_SCANNED.load(Ordering::Relaxed),
         fsck_records_quarantined: TOTAL_FSCK_QUARANTINED.load(Ordering::Relaxed),
+        stale_t_decisions: TOTAL_STALE_T.load(Ordering::Relaxed),
+        mds_elections: TOTAL_MDS_ELECTIONS.load(Ordering::Relaxed),
+        mds_leader_changes: TOTAL_MDS_LEADER_CHANGES.load(Ordering::Relaxed),
+        mds_failover_recovery_ticks: TOTAL_MDS_RECOVERY_NS.load(Ordering::Relaxed),
         audits: TOTAL_AUDITS.load(Ordering::Relaxed),
     }
 }
@@ -154,6 +175,15 @@ pub struct ClusterConfig {
     pub flag_fragments: bool,
     /// Interval of the per-server T-value report to the MDS (paper: 1 s).
     pub report_interval: SimDuration,
+    /// Metadata-service replicas. `1` (the default) is the classic
+    /// single MDS — a SPOF whose crash degrades clients to stale T
+    /// values. `> 1` runs a raft-style replicated group (entirely on
+    /// the coordinator LP, in virtual time): T reports and steering
+    /// updates go through a majority-committed log, and the group
+    /// survives leader crashes and partitions via deterministic
+    /// seeded elections. Output stays byte-identical at any
+    /// `shards`/`threads` combination either way.
+    pub mds_replicas: usize,
     /// Interval of the writeback daemon's idle check.
     pub writeback_interval: SimDuration,
     /// Maximum per-request client-side jitter (OS scheduling noise,
@@ -200,6 +230,7 @@ impl Default for ClusterConfig {
             threshold: 20 * 1024,
             flag_fragments: false,
             report_interval: SimDuration::from_secs(1),
+            mds_replicas: 1,
             writeback_interval: SimDuration::from_millis(100),
             client_jitter: SimDuration::from_millis(10),
             seed: 42,
@@ -275,7 +306,22 @@ enum Ev {
     ReportArrive { server: usize, t: f64 },
     /// The MDS broadcast reached a server. The table is shared: one
     /// snapshot per report, not one clone per destination server.
-    Broadcast { server: usize, table: Arc<[f64]> },
+    /// `version` is the metadata version the snapshot reflects (the
+    /// replicated log's commit index when the MDS is replicated, a
+    /// plain counter otherwise); servers assert it never regresses.
+    Broadcast {
+        server: usize,
+        version: u64,
+        table: Arc<[f64]>,
+    },
+    /// An intra-MDS-group raft message or timer (replicated MDS only).
+    /// The whole group lives on the coordinator LP, so these are
+    /// coordinator self-posts whose order is intrinsic.
+    Mds(MdsMsg),
+    /// Re-proposal of a metadata update that found no reachable MDS
+    /// leader: the client-facing path backs off and retries instead of
+    /// silently dropping the update.
+    MdsRetry { entry: MdsEntry, attempt: u32 },
     /// Periodic writeback-daemon check.
     WritebackTick { server: usize },
     /// End-of-run drain kick, posted by the coordinator to every server
@@ -436,6 +482,47 @@ fn obs_net_reply(
     }
 }
 
+/// Trace lane for replicated-MDS spans on the client node — far above
+/// any real process lane, so MDS activity sorts into its own swimlane.
+#[cfg(feature = "obs")]
+const MDS_TRACE_LANE: u16 = u16::MAX;
+
+/// One replicated log entry, proposal → majority commit:
+/// `mds:replicate` span (id = commit index).
+#[cfg(feature = "obs")]
+fn obs_mds_replicate(proposed_at: SimTime, committed_at: SimTime, index: u64) {
+    use ibridge_obs::trace;
+    if ibridge_obs::tracing_on() {
+        trace::record(trace::Span {
+            ts_ns: proposed_at.as_nanos(),
+            dur_ns: (committed_at - proposed_at).as_nanos(),
+            node: trace::CLIENT_NODE,
+            lane: MDS_TRACE_LANE,
+            name: "mds:replicate",
+            id: index,
+            aux: 0,
+        });
+    }
+}
+
+/// A leadership change in the MDS group: `mds:leader` span (id = term,
+/// aux = elected replica, or `u64::MAX` for "leaderless").
+#[cfg(feature = "obs")]
+fn obs_mds_leader(now: SimTime, leader: Option<usize>, term: u64) {
+    use ibridge_obs::trace;
+    if ibridge_obs::tracing_on() {
+        trace::record(trace::Span {
+            ts_ns: now.as_nanos(),
+            dur_ns: 0,
+            node: trace::CLIENT_NODE,
+            lane: MDS_TRACE_LANE,
+            name: "mds:leader",
+            id: term,
+            aux: leader.map_or(u64::MAX, |l| l as u64),
+        });
+    }
+}
+
 /// Whole client request, issue → last sub-reply: `Request` metric +
 /// `request` span.
 #[cfg(feature = "obs")]
@@ -503,8 +590,12 @@ fn clamp_fault(f: TimedFault, n: usize) -> TimedFault {
             sectors,
             seed,
         },
-        TimedFault::MdsCrash => TimedFault::MdsCrash,
-        TimedFault::MdsRestart => TimedFault::MdsRestart,
+        TimedFault::MdsCrash
+        | TimedFault::MdsRestart
+        | TimedFault::MdsLeaderCrash
+        | TimedFault::MdsLeaderRestart
+        | TimedFault::MdsPartitionStart
+        | TimedFault::MdsPartitionHeal => f,
     }
 }
 
@@ -520,7 +611,12 @@ fn fault_server(f: &TimedFault) -> Option<usize> {
         | TimedFault::SlowEnd { server, .. }
         | TimedFault::TornWrite { server, .. }
         | TimedFault::BitRot { server, .. } => Some(server),
-        TimedFault::MdsCrash | TimedFault::MdsRestart => None,
+        TimedFault::MdsCrash
+        | TimedFault::MdsRestart
+        | TimedFault::MdsLeaderCrash
+        | TimedFault::MdsLeaderRestart
+        | TimedFault::MdsPartitionStart
+        | TimedFault::MdsPartitionHeal => None,
     }
 }
 
@@ -646,8 +742,15 @@ struct CoordPersist {
     mds_link: Link,
     mds_table: Vec<f64>,
     /// Metadata server currently crashed: T-value reports are dropped
-    /// and broadcasts stall until its restart.
+    /// and broadcasts stall until its restart. (Single-MDS path only;
+    /// a replicated group tracks availability via its leader instead.)
     mds_down: bool,
+    /// Replicated MDS group (`mds_replicas > 1`); `None` runs the
+    /// legacy single-MDS path byte-identically to before.
+    mds: Option<MdsGroup>,
+    /// Monotone metadata version stamped on broadcasts: the replicated
+    /// log's commit index, or a plain counter on the single-MDS path.
+    mds_version: u64,
     jitter_rng: StdRng,
     next_job: u64,
     next_parent: u64,
@@ -672,6 +775,9 @@ struct ServerCell {
     /// SSD); time with depth > 0 accrues to [`FaultStats::degraded`].
     degraded_depth: u32,
     degraded_since: SimTime,
+    /// Highest metadata version seen in a broadcast — the server-side
+    /// T-monotonicity check (versions must never regress).
+    bcast_version: u64,
     /// Per-node network-impairment dice for this server's replies.
     decider: Option<NetDecider>,
 }
@@ -749,6 +855,7 @@ impl Cluster {
                 dev_epoch: [0, 0],
                 degraded_depth: 0,
                 degraded_since: SimTime::ZERO,
+                bcast_version: 0,
                 decider: None,
             });
         }
@@ -757,6 +864,10 @@ impl Cluster {
                 mds_link: Link::new(cfg.link.clone()),
                 mds_table: vec![0.0; cfg.n_servers],
                 mds_down: false,
+                mds: (cfg.mds_replicas > 1).then(|| {
+                    MdsGroup::new(MdsConfig::new(cfg.mds_replicas, cfg.seed, cfg.link.clone()))
+                }),
+                mds_version: 0,
                 jitter_rng: ibridge_des::rng::stream_rng(
                     cfg.seed,
                     ibridge_des::rng::streams::CLIENT,
@@ -931,6 +1042,20 @@ impl Cluster {
         for proc in 0..n_procs {
             self.sim.post_now(COORD, COORD, Ev::Wake { proc });
         }
+        // Re-arm the replicated-MDS group's timers for this run (the
+        // drain cancelled them at the end of the previous run). All
+        // raft traffic is coordinator-local, so these self-posts have
+        // no lookahead constraint.
+        let mds_before = self.coord.mds.as_ref().map(|g| g.stats());
+        if let Some(g) = self.coord.mds.as_mut() {
+            let mut acts = Vec::new();
+            g.resume(start, &mut acts);
+            for a in acts {
+                if let MdsAction::Deliver { at, msg } = a {
+                    self.sim.post_at(COORD, COORD, at, Ev::Mds(msg));
+                }
+            }
+        }
         if ibridge {
             for server in 0..n_servers {
                 let node = srv_node(server);
@@ -988,6 +1113,8 @@ impl Cluster {
             fstats: FaultStats::default(),
             pieces_scratch: Vec::new(),
             subs_scratch: Vec::new(),
+            mds_shutdown: false,
+            mds_acts: Vec::new(),
         };
         fn mk_shard<'r>(
             cfg: &ClusterConfig,
@@ -1124,6 +1251,42 @@ impl Cluster {
         for s in &shs {
             fstats.absorb(&s.fstats);
         }
+
+        // Close out the replicated group for this run: accrue any
+        // still-open leaderless window to `end`, then fold the per-run
+        // stats delta (the group persists across runs) into the fault
+        // counters.
+        let mut mds_run = MdsStats::default();
+        if let Some(g) = co.p.mds.as_mut() {
+            g.finish(end);
+            let s = g.stats();
+            let b = mds_before.unwrap_or_default();
+            mds_run = MdsStats {
+                elections: s.elections - b.elections,
+                leader_changes: s.leader_changes - b.leader_changes,
+                recovery_ticks: s.recovery_ticks - b.recovery_ticks,
+                log_replayed: s.log_replayed - b.log_replayed,
+                proposals: s.proposals - b.proposals,
+                commits: s.commits - b.commits,
+            };
+            fstats.mds_elections += mds_run.elections;
+            fstats.mds_leader_changes += mds_run.leader_changes;
+            fstats.mds_recovery_ticks += mds_run.recovery_ticks;
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = mds_run;
+        #[cfg(feature = "obs")]
+        if ibridge_obs::metrics_on() && (co.p.mds.is_some() || fstats.stale_t_decisions > 0) {
+            ibridge_obs::metrics::record_mds(&ibridge_obs::metrics::MdsAgg {
+                runs: 1,
+                elections: mds_run.elections,
+                leader_changes: mds_run.leader_changes,
+                recovery_ticks: mds_run.recovery_ticks,
+                stale_t_decisions: fstats.stale_t_decisions,
+                proposals: mds_run.proposals,
+                commits: mds_run.commits,
+            });
+        }
         for s in &mut shs {
             for cell in &mut s.p.cells {
                 // Close degradation windows still open at run end (a
@@ -1167,6 +1330,10 @@ impl Cluster {
             TOTAL_DEGRADED_NS.fetch_add(fstats.degraded.as_nanos(), Ordering::Relaxed);
             TOTAL_FSCK_SCANNED.fetch_add(fstats.fsck_records_scanned, Ordering::Relaxed);
             TOTAL_FSCK_QUARANTINED.fetch_add(fstats.fsck_records_quarantined, Ordering::Relaxed);
+            TOTAL_STALE_T.fetch_add(fstats.stale_t_decisions, Ordering::Relaxed);
+            TOTAL_MDS_ELECTIONS.fetch_add(fstats.mds_elections, Ordering::Relaxed);
+            TOTAL_MDS_LEADER_CHANGES.fetch_add(fstats.mds_leader_changes, Ordering::Relaxed);
+            TOTAL_MDS_RECOVERY_NS.fetch_add(fstats.mds_recovery_ticks, Ordering::Relaxed);
         }
         RunStats {
             elapsed: end - start,
@@ -1244,6 +1411,11 @@ struct CoordLp<'r> {
     /// after warm-up the client path performs no allocation.
     pieces_scratch: Vec<(usize, u64, u64)>,
     subs_scratch: Vec<SubRequest>,
+    /// The end-of-run drain started: replicated-MDS timers stop
+    /// re-arming so the calendar can run to empty.
+    mds_shutdown: bool,
+    /// Scratch for MDS actions, reused across every MDS event.
+    mds_acts: Vec<MdsAction>,
 }
 
 /// Per-run state of one server-shard LP.
@@ -1296,7 +1468,9 @@ fn dispatch(sh: &Shared, port: &mut LpPort<'_, Ev>, st: &mut LpState<'_>, now: S
         | Ev::Reply { .. }
         | Ev::SubTimeout { .. }
         | Ev::ReportArrive { .. }
-        | Ev::SteerOff { .. } => {
+        | Ev::SteerOff { .. }
+        | Ev::Mds(_)
+        | Ev::MdsRetry { .. } => {
             let co = st.coord.as_mut().expect("coordinator event on server LP");
             coord_event(sh, port, co, now, ev);
         }
@@ -1344,6 +1518,9 @@ fn coord_event(sh: &Shared, port: &mut LpPort<'_, Ev>, co: &mut CoordLp, now: Si
                             for id in co.fault_ids.drain(..) {
                                 port.cancel(id);
                             }
+                            // Stop replicated-MDS timers from re-arming:
+                            // pending Mds/MdsRetry events become no-ops.
+                            co.mds_shutdown = true;
                         }
                     } else if co.use_barrier {
                         // A departing process may release the barrier.
@@ -1400,6 +1577,12 @@ fn coord_event(sh: &Shared, port: &mut LpPort<'_, Ev>, co: &mut CoordLp, now: Si
             co.requests += 1;
             co.bytes += req.len;
             co.proc_bytes[proc] += req.len;
+            // With iBridge steering on, a request decomposed while the
+            // metadata service is unreachable ran on a stale T-table:
+            // the degradation `mds-crash`-style plans exist to surface.
+            if sh.ibridge && mds_unreachable(co) {
+                co.fstats.stale_t_decisions += 1;
+            }
             let pending = subs.len();
             let mut tracks: Vec<SubTrack> = Vec::new();
             if sh.faults {
@@ -1568,43 +1751,106 @@ fn coord_event(sh: &Shared, port: &mut LpPort<'_, Ev>, co: &mut CoordLp, now: Si
             }
         }
         Ev::ReportArrive { server, t } => {
-            if co.p.mds_down {
+            if co.p.mds.is_some() {
+                // Replicated path: the report becomes a log entry; the
+                // table mutates (and broadcasts) only at commit.
+                mds_propose(sh, port, co, now, MdsEntry::TReport { server, t }, 0);
+            } else if co.p.mds_down {
                 // The MDS is down: the report is lost and no
                 // broadcast goes out. Servers keep serving with
                 // their last-known T values until the restart.
                 co.fstats.stalled_broadcasts += 1;
             } else {
                 co.p.mds_table[server] = t;
-                // One shared snapshot for the whole broadcast fan-out.
-                let table: Arc<[f64]> = Arc::from(co.p.mds_table.as_slice());
-                for dest in 0..sh.cfg.n_servers {
-                    let arrive = co.p.mds_link.send(now, 64 * sh.cfg.n_servers as u64);
-                    port.post_at(
-                        COORD,
-                        srv_node(dest),
-                        arrive,
-                        Ev::Broadcast {
-                            server: dest,
-                            table: Arc::clone(&table),
-                        },
-                    );
-                }
+                co.p.mds_version += 1;
+                let version = co.p.mds_version;
+                mds_broadcast(sh, port, co, now, version);
             }
         }
         Ev::SteerOff { server } => {
             // The MDS stops steering fragments at a server that lost
             // its SSD.
-            co.p.mds_table[server] = 0.0;
+            if co.p.mds.is_some() {
+                mds_propose(sh, port, co, now, MdsEntry::SteerOff { server }, 0);
+            } else {
+                co.p.mds_table[server] = 0.0;
+            }
+        }
+        Ev::Mds(msg) => {
+            // A raft message (timer or RPC delivery) inside the group.
+            // After the drain kick the group is frozen: dropping the
+            // message re-arms nothing, so the calendar runs to empty.
+            if !co.mds_shutdown {
+                let mut acts = std::mem::take(&mut co.mds_acts);
+                acts.clear();
+                co.p.mds
+                    .as_mut()
+                    .expect("MDS message without a replicated group")
+                    .handle(now, msg, &mut acts);
+                mds_apply(sh, port, co, now, &mut acts);
+                co.mds_acts = acts;
+            }
+        }
+        Ev::MdsRetry { entry, attempt } => {
+            if !co.mds_shutdown {
+                mds_propose(sh, port, co, now, entry, attempt);
+            }
         }
         Ev::Fault(fault) => match fault {
-            TimedFault::MdsCrash => {
-                if !co.p.mds_down {
+            TimedFault::MdsCrash | TimedFault::MdsLeaderCrash => {
+                if let Some(g) = co.p.mds.as_mut() {
+                    let mut acts = std::mem::take(&mut co.mds_acts);
+                    acts.clear();
+                    if g.crash_leader(now, &mut acts).is_some() {
+                        co.fstats.mds_crashes += 1;
+                    }
+                    mds_apply(sh, port, co, now, &mut acts);
+                    co.mds_acts = acts;
+                } else if !co.p.mds_down {
                     co.p.mds_down = true;
                     co.fstats.mds_crashes += 1;
                 }
             }
-            TimedFault::MdsRestart => {
-                if co.p.mds_down {
+            TimedFault::MdsRestart | TimedFault::MdsLeaderRestart => {
+                if let Some(g) = co.p.mds.as_mut() {
+                    let rejoining = g.down_replicas() as u64;
+                    if rejoining > 0 {
+                        co.fstats.mds_restarts += rejoining;
+                        let mut acts = std::mem::take(&mut co.mds_acts);
+                        acts.clear();
+                        g.restart_crashed(now, &mut acts);
+                        mds_apply(sh, port, co, now, &mut acts);
+                        co.mds_acts = acts;
+                    }
+                } else if co.p.mds_down {
+                    co.p.mds_down = false;
+                    co.fstats.mds_restarts += 1;
+                }
+            }
+            TimedFault::MdsPartitionStart => {
+                if let Some(g) = co.p.mds.as_mut() {
+                    let mut acts = std::mem::take(&mut co.mds_acts);
+                    acts.clear();
+                    g.partition_leader(now, &mut acts);
+                    co.fstats.mds_crashes += 1;
+                    mds_apply(sh, port, co, now, &mut acts);
+                    co.mds_acts = acts;
+                } else if !co.p.mds_down {
+                    // Degenerate single-MDS partition: unreachable is
+                    // indistinguishable from crashed until the heal.
+                    co.p.mds_down = true;
+                    co.fstats.mds_crashes += 1;
+                }
+            }
+            TimedFault::MdsPartitionHeal => {
+                if let Some(g) = co.p.mds.as_mut() {
+                    let mut acts = std::mem::take(&mut co.mds_acts);
+                    acts.clear();
+                    g.heal(now, &mut acts);
+                    co.fstats.mds_restarts += 1;
+                    mds_apply(sh, port, co, now, &mut acts);
+                    co.mds_acts = acts;
+                } else if co.p.mds_down {
                     co.p.mds_down = false;
                     co.fstats.mds_restarts += 1;
                 }
@@ -1612,6 +1858,129 @@ fn coord_event(sh: &Shared, port: &mut LpPort<'_, Ev>, co: &mut CoordLp, now: Si
             _ => unreachable!("server fault routed to the coordinator"),
         },
         _ => unreachable!("server event routed to the coordinator"),
+    }
+}
+
+/// True when iBridge clients cannot see a live metadata service: the
+/// single MDS is crashed, or the replicated group has no elected (and
+/// reachable) leader right now.
+fn mds_unreachable(co: &CoordLp) -> bool {
+    match co.p.mds.as_ref() {
+        Some(g) => g.leader().is_none(),
+        None => co.p.mds_down,
+    }
+}
+
+/// Proposes `entry` to the replicated group. With no visible leader the
+/// proposal is retried on a fixed coordinator-local backoff; a bounded
+/// number of attempts keeps an unelectable group (all replicas down)
+/// from ticking forever, and the give-up is accounted as a stalled
+/// broadcast — the same degradation signal as the single-MDS path.
+fn mds_propose(
+    sh: &Shared,
+    port: &mut LpPort<'_, Ev>,
+    co: &mut CoordLp,
+    now: SimTime,
+    entry: MdsEntry,
+    attempt: u32,
+) {
+    const MDS_RETRY_BACKOFF: SimDuration = SimDuration::from_micros(500);
+    const MDS_RETRY_MAX: u32 = 64;
+    let mut acts = std::mem::take(&mut co.mds_acts);
+    acts.clear();
+    let accepted =
+        co.p.mds
+            .as_mut()
+            .expect("MDS proposal without a replicated group")
+            .propose(now, entry.clone(), &mut acts);
+    mds_apply(sh, port, co, now, &mut acts);
+    co.mds_acts = acts;
+    if !accepted {
+        if attempt >= MDS_RETRY_MAX {
+            co.fstats.stalled_broadcasts += 1;
+        } else {
+            port.post_at(
+                COORD,
+                COORD,
+                now + MDS_RETRY_BACKOFF,
+                Ev::MdsRetry {
+                    entry,
+                    attempt: attempt + 1,
+                },
+            );
+        }
+    }
+}
+
+/// Applies a batch of group actions on the coordinator: schedules
+/// message deliveries, applies committed entries to the T-table (and
+/// broadcasts the new version), and traces leadership changes.
+fn mds_apply(
+    sh: &Shared,
+    port: &mut LpPort<'_, Ev>,
+    co: &mut CoordLp,
+    now: SimTime,
+    acts: &mut Vec<MdsAction>,
+) {
+    for a in acts.drain(..) {
+        match a {
+            MdsAction::Deliver { at, msg } => {
+                port.post_at(COORD, COORD, at, Ev::Mds(msg));
+            }
+            MdsAction::Commit {
+                index,
+                proposed_at,
+                entry,
+            } => {
+                #[cfg(feature = "obs")]
+                obs_mds_replicate(proposed_at, now, index);
+                #[cfg(not(feature = "obs"))]
+                let _ = proposed_at;
+                match entry {
+                    MdsEntry::TReport { server, t } => {
+                        co.p.mds_table[server] = t;
+                        co.p.mds_version = index;
+                        mds_broadcast(sh, port, co, now, index);
+                    }
+                    MdsEntry::SteerOff { server } => {
+                        co.p.mds_table[server] = 0.0;
+                        co.p.mds_version = index;
+                    }
+                }
+            }
+            MdsAction::LeaderChanged { leader, term } => {
+                #[cfg(feature = "obs")]
+                obs_mds_leader(now, leader, term);
+                #[cfg(not(feature = "obs"))]
+                let _ = (leader, term);
+            }
+        }
+    }
+}
+
+/// Fans the current T-table snapshot out to every server, stamped with
+/// the metadata `version` that produced it.
+fn mds_broadcast(
+    sh: &Shared,
+    port: &mut LpPort<'_, Ev>,
+    co: &mut CoordLp,
+    now: SimTime,
+    version: u64,
+) {
+    // One shared snapshot for the whole broadcast fan-out.
+    let table: Arc<[f64]> = Arc::from(co.p.mds_table.as_slice());
+    for dest in 0..sh.cfg.n_servers {
+        let arrive = co.p.mds_link.send(now, 64 * sh.cfg.n_servers as u64);
+        port.post_at(
+            COORD,
+            srv_node(dest),
+            arrive,
+            Ev::Broadcast {
+                server: dest,
+                version,
+                table: Arc::clone(&table),
+            },
+        );
     }
 }
 
@@ -1723,9 +2092,20 @@ fn shard_event(sh: &Shared, port: &mut LpPort<'_, Ev>, lp: &mut ShardLp, now: Si
                 port.post_in(node, node, sh.cfg.report_interval, Ev::Report { server });
             }
         }
-        Ev::Broadcast { server, table } => {
+        Ev::Broadcast {
+            server,
+            version,
+            table,
+        } => {
             let ci = server - lp.p.lo;
             let cell = &mut lp.p.cells[ci];
+            // Metadata versions are monotone: commits apply in log
+            // order and the fan-out crosses one FIFO link per server.
+            assert!(
+                version >= cell.bcast_version,
+                "MDS broadcast version moved backwards at server {server}"
+            );
+            cell.bcast_version = version;
             if !cell.down {
                 cell.server.policy_mut().receive_broadcast(&table);
             }
@@ -2110,7 +2490,12 @@ fn apply_shard_fault(port: &mut LpPort<'_, Ev>, lp: &mut ShardLp, now: SimTime, 
                 lp.fstats.rotted_records += hit;
             }
         }
-        TimedFault::MdsCrash | TimedFault::MdsRestart => {
+        TimedFault::MdsCrash
+        | TimedFault::MdsRestart
+        | TimedFault::MdsLeaderCrash
+        | TimedFault::MdsLeaderRestart
+        | TimedFault::MdsPartitionStart
+        | TimedFault::MdsPartitionHeal => {
             unreachable!("MDS fault routed to a server shard")
         }
     }
@@ -2603,5 +2988,127 @@ mod tests {
                 "shards={shards} threads={threads} diverged under faults"
             );
         }
+    }
+
+    #[test]
+    fn replicated_mds_is_client_invisible_on_stock_clusters() {
+        // All raft traffic is coordinator-local: without iBridge
+        // steering there are no T-reports to replicate, so the client
+        // side of the run is identical to the single-MDS baseline and
+        // only the dispatched-event count (the group's own timers and
+        // RPCs) differs.
+        let run = |replicas: usize| {
+            let cfg = ClusterConfig {
+                n_servers: 4,
+                mds_replicas: replicas,
+                ..Default::default()
+            };
+            let mut c = Cluster::new(cfg, |_| Box::new(StockPolicy::new()));
+            c.preallocate(FileHandle(1), 8 << 20);
+            let mut w = seq(IoDir::Read, 4, 65536, 8);
+            c.run(&mut w)
+        };
+        let single = run(1);
+        let replicated = run(3);
+        assert!(single.faults.is_zero());
+        assert_eq!(single.elapsed, replicated.elapsed);
+        assert_eq!(single.bytes, replicated.bytes);
+        assert_eq!(single.requests, replicated.requests);
+        assert_eq!(
+            format!("{:?}", single.latency_hist_ms),
+            format!("{:?}", replicated.latency_hist_ms)
+        );
+        assert!(
+            replicated.faults.mds_elections >= 1,
+            "a 3-replica group must elect a leader"
+        );
+        assert!(
+            replicated.faults.mds_recovery_ticks > 0,
+            "the window before the first election counts as leaderless"
+        );
+    }
+
+    #[test]
+    fn replicated_mds_runs_match_at_any_shard_and_thread_count() {
+        let run = |shards: usize, threads: usize| {
+            let cfg = ClusterConfig {
+                n_servers: 4,
+                shards,
+                threads,
+                mds_replicas: 3,
+                ..Default::default()
+            };
+            let mut c = Cluster::new(cfg, |_| Box::new(StockPolicy::new()));
+            c.preallocate(FileHandle(1), 8 << 20);
+            let mut w = seq(IoDir::Read, 4, 65 * 1024, 8);
+            format!("{:?}", c.run(&mut w))
+        };
+        let reference = run(1, 1);
+        assert_eq!(
+            run(1, 1),
+            reference,
+            "replicated runs must be deterministic"
+        );
+        for &(shards, threads) in &[(2usize, 2usize), (4, 4), (4, 1)] {
+            assert_eq!(
+                run(shards, threads),
+                reference,
+                "shards={shards} threads={threads} diverged with a replicated MDS"
+            );
+        }
+    }
+
+    #[test]
+    fn mds_failover_elects_a_new_leader_and_completes() {
+        // A paced workload keeps the run open past the crash, the
+        // restart, and the re-election they force.
+        #[derive(Debug)]
+        struct Paced {
+            left: u64,
+        }
+        impl Workload for Paced {
+            fn procs(&self) -> usize {
+                1
+            }
+            fn next(&mut self, _p: usize, _i: u64) -> Option<crate::workload::WorkItem> {
+                if self.left == 0 {
+                    return None;
+                }
+                self.left -= 1;
+                Some(crate::workload::WorkItem {
+                    req: FileRequest {
+                        dir: IoDir::Write,
+                        file: FileHandle(1),
+                        offset: (8 - self.left) * 4096,
+                        len: 4096,
+                    },
+                    think: SimDuration::from_millis(4),
+                })
+            }
+        }
+        let cfg = ClusterConfig {
+            n_servers: 2,
+            mds_replicas: 3,
+            ..Default::default()
+        };
+        let mut c = Cluster::new(cfg, |_| Box::new(StockPolicy::new()));
+        let plan = FaultPlan::parse("mds-failover at=6ms restart=10ms").unwrap();
+        c.set_fault_plan(&plan);
+        let stats = c.run(&mut Paced { left: 8 });
+        assert_eq!(stats.requests, 8);
+        assert_eq!(stats.latency_hist_ms.total(), 8);
+        assert_eq!(stats.faults.mds_crashes, 1);
+        assert_eq!(stats.faults.mds_restarts, 1);
+        assert!(
+            stats.faults.mds_elections >= 2,
+            "the crash must force a re-election: {:?}",
+            stats.faults
+        );
+        assert!(
+            stats.faults.mds_leader_changes >= 2,
+            "a different replica must take over: {:?}",
+            stats.faults
+        );
+        assert!(stats.faults.mds_recovery_ticks > 0);
     }
 }

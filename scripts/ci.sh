@@ -55,6 +55,16 @@ echo "== corruption-matrix jobs identity (torn-write/bit-rot recovery)"
   >/tmp/ibridge_ci_recovery_j8.txt 2>/dev/null
 cmp goldens/recovery_smoke.txt /tmp/ibridge_ci_recovery_j8.txt
 
+echo "== mds-ha jobs identity (replicated metadata failover)"
+./target/release/expt --seed 7 --jobs 8 --audit mds-ha \
+  >/tmp/ibridge_ci_mds_j8.txt 2>/dev/null
+cmp goldens/mds_smoke.txt /tmp/ibridge_ci_mds_j8.txt
+
+echo "== mds-ha threaded identity (--shards 4 --threads 4 vs golden)"
+./target/release/expt --seed 7 --shards 4 --threads 4 --audit mds-ha \
+  >/tmp/ibridge_ci_mds_thr.txt 2>/dev/null
+cmp goldens/mds_smoke.txt /tmp/ibridge_ci_mds_thr.txt
+
 echo "== perf-smoke shard identity (summary --shards 8 vs golden)"
 ./target/release/expt --shards 8 summary >/tmp/ibridge_ci_perf_s8.txt 2>/dev/null
 cmp goldens/perf_smoke.txt /tmp/ibridge_ci_perf_s8.txt

@@ -19,6 +19,8 @@ cargo build --release -q
   > "$OUT/faults_smoke.txt" 2>/dev/null
 ./target/release/expt --seed 7 --audit recovery \
   > "$OUT/recovery_smoke.txt" 2>/dev/null
+./target/release/expt --seed 7 --audit mds-ha \
+  > "$OUT/mds_smoke.txt" 2>/dev/null
 ./target/release/expt summary > "$OUT/perf_smoke.txt" 2>/dev/null
 ./target/release/expt --seed 7 --jobs 8 --metrics summary \
   > "$OUT/obs_smoke.txt" 2>/dev/null

@@ -207,6 +207,121 @@ fn mds_crash_degrades_to_stale_t_values() {
 }
 
 // ---------------------------------------------------------------------
+// Replicated metadata service (`mds_replicas > 1`, crates/mds).
+// ---------------------------------------------------------------------
+
+/// The checkpoint shape of `mds_crash_degrades_to_stale_t_values` on a
+/// cluster whose metadata service runs as an N-replica raft-style
+/// group. The auditor is armed, and every broadcast carries a monotone
+/// metadata version that the servers assert on receipt — a T-table
+/// regression (e.g. a stale leader's commit surviving a partition)
+/// would panic the run.
+fn mds_run(seed: u64, replicas: usize, plan: &FaultPlan) -> RunStats {
+    let cfg = ClusterConfig {
+        n_servers: 4,
+        seed,
+        audit_interval: Some(SimDuration::from_millis(3)),
+        report_interval: SimDuration::from_millis(5),
+        mds_replicas: replicas,
+        ..Default::default()
+    };
+    let mut cluster = ibridge_cluster(cfg, 64 << 20);
+    let file = FileHandle(1);
+    let mut w = CheckpointWorkload::new(file, 4, 128 * KB, 24 * KB, 2, SimDuration::from_millis(5));
+    cluster.preallocate(file, w.span_bytes() + MB);
+    cluster.set_fault_plan(plan);
+    cluster.run(&mut w)
+}
+
+proptest! {
+    /// Failover safety: whatever moment the leader crashes or is
+    /// partitioned away, every request completes exactly once, nothing
+    /// is abandoned, and T-value monotonicity survives the election —
+    /// the per-server broadcast-version assertion and the armed auditor
+    /// turn any regression into a panic.
+    #[test]
+    fn replicated_mds_failover_completes_exactly_once(
+        seed in 0u64..400,
+        at_ms in 2u64..15,
+        back_ms in 5u64..25,
+        partition in any::<bool>(),
+    ) {
+        let text = if partition {
+            format!("mds-partition at={at_ms}ms heal={back_ms}ms\n")
+        } else {
+            format!("mds-failover at={at_ms}ms restart={back_ms}ms\n")
+        };
+        let plan = FaultPlan::parse(&text).expect("generated plan parses");
+        let stats = mds_run(seed, 3, &plan);
+        prop_assert_eq!(stats.latency_hist_ms.total(), stats.requests);
+        prop_assert_eq!(stats.faults.failed_subs, 0);
+        prop_assert_eq!(stats.faults.mds_crashes, 1);
+    }
+
+    /// The same failover schedules on a 5-replica group: a larger
+    /// majority changes the election arithmetic but none of the safety
+    /// properties.
+    #[test]
+    fn five_replica_group_holds_the_same_properties(
+        seed in 0u64..200,
+        at_ms in 2u64..15,
+        back_ms in 5u64..25,
+    ) {
+        let text = format!("mds-failover at={at_ms}ms restart={back_ms}ms\n");
+        let plan = FaultPlan::parse(&text).expect("generated plan parses");
+        let stats = mds_run(seed, 5, &plan);
+        prop_assert_eq!(stats.latency_hist_ms.total(), stats.requests);
+        prop_assert_eq!(stats.faults.failed_subs, 0);
+        prop_assert_eq!(stats.faults.mds_crashes, 1);
+    }
+}
+
+/// Availability contrast on the same failover schedule: a single MDS
+/// degrades to stale T values (reports dropped until the restart),
+/// while a 3-replica group re-elects within milliseconds and keeps
+/// committing fresh T reports — no broadcast is lost.
+#[test]
+fn replicated_mds_failover_restores_fresh_t_values() {
+    let plan = FaultPlan::parse("mds-failover at=10ms restart=25ms\n").unwrap();
+    let single = mds_run(11, 1, &plan);
+    let replicated = mds_run(11, 3, &plan);
+    // One replica: the legacy degradation (as in
+    // `mds_crash_degrades_to_stale_t_values`).
+    assert_eq!(single.faults.mds_crashes, 1);
+    assert_eq!(single.faults.mds_elections, 0);
+    assert!(
+        single.faults.stalled_broadcasts > 0,
+        "downtime must drop T-reports on the single-MDS path"
+    );
+    // Three replicas: the crash forces a re-election onto a different
+    // replica, and every report sent during the leaderless window is
+    // retried into the new leader's log instead of being dropped.
+    assert_eq!(replicated.faults.mds_crashes, 1);
+    assert!(
+        replicated.faults.mds_elections >= 2,
+        "leader crash must force a re-election: {:?}",
+        replicated.faults
+    );
+    assert!(
+        replicated.faults.mds_leader_changes >= 2,
+        "a different replica must take over: {:?}",
+        replicated.faults
+    );
+    assert_eq!(
+        replicated.faults.stalled_broadcasts, 0,
+        "the group must not lose T-reports across the failover"
+    );
+    assert!(replicated.faults.mds_recovery_ticks > 0);
+    // Neither path loses data or requests.
+    for stats in [&single, &replicated] {
+        assert_eq!(stats.latency_hist_ms.total(), stats.requests);
+        assert_eq!(stats.faults.failed_subs, 0);
+    }
+    assert_eq!(single.bytes, replicated.bytes);
+    assert_eq!(single.requests, replicated.requests);
+}
+
+// ---------------------------------------------------------------------
 // Policy-level properties: mapping-table replay after restart.
 // ---------------------------------------------------------------------
 
