@@ -457,6 +457,37 @@ fn write_bench_report(
         fc.mds_failover_recovery_ticks,
         fc.audits,
     );
+    // Backup-log maintenance totals (segmented log, checkpoints,
+    // compaction, scrub). All zero unless an iBridge run performed
+    // maintenance; gauges stay out (they are per-run, not monotone).
+    let mc = ibridge_pvfs::total_maint_counters();
+    let maint_counters = format!(
+        ",\n  \"maint_counters\": {{\"ticks\": {}, \"busy_skips\": {}, \
+         \"records_appended\": {}, \"tombstones\": {}, \"supersedes\": {}, \
+         \"backup_bytes\": {}, \"segments_sealed\": {}, \
+         \"segments_compacted\": {}, \"segments_reclaimed\": {}, \
+         \"records_rewritten\": {}, \"rewrite_bytes\": {}, \
+         \"checkpoints\": {}, \"checkpoint_records\": {}, \
+         \"checkpoint_bytes\": {}, \"scrub_segments\": {}, \
+         \"scrub_records\": {}, \"scrub_repairs\": {}}}",
+        mc.ticks,
+        mc.busy_skips,
+        mc.records_appended,
+        mc.tombstones,
+        mc.supersedes,
+        mc.backup_bytes,
+        mc.segments_sealed,
+        mc.segments_compacted,
+        mc.segments_reclaimed,
+        mc.records_rewritten,
+        mc.rewrite_bytes,
+        mc.checkpoints,
+        mc.checkpoint_records,
+        mc.checkpoint_bytes,
+        mc.scrub_segments,
+        mc.scrub_records,
+        mc.scrub_repairs,
+    );
     let obs_fragment = match obs_metrics {
         Some(reg) => format!(",\n{}", ibridge_bench::obs_report::json_fragment(reg)),
         None => String::new(),
@@ -491,7 +522,7 @@ fn write_bench_report(
          \"events_dispatched\": {events},\n  \
          \"events_per_sec\": {:.0},\n  \
          \"output_identical_to_jobs1\": {identical}{alloc_summary}\
-         {fault_counters}{obs_fragment}{note}\n}}\n",
+         {fault_counters}{maint_counters}{obs_fragment}{note}\n}}\n",
         scale.seed,
         scale.shards,
         scale.threads,

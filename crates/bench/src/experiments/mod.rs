@@ -18,6 +18,7 @@ pub mod fig3;
 pub mod fig4_5;
 pub mod fig6_7;
 pub mod fig8;
+pub mod logmaint;
 pub mod mds_ha;
 pub mod recovery;
 pub mod summary;
@@ -147,6 +148,13 @@ pub fn all() -> Vec<Experiment> {
             what: "Crash recovery: log corruption plans vs the recovery fsck, \
                    plus a segment-parallel backup scan (beyond the paper)",
             run: recovery::run,
+        },
+        Experiment {
+            name: "logmaint",
+            what: "Backup-log maintenance: segmented log compaction, indexed \
+                   checkpoints, idle-window scheduling and O(dirty) recovery \
+                   (beyond the paper)",
+            run: logmaint::run,
         },
         Experiment {
             name: "summary",

@@ -101,6 +101,7 @@ fn synthetic_backup(n: u64, seed: u64) -> Vec<SealedRecord> {
                 },
                 ret: 1e-4 * (seq % 100) as f64,
                 dirty: seq % 2 == 0,
+                tombstone: false,
                 extents: ExtentList::one(Extent {
                     lbn: seq * 128,
                     sectors: len.div_ceil(512),

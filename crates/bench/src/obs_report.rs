@@ -185,6 +185,52 @@ pub fn render(reg: &Registry) -> String {
         t.row(&["commits".to_string(), m.commits.to_string()]);
         out.push_str(&t.block());
     }
+
+    // Backup-log maintenance counters. Only appears when a run
+    // performed segmented-log maintenance (checkpoint, compaction or
+    // scrub activity), so maintenance-free golden output is unchanged.
+    if !reg.maint.is_empty() {
+        let m = &reg.maint;
+        let mut t = Table::new("metrics: backup-log maintenance", &["counter", "value"]);
+        t.row(&[
+            "ticks (busy-skipped)".to_string(),
+            format!("{} ({})", m.ticks, m.busy_skips),
+        ]);
+        t.row(&[
+            "records appended".to_string(),
+            format!("{} ({})", m.records_appended, fmt_bytes(m.backup_bytes)),
+        ]);
+        t.row(&["tombstones".to_string(), m.tombstones.to_string()]);
+        t.row(&["supersedes".to_string(), m.supersedes.to_string()]);
+        t.row(&[
+            "segments sealed/compacted/reclaimed".to_string(),
+            format!(
+                "{}/{}/{}",
+                m.segments_sealed, m.segments_compacted, m.segments_reclaimed
+            ),
+        ]);
+        t.row(&[
+            "records rewritten".to_string(),
+            format!("{} ({})", m.records_rewritten, fmt_bytes(m.rewrite_bytes)),
+        ]);
+        t.row(&[
+            "checkpoints".to_string(),
+            format!(
+                "{} ({} records, {})",
+                m.checkpoints,
+                m.checkpoint_records,
+                fmt_bytes(m.checkpoint_bytes)
+            ),
+        ]);
+        t.row(&[
+            "scrub segments/records/repairs".to_string(),
+            format!(
+                "{}/{}/{}",
+                m.scrub_segments, m.scrub_records, m.scrub_repairs
+            ),
+        ]);
+        out.push_str(&t.block());
+    }
     out
 }
 
@@ -266,6 +312,36 @@ pub fn json_fragment(reg: &Registry) -> String {
             m.stale_t_decisions,
             m.proposals,
             m.commits,
+        );
+    }
+    if !reg.maint.is_empty() {
+        let m = &reg.maint;
+        let _ = write!(
+            out,
+            ",\n    \"maint\": {{\"runs\": {}, \"ticks\": {}, \"busy_skips\": {}, \
+             \"records_appended\": {}, \"tombstones\": {}, \"supersedes\": {}, \
+             \"backup_bytes\": {}, \"segments_sealed\": {}, \"segments_compacted\": {}, \
+             \"segments_reclaimed\": {}, \"records_rewritten\": {}, \"rewrite_bytes\": {}, \
+             \"checkpoints\": {}, \"checkpoint_records\": {}, \"checkpoint_bytes\": {}, \
+             \"scrub_segments\": {}, \"scrub_records\": {}, \"scrub_repairs\": {}}}",
+            m.runs,
+            m.ticks,
+            m.busy_skips,
+            m.records_appended,
+            m.tombstones,
+            m.supersedes,
+            m.backup_bytes,
+            m.segments_sealed,
+            m.segments_compacted,
+            m.segments_reclaimed,
+            m.records_rewritten,
+            m.rewrite_bytes,
+            m.checkpoints,
+            m.checkpoint_records,
+            m.checkpoint_bytes,
+            m.scrub_segments,
+            m.scrub_records,
+            m.scrub_repairs,
         );
     }
     out.push_str("\n  }");

@@ -40,6 +40,7 @@ pub mod model;
 pub mod partition;
 pub mod policy;
 pub mod record;
+pub mod seglog;
 pub mod table;
 
 pub use log::{AppendError, CircularLog};
@@ -47,6 +48,7 @@ pub use model::{fragment_return, DiskTimeModel};
 pub use partition::PartitionMode;
 pub use policy::{FsckReport, IBridgeConfig, IBridgePolicy, PersistentState};
 pub use record::{LogRecord, RecordVerdict, SealedRecord};
+pub use seglog::{Checkpoint, SegmentedLog};
 pub use table::{Entry, EntryType, MappingTable};
 
 use ibridge_pvfs::{Cluster, ClusterConfig, ServerConfig};

@@ -25,14 +25,15 @@ use crate::log::{AppendError, CircularLog};
 use crate::model::{fragment_return, DiskTimeModel};
 use crate::partition::PartitionMode;
 use crate::record::{self, LogRecord, RecordVerdict, SealedRecord};
-use crate::table::{EntryType, MappingTable};
+use crate::seglog::SegmentedLog;
+use crate::table::{Entry, EntryType, MappingTable};
 use ibridge_des::fxhash::FxHashMap;
 use ibridge_des::SimTime;
 use ibridge_device::{bytes_to_sectors, DiskProfile, Lbn};
-use ibridge_localfs::ExtentList;
+use ibridge_localfs::{ExtentList, FileHandle};
 use ibridge_pvfs::{
-    CachePolicy, CacheStats, EntryId, FlushId, FlushOp, LogCorruption, Placement, ReqClass,
-    RestartReport, SubRequest,
+    BitRotTarget, CachePolicy, CacheStats, EntryId, FlushId, FlushOp, LogCorruption, MaintStats,
+    Placement, ReqClass, RestartReport, SubRequest,
 };
 
 /// Configuration of one server's iBridge instance.
@@ -52,6 +53,13 @@ pub struct IBridgeConfig {
     pub redirect_writes: bool,
     /// Disk parameters for the Eq. (1) model.
     pub disk: DiskProfile,
+    /// Size of one segment of the mapping-table backup, in encoded
+    /// record bytes. Smaller segments give the compactor finer grain.
+    pub segment_bytes: u64,
+    /// Write an indexed checkpoint after this many backup appends
+    /// (0 disables checkpointing — recovery then replays the whole
+    /// backup, the pre-segmentation behaviour).
+    pub checkpoint_every: u64,
 }
 
 impl IBridgeConfig {
@@ -65,6 +73,8 @@ impl IBridgeConfig {
             eq3: true,
             redirect_writes: true,
             disk: DiskProfile::hp_mm0500(),
+            segment_bytes: 32 << 10,
+            checkpoint_every: 1024,
         }
     }
 
@@ -98,6 +108,12 @@ pub struct IBridgePolicy {
     degraded: bool,
     /// Sequence number of the next backup record appended to the log.
     next_log_seq: u64,
+    /// The segmented mapping-table backup: where every record appended
+    /// under `next_log_seq` lives until superseded and reclaimed.
+    backup: SegmentedLog,
+    /// Background log-maintenance counters (compaction, checkpoints,
+    /// scrubbing), cumulative across restarts like `stats`.
+    maint: MaintStats,
     /// Corruption scheduled against the on-SSD backup; applied to the
     /// backup image when the next restart's recovery fsck scans it.
     planned_damage: Vec<PlannedDamage>,
@@ -109,8 +125,24 @@ pub struct IBridgePolicy {
 enum PlannedDamage {
     /// The record is truncated mid-write.
     Tear { seq: u64 },
-    /// One bit of the record flips silently.
-    FlipBit { seq: u64, bit: u64 },
+    /// One bit of the record flips silently. With `checkpoint` the hit
+    /// lands on the checkpoint image's copy of the record; otherwise it
+    /// prefers the log tail's copy.
+    FlipBit {
+        seq: u64,
+        bit: u64,
+        checkpoint: bool,
+    },
+}
+
+/// Flips `bit` in the sealed record carrying `seq`, if present.
+fn flip_in(records: &mut [SealedRecord], seq: u64, bit: u64) -> bool {
+    if let Some(r) = records.iter_mut().find(|r| r.seq == seq) {
+        r.flip_bit(bit);
+        true
+    } else {
+        false
+    }
 }
 
 /// `splitmix64` step — a tiny, dependency-free generator for placing
@@ -140,6 +172,8 @@ impl IBridgePolicy {
             overlap_scratch: Vec::new(),
             degraded: false,
             next_log_seq: 0,
+            backup: SegmentedLog::new(cfg.segment_bytes),
+            maint: MaintStats::default(),
             planned_damage: Vec::new(),
             cfg,
         }
@@ -193,8 +227,9 @@ impl IBridgePolicy {
     }
 
     fn drop_entry(&mut self, id: EntryId) {
-        if self.table.remove(id).is_some() {
+        if let Some(e) = self.table.remove(id) {
             self.log.evict(id);
+            self.retire_record(e.pending, e.log_seq);
         }
     }
 
@@ -205,10 +240,64 @@ impl IBridgePolicy {
         record::header_sectors(2)
     }
 
+    /// Appends a backup record to the segmented log under a fresh
+    /// sequence number, returning it.
+    fn backup_append(&mut self, mut rec: LogRecord) -> u64 {
+        let seq = self.next_log_seq;
+        self.next_log_seq += 1;
+        rec.seq = seq;
+        self.maint.records_appended += 1;
+        self.maint.backup_bytes += LogRecord::encoded_len(rec.extents.len()) as u64;
+        if self.backup.append(rec) {
+            self.maint.segments_sealed += 1;
+        }
+        seq
+    }
+
+    /// The backup record describing a table entry as it stands now.
+    fn entry_record(e: &Entry) -> LogRecord {
+        LogRecord {
+            seq: e.log_seq,
+            entry: e.id,
+            file: e.file,
+            offset: e.offset,
+            len: e.len,
+            typ: e.typ,
+            ret: e.ret,
+            dirty: e.dirty,
+            tombstone: false,
+            extents: e.extents.clone(),
+        }
+    }
+
+    /// Retires a dropped entry's backup record: marks it dead for the
+    /// compactor and appends a tombstone so recovery never resurrects
+    /// it. Pending entries have no durable record to retire.
+    fn retire_record(&mut self, pending: bool, log_seq: u64) {
+        if pending || !self.enabled() {
+            return;
+        }
+        self.backup.kill(log_seq);
+        self.backup_append(LogRecord {
+            seq: 0,
+            entry: log_seq, // the sequence number being killed
+            file: FileHandle(0),
+            offset: 0,
+            len: 0,
+            typ: EntryType::Fragment,
+            ret: 0.0,
+            dirty: false,
+            tombstone: true,
+            extents: ExtentList::new(),
+        });
+        self.maint.tombstones += 1;
+    }
+
     /// Reserves log space for `len` bytes plus the entry's backup
-    /// record under a fresh entry id. Returns the id, the record's log
-    /// sequence number and the data extents.
-    fn reserve(&mut self, typ: EntryType, len: u64) -> Option<(EntryId, u64, ExtentList)> {
+    /// record under a fresh entry id. Returns the id and the data
+    /// extents; the caller appends the backup record once the entry's
+    /// fields are settled.
+    fn reserve(&mut self, typ: EntryType, len: u64) -> Option<(EntryId, ExtentList)> {
         if !self.make_room(typ, len) {
             return None;
         }
@@ -220,13 +309,12 @@ impl IBridgePolicy {
         {
             Ok((extents, casualties)) => {
                 for c in casualties {
-                    if self.table.remove(c).is_some() {
+                    if let Some(e) = self.table.remove(c) {
                         self.stats.evictions += 1;
+                        self.retire_record(e.pending, e.log_seq);
                     }
                 }
-                let seq = self.next_log_seq;
-                self.next_log_seq += 1;
-                Some((id, seq, extents))
+                Some((id, extents))
             }
             Err(AppendError::TooLarge | AppendError::BlockedByDirty) => None,
         }
@@ -263,13 +351,25 @@ impl IBridgePolicy {
 #[derive(Debug, Clone)]
 pub struct PersistentState {
     records: Vec<SealedRecord>,
+    checkpoint: Option<SealedCheckpoint>,
     log_head: Lbn,
     log_capacity_sectors: u64,
     next_seq: u64,
 }
 
+/// The on-media image of the indexed checkpoint: one sealed record per
+/// entry the image held, plus the newest sequence number it covers.
+#[derive(Debug, Clone)]
+pub struct SealedCheckpoint {
+    /// Tail records with `seq <= covers_seq` are already reflected in
+    /// the image; recovery skips them without verifying.
+    pub covers_seq: u64,
+    /// Sealed image records, ascending `seq`.
+    pub records: Vec<SealedRecord>,
+}
+
 impl PersistentState {
-    /// The sealed backup records, in log order.
+    /// The sealed backup records of the log tail, in log order.
     pub fn records(&self) -> &[SealedRecord] {
         &self.records
     }
@@ -278,6 +378,16 @@ impl PersistentState {
     /// corrupt the on-media image through this.
     pub fn records_mut(&mut self) -> &mut Vec<SealedRecord> {
         &mut self.records
+    }
+
+    /// The checkpoint image, if one was retained.
+    pub fn checkpoint(&self) -> Option<&SealedCheckpoint> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Mutable access to the checkpoint (fault injection).
+    pub fn checkpoint_mut(&mut self) -> Option<&mut SealedCheckpoint> {
+        self.checkpoint.as_mut()
     }
 }
 
@@ -304,38 +414,35 @@ pub struct FsckReport {
     pub dirty_entries_kept: u64,
     /// Bytes of the replayed dirty entries.
     pub dirty_bytes_kept: u64,
+    /// Tail records skipped without verification because the checkpoint
+    /// already covers them (`seq <= covers_seq`) — the measure of how
+    /// little work an indexed recovery does.
+    pub records_skipped: u64,
+    /// Records replayed out of the checkpoint image.
+    pub checkpoint_records: u64,
 }
 
 impl IBridgePolicy {
-    /// Snapshots the durable cache state (what the on-SSD backup holds):
-    /// every non-pending entry sealed into its checksummed record, in
-    /// append order.
+    /// Snapshots the durable cache state: everything the segmented
+    /// on-SSD backup holds on media — the checkpoint image (if any) and
+    /// the log tail in sequence order, *including* superseded records
+    /// whose segments have not been reclaimed yet (their tombstones or
+    /// newer copies follow later in the tail, exactly as recovery will
+    /// see them).
     pub fn snapshot(&self) -> PersistentState {
-        let mut durable: Vec<&crate::table::Entry> =
-            self.table.entries().filter(|e| !e.pending).collect();
-        // The table iterates in hash order; the on-media log is in
-        // append order, which recovery also replays (rebuilding LRU
-        // positions deterministically).
-        durable.sort_by_key(|e| e.log_seq);
-        let records = durable
+        let records = self
+            .backup
+            .media_records()
             .iter()
-            .map(|e| {
-                LogRecord {
-                    seq: e.log_seq,
-                    entry: e.id,
-                    file: e.file,
-                    offset: e.offset,
-                    len: e.len,
-                    typ: e.typ,
-                    ret: e.ret,
-                    dirty: e.dirty,
-                    extents: e.extents.clone(),
-                }
-                .seal()
-            })
+            .map(LogRecord::seal)
             .collect();
+        let checkpoint = self.backup.checkpoint().map(|cp| SealedCheckpoint {
+            covers_seq: cp.covers_seq,
+            records: cp.records.iter().map(LogRecord::seal).collect(),
+        });
         PersistentState {
             records,
+            checkpoint,
             log_head: self.log.head(),
             log_capacity_sectors: self.log.capacity(),
             next_seq: self.next_log_seq,
@@ -352,12 +459,88 @@ impl IBridgePolicy {
             && rec.extents.iter().map(|e| e.sectors).sum::<u64>() == bytes_to_sectors(rec.len)
     }
 
-    /// Rebuilds a policy from a durable snapshot via a recovery fsck:
-    /// verify every record's CRC, check sequence continuity, replay what
-    /// is provably consistent and quarantine the rest. With
-    /// `keep_clean = false` (restart semantics) intact clean entries are
-    /// deliberately invalidated instead of replayed — their home-disk
-    /// copies are authoritative.
+    /// Replays one verified record into the recovering policy.
+    ///
+    /// A tombstone kills the entry its target sequence number replayed
+    /// (if any); a normal record supersedes whatever older entries
+    /// overlap its range — the segmented log legitimately carries an
+    /// old copy and its replacement until the old segment is reclaimed,
+    /// and replaying in sequence order makes the newest copy win.
+    fn replay_record(
+        p: &mut IBridgePolicy,
+        rep: &mut FsckReport,
+        seq_to_id: &mut FxHashMap<u64, EntryId>,
+        scratch: &mut Vec<EntryId>,
+        rec: &LogRecord,
+        capacity_sectors: u64,
+    ) {
+        if rec.tombstone {
+            if rec.len != 0 || !rec.extents.is_empty() {
+                rep.records_quarantined += 1;
+                return;
+            }
+            rep.records_intact += 1;
+            if let Some(id) = seq_to_id.remove(&rec.entry) {
+                if p.table.remove(id).is_some() {
+                    p.log.evict(id);
+                }
+            }
+            return;
+        }
+        if !Self::record_is_placeable(rec, capacity_sectors) {
+            rep.records_quarantined += 1;
+            return;
+        }
+        scratch.clear();
+        p.table
+            .find_overlaps_into(rec.file, rec.offset, rec.len, scratch);
+        for &id in scratch.iter() {
+            if p.table.remove(id).is_some() {
+                p.log.evict(id);
+            }
+        }
+        rep.records_intact += 1;
+        let id = p.table.next_id();
+        if p.log.reserve_at(&rec.extents, id).is_err() {
+            // Overlapping log residency — provably inconsistent.
+            rep.records_intact -= 1;
+            rep.records_quarantined += 1;
+            return;
+        }
+        p.table.insert(
+            id,
+            rec.file,
+            rec.offset,
+            rec.len,
+            rec.extents.clone(),
+            rec.typ,
+            rec.ret,
+            rec.dirty,
+            false,
+            rec.seq,
+        );
+        if rec.dirty {
+            p.log.protect(id);
+        }
+        seq_to_id.insert(rec.seq, id);
+    }
+
+    /// Rebuilds a policy from a durable snapshot via a recovery fsck,
+    /// checkpoint first:
+    ///
+    /// 1. Replay the checkpoint image — verify each record's CRC and
+    ///    structure, quarantine failures.
+    /// 2. Replay the log tail in sequence order, **skipping records the
+    ///    checkpoint covers without verifying them** — restart work is
+    ///    O(appends since the last checkpoint), not O(log). Verified
+    ///    tail records must keep strict sequence continuity; tombstones
+    ///    kill their targets, newer range copies supersede older ones.
+    /// 3. With `keep_clean = false` (restart semantics) intact clean
+    ///    entries are then deliberately invalidated — their home-disk
+    ///    copies are authoritative.
+    ///
+    /// The recovered policy starts from a fresh bootstrap checkpoint of
+    /// whatever survived, so the next restart's tail is empty.
     pub fn recover_with_report(
         cfg: IBridgeConfig,
         state: &PersistentState,
@@ -370,15 +553,65 @@ impl IBridgePolicy {
             "recovering onto a different SSD partition size"
         );
         let mut rep = FsckReport::default();
-        // The verify pass is pure per record; callers that scan large
-        // backups offline fan `record::verify_segment` out over
-        // segments (pFSCK-style) — in-simulation restarts scan the
-        // (small) backup serially with identical verdicts.
-        let verdicts = record::verify_segment(&state.records);
-        let mut last_seq: Option<u64> = None;
-        for verdict in verdicts {
+        let mut seq_to_id: FxHashMap<u64, EntryId> = FxHashMap::default();
+        let mut scratch: Vec<EntryId> = Vec::new();
+        let covers = state.checkpoint.as_ref().map(|c| c.covers_seq);
+
+        // Phase 1 — the checkpoint image. The verify pass is pure per
+        // record; callers that scan large backups offline fan
+        // `record::verify_segment` out over segments (pFSCK-style) —
+        // in-simulation restarts scan serially with identical verdicts.
+        if let Some(cp) = &state.checkpoint {
+            let mut last_seq: Option<u64> = None;
+            for verdict in record::verify_segment(&cp.records) {
+                rep.records_scanned += 1;
+                rep.checkpoint_records += 1;
+                let rec = match verdict {
+                    RecordVerdict::Intact(rec) => rec,
+                    RecordVerdict::Torn => {
+                        rep.records_torn += 1;
+                        rep.records_quarantined += 1;
+                        continue;
+                    }
+                    RecordVerdict::Corrupt => {
+                        rep.records_corrupt += 1;
+                        rep.records_quarantined += 1;
+                        continue;
+                    }
+                };
+                // The image holds entries only — ascending sequence
+                // numbers, all covered, never tombstones.
+                if rec.tombstone
+                    || last_seq.is_some_and(|s| rec.seq <= s)
+                    || rec.seq > cp.covers_seq
+                {
+                    rep.seq_breaks += 1;
+                    rep.records_quarantined += 1;
+                    continue;
+                }
+                last_seq = Some(rec.seq);
+                Self::replay_record(
+                    &mut p,
+                    &mut rep,
+                    &mut seq_to_id,
+                    &mut scratch,
+                    &rec,
+                    state.log_capacity_sectors,
+                );
+            }
+        }
+
+        // Phase 2 — the tail, in sequence order. The sealed header
+        // carries the sequence number in the clear, so covered records
+        // are skipped without a CRC pass.
+        let mut last_seq: Option<u64> = covers;
+        for sealed in &state.records {
+            if covers.is_some_and(|c| sealed.seq <= c) {
+                rep.records_skipped += 1;
+                continue;
+            }
             rep.records_scanned += 1;
-            let rec = match verdict {
+            let rec = match record::verify(sealed) {
                 RecordVerdict::Intact(rec) => rec,
                 RecordVerdict::Torn => {
                     rep.records_torn += 1;
@@ -399,44 +632,51 @@ impl IBridgePolicy {
                 continue;
             }
             last_seq = Some(rec.seq);
-            if !Self::record_is_placeable(&rec, state.log_capacity_sectors)
-                || p.table.has_overlap(rec.file, rec.offset, rec.len)
-            {
-                rep.records_quarantined += 1;
-                continue;
-            }
-            rep.records_intact += 1;
-            if !rec.dirty && !keep_clean {
-                rep.clean_entries_dropped += 1;
-                continue;
-            }
-            let id = p.table.next_id();
-            if p.log.reserve_at(&rec.extents, id).is_err() {
-                // Overlapping log residency — provably inconsistent.
-                rep.records_intact -= 1;
-                rep.records_quarantined += 1;
-                continue;
-            }
-            p.table.insert(
-                id,
-                rec.file,
-                rec.offset,
-                rec.len,
-                rec.extents.clone(),
-                rec.typ,
-                rec.ret,
-                rec.dirty,
-                false,
-                rec.seq,
+            Self::replay_record(
+                &mut p,
+                &mut rep,
+                &mut seq_to_id,
+                &mut scratch,
+                &rec,
+                state.log_capacity_sectors,
             );
-            if rec.dirty {
-                p.log.protect(id);
+        }
+
+        // Restart semantics: intact clean entries were replayed above
+        // (tombstones and newer copies need them resolvable), but their
+        // home-disk copies are authoritative — drop them now.
+        if !keep_clean {
+            let mut clean: Vec<EntryId> = p
+                .table
+                .entries()
+                .filter(|e| !e.dirty)
+                .map(|e| e.id)
+                .collect();
+            clean.sort_unstable();
+            for id in clean {
+                if p.table.remove(id).is_some() {
+                    p.log.evict(id);
+                    rep.clean_entries_dropped += 1;
+                }
+            }
+        }
+        for e in p.table.entries() {
+            if e.dirty {
                 rep.dirty_entries_kept += 1;
-                rep.dirty_bytes_kept += rec.len;
+                rep.dirty_bytes_kept += e.len;
             }
         }
         p.log.set_head(state.log_head);
         p.next_log_seq = state.next_seq;
+        // Bootstrap checkpoint: the survivors become the image, so the
+        // next restart replays an empty tail.
+        if state.next_seq > 0 {
+            let mut durable: Vec<&Entry> = p.table.entries().collect();
+            durable.sort_by_key(|e| e.log_seq);
+            let image: Vec<LogRecord> = durable.iter().map(|e| Self::entry_record(e)).collect();
+            p.backup.install_checkpoint(image, state.next_seq - 1);
+            p.backup.reclaim(); // fresh log: nothing was condemned
+        }
         (p, rep)
     }
 
@@ -447,12 +687,113 @@ impl IBridgePolicy {
         Self::recover_with_report(cfg, state, true).0
     }
 
+    /// Writes the periodic indexed checkpoint: the full mapping-table
+    /// image (non-pending entries, ascending sequence number) covering
+    /// everything appended so far. Installing it condemns every
+    /// retained segment; the next barrier reclaims them. Public so the
+    /// `logmaint` experiment can pin recovery right after a checkpoint,
+    /// when covered tail records are skipped unverified.
+    pub fn write_checkpoint(&mut self) {
+        let mut durable: Vec<&Entry> = self.table.entries().filter(|e| !e.pending).collect();
+        durable.sort_by_key(|e| e.log_seq);
+        let image: Vec<LogRecord> = durable.iter().map(|e| Self::entry_record(e)).collect();
+        self.maint.checkpoints += 1;
+        self.maint.checkpoint_records += image.len() as u64;
+        self.maint.checkpoint_bytes += image
+            .iter()
+            .map(|r| LogRecord::encoded_len(r.extents.len()) as u64)
+            .sum::<u64>();
+        self.backup.install_checkpoint(image, self.next_log_seq - 1);
+    }
+
+    /// Compacts one mostly-garbage segment: condemns it and rewrites
+    /// its live records (fresh sequence numbers) into the open segment.
+    /// Live tombstones are rewritten too — their targets may still sit
+    /// on unreclaimed media that a crash would otherwise resurrect.
+    fn compact_segment(&mut self, idx: usize) {
+        let live = self.backup.condemn(idx);
+        self.maint.segments_compacted += 1;
+        for rec in live {
+            let id = rec.entry;
+            let tomb = rec.tombstone;
+            let bytes = LogRecord::encoded_len(rec.extents.len()) as u64;
+            let seq = self.backup_append(rec);
+            self.maint.records_rewritten += 1;
+            self.maint.rewrite_bytes += bytes;
+            if !tomb {
+                self.table.set_log_seq(id, seq);
+            }
+        }
+    }
+
+    /// Scrubs the next cold segment: re-reads every record, verifying
+    /// CRCs. Pending bit-rot against a live record of the scanned
+    /// segment is caught and rewritten in place — a repair; damage
+    /// against the checkpoint image is out of the scrubber's reach.
+    fn scrub_step(&mut self) {
+        let Some(idx) = self.backup.scrub_next() else {
+            return;
+        };
+        self.maint.scrub_segments += 1;
+        self.maint.scrub_records += self.backup.segment(idx).records().len() as u64;
+        if self.planned_damage.is_empty() {
+            return;
+        }
+        let seg = self.backup.segment(idx);
+        let before = self.planned_damage.len();
+        self.planned_damage.retain(|d| {
+            !matches!(d, PlannedDamage::FlipBit { seq, checkpoint: false, .. }
+                if seg.live_records().any(|r| r.seq == *seq))
+        });
+        self.maint.scrub_repairs += (before - self.planned_damage.len()) as u64;
+    }
+
     /// Cross-checks the policy's live state: the mapping table's own
     /// invariants, every entry's data sectors resident in the log, the
     /// protected (pinned) set agreeing exactly with the dirty entries,
     /// and no log residency for entries the table no longer knows.
     pub fn audit(&self) -> Result<(), String> {
         self.table.audit()?;
+        self.backup.audit()?;
+        if self.enabled() {
+            // Every non-pending entry's backup record must be findable:
+            // live on the tail, or inside the checkpoint image.
+            for e in self.table.entries() {
+                if e.pending {
+                    continue;
+                }
+                let in_tail = self.backup.is_live(e.log_seq);
+                let in_ckpt = self.backup.checkpoint().is_some_and(|cp| {
+                    cp.records
+                        .binary_search_by_key(&e.log_seq, |r| r.seq)
+                        .is_ok()
+                });
+                if !in_tail && !in_ckpt {
+                    return Err(format!(
+                        "entry {} has no backup record for seq {}",
+                        e.id, e.log_seq
+                    ));
+                }
+            }
+            // And every live non-tombstone tail record must describe a
+            // current entry (otherwise a stale record could resurrect).
+            for i in 0..self.backup.retained_segments() {
+                for r in self.backup.segment(i).live_records() {
+                    if r.tombstone {
+                        continue;
+                    }
+                    match self.table.get(r.entry) {
+                        Some(e) if !e.pending && e.log_seq == r.seq => {}
+                        _ => {
+                            return Err(format!(
+                                "live backup record seq {} orphaned (entry {})",
+                                r.seq, r.entry
+                            ))
+                        }
+                    }
+                }
+            }
+        }
         let mut resident: FxHashMap<EntryId, u64> = FxHashMap::default();
         for (id, sectors) in self.log.resident_extents() {
             *resident.entry(id).or_default() += sectors;
@@ -538,7 +879,19 @@ impl CachePolicy for IBridgePolicy {
             if let (Some(typ), true) = (candidate_class, self.cfg.redirect_writes) {
                 let ret = self.return_of(sub, disk_lbn);
                 if ret > 0.0 {
-                    if let Some((id, seq, extents)) = self.reserve(typ, sub.len) {
+                    if let Some((id, extents)) = self.reserve(typ, sub.len) {
+                        let seq = self.backup_append(LogRecord {
+                            seq: 0,
+                            entry: id,
+                            file: sub.file,
+                            offset: sub.offset,
+                            len: sub.len,
+                            typ,
+                            ret,
+                            dirty: true,
+                            tombstone: false,
+                            extents: extents.clone(),
+                        });
                         self.table.insert(
                             id,
                             sub.file,
@@ -583,7 +936,9 @@ impl CachePolicy for IBridgePolicy {
             return None;
         }
         match self.reserve(typ, sub.len) {
-            Some((id, seq, extents)) => {
+            Some((id, extents)) => {
+                // Pending entries have no durable backup record yet —
+                // it is appended when the admission write completes.
                 self.table.insert(
                     id,
                     sub.file,
@@ -592,9 +947,9 @@ impl CachePolicy for IBridgePolicy {
                     extents.clone(),
                     typ,
                     ret,
-                    false, // clean: disk already has the data
-                    true,  // pending until the SSD write completes
-                    seq,
+                    false,    // clean: disk already has the data
+                    true,     // pending until the SSD write completes
+                    u64::MAX, // no backup record yet
                 );
                 self.stats.admissions += 1;
                 match typ {
@@ -613,7 +968,20 @@ impl CachePolicy for IBridgePolicy {
     }
 
     fn admission_complete(&mut self, _now: SimTime, entry: EntryId) {
+        // The entry may have been dropped while the write was in
+        // flight (overlap invalidation, SSD loss, restart) — tolerate.
+        let Some(e) = self.table.get(entry) else {
+            return;
+        };
+        if !e.pending {
+            return;
+        }
+        // The SSD write finished: the entry becomes durable, so its
+        // backup record goes to the segmented log now.
+        let rec = Self::entry_record(e);
         self.table.activate(entry);
+        let seq = self.backup_append(rec);
+        self.table.set_log_seq(entry, seq);
     }
 
     fn flush_batch(&mut self, _now: SimTime, max_bytes: u64) -> Vec<FlushOp> {
@@ -646,6 +1014,17 @@ impl CachePolicy for IBridgePolicy {
         };
         self.table.mark_clean(entry);
         self.log.unprotect(entry);
+        // The disk copy is current again: supersede the dirty backup
+        // record with a clean one (the old copy becomes compactable
+        // garbage).
+        if let Some(e) = self.table.get(entry) {
+            let old_seq = e.log_seq;
+            let rec = Self::entry_record(e);
+            self.backup.kill(old_seq);
+            let seq = self.backup_append(rec);
+            self.table.set_log_seq(entry, seq);
+            self.maint.supersedes += 1;
+        }
     }
 
     fn report_t(&self) -> f64 {
@@ -686,9 +1065,26 @@ impl CachePolicy for IBridgePolicy {
                         r.tear();
                     }
                 }
-                PlannedDamage::FlipBit { seq, bit } => {
-                    if let Some(r) = state.records.iter_mut().find(|r| r.seq == seq) {
-                        r.flip_bit(bit);
+                PlannedDamage::FlipBit {
+                    seq,
+                    bit,
+                    checkpoint,
+                } => {
+                    // The same sequence number can sit on the tail and
+                    // in the checkpoint image; the target flag decides
+                    // which copy rots first.
+                    if checkpoint {
+                        let hit = match state.checkpoint.as_mut() {
+                            Some(c) => flip_in(&mut c.records, seq, bit),
+                            None => false,
+                        };
+                        if !hit {
+                            flip_in(&mut state.records, seq, bit);
+                        }
+                    } else if !flip_in(&mut state.records, seq, bit) {
+                        if let Some(c) = state.checkpoint.as_mut() {
+                            flip_in(&mut c.records, seq, bit);
+                        }
                     }
                 }
             }
@@ -710,6 +1106,7 @@ impl CachePolicy for IBridgePolicy {
         // Cumulative counters describe the run, not the process: carry
         // them across the restart.
         fresh.stats = self.stats;
+        fresh.maint = self.maint;
         *self = fresh;
         report
     }
@@ -723,6 +1120,7 @@ impl CachePolicy for IBridgePolicy {
         let lost = self.table.dirty_bytes();
         self.table = MappingTable::new();
         self.log = CircularLog::new(1);
+        self.backup = SegmentedLog::new(self.cfg.segment_bytes);
         self.pending_admissions.clear();
         self.flush_to_entry.clear();
         // Zero capacity disables every cache path in `place`; the
@@ -758,24 +1156,73 @@ impl CachePolicy for IBridgePolicy {
                 }
                 k as u64
             }
-            LogCorruption::BitRot { sectors, seed } => {
-                if seqs.is_empty() {
+            LogCorruption::BitRot {
+                sectors,
+                seed,
+                target,
+            } => {
+                // Which copy of an entry's record the rot can land on:
+                // seqs the checkpoint covers live in its image, newer
+                // ones on the log tail.
+                let covers = self.backup.covers_seq();
+                let in_ckpt = |s: u64| covers.is_some_and(|c| s <= c);
+                let eligible: Vec<u64> = match target {
+                    BitRotTarget::Any => seqs,
+                    BitRotTarget::Tail => seqs.into_iter().filter(|&s| !in_ckpt(s)).collect(),
+                    BitRotTarget::Checkpoint => seqs.into_iter().filter(|&s| in_ckpt(s)).collect(),
+                };
+                if eligible.is_empty() {
                     return 0;
                 }
                 let mut state = seed;
                 let mut hit = std::collections::BTreeSet::new();
                 for _ in 0..sectors {
-                    let idx = (splitmix64(&mut state) % seqs.len() as u64) as usize;
+                    let idx = (splitmix64(&mut state) % eligible.len() as u64) as usize;
                     let bit = splitmix64(&mut state);
-                    hit.insert(seqs[idx]);
+                    hit.insert(eligible[idx]);
                     self.planned_damage.push(PlannedDamage::FlipBit {
-                        seq: seqs[idx],
+                        seq: eligible[idx],
                         bit,
+                        checkpoint: matches!(target, BitRotTarget::Checkpoint),
                     });
                 }
                 hit.len() as u64
             }
         }
+    }
+
+    fn log_maintenance(&mut self, _now: SimTime, idle: bool) {
+        if !self.enabled() {
+            return;
+        }
+        self.maint.ticks += 1;
+        if !idle {
+            self.maint.busy_skips += 1;
+            return;
+        }
+        // Barrier first: reclaim what an *earlier* idle pass condemned
+        // — a crash between condemnation and this barrier still finds
+        // the condemned copies on media.
+        let rc = self.backup.reclaim();
+        self.maint.segments_reclaimed += rc.segments;
+        // One unit of rewriting work per idle window: a checkpoint when
+        // the cadence is due, else at most one segment compaction.
+        if self.cfg.checkpoint_every > 0
+            && self.backup.appends_since_checkpoint() >= self.cfg.checkpoint_every
+        {
+            self.write_checkpoint();
+        } else if let Some(idx) = self.backup.compaction_candidate() {
+            self.compact_segment(idx);
+        }
+        self.scrub_step();
+    }
+
+    fn maint_stats(&self) -> MaintStats {
+        let mut m = self.maint;
+        m.live_segments = self.backup.retained_segments() as u64;
+        m.live_records = self.backup.live_records();
+        m.live_backup_bytes = self.backup.live_bytes();
+        m
     }
 
     fn audit(&self) -> Result<(), String> {
@@ -1269,7 +1716,11 @@ mod tests {
             CachePolicy::inject_corruption(
                 &mut p,
                 SimTime::ZERO,
-                LogCorruption::BitRot { sectors: 3, seed },
+                LogCorruption::BitRot {
+                    sectors: 3,
+                    seed,
+                    target: BitRotTarget::Any,
+                },
             );
             let r = p.server_restart(SimTime::ZERO);
             p.audit().expect("post-restart state is consistent");

@@ -12,7 +12,7 @@
 //! ------  ----  -----------------------------------------------------
 //!      0     4  magic "iBLG"
 //!      4     1  version (1)
-//!      5     1  flags (bit 0: dirty)
+//!      5     1  flags (bit 0: dirty, bit 1: tombstone)
 //!      6     1  entry type (0 fragment, 1 random)
 //!      7     1  extent count n (1 or 2 for log appends)
 //!      8     4  total record length in bytes, CRC included (u32 LE)
@@ -102,6 +102,10 @@ pub struct LogRecord {
     pub ret: f64,
     /// Whether the cached data is newer than the disk copy.
     pub dirty: bool,
+    /// Tombstone: the record retires an earlier record instead of
+    /// describing a live entry. `entry` then holds the *sequence
+    /// number* of the record being killed, and `extents` is empty.
+    pub tombstone: bool,
     /// Data extents in the SSD log.
     pub extents: ExtentList,
 }
@@ -120,7 +124,7 @@ impl LogRecord {
         let mut out = Vec::with_capacity(total);
         out.extend_from_slice(&RECORD_MAGIC);
         out.push(RECORD_VERSION);
-        out.push(self.dirty as u8);
+        out.push(self.dirty as u8 | (self.tombstone as u8) << 1);
         out.push(match self.typ {
             EntryType::Fragment => 0,
             EntryType::Random => 1,
@@ -234,11 +238,16 @@ pub fn verify(rec: &SealedRecord) -> RecordVerdict {
     if body[..4] != RECORD_MAGIC || body[4] != RECORD_VERSION {
         return RecordVerdict::Corrupt;
     }
-    let dirty = match body[5] {
-        0 => false,
-        1 => true,
-        _ => return RecordVerdict::Corrupt,
-    };
+    if body[5] > 3 {
+        return RecordVerdict::Corrupt;
+    }
+    let dirty = body[5] & 1 != 0;
+    let tombstone = body[5] & 2 != 0;
+    if tombstone && dirty {
+        // A tombstone carries no data; a dirty tombstone is structural
+        // nonsense and can only come from corruption.
+        return RecordVerdict::Corrupt;
+    }
     let typ = match body[6] {
         0 => EntryType::Fragment,
         1 => EntryType::Random,
@@ -270,6 +279,7 @@ pub fn verify(rec: &SealedRecord) -> RecordVerdict {
         typ,
         ret: f64::from_bits(u64_at(52)),
         dirty,
+        tombstone,
         extents,
     })
 }
@@ -306,6 +316,7 @@ mod tests {
             },
             ret: 0.00123,
             dirty,
+            tombstone: false,
             extents,
         }
     }

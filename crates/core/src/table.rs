@@ -485,6 +485,15 @@ impl MappingTable {
         }
     }
 
+    /// Points the entry at a new backup record (log compaction rewrote
+    /// its record under a fresh sequence number). `log_seq` keys no
+    /// index, so this is a plain field update.
+    pub fn set_log_seq(&mut self, id: EntryId, seq: u64) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.log_seq = seq;
+        }
+    }
+
     /// Iterates all entries (persistence snapshots).
     pub fn entries(&self) -> impl Iterator<Item = &Entry> {
         self.entries.values()

@@ -9,7 +9,7 @@
 //! failure history — including across `--jobs` worker counts, because
 //! each run owns its injector and draws in event order.
 
-use crate::plan::{FaultDev, FaultPlan, FaultSpec, RetryConfig};
+use crate::plan::{FaultDev, FaultPlan, FaultSpec, RetryConfig, RotTarget};
 use ibridge_des::rng::{derive_seed, stream_rng, streams};
 use ibridge_des::SimDuration;
 use ibridge_net::{Impairment, NetDecision};
@@ -62,8 +62,9 @@ pub enum TimedFault {
         /// How many of the newest backup records are torn.
         records: u32,
     },
-    /// Silently flip bits in resident backup-log records. Surfaces only
-    /// at the next restart's recovery fsck.
+    /// Silently flip bits in resident backup-log records. Surfaces at
+    /// the next restart's recovery fsck — unless the background
+    /// scrubber repairs it first.
     BitRot {
         /// Victim server.
         server: usize,
@@ -71,6 +72,8 @@ pub enum TimedFault {
         sectors: u32,
         /// Placement seed, drawn from the injector RNG at compile time.
         seed: u64,
+        /// Which backup-media region the hits land in.
+        target: RotTarget,
     },
     /// The metadata server dies: T-value reports and broadcasts stall,
     /// data servers keep serving with last-known T values.
@@ -304,6 +307,7 @@ impl FaultInjector {
                     server,
                     at,
                     sectors,
+                    target,
                 } => {
                     let rot_seed: u64 = rng.gen();
                     timeline.push((
@@ -312,6 +316,7 @@ impl FaultInjector {
                             server,
                             sectors,
                             seed: rot_seed,
+                            target,
                         },
                     ));
                 }

@@ -35,5 +35,6 @@ mod plan;
 
 pub use injector::{FaultInjector, FaultStats, NetDecider, TimedFault};
 pub use plan::{
-    builtin, FaultDev, FaultPlan, FaultSpec, PlanError, RetryConfig, BUILTIN_NAMES, BUILTIN_PLANS,
+    builtin, FaultDev, FaultPlan, FaultSpec, PlanError, RetryConfig, RotTarget, BUILTIN_NAMES,
+    BUILTIN_PLANS,
 };

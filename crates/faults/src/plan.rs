@@ -110,7 +110,8 @@ pub enum FaultSpec {
     },
     /// Silent bit corruption of `sectors` resident backup records at
     /// `at`. The damage surfaces only when a later restart's recovery
-    /// fsck scans the log — pair with a `crash` to observe it.
+    /// fsck scans the log — pair with a `crash` to observe it, or let
+    /// the background scrubber catch it first.
     BitRot {
         /// Victim server index.
         server: usize,
@@ -118,6 +119,9 @@ pub enum FaultSpec {
         at: SimDuration,
         /// Number of corrupting hits (one bit flip each).
         sectors: u32,
+        /// Which backup-media region the hits land in
+        /// (`target=any|tail|checkpoint`, default `any`).
+        target: RotTarget,
     },
     /// The metadata server dies at `at` and restarts `restart_after`
     /// later. Data servers keep serving, but T-value broadcasts stall:
@@ -151,6 +155,20 @@ pub enum FaultSpec {
         /// Time until the partition heals.
         heal_after: SimDuration,
     },
+}
+
+/// Which backup-media region a `bit-rot` spec aims at. The segmented
+/// backup keeps two kinds of media: log-tail segments and the indexed
+/// checkpoint image; plans can rot either specifically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RotTarget {
+    /// Any resident backup record (the default).
+    #[default]
+    Any,
+    /// Log-tail records only.
+    Tail,
+    /// Checkpoint-image records only.
+    Checkpoint,
 }
 
 /// Client-side timeout/retry policy used while a plan is armed.
@@ -342,10 +360,21 @@ impl FaultPlan {
                     if sectors == 0 {
                         return Err(err("sectors must be > 0".into()));
                     }
+                    let target = match args.take("target") {
+                        None | Some("any") => RotTarget::Any,
+                        Some("tail") => RotTarget::Tail,
+                        Some("checkpoint") => RotTarget::Checkpoint,
+                        Some(v) => {
+                            return Err(err(format!(
+                                "'target' must be any|tail|checkpoint, got '{v}'"
+                            )));
+                        }
+                    };
                     plan.specs.push(FaultSpec::BitRot {
                         server: args.int("server")? as usize,
                         at: args.duration("at")?,
                         sectors: sectors as u32,
+                        target,
                     });
                 }
                 "mds-crash" => {
@@ -789,6 +818,7 @@ mod tests {
                 server: 0,
                 at: SimDuration::from_millis(100),
                 sectors: 1,
+                target: RotTarget::Any,
             }
         );
         assert_eq!(

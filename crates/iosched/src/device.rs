@@ -157,6 +157,11 @@ pub struct DevStats {
     pub bytes_written: u64,
     /// Requests serviced.
     pub requests: u64,
+    /// Idle-window probes by background maintenance (writeback daemon,
+    /// log compaction/scrub) asking whether the device is quiet.
+    pub idle_probes: u64,
+    /// Probes that found the device idle and granted the window.
+    pub idle_grants: u64,
 }
 
 /// A queue discipline bound to a device model.
@@ -247,6 +252,17 @@ impl BlockDevice {
     /// True when nothing is in flight and nothing is queued.
     pub fn is_idle(&self) -> bool {
         self.inflight.is_none() && self.ncq.is_empty() && self.sched.is_empty()
+    }
+
+    /// [`Self::is_idle`], counted: background maintenance calls this to
+    /// claim an idle window, and the probe/grant counters expose how
+    /// often the device was actually quiet when asked — the evidence
+    /// that maintenance runs only in idle windows.
+    pub fn probe_idle(&mut self) -> bool {
+        let idle = self.is_idle();
+        self.stats.idle_probes += 1;
+        self.stats.idle_grants += idle as u64;
+        idle
     }
 
     /// Number of queued requests (scheduler + NCQ, excluding in-flight).

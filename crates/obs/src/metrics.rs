@@ -238,6 +238,78 @@ impl MdsAgg {
     }
 }
 
+/// Backup-log maintenance aggregates: segmented-log turnover
+/// (seal/compact/reclaim), checkpointing, and scrubbing, summed across
+/// servers and runs. Counters only — per-run gauges (live segments,
+/// live bytes) don't merge meaningfully and stay in the run report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaintAgg {
+    /// Runs that recorded maintenance activity.
+    pub runs: u64,
+    /// Maintenance ticks delivered by the writeback daemon.
+    pub ticks: u64,
+    /// Ticks skipped because the cache device was busy.
+    pub busy_skips: u64,
+    /// Foreground backup records appended.
+    pub records_appended: u64,
+    /// Tombstone records appended for retired entries.
+    pub tombstones: u64,
+    /// Records superseded in place by clean updates.
+    pub supersedes: u64,
+    /// Bytes of foreground backup records appended.
+    pub backup_bytes: u64,
+    /// Segments sealed.
+    pub segments_sealed: u64,
+    /// Segments condemned by the compactor.
+    pub segments_compacted: u64,
+    /// Condemned segments reclaimed at a later barrier.
+    pub segments_reclaimed: u64,
+    /// Live records rewritten by compaction.
+    pub records_rewritten: u64,
+    /// Bytes rewritten — the write-amplification numerator.
+    pub rewrite_bytes: u64,
+    /// Indexed checkpoints written.
+    pub checkpoints: u64,
+    /// Records serialized into checkpoints.
+    pub checkpoint_records: u64,
+    /// Bytes of checkpoint images written.
+    pub checkpoint_bytes: u64,
+    /// Cold segments walked by the scrubber.
+    pub scrub_segments: u64,
+    /// Records CRC-verified by the scrubber.
+    pub scrub_records: u64,
+    /// Latent bit-rot hits repaired before any restart saw them.
+    pub scrub_repairs: u64,
+}
+
+impl MaintAgg {
+    fn merge(&mut self, o: &MaintAgg) {
+        self.runs += o.runs;
+        self.ticks += o.ticks;
+        self.busy_skips += o.busy_skips;
+        self.records_appended += o.records_appended;
+        self.tombstones += o.tombstones;
+        self.supersedes += o.supersedes;
+        self.backup_bytes += o.backup_bytes;
+        self.segments_sealed += o.segments_sealed;
+        self.segments_compacted += o.segments_compacted;
+        self.segments_reclaimed += o.segments_reclaimed;
+        self.records_rewritten += o.records_rewritten;
+        self.rewrite_bytes += o.rewrite_bytes;
+        self.checkpoints += o.checkpoints;
+        self.checkpoint_records += o.checkpoint_records;
+        self.checkpoint_bytes += o.checkpoint_bytes;
+        self.scrub_segments += o.scrub_segments;
+        self.scrub_records += o.scrub_records;
+        self.scrub_repairs += o.scrub_repairs;
+    }
+
+    /// True if no run has recorded maintenance activity.
+    pub fn is_empty(&self) -> bool {
+        self.runs == 0
+    }
+}
+
 fn merge_by_index(a: &mut Vec<u64>, b: &[u64]) {
     if a.len() < b.len() {
         a.resize(b.len(), 0);
@@ -262,6 +334,8 @@ pub struct Registry {
     pub pdes: PdesAgg,
     /// Replicated-MDS aggregates.
     pub mds: MdsAgg,
+    /// Backup-log maintenance aggregates.
+    pub maint: MaintAgg,
 }
 
 impl Registry {
@@ -274,6 +348,7 @@ impl Registry {
             servers: BTreeMap::new(),
             pdes: PdesAgg::default(),
             mds: MdsAgg::default(),
+            maint: MaintAgg::default(),
         }
     }
 
@@ -283,6 +358,7 @@ impl Registry {
             && self.servers.is_empty()
             && self.pdes.is_empty()
             && self.mds.is_empty()
+            && self.maint.is_empty()
     }
 
     /// Merges another registry into this one (pure addition).
@@ -301,6 +377,7 @@ impl Registry {
         }
         self.pdes.merge(&o.pdes);
         self.mds.merge(&o.mds);
+        self.maint.merge(&o.maint);
     }
 }
 
@@ -410,6 +487,16 @@ pub fn record_mds(agg: &MdsAgg) {
         return;
     }
     with_local(|r| r.mds.merge(agg));
+}
+
+/// Records one run's backup-log maintenance counters. No-op unless
+/// metrics are on and some maintenance happened (stock-policy runs and
+/// maintenance-free iBridge runs leave no trace).
+pub fn record_maint(agg: &MaintAgg) {
+    if !crate::metrics_on() || agg.is_empty() {
+        return;
+    }
+    with_local(|r| r.maint.merge(agg));
 }
 
 /// Merges the calling thread's local registry into the global one.

@@ -38,7 +38,7 @@
 //! combination.
 
 use crate::layout::Layout;
-use crate::policy::{CachePolicy, CacheStats, LogCorruption};
+use crate::policy::{BitRotTarget, CachePolicy, CacheStats, LogCorruption, MaintStats};
 use crate::proto::{FileRequest, SubRequest};
 use crate::server::{DataServer, DevKind, JobId, ServerConfig, ServerOut};
 use crate::workload::Workload;
@@ -47,7 +47,7 @@ use ibridge_des::pdes::{LpPort, ShardedSimulation};
 use ibridge_des::stats::{Histogram, MeanTracker};
 use ibridge_des::{EventId, SimDuration, SimTime};
 use ibridge_faults::{
-    FaultDev, FaultInjector, FaultPlan, FaultStats, NetDecider, RetryConfig, TimedFault,
+    FaultDev, FaultInjector, FaultPlan, FaultStats, NetDecider, RetryConfig, RotTarget, TimedFault,
 };
 use ibridge_iosched::{Action, DevStats};
 use ibridge_localfs::FileHandle;
@@ -104,6 +104,19 @@ static TOTAL_MDS_RECOVERY_NS: AtomicU64 = AtomicU64::new(0);
 /// verification knob, not a fault), so this lives outside the
 /// `is_zero`-gated flush below.
 static TOTAL_AUDITS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide backup-log maintenance totals (segmented log,
+/// checkpoints, compaction, scrub), folded once per run across servers.
+/// `None` until a run with a maintaining policy flushes counters.
+/// Counters only — per-run gauges are zeroed before folding.
+static TOTAL_MAINT: std::sync::Mutex<Option<MaintStats>> = std::sync::Mutex::new(None);
+
+/// Snapshot of the process-wide maintenance counters (monotone; updated
+/// once per run, like [`total_fault_counters`]). All-zero until an
+/// iBridge run with backup-log maintenance has completed.
+pub fn total_maint_counters() -> MaintStats {
+    TOTAL_MAINT.lock().unwrap().unwrap_or_default()
+}
 
 /// Process-wide fault/recovery totals, aggregated once per run across all
 /// threads (the harness's `--bench-report` pulls these next to the cache
@@ -585,10 +598,12 @@ fn clamp_fault(f: TimedFault, n: usize) -> TimedFault {
             server,
             sectors,
             seed,
+            target,
         } => TimedFault::BitRot {
             server: server % n,
             sectors,
             seed,
+            target,
         },
         TimedFault::MdsCrash
         | TimedFault::MdsRestart
@@ -629,6 +644,9 @@ pub struct ServerRunStats {
     pub cache: Option<DevStats>,
     /// Policy counters.
     pub policy: CacheStats,
+    /// Backup-log maintenance counters (segmented log, checkpoints,
+    /// compaction, scrub) — all zero for policies without a backup log.
+    pub maint: MaintStats,
     /// Dispatch-size histogram of primary-device reads (sectors).
     pub primary_reads: Histogram,
     /// Dispatch-size histogram of primary-device writes (sectors).
@@ -1335,6 +1353,63 @@ impl Cluster {
             TOTAL_MDS_LEADER_CHANGES.fetch_add(fstats.mds_leader_changes, Ordering::Relaxed);
             TOTAL_MDS_RECOVERY_NS.fetch_add(fstats.mds_recovery_ticks, Ordering::Relaxed);
         }
+        let servers: Vec<ServerRunStats> = shs
+            .iter()
+            .flat_map(|sh| sh.p.cells.iter())
+            .map(|cell| {
+                let s = &cell.server;
+                let (ra_hits, ra_bytes) = s.readahead_hits();
+                ServerRunStats {
+                    primary: s.primary().stats(),
+                    cache: s.cache().map(|c| c.stats()),
+                    policy: s.policy().stats(),
+                    maint: s.policy().maint_stats(),
+                    primary_reads: s.primary().tracer().reads().clone(),
+                    primary_writes: s.primary().tracer().writes().clone(),
+                    ra_hits,
+                    ra_bytes,
+                }
+            })
+            .collect();
+        {
+            // Fold this run's maintenance counters into the process-wide
+            // totals. Gauges are per-run snapshots, not monotone — keep
+            // them out of the cumulative totals.
+            let mut m = MaintStats::default();
+            for s in &servers {
+                m.absorb(&s.maint);
+            }
+            m.live_segments = 0;
+            m.live_records = 0;
+            m.live_backup_bytes = 0;
+            if !m.is_zero() {
+                let mut tot = TOTAL_MAINT.lock().unwrap();
+                tot.get_or_insert_with(MaintStats::default).absorb(&m);
+            }
+            #[cfg(feature = "obs")]
+            if ibridge_obs::metrics_on() && !m.is_zero() {
+                ibridge_obs::metrics::record_maint(&ibridge_obs::metrics::MaintAgg {
+                    runs: 1,
+                    ticks: m.ticks,
+                    busy_skips: m.busy_skips,
+                    records_appended: m.records_appended,
+                    tombstones: m.tombstones,
+                    supersedes: m.supersedes,
+                    backup_bytes: m.backup_bytes,
+                    segments_sealed: m.segments_sealed,
+                    segments_compacted: m.segments_compacted,
+                    segments_reclaimed: m.segments_reclaimed,
+                    records_rewritten: m.records_rewritten,
+                    rewrite_bytes: m.rewrite_bytes,
+                    checkpoints: m.checkpoints,
+                    checkpoint_records: m.checkpoint_records,
+                    checkpoint_bytes: m.checkpoint_bytes,
+                    scrub_segments: m.scrub_segments,
+                    scrub_records: m.scrub_records,
+                    scrub_repairs: m.scrub_repairs,
+                });
+            }
+        }
         RunStats {
             elapsed: end - start,
             client_elapsed: co.client_done_at - start,
@@ -1347,23 +1422,7 @@ impl Cluster {
             events_dispatched,
             proc_bytes: co.proc_bytes,
             proc_done: co.proc_done,
-            servers: shs
-                .iter()
-                .flat_map(|sh| sh.p.cells.iter())
-                .map(|cell| {
-                    let s = &cell.server;
-                    let (ra_hits, ra_bytes) = s.readahead_hits();
-                    ServerRunStats {
-                        primary: s.primary().stats(),
-                        cache: s.cache().map(|c| c.stats()),
-                        policy: s.policy().stats(),
-                        primary_reads: s.primary().tracer().reads().clone(),
-                        primary_writes: s.primary().tracer().writes().clone(),
-                        ra_hits,
-                        ra_bytes,
-                    }
-                })
-                .collect(),
+            servers,
             faults: fstats,
         }
     }
@@ -2481,12 +2540,23 @@ fn apply_shard_fault(port: &mut LpPort<'_, Ev>, lp: &mut ShardLp, now: SimTime, 
             server,
             sectors,
             seed,
+            target,
         } => {
             let ci = server - lp.p.lo;
             if !lp.p.cells[ci].down {
-                let hit = lp.p.cells[ci]
-                    .server
-                    .corrupt_cache(now, LogCorruption::BitRot { sectors, seed });
+                let target = match target {
+                    RotTarget::Any => BitRotTarget::Any,
+                    RotTarget::Tail => BitRotTarget::Tail,
+                    RotTarget::Checkpoint => BitRotTarget::Checkpoint,
+                };
+                let hit = lp.p.cells[ci].server.corrupt_cache(
+                    now,
+                    LogCorruption::BitRot {
+                        sectors,
+                        seed,
+                        target,
+                    },
+                );
                 lp.fstats.rotted_records += hit;
             }
         }

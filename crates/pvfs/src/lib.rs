@@ -54,13 +54,13 @@ pub mod server;
 pub mod workload;
 
 pub use cluster::{
-    total_events_dispatched, total_fault_counters, total_window_counters, Cluster, ClusterConfig,
-    FaultTotals, RunStats, ServerRunStats,
+    total_events_dispatched, total_fault_counters, total_maint_counters, total_window_counters,
+    Cluster, ClusterConfig, FaultTotals, RunStats, ServerRunStats,
 };
 pub use layout::Layout;
 pub use policy::{
-    CachePolicy, CacheStats, EntryId, FlushId, FlushOp, LogCorruption, Placement, RestartReport,
-    StockPolicy,
+    BitRotTarget, CachePolicy, CacheStats, EntryId, FlushId, FlushOp, LogCorruption, MaintStats,
+    Placement, RestartReport, StockPolicy,
 };
 pub use proto::{FileRequest, ReqClass, SubRequest};
 pub use server::{DataServer, DevKind, DiskSched, JobId, ServerConfig};

@@ -109,6 +109,88 @@ impl CacheStats {
     }
 }
 
+/// Counters of the background log-maintenance machinery: segmented-log
+/// compaction/GC, periodic indexed checkpoints and the cold-segment
+/// scrubber. All zero for policies without a persistent backup log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintStats {
+    /// Maintenance ticks delivered (one per writeback-daemon tick).
+    pub ticks: u64,
+    /// Ticks skipped because the cache device was busy — maintenance
+    /// never competes with foreground I/O.
+    pub busy_skips: u64,
+    /// Backup records appended by the foreground path (redirected
+    /// writes, admissions, clean updates, tombstones).
+    pub records_appended: u64,
+    /// Tombstone records appended when live entries were retired.
+    pub tombstones: u64,
+    /// Entries whose backup record was superseded in place (clean
+    /// update after a flush).
+    pub supersedes: u64,
+    /// Bytes of foreground backup records appended.
+    pub backup_bytes: u64,
+    /// Segments sealed (filled to the segment size).
+    pub segments_sealed: u64,
+    /// Segments condemned by the compactor.
+    pub segments_compacted: u64,
+    /// Condemned segments reclaimed at a later maintenance barrier.
+    pub segments_reclaimed: u64,
+    /// Live records rewritten into fresh segments by compaction.
+    pub records_rewritten: u64,
+    /// Bytes of rewritten records — the write-amplification numerator.
+    pub rewrite_bytes: u64,
+    /// Indexed checkpoints written.
+    pub checkpoints: u64,
+    /// Mapping-table records serialized into checkpoints.
+    pub checkpoint_records: u64,
+    /// Bytes of checkpoint images written.
+    pub checkpoint_bytes: u64,
+    /// Cold segments walked by the scrubber.
+    pub scrub_segments: u64,
+    /// Records CRC-verified by the scrubber.
+    pub scrub_records: u64,
+    /// Latent bit-rot hits the scrubber detected and repaired before
+    /// they could reach a restart's recovery fsck.
+    pub scrub_repairs: u64,
+    /// Current retained (non-condemned) segments (gauge).
+    pub live_segments: u64,
+    /// Current live (non-superseded) backup records (gauge).
+    pub live_records: u64,
+    /// Current live backup bytes (gauge).
+    pub live_backup_bytes: u64,
+}
+
+impl MaintStats {
+    /// Accumulates another snapshot (gauges sum across servers).
+    pub fn absorb(&mut self, o: &MaintStats) {
+        self.ticks += o.ticks;
+        self.busy_skips += o.busy_skips;
+        self.records_appended += o.records_appended;
+        self.tombstones += o.tombstones;
+        self.supersedes += o.supersedes;
+        self.backup_bytes += o.backup_bytes;
+        self.segments_sealed += o.segments_sealed;
+        self.segments_compacted += o.segments_compacted;
+        self.segments_reclaimed += o.segments_reclaimed;
+        self.records_rewritten += o.records_rewritten;
+        self.rewrite_bytes += o.rewrite_bytes;
+        self.checkpoints += o.checkpoints;
+        self.checkpoint_records += o.checkpoint_records;
+        self.checkpoint_bytes += o.checkpoint_bytes;
+        self.scrub_segments += o.scrub_segments;
+        self.scrub_records += o.scrub_records;
+        self.scrub_repairs += o.scrub_repairs;
+        self.live_segments += o.live_segments;
+        self.live_records += o.live_records;
+        self.live_backup_bytes += o.live_backup_bytes;
+    }
+
+    /// True when every counter is zero (nothing to report).
+    pub fn is_zero(&self) -> bool {
+        *self == MaintStats::default()
+    }
+}
+
 /// Outcome of recovering the on-SSD mapping-table backup after a server
 /// process restart: the recovery fsck scans every backup record,
 /// verifies checksums and sequence continuity, quarantines what fails,
@@ -152,7 +234,24 @@ pub enum LogCorruption {
         sectors: u32,
         /// Seed for the deterministic placement of the hits.
         seed: u64,
+        /// Which region of the backup media the hits land in.
+        target: BitRotTarget,
     },
+}
+
+/// Which region of the segmented backup media bit-rot strikes. The
+/// circular log of PR 4 had a single region; the segmented log splits
+/// the media into tail segments and the indexed checkpoint, and fault
+/// plans can aim at either.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BitRotTarget {
+    /// Any resident backup record (tail segments and checkpoint alike).
+    #[default]
+    Any,
+    /// Tail-segment records only (seq newer than the checkpoint covers).
+    Tail,
+    /// Checkpoint-image records only.
+    Checkpoint,
 }
 
 /// Decision-making interface of the server-side cache.
@@ -195,6 +294,18 @@ pub trait CachePolicy: std::fmt::Debug + Send {
 
     /// Counter snapshot.
     fn stats(&self) -> CacheStats;
+
+    /// Background log-maintenance tick, driven at the writeback daemon's
+    /// cadence so maintenance rides the same idle windows as writeback.
+    /// `idle` reports whether the cache device has spare capacity right
+    /// now; compaction, checkpointing and scrubbing must run only when
+    /// it does. Policies without a persistent log ignore this.
+    fn log_maintenance(&mut self, _now: SimTime, _idle: bool) {}
+
+    /// Counter snapshot of the background log maintenance.
+    fn maint_stats(&self) -> MaintStats {
+        MaintStats::default()
+    }
 
     /// The server process restarted with the SSD intact: replay the
     /// on-SSD backup of the mapping table. Dirty entries survive, clean

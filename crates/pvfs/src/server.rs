@@ -838,8 +838,17 @@ impl DataServer {
     /// drain), only acts while the primary device is quiet, as the paper
     /// specifies ("during quiet I/O-device periods").
     pub fn writeback_tick(&mut self, now: SimTime, force: bool, out: &mut ServerOut) {
-        if self.cache.is_none() {
+        let Some(cache) = self.cache.as_mut() else {
             return;
+        };
+        if !force {
+            // Background log maintenance (segment compaction/GC,
+            // checkpoints, scrubbing) rides the same tick but keys on
+            // the *cache* device being quiet — it reads and rewrites
+            // the SSD log, not the disk. The end-of-run drain skips it:
+            // maintenance never delays the drain.
+            let idle = cache.probe_idle();
+            self.policy.log_maintenance(now, idle);
         }
         if !force && !self.primary.is_idle() {
             return;

@@ -14,6 +14,10 @@
 # rates are host-noisy — on a shared 1-CPU box same-binary reruns drift
 # by tens of percent — so pick a rate threshold that matches measured
 # host drift; allocs/event is deterministic and can stay tight.
+#
+# Missing or unparsable reports, an empty comparable-experiment
+# intersection, and an explicit --alloc-threshold against a report with
+# no alloc data all fail loudly (exit 2) instead of passing vacuously.
 set -euo pipefail
 
 threshold=10
@@ -32,7 +36,7 @@ while [ $# -gt 0 ]; do
       alloc_threshold="$1"
       ;;
     -h|--help)
-      sed -n '2,18p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,21p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     -*)
@@ -51,17 +55,38 @@ done
 }
 
 OLD="${files[0]}" NEW="${files[1]}" THRESHOLD="$threshold" \
-ALLOC_THRESHOLD="${alloc_threshold:-$threshold}" python3 - <<'PY'
+ALLOC_THRESHOLD="${alloc_threshold:-$threshold}" \
+ALLOC_GATE="${alloc_threshold:+1}" python3 - <<'PY'
 import json, os, sys
 
 old_path, new_path = os.environ["OLD"], os.environ["NEW"]
 threshold = float(os.environ["THRESHOLD"])
 alloc_threshold = float(os.environ["ALLOC_THRESHOLD"])
+# Set when --alloc-threshold was passed explicitly: the caller asked for
+# an alloc gate, so a report that cannot be gated is an error, not a
+# silent pass.
+alloc_gate = os.environ.get("ALLOC_GATE") == "1"
+
+def die(msg):
+    print(f"bench-diff: {msg}", file=sys.stderr)
+    sys.exit(2)
 
 def load(path):
-    with open(path) as f:
-        report = json.load(f)
-    return {e["name"]: e for e in report["experiments"]}, report
+    # A comparison against a missing or garbage report must fail
+    # loudly: CI once piped a bad path here and shipped on the green.
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as e:
+        die(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        die(f"{path} is not valid JSON: {e}")
+    exps = report.get("experiments")
+    if not isinstance(exps, list) or not all(
+        isinstance(e, dict) and "name" in e for e in exps
+    ):
+        die(f"{path} is not a bench report: missing 'experiments' list")
+    return {e["name"]: e for e in exps}, report
 
 old, old_rep = load(old_path)
 new, new_rep = load(new_path)
@@ -95,6 +120,12 @@ def delta(a, b):
 
 names = [n for n in old if n in new]
 missing = [n for n in old if n not in new] + [n for n in new if n not in old]
+if not names:
+    die(f"no experiment appears in both reports "
+        f"({old_path}: {len(old)}, {new_path}: {len(new)}) — nothing to gate")
+if alloc_gate and all(new[n].get("allocs_per_event") is None for n in names):
+    die(f"--alloc-threshold given but {new_path} carries no allocs_per_event "
+        f"(build the new report with --features count-allocs)")
 
 w = max((len(n) for n in names), default=4)
 # The threaded column only renders when at least one side carries a

@@ -55,6 +55,26 @@ echo "== corruption-matrix jobs identity (torn-write/bit-rot recovery)"
   >/tmp/ibridge_ci_recovery_j8.txt 2>/dev/null
 cmp goldens/recovery_smoke.txt /tmp/ibridge_ci_recovery_j8.txt
 
+# Recovery matrix: the segmented-log maintenance experiment (compaction,
+# indexed checkpoints, idle-window scheduling, O(dirty) restart) and the
+# corruption matrix must reproduce their goldens under both parallel
+# jobs and the threaded sharded driver — maintenance runs inside the
+# simulation, so a single reordered tick would show up as byte drift.
+echo "== recovery-matrix: logmaint jobs identity (segmented log, O(dirty) restart)"
+./target/release/expt --seed 7 --jobs 8 --audit logmaint \
+  >/tmp/ibridge_ci_logmaint_j8.txt 2>/dev/null
+cmp goldens/logmaint_smoke.txt /tmp/ibridge_ci_logmaint_j8.txt
+
+echo "== recovery-matrix: logmaint threaded identity (--shards 4 --threads 4)"
+./target/release/expt --seed 7 --shards 4 --threads 4 --audit logmaint \
+  >/tmp/ibridge_ci_logmaint_thr.txt 2>/dev/null
+cmp goldens/logmaint_smoke.txt /tmp/ibridge_ci_logmaint_thr.txt
+
+echo "== recovery-matrix: corruption threaded identity (--shards 4 --threads 4)"
+./target/release/expt --seed 7 --shards 4 --threads 4 --audit recovery \
+  >/tmp/ibridge_ci_recovery_thr.txt 2>/dev/null
+cmp goldens/recovery_smoke.txt /tmp/ibridge_ci_recovery_thr.txt
+
 echo "== mds-ha jobs identity (replicated metadata failover)"
 ./target/release/expt --seed 7 --jobs 8 --audit mds-ha \
   >/tmp/ibridge_ci_mds_j8.txt 2>/dev/null
@@ -85,6 +105,23 @@ echo "== alloc parity (obs feature on vs compiled out; counting allocator)"
 cargo build --release -p ibridge-bench --features count-allocs
 ./target/release/expt --bench-report /tmp/ibridge_ci_bench_obs_on.json summary \
   >/dev/null 2>&1
+
+echo "== bench-diff vs BENCH_pr7.json (rates annotate, allocs/event gates)"
+# Fresh full-suite self-benchmark under the counting allocator, same
+# parameters as the committed baseline.
+./target/release/expt --seed 42 --jobs 8 --shards 4 --threads 4 \
+  --bench-report /tmp/ibridge_ci_bench_fresh.json all >/dev/null 2>&1
+# Wall-clock rates are host-noisy (same-binary reruns drift by tens of
+# percent on shared runners): print the comparison for review, never
+# fail on it.
+./scripts/bench-diff.sh BENCH_pr7.json /tmp/ibridge_ci_bench_fresh.json \
+  || echo "bench-diff: rate drift is informational only (host noise)"
+# allocs/event is deterministic, so it gates hard: +10% per experiment.
+# --threshold 101 disables the rate gate (a rate regression is bounded
+# at -100%), leaving allocs/event as the only failure condition.
+./scripts/bench-diff.sh BENCH_pr7.json /tmp/ibridge_ci_bench_fresh.json \
+  --threshold 101 --alloc-threshold 10 >/dev/null
+
 cargo build --release -p ibridge-bench --no-default-features --features count-allocs
 ./target/release/expt --bench-report /tmp/ibridge_ci_bench_obs_off.json summary \
   >/dev/null 2>&1

@@ -21,6 +21,8 @@ cargo build --release -q
   > "$OUT/recovery_smoke.txt" 2>/dev/null
 ./target/release/expt --seed 7 --audit mds-ha \
   > "$OUT/mds_smoke.txt" 2>/dev/null
+./target/release/expt --seed 7 --audit logmaint \
+  > "$OUT/logmaint_smoke.txt" 2>/dev/null
 ./target/release/expt summary > "$OUT/perf_smoke.txt" 2>/dev/null
 ./target/release/expt --seed 7 --jobs 8 --metrics summary \
   > "$OUT/obs_smoke.txt" 2>/dev/null
